@@ -1,0 +1,164 @@
+"""E4 — Fig 3a: pi estimation run time vs sample count, pure Python.
+
+Reproduces both panels of the figure's argument:
+
+* left side (small sample counts): Mrs total ≈ its ~2 s startup while
+  Hadoop sits at its ~30 s floor — an order of magnitude or more;
+* right side (large sample counts): Java's faster inner loop wins over
+  pure CPython, with the crossover where per-core compute time reaches
+  roughly half a minute ("task times less than around 32 seconds").
+
+Measured: real Mrs serial runs (CPython Halton kernel) at the small
+counts, and the measured CPython sampling rate parameterizes the
+curve.  Modeled: the Hadoop series (DES with per-task Java seconds =
+python seconds / java_speedup) and a PyPy series at the paper-implied
+~4x CPython, since PyPy is not installable offline (see DESIGN.md
+substitutions).
+"""
+
+import time
+
+from repro.apps.pi.estimator import PiEstimator
+from repro.apps.pi.halton import measure_python_rate
+from repro.core.main import run_program
+from repro.hadoopsim import HadoopCluster, HadoopJob
+from reporting import fmt_count, fmt_seconds, once, print_table
+
+#: Paper cluster: 21 nodes x 6 cores; the figure used 126-way jobs.
+SLOTS = 126
+N_TASKS = 126
+#: Measured Mrs cluster startup is ~0.3 s locally; the paper's is ~2 s
+#: (real network).  Use the paper's for the modeled curve.
+MRS_STARTUP = 2.0
+MRS_PER_OP_OVERHEAD = 0.3
+
+#: Modeled PyPy speedup over CPython for this numeric loop (paper
+#: Fig 3a shows PyPy between CPython and Java).
+PYPY_SPEEDUP = 4.0
+
+# The paper sweeps 1..1e9 on 2012 hardware; today's CPython samples
+# ~4x faster, pushing the crossover past 1e9, so the sweep extends two
+# decades further.  The scale-free quantity reported (and asserted) is
+# the *per-core compute seconds* at the crossover, the paper's "~32 s".
+SWEEP = [10**k for k in range(0, 12)]
+
+
+def mrs_modeled_seconds(samples: int, rate: float) -> float:
+    return MRS_STARTUP + MRS_PER_OP_OVERHEAD + samples / (rate * SLOTS)
+
+
+def hadoop_modeled_seconds(samples: int, python_rate: float, cluster) -> float:
+    java_rate = python_rate * cluster.model.java_speedup_vs_python
+    per_task = (samples / N_TASKS) / java_rate
+    result = HadoopJob(cluster).run_modeled(
+        map_seconds=per_task, n_map_tasks=N_TASKS,
+        reduce_seconds=0.01, n_reduce_tasks=1,
+    )
+    return result.modeled_seconds
+
+
+def measured_mrs_serial(samples: int) -> float:
+    started = time.perf_counter()
+    run_program(
+        PiEstimator,
+        ["--pi-samples", str(samples), "--pi-tasks", "4"],
+        impl="serial",
+    )
+    return time.perf_counter() - started
+
+
+def find_crossover(series_a, series_b, sweep):
+    """First sample count where b (Hadoop) beats a (Mrs), or None."""
+    for samples, a, b in zip(sweep, series_a, series_b):
+        if b < a:
+            return samples
+    return None
+
+
+def bisect_crossover(mrs_fn, hadoop_fn, low=1.0, high=1e12):
+    """Exact sample count where the Hadoop curve crosses below Mrs.
+
+    Both curves are monotone in n; returns None if Hadoop never wins
+    by ``high``.
+    """
+    if hadoop_fn(high) >= mrs_fn(high):
+        return None
+    if hadoop_fn(low) < mrs_fn(low):
+        return low
+    for _ in range(80):
+        mid = (low * high) ** 0.5  # geometric: the axis is log-scale
+        if hadoop_fn(mid) < mrs_fn(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def make_cluster():
+    """21 nodes x 6 map slots = 126-way, matching the Mrs side."""
+    return HadoopCluster(n_nodes=21, map_slots_per_node=6)
+
+
+def test_fig3a_python_series(benchmark):
+    python_rate = once(benchmark, measure_python_rate, 300_000)
+    cluster = make_cluster()
+
+    mrs_series = [mrs_modeled_seconds(n, python_rate) for n in SWEEP]
+    pypy_series = [
+        mrs_modeled_seconds(n, python_rate * PYPY_SPEEDUP) for n in SWEEP
+    ]
+    hadoop_series = [
+        hadoop_modeled_seconds(n, python_rate, cluster) for n in SWEEP
+    ]
+    measured = {n: measured_mrs_serial(n) for n in (1, 10_000, 1_000_000)}
+
+    rows = []
+    for n, mrs_s, pypy_s, hadoop_s in zip(
+        SWEEP, mrs_series, pypy_series, hadoop_series
+    ):
+        rows.append([
+            fmt_count(n),
+            fmt_seconds(mrs_s),
+            fmt_seconds(pypy_s),
+            fmt_seconds(hadoop_s),
+            fmt_seconds(measured[n]) if n in measured else "",
+        ])
+    crossover = bisect_crossover(
+        lambda n: mrs_modeled_seconds(n, python_rate),
+        lambda n: hadoop_modeled_seconds(n, python_rate, cluster),
+    )
+    task_seconds_at_crossover = (
+        crossover / (python_rate * SLOTS) if crossover else float("nan")
+    )
+    pypy_crossover = bisect_crossover(
+        lambda n: mrs_modeled_seconds(n, python_rate * PYPY_SPEEDUP),
+        lambda n: hadoop_modeled_seconds(n, python_rate, cluster),
+    )
+
+    print_table(
+        "E4 / Fig 3a: pi run time vs samples (126 tasks, 21-node model)",
+        ["samples", "Mrs CPython", "Mrs PyPy (modeled)", "Hadoop (modeled)",
+         "Mrs serial 1-core (measured)"],
+        rows,
+        notes=[
+            f"measured CPython Halton rate: {python_rate:,.0f} samples/s/core",
+            f"CPython crossover at ~{fmt_count(crossover)} samples -> "
+            f"per-core compute {task_seconds_at_crossover:.0f} s "
+            "(paper: 'task times less than around 32 seconds')",
+            "PyPy crossover at ~"
+            + (fmt_count(pypy_crossover) if pypy_crossover else "beyond sweep")
+            + " samples (moved right, as in the paper)",
+        ],
+    )
+
+    # Left side: Mrs at least 10x faster than Hadoop for tiny jobs.
+    assert hadoop_series[0] / mrs_series[0] >= 10.0
+    # Right side: Hadoop eventually wins over pure CPython (Fig 3a).
+    assert crossover is not None
+    # The paper's ~32 s task-time window, within a loose factor.
+    assert 10.0 <= task_seconds_at_crossover <= 90.0
+    # PyPy moves the crossover to more samples.
+    assert pypy_crossover is None or pypy_crossover > crossover
+    # Measured left side: a 1-sample Mrs job is well under a second
+    # locally (paper: ~2 s including cluster startup).
+    assert measured[1] < 1.0

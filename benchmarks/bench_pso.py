@@ -1,0 +1,197 @@
+"""E6/E7 — Fig 4: Apiary PSO on Rosenbrock-250, serial vs parallel.
+
+Reproduced observations (section V-B):
+
+* "Performing 100 iterations on 5 particles requires only 0.2 seconds"
+  (serial) — measured directly at the paper's own scale.
+* parallel PSO ≈ 0.5 s/iteration of which ~0.3 s is per-iteration
+  MapReduce overhead — measured on a real 2-slave local cluster
+  (local RPC is faster than the paper's gigabit cluster; the shape to
+  hold is overhead ≪ 1 s and ≪ Hadoop's floor).
+* convergence vs function evaluations and vs wall time (both Fig 4
+  panels) for serial and parallel runs of the same seed — identical
+  evals-curves, differing time-curves.
+* E7: PSO on Hadoop estimate — iterations x per-job overhead; the
+  paper computes 2471 x 30 s ≈ 20.6 h.
+"""
+
+import time
+
+from repro.apps.pso.mrpso import ApiaryPSO, serial_apiary_pso
+from repro.core.main import run_program
+from repro.hadoopsim import HadoopJob
+from repro.runtime.cluster import LocalCluster
+from reporting import fmt_seconds, once, print_table
+
+PSO_FLAGS = [
+    "--mrs-seed", "42",
+    "--pso-function", "rosenbrock",
+    "--pso-dims", "250",
+    "--pso-subswarms", "4",
+    "--pso-particles", "5",
+    "--pso-inner", "10",
+    "--pso-outer", "20",
+]
+
+
+def serial_100_iterations_5_particles() -> float:
+    """The paper's exact micro-measurement."""
+    started = time.perf_counter()
+    serial_apiary_pso(
+        function="rosenbrock", dims=250, n_subswarms=1, particles_per=5,
+        inner_iters=100, max_outer=1, seed=7,
+    )
+    return time.perf_counter() - started
+
+
+def test_fig4_convergence_and_overhead(benchmark):
+    serial_micro = once(benchmark, serial_100_iterations_5_particles)
+
+    serial = run_program(ApiaryPSO, PSO_FLAGS, impl="serial")
+
+    cluster = LocalCluster(ApiaryPSO, PSO_FLAGS, n_slaves=2)
+    startup_begin = time.perf_counter()
+    cluster.start()
+    startup_seconds = time.perf_counter() - startup_begin
+    try:
+        parallel = cluster.run()
+    finally:
+        cluster.stop()
+
+    assert [r.best for r in parallel.convergence] == [
+        r.best for r in serial.convergence
+    ], "serial and parallel must be bit-identical (section IV-A)"
+
+    iterations = len(parallel.convergence)
+    serial_total = serial.convergence[-1].elapsed
+    parallel_total = parallel.convergence[-1].elapsed
+    serial_per_iter = serial_total / iterations
+    parallel_per_iter = parallel_total / iterations
+    overhead_per_iter = max(0.0, parallel_per_iter - serial_per_iter)
+
+    rows = []
+    step = max(1, iterations // 8)
+    for record_s, record_p in list(zip(serial.convergence, parallel.convergence))[::step]:
+        rows.append([
+            record_s.iteration,
+            record_s.evals,
+            f"{record_s.best:.4g}",
+            fmt_seconds(record_s.elapsed),
+            fmt_seconds(record_p.elapsed),
+        ])
+    print_table(
+        "E6 / Fig 4: Rosenbrock-250, Apiary (4 hives x 5 particles, "
+        "10 inner iters)",
+        ["outer iter", "evals", "best value", "serial time", "parallel time"],
+        rows,
+        notes=[
+            "identical best-vs-evals curves by construction (bit-equal "
+            "trajectories); the two time columns are the two Fig 4 panels",
+        ],
+    )
+    print_table(
+        "E6: iteration cost",
+        ["quantity", "this repro", "paper"],
+        [
+            ["100 serial iters x 5 particles", fmt_seconds(serial_micro),
+             "0.2 s"],
+            ["cluster startup", fmt_seconds(startup_seconds), "~2 s"],
+            ["serial s/outer-iteration", fmt_seconds(serial_per_iter), ""],
+            ["parallel s/outer-iteration", fmt_seconds(parallel_per_iter),
+             "~0.5 s"],
+            ["per-iteration MapReduce overhead", fmt_seconds(overhead_per_iter),
+             "~0.3 s (gigabit cluster; local RPC is cheaper)"],
+        ],
+    )
+
+    # Paper-scale shape checks.
+    assert serial_micro < 2.0, "100x5 serial iterations should be sub-second-ish"
+    assert startup_seconds < 5.0
+    assert parallel_per_iter < 1.0, "per-iteration cost must be ~sub-second"
+    # Convergence is real: the best value strictly improves.  (At the
+    # paper's full 2471 iterations Rosenbrock-250 drops to 1e-5; 20
+    # outer iterations only shave the first chunk off.)
+    assert serial.convergence[-1].best < serial.convergence[0].best
+
+
+def test_hadoop_estimate(benchmark):
+    """E7: the paper's 20-hour estimate for PSO on Hadoop."""
+    per_job = once(benchmark, HadoopJob().per_job_overhead)
+    # Measure iterations-to-target at a scaled setting.
+    prog = serial_apiary_pso(
+        function="rosenbrock", dims=50, n_subswarms=4, particles_per=5,
+        inner_iters=10, max_outer=100, target=1e4, seed=42,
+    )
+    measured_iters = len(prog.convergence)
+    mrs_time = prog.convergence[-1].elapsed
+    hadoop_estimate = measured_iters * per_job
+    paper_estimate_hours = 2471 * 30 / 3600
+
+    print_table(
+        "E7: estimated PSO-on-Hadoop cost (iterations x per-job overhead)",
+        ["quantity", "this repro", "paper"],
+        [
+            ["per-MapReduce-job overhead", fmt_seconds(per_job), ">= 30 s"],
+            ["iterations to target (scaled run)", measured_iters,
+             "2471 (Rosenbrock-250 to 1e-5)"],
+            ["Mrs wall time (measured)", fmt_seconds(mrs_time), ""],
+            ["Hadoop wall time (estimated)", fmt_seconds(hadoop_estimate),
+             f"{paper_estimate_hours:.1f} h"],
+            ["slowdown factor", f"{hadoop_estimate / max(mrs_time, 1e-9):,.0f}x",
+             "'two orders of magnitude' per op; ~20 h vs minutes overall"],
+        ],
+        notes=[
+            "paper-scale arithmetic with our calibrated overhead: "
+            f"2471 x {per_job:.0f} s = {2471 * per_job / 3600:.1f} h",
+        ],
+    )
+    assert 28.0 <= per_job <= 36.0
+    assert hadoop_estimate > 100 * mrs_time
+    assert 18.0 <= 2471 * per_job / 3600 <= 25.0  # the ~20 h headline
+
+
+def test_related_work_overhead_ladder(benchmark):
+    """Extension of E7: place Mrs's measured per-iteration overhead on
+    the same axis as the section-II related work (HaLoop, Twister)."""
+    from repro.hadoopsim.iterative_rivals import overhead_ladder
+
+    ladder = once(benchmark, overhead_ladder)
+
+    # Measure Mrs's per-iteration overhead on a real 2-slave cluster
+    # with near-zero compute per iteration.
+    flags = [
+        "--mrs-seed", "5", "--pso-function", "sphere", "--pso-dims", "4",
+        "--pso-subswarms", "2", "--pso-particles", "3",
+        "--pso-inner", "1", "--pso-outer", "15",
+    ]
+    cluster = LocalCluster(ApiaryPSO, flags, n_slaves=2)
+    cluster.start()
+    try:
+        parallel = cluster.run()
+    finally:
+        cluster.stop()
+    iterations = len(parallel.convergence)
+    mrs_per_iter = parallel.convergence[-1].elapsed / iterations
+
+    rows = [
+        [name, fmt_seconds(seconds), "modeled (section II designs)"]
+        for name, seconds in ladder
+    ]
+    rows.append(
+        ["Mrs (measured, 2 local slaves)", fmt_seconds(mrs_per_iter),
+         "paper: ~0.3 s on a gigabit cluster"]
+    )
+    print_table(
+        "E7 extension: per-iteration overhead across iterative designs",
+        ["system", "overhead/iteration", "provenance"],
+        rows,
+        notes=[
+            "ordering reproduced: Hadoop >> HaLoop > Twister ~ Mrs; "
+            "Mrs achieves Twister-class iteration latency while keeping "
+            "file-plane fault tolerance (section II/IV-B)",
+        ],
+    )
+    hadoop_s = ladder[0][1]
+    haloop_s = ladder[1][1]
+    assert hadoop_s > haloop_s > mrs_per_iter
+    assert mrs_per_iter < 1.0

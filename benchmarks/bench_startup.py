@@ -1,0 +1,74 @@
+"""E2 — Startup scripts: Mrs 4-step launch vs Hadoop 6-phase launch
+(Programs 3 vs 4, section V-A) plus the real measured Mrs startup.
+
+The paper's claims: starting a Mrs job is "quite easy" (4 script
+steps, master + slaves, ~2 s), while Hadoop "has more issues to
+address" — per-job HDFS format, daemon start/stop, data copy-in/out.
+We report (a) the modeled step tables for both and (b) the *measured*
+time for a real Mrs master + 2 slave subprocesses to become ready on
+this machine.
+"""
+
+import time
+
+from repro.apps.wordcount import WordCountCombined
+from repro.hadoopsim.jobclient import (
+    compare_startup_scripts,
+    hadoop_shared_cluster_teardown,
+)
+from repro.runtime.cluster import LocalCluster
+from reporting import fmt_seconds, once, print_table
+
+
+def measured_mrs_startup(tmp_path_factory=None) -> float:
+    """Wall time from nothing to N signed-in slaves (Program 3)."""
+    import tempfile, os
+
+    workdir = tempfile.mkdtemp(prefix="bench_startup_")
+    input_file = os.path.join(workdir, "in.txt")
+    with open(input_file, "w") as f:
+        f.write("tiny input\n")
+    cluster = LocalCluster(
+        WordCountCombined, [input_file, os.path.join(workdir, "out")],
+        n_slaves=2,
+    )
+    started = time.perf_counter()
+    cluster.start()
+    elapsed = time.perf_counter() - started
+    cluster.stop()
+    return elapsed
+
+
+def test_startup_script_comparison(benchmark):
+    measured = once(benchmark, measured_mrs_startup)
+    reports = compare_startup_scripts(n_input_files=312, avg_file_bytes=80_000)
+    teardown = hadoop_shared_cluster_teardown(output_bytes=5e6)
+
+    rows = []
+    for step in reports["mrs"].steps:
+        rows.append(["Mrs", step.name, fmt_seconds(step.seconds)])
+    rows.append(["Mrs", "TOTAL (modeled)", fmt_seconds(reports["mrs"].total)])
+    rows.append(["Mrs", "TOTAL (measured, master + 2 slaves)",
+                 fmt_seconds(measured)])
+    for step in reports["hadoop"].steps:
+        rows.append(["Hadoop", step.name, fmt_seconds(step.seconds)])
+    for step in teardown.steps:
+        rows.append(["Hadoop", step.name + " (teardown)",
+                     fmt_seconds(step.seconds)])
+    hadoop_total = reports["hadoop"].total + teardown.total
+    rows.append(["Hadoop", "TOTAL (modeled)", fmt_seconds(hadoop_total)])
+
+    print_table(
+        "E2: per-job startup on a shared cluster (Programs 3 vs 4)",
+        ["system", "step", "time"],
+        rows,
+        notes=[
+            "paper: Mrs startup 'about 2 seconds'; 4 script parts vs 6 "
+            "Hadoop phases including per-job HDFS format and daemons",
+            f"measured Mrs startup here: {fmt_seconds(measured)}",
+        ],
+    )
+    assert reports["mrs"].step_count == 4
+    assert reports["hadoop"].step_count >= 6
+    assert measured < 10.0
+    assert hadoop_total > 10 * reports["mrs"].total

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.datagen import CorpusSpec, generate_corpus, corpus_file_list
+
+
+@pytest.fixture(scope="session")
+def bench_corpus(tmp_path_factory):
+    """The scaled WordCount corpus: 1:100 of the full Gutenberg run
+    (312 files vs 31,173), same nested layout and Zipf statistics."""
+    root = str(tmp_path_factory.mktemp("corpus") / "gutenberg")
+    spec = CorpusSpec(n_files=312, mean_words_per_file=1200, seed=12)
+    generate_corpus(root, spec)
+    return root, corpus_file_list(root), spec
+
+
+@pytest.fixture(scope="session")
+def bench_corpus_subset(tmp_path_factory):
+    """The scaled 'subset' corpus: 1:100 of the 8,316-file subset."""
+    root = str(tmp_path_factory.mktemp("subset") / "gutenberg")
+    spec = CorpusSpec(n_files=83, mean_words_per_file=1200, seed=12)
+    generate_corpus(root, spec)
+    return root, corpus_file_list(root), spec

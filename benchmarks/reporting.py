@@ -1,0 +1,63 @@
+"""Paper-style result tables for the benchmark harness.
+
+Every bench prints the rows/series the paper reports, with three
+columns of provenance: the paper's number, our measured number at the
+scaled workload, and (where meaningful) the extrapolation of our
+measurement to paper scale.  EXPERIMENTS.md mirrors these tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: Optional[List[str]] = None,
+) -> None:
+    rows = [["" if v is None else str(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join("-" * w for w in widths)
+    out = sys.stdout
+    out.write(f"\n== {title} ==\n")
+    out.write("  ".join(h.ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write(line + "\n")
+    for row in rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    for note in notes or []:
+        out.write(f"note: {note}\n")
+    out.flush()
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds >= 120:
+        return f"{seconds / 60:.1f} min"
+    if seconds >= 1:
+        return f"{seconds:.1f} s"
+    return f"{seconds * 1000:.0f} ms"
+
+
+def fmt_count(value: float) -> str:
+    if value >= 1e9:
+        return f"{value / 1e9:.3g}e9"
+    if value >= 1e6:
+        return f"{value / 1e6:.3g}e6"
+    if value >= 1e3:
+        return f"{value / 1e3:.3g}e3"
+    return f"{value:.3g}"
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Cluster-scale jobs are too slow for auto-calibrated rounds; a
+    single timed round still registers the bench in the report.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

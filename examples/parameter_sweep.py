@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Monte Carlo parameter sweep — the bread-and-butter scientific job.
+
+Estimates the expected running maximum of a drifted random walk as a
+function of the drift, with per-replicate independent random streams
+and streaming-moment aggregation (Welford/Chan), then verifies the
+MapReduce statistics against a plain sequential run.
+
+Run:
+
+    python examples/parameter_sweep.py [replicates]
+"""
+
+import sys
+
+from repro.apps.sweep import RandomWalkSweep
+from repro.core.main import run_program
+
+
+def main() -> int:
+    replicates = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    flags = [
+        "--sweep-replicates", str(replicates),
+        "--sweep-chunk", "50",
+        "--walk-steps", "200",
+        "--mrs-seed", "123",
+    ]
+    print(f"random-walk sweep: 5 drift values x {replicates} replicates "
+          "(200 steps each)\n")
+    prog = run_program(RandomWalkSweep, flags, impl="serial")
+
+    print(f"  {'drift':>7} {'mean max':>10} {'95% CI':>16} {'n':>6}")
+    for index, drift in enumerate(prog.grid):
+        m = prog.results[index]
+        half = 1.96 * m.std_error
+        print(f"  {drift:>7.2f} {m.mean:>10.3f} "
+              f"[{m.mean - half:7.3f}, {m.mean + half:7.3f}] {m.count:>6}")
+
+    bypass = run_program(RandomWalkSweep, flags, impl="bypass")
+    worst = max(
+        abs(prog.results[i].mean - bypass.results[i].mean)
+        for i in prog.results
+    )
+    print(f"\nMapReduce vs sequential statistics: max |Δmean| = {worst:.2e} ✓")
+    print("(identical replicate streams; only the merge-tree rounding "
+          "differs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+#!/bin/bash
+# Program 4 of the paper: minimal PBS script for a Hadoop job on a
+# *shared* cluster, where the per-job HDFS and daemons must be stood up
+# and torn down around every job.  Kept for the side-by-side step-count
+# comparison with mrs_job.sh (experiment E2); requires a real Hadoop
+# distribution to actually run.
+#
+#PBS -l nodes=21:ppn=6
+#PBS -l walltime=01:00:00
+
+set -eu
+
+# Step 1: Find the network address.
+ADDR=$(/sbin/ip -o -4 addr list "$INTERFACE" | sed -e 's;^.*inet \(.*\)/.*$;\1;')
+
+# Step 2: Set up the Hadoop configuration (per-job; note the sed —
+# these files are oriented to a dedicated installation and must be
+# *edited*, not just copied).
+export HADOOP_LOG_DIR=$JOBDIR/log
+mkdir -p "$HADOOP_LOG_DIR"
+export HADOOP_CONF_DIR=$JOBDIR/conf
+cp -R "$HADOOP_HOME/conf" "$HADOOP_CONF_DIR"
+sed -e "s/MASTER_IP_ADDRESS/$ADDR/g" \
+    -e "s@HADOOP_TMP_DIR@$JOBDIR/tmp@g" \
+    -e "s/MAP_TASKS/$MAP_TASKS/g" \
+    -e "s/REDUCE_TASKS/$REDUCE_TASKS/g" \
+    -e "s/TASKS_PER_NODE/$TASKS_PER_NODE/g" \
+    <"$HADOOP_HOME/conf/hadoop-site.xml" \
+    >"$HADOOP_CONF_DIR/hadoop-site.xml"
+
+# Step 3: Start daemons on the master (including formatting a fresh
+# per-job HDFS).
+HADOOP="$HADOOP_HOME/bin/hadoop"
+$HADOOP namenode -format
+"$HADOOP_HOME/bin/hadoop-daemon.sh" start namenode
+"$HADOOP_HOME/bin/hadoop-daemon.sh" start jobtracker
+
+# Step 4: Start daemons on the slaves.
+pbsdsh -u "$HADOOP_HOME/bin/hadoop-daemon.sh" start datanode
+pbsdsh -u "$HADOOP_HOME/bin/hadoop-daemon.sh" start tasktracker
+
+# Step 5: Copy data in, run the MapReduce job, copy data out.
+$HADOOP fs -put "$INPUT_DIR" /input
+$HADOOP jar "$JAR" "$MAIN_CLASS" /input /output
+$HADOOP fs -get /output "$JOBDIR/output"
+
+# Step 6: Stop daemons everywhere (the per-job HDFS and all data in it
+# disappear with them).
+pbsdsh -u "$HADOOP_HOME/bin/hadoop-daemon.sh" stop tasktracker
+pbsdsh -u "$HADOOP_HOME/bin/hadoop-daemon.sh" stop datanode
+"$HADOOP_HOME/bin/hadoop-daemon.sh" stop jobtracker
+"$HADOOP_HOME/bin/hadoop-daemon.sh" stop namenode

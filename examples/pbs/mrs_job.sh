@@ -1,0 +1,32 @@
+#!/bin/bash
+# Program 3 of the paper: minimal PBS script for a Mrs job.
+#
+# Four basic parts: find the network address, start the master, wait
+# for the master's port file, start the slaves.  Environment variables
+# not defined here (INTERFACE, JOBDIR, PROGRAM, ARGS, PBS_NODEFILE) are
+# assumed to be set externally, exactly as in the paper.
+#
+#PBS -l nodes=21:ppn=6
+#PBS -l walltime=01:00:00
+
+set -eu
+
+# Step 1: Find the network address.
+ADDR=$(/sbin/ip -o -4 addr list "$INTERFACE" | sed -e 's;^.*inet \(.*\)/.*$;\1;')
+
+# Step 2: Start the master.
+PORT_FILE=$JOBDIR/master.run
+python "$PROGRAM" --mrs master --mrs-host "$ADDR" \
+    --mrs-runfile "$PORT_FILE" --mrs-tmpdir "$JOBDIR/tmp" $ARGS &
+MASTER_PID=$!
+
+# Step 3: Wait for the master to start.
+while [[ ! -e $PORT_FILE ]]; do sleep 1; done
+MASTER=$(cat "$PORT_FILE")
+
+# Step 4: Start the slaves (one per processor slot; pbsdsh fans out
+# across the allocation — pssh works the same way on private clusters).
+pbsdsh -u python "$PROGRAM" --mrs slave --mrs-master "$MASTER" \
+    --mrs-tmpdir "$JOBDIR/tmp" $ARGS &
+
+wait $MASTER_PID

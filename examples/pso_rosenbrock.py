@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Apiary PSO on Rosenbrock (the Fig 4 workload), serial and parallel.
+
+Optimizes the Rosenbrock function with the Apiary subswarm topology:
+each map task advances one hive for several inner iterations, the
+reduce exchanges hive bests around a ring.  Prints a convergence table
+(best value vs function evaluations vs wall time, the two panels of
+Fig 4) for the serial bypass implementation and for a real 2-slave
+cluster, and reports the measured per-iteration overhead the paper
+quotes as ~0.3 s (vs >= 30 s for Hadoop).
+
+Run:
+
+    python examples/pso_rosenbrock.py [dims]
+"""
+
+import sys
+
+from repro.apps.pso.mrpso import ApiaryPSO, serial_apiary_pso
+from repro.runtime.cluster import run_on_cluster
+
+
+def convergence_table(title, records, limit=8):
+    print(f"\n{title}")
+    print(f"  {'iter':>5} {'evals':>8} {'seconds':>8} {'best':>12}")
+    step = max(1, len(records) // limit)
+    shown = records[::step]
+    if records and shown[-1] is not records[-1]:
+        shown.append(records[-1])
+    for r in shown:
+        print(f"  {r.iteration:>5} {r.evals:>8} {r.elapsed:>8.2f} {r.best:>12.4g}")
+
+
+def main() -> int:
+    dims = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    flags = [
+        "--mrs-seed", "42",
+        "--pso-function", "rosenbrock",
+        "--pso-dims", str(dims),
+        "--pso-subswarms", "4",
+        "--pso-particles", "5",
+        "--pso-inner", "10",
+        "--pso-outer", "30",
+    ]
+    print(f"Rosenbrock-{dims}, Apiary topology: 4 hives x 5 particles, "
+          "10 inner iterations per map task")
+
+    serial = serial_apiary_pso(
+        function="rosenbrock", dims=dims, n_subswarms=4, particles_per=5,
+        inner_iters=10, max_outer=30, seed=42,
+    )
+    convergence_table("Serial (bypass implementation):", serial.convergence)
+
+    parallel = run_on_cluster(ApiaryPSO, flags, n_slaves=2)
+    convergence_table("Parallel (master + 2 slaves):", parallel.convergence)
+
+    assert [r.best for r in parallel.convergence] == [
+        r.best for r in serial.convergence
+    ], "stochastic equivalence must hold (section IV-A)"
+    print("\nSerial and parallel trajectories are bit-identical ✓")
+
+    serial_total = serial.convergence[-1].elapsed
+    parallel_total = parallel.convergence[-1].elapsed
+    iterations = len(parallel.convergence)
+    print(f"\nserial wall time   : {serial_total:6.2f}s "
+          f"({serial_total / iterations * 1000:.0f} ms/iteration)")
+    print(f"parallel wall time : {parallel_total:6.2f}s "
+          f"({parallel_total / iterations * 1000:.0f} ms/iteration, "
+          "includes per-iteration MapReduce overhead)")
+    print("Paper reference: ~0.3s/iteration overhead for Mrs; ~30s for "
+          "Hadoop — two orders of magnitude (section V-B).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` with this shim works everywhere. All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — a reproduction of *Mrs: MapReduce for Scientific Computing
+in Python* (McNabb, Lund, Seppi; SC 2012).
+
+The public API mirrors the paper's: a program subclasses
+:class:`MapReduce` (or :class:`IterativeMR`), implements ``map`` and
+``reduce``, and hands itself to :func:`main`::
+
+    import repro as mrs
+
+    class WordCount(mrs.MapReduce):
+        def map(self, key, value):
+            for word in value.split():
+                yield (word, 1)
+
+        def reduce(self, key, values):
+            yield sum(values)
+
+    if __name__ == '__main__':
+        mrs.main(WordCount)
+
+Run with ``--mrs serial`` (default), ``--mrs mockparallel``,
+``--mrs bypass``, or distributed with ``--mrs master`` /
+``--mrs slave --mrs-master HOST:PORT``.
+"""
+
+from repro.core import (
+    MapReduce,
+    IterativeMR,
+    Job,
+    JobError,
+    main,
+    exit_main,
+    run_program,
+    random_stream,
+    numpy_stream,
+    stream_seed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MapReduce",
+    "IterativeMR",
+    "Job",
+    "JobError",
+    "main",
+    "exit_main",
+    "run_program",
+    "random_stream",
+    "numpy_stream",
+    "stream_seed",
+    "__version__",
+]

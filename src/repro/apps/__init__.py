@@ -1,0 +1,9 @@
+"""Applications from the paper's evaluation (section V).
+
+* :mod:`repro.apps.wordcount` — Program 1, the canonical example.
+* :mod:`repro.apps.pi` — the PiEstimator with Halton sequences (Fig 3).
+* :mod:`repro.apps.pso` — Particle Swarm Optimization with the Apiary
+  subswarm topology (Fig 4).
+* :mod:`repro.apps.kmeans` — a bonus iterative workload (cited in the
+  paper's introduction as a MapReduce-able scientific algorithm).
+"""

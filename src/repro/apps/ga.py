@@ -1,0 +1,314 @@
+"""Island-model genetic algorithm as iterative MapReduce.
+
+The paper's introduction cites MRPGA ("an extension of MapReduce for
+parallelizing genetic algorithms", reference [4]).  The island model is
+the GA twin of the Apiary PSO topology: each map task evolves one
+island's population through several generations (selection, uniform
+crossover, Gaussian mutation), then emits a few *migrants* to the next
+island around a ring; the reduce merges migrants into the destination
+island.  The same framework machinery carries both: reducemap fusion,
+iteration affinity, offset-keyed pseudorandom streams, bit-identical
+serial/parallel trajectories.
+
+Fitness: minimize one of the :mod:`repro.apps.pso.functions`
+benchmarks (shared with PSO so results are comparable).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+import repro as mrs
+from repro.apps.pso.functions import Benchmark, get_function
+from repro.apps.pso.topology import apiary_outgoing
+
+#: Stream namespaces.
+INIT_STREAM = 40
+EVOLVE_STREAM = 41
+
+STATE_TAG = "island"
+MIGRANT_TAG = "migrants"
+
+#: Fraction of an island's population replaced by migrants.
+MIGRATION_FRACTION = 0.2
+#: Tournament size for selection.
+TOURNAMENT = 3
+#: Per-gene crossover probability (uniform crossover).
+CROSSOVER_P = 0.5
+#: Per-gene mutation probability and scale.
+MUTATION_P = 0.1
+
+
+class IslandState:
+    """One island's population and fitness values."""
+
+    __slots__ = ("island", "generation", "genomes", "fitness", "evals")
+
+    def __init__(self, island: int, genomes: np.ndarray, fitness: np.ndarray):
+        self.island = island
+        self.generation = 0
+        self.genomes = genomes
+        self.fitness = fitness
+        self.evals = int(fitness.size)
+
+    def copy(self) -> "IslandState":
+        fresh = IslandState.__new__(IslandState)
+        fresh.island = self.island
+        fresh.generation = self.generation
+        fresh.genomes = self.genomes.copy()
+        fresh.fitness = self.fitness.copy()
+        fresh.evals = self.evals
+        return fresh
+
+    @property
+    def best_fitness(self) -> float:
+        return float(self.fitness.min())
+
+    def best_genome(self) -> np.ndarray:
+        return self.genomes[int(np.argmin(self.fitness))].copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"IslandState(island={self.island}, gen={self.generation}, "
+            f"best={self.best_fitness:.4g})"
+        )
+
+
+def tournament_select(
+    fitness: np.ndarray, rng: np.random.Generator, k: int = TOURNAMENT
+) -> int:
+    """Index of the fittest of k uniformly drawn candidates."""
+    candidates = rng.integers(0, fitness.size, size=k)
+    return int(candidates[np.argmin(fitness[candidates])])
+
+
+def evolve_island(
+    state: IslandState,
+    function: Benchmark,
+    generations: int,
+    rng: np.random.Generator,
+) -> None:
+    """Advance an island in place through ``generations`` generations."""
+    lo, hi = function.bounds
+    scale = (hi - lo) * 0.05
+    population, fitness = state.genomes, state.fitness
+    n, dims = population.shape
+    for _ in range(generations):
+        offspring = np.empty_like(population)
+        for child in range(n):
+            mother = population[tournament_select(fitness, rng)]
+            father = population[tournament_select(fitness, rng)]
+            mask = rng.random(dims) < CROSSOVER_P
+            genome = np.where(mask, mother, father)
+            mutate = rng.random(dims) < MUTATION_P
+            genome = genome + mutate * rng.normal(0.0, scale, dims)
+            offspring[child] = np.clip(genome, lo, hi)
+        offspring_fitness = np.array(
+            [function.evaluate(genome) for genome in offspring]
+        )
+        state.evals += n
+        # Elitism: keep the best parent alive by replacing the worst child.
+        best_parent = int(np.argmin(fitness))
+        worst_child = int(np.argmax(offspring_fitness))
+        if fitness[best_parent] < offspring_fitness[worst_child]:
+            offspring[worst_child] = population[best_parent]
+            offspring_fitness[worst_child] = fitness[best_parent]
+        population[:] = offspring
+        fitness[:] = offspring_fitness
+        state.generation += 1
+
+
+def merge_migrants(
+    state: IslandState,
+    migrants: np.ndarray,
+    migrant_fitness: np.ndarray,
+) -> None:
+    """Replace the island's worst members with incoming migrants."""
+    if len(migrant_fitness) == 0:
+        return
+    worst = np.argsort(state.fitness)[-len(migrant_fitness):]
+    state.genomes[worst] = migrants
+    state.fitness[worst] = migrant_fitness
+
+
+class IslandGA(mrs.IterativeMR):
+    """Genetic algorithm over a ring of islands."""
+
+    iterative_qmax = 2
+
+    def __init__(self, opts, args):
+        super().__init__(opts, args)
+        self.function: Benchmark = get_function(
+            getattr(opts, "ga_function", "rastrigin"),
+            getattr(opts, "ga_dims", 20),
+        )
+        self.n_islands = getattr(opts, "ga_islands", 4)
+        self.pop_per_island = getattr(opts, "ga_pop", 20)
+        self.generations_per_round = getattr(opts, "ga_gens", 5)
+        self.max_rounds = getattr(opts, "ga_rounds", 20)
+        self.target = getattr(opts, "ga_target", None)
+        self.convergence: List[Tuple[int, int, float, float]] = []
+        self.best_fitness = float("inf")
+        self.best_genome: Optional[np.ndarray] = None
+        self._last_dataset = None
+        self._rounds_queued = 0
+        self._consumed: List[Any] = []
+        self._job: Optional[mrs.Job] = None
+        self._started_at: Optional[float] = None
+
+    @classmethod
+    def update_parser(cls, parser):
+        parser.add_argument("--ga-function", dest="ga_function",
+                            default="rastrigin")
+        parser.add_argument("--ga-dims", dest="ga_dims", type=int, default=20)
+        parser.add_argument("--ga-islands", dest="ga_islands", type=int,
+                            default=4)
+        parser.add_argument("--ga-pop", dest="ga_pop", type=int, default=20)
+        parser.add_argument("--ga-gens", dest="ga_gens", type=int, default=5)
+        parser.add_argument("--ga-rounds", dest="ga_rounds", type=int,
+                            default=20)
+        parser.add_argument("--ga-target", dest="ga_target", type=float,
+                            default=None)
+        return parser
+
+    # -- state ----------------------------------------------------------
+
+    def initial_islands(self) -> List[Tuple[int, IslandState]]:
+        lo, hi = self.function.bounds
+        islands = []
+        for island in range(self.n_islands):
+            rng = self.numpy_random(INIT_STREAM, island)
+            genomes = rng.uniform(lo, hi, (self.pop_per_island, self.function.dims))
+            fitness = np.array(
+                [self.function.evaluate(genome) for genome in genomes]
+            )
+            islands.append((island, IslandState(island, genomes, fitness)))
+        return islands
+
+    # -- MapReduce functions -----------------------------------------------
+
+    def mod_partition(self, key: Any, n_splits: int) -> int:
+        return int(key) % n_splits
+
+    def map(self, key: int, value: IslandState) -> Iterator[Tuple[int, Tuple[str, Any]]]:
+        state = value.copy()
+        rng = self.numpy_random(EVOLVE_STREAM, state.island, state.generation)
+        evolve_island(
+            state, self.function, self.generations_per_round, rng
+        )
+        yield (state.island, (STATE_TAG, state))
+        n_migrants = max(1, int(self.pop_per_island * MIGRATION_FRACTION))
+        order = np.argsort(state.fitness)[:n_migrants]
+        migrants = (state.genomes[order].copy(), state.fitness[order].copy())
+        for target in apiary_outgoing(state.island, self.n_islands):
+            yield (target, (MIGRANT_TAG, migrants))
+
+    def reduce(
+        self, key: int, values: Iterator[Tuple[str, Any]]
+    ) -> Iterator[IslandState]:
+        state: Optional[IslandState] = None
+        arrivals: List[Tuple[np.ndarray, np.ndarray]] = []
+        for tag, payload in values:
+            if tag == STATE_TAG:
+                state = payload
+            elif tag == MIGRANT_TAG:
+                arrivals.append(payload)
+            else:
+                raise ValueError(f"unknown GA record tag {tag!r}")
+        if state is None:
+            raise ValueError(f"no island state for key {key}")
+        state = state.copy()
+        for migrants, migrant_fitness in arrivals:
+            merge_migrants(state, migrants, migrant_fitness)
+        yield state
+
+    # -- driver ------------------------------------------------------------------
+
+    def producer(self, job: mrs.Job) -> List[Any]:
+        self._job = job
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        if self._rounds_queued >= self.max_rounds:
+            return []
+        if self._last_dataset is None:
+            source = job.local_data(
+                self.initial_islands(),
+                splits=self.n_islands,
+                parter=lambda key, n: int(key) % n,
+            )
+            dataset = job.map_data(
+                source, self.map, splits=self.n_islands,
+                parter=self.mod_partition, affinity_group="ga_round",
+            )
+        else:
+            dataset = job.reducemap_data(
+                self._last_dataset, self.reduce, self.map,
+                splits=self.n_islands, parter=self.mod_partition,
+                affinity_group="ga_round",
+            )
+        self._last_dataset = dataset
+        self._rounds_queued += 1
+        return [dataset]
+
+    def consumer(self, dataset: Any) -> bool:
+        states = [
+            payload for _, (tag, payload) in dataset.data()
+            if tag == STATE_TAG
+        ]
+        for state in states:
+            if state.best_fitness < self.best_fitness:
+                self.best_fitness = state.best_fitness
+                self.best_genome = state.best_genome()
+        round_index = max(s.generation for s in states)
+        evals = sum(s.evals for s in states)
+        elapsed = time.perf_counter() - (self._started_at or 0.0)
+        self.convergence.append(
+            (round_index, evals, elapsed, self.best_fitness)
+        )
+        self._consumed.append(dataset)
+        while len(self._consumed) > 2:
+            old = self._consumed.pop(0)
+            if self._job is not None and old is not self._last_dataset:
+                self._job.remove_data(old)
+        if self.target is not None and self.best_fitness <= self.target:
+            return False
+        return len(self.convergence) < self.max_rounds
+
+    def bypass(self) -> int:
+        """Identical dataflow, serially, through the same map/reduce."""
+        self._started_at = time.perf_counter()
+        islands: Dict[int, IslandState] = dict(self.initial_islands())
+        for _ in range(self.max_rounds):
+            emissions: Dict[int, List[Tuple[str, Any]]] = {
+                island: [] for island in islands
+            }
+            for island in sorted(islands):
+                for key, record in self.map(island, islands[island]):
+                    emissions[key].append(record)
+            islands = {
+                island: next(iter(self.reduce(island, iter(emissions[island]))))
+                for island in sorted(emissions)
+            }
+            states = list(islands.values())
+            for state in states:
+                if state.best_fitness < self.best_fitness:
+                    self.best_fitness = state.best_fitness
+                    self.best_genome = state.best_genome()
+            self.convergence.append(
+                (
+                    max(s.generation for s in states),
+                    sum(s.evals for s in states),
+                    time.perf_counter() - self._started_at,
+                    self.best_fitness,
+                )
+            )
+            if self.target is not None and self.best_fitness <= self.target:
+                break
+        return 0
+
+
+if __name__ == "__main__":
+    mrs.exit_main(IslandGA)

@@ -1,0 +1,93 @@
+"""Inverted index: the other canonical MapReduce example.
+
+From the original MapReduce paper (the paper's reference [1]): map
+emits ``(word, document)`` for each token, reduce sorts and dedupes the
+posting list.  Compared to WordCount this exercises non-numeric reduce
+output (lists), a combiner whose output type matches its input, and
+per-document provenance — the input key must carry *which file* a line
+came from, so this program overrides ``input_data`` to tag lines with
+their document id via one extra identity-ish map.
+
+    python -m repro.apps.inverted_index corpus_dir out_dir
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterator, List, Tuple
+
+import repro as mrs
+from repro.core.program import expand_input_paths
+
+
+class InvertedIndex(mrs.MapReduce):
+    """word -> sorted list of documents containing it."""
+
+    def __init__(self, opts, args):
+        super().__init__(opts, args)
+        #: document id -> basename, fixed at input time.
+        self.documents: List[str] = []
+
+    def tag_document(self, key: Any, value: Tuple[str, str]) -> Iterator[Tuple[str, str]]:
+        """(doc_name, line) records out of the per-file read stage."""
+        doc_name, line = value
+        yield (doc_name, line)
+
+    def map(self, key: Any, value: Tuple[str, str]) -> Iterator[Tuple[str, str]]:
+        doc_name, line = key, value
+        for word in line.split():
+            yield (word, doc_name)
+
+    def combine(self, key: str, values: Iterator[str]) -> Iterator[str]:
+        """Local dedupe: one posting per (word, doc) per map task."""
+        for doc in sorted(set(values)):
+            yield doc
+
+    def reduce(self, key: str, values: Iterator[str]) -> Iterator[List[str]]:
+        yield sorted(set(values))
+
+    def read_documents(self, job: mrs.Job):
+        """One record per line, keyed by the owning document."""
+        paths = expand_input_paths(self.args[:-1])
+        records = []
+        for path in paths:
+            doc_name = os.path.basename(path)
+            self.documents.append(doc_name)
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                for line in f:
+                    records.append((doc_name, line.rstrip("\n")))
+        return job.local_data(records, splits=max(1, len(paths)))
+
+    def run(self, job: mrs.Job) -> int:
+        source = self.read_documents(job)
+        postings = job.map_data(source, self.map, combiner=self.combine)
+        output = job.reduce_data(
+            postings, self.reduce, outdir=self.output_dir, format="txt"
+        )
+        job.wait(output)
+        self.output_data = output
+        return 0
+
+    def bypass(self) -> int:
+        """Plain dict-of-sets implementation for diffing."""
+        paths = expand_input_paths(self.args[:-1])
+        index = {}
+        for path in paths:
+            doc_name = os.path.basename(path)
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                for line in f:
+                    for word in line.split():
+                        index.setdefault(word, set()).add(doc_name)
+        self.bypass_index = {
+            word: sorted(docs) for word, docs in index.items()
+        }
+        return 0
+
+
+def output_index(program) -> dict:
+    """Collect a finished run's output as {word: [docs]}."""
+    return dict(program.output_data.iterdata())
+
+
+if __name__ == "__main__":
+    mrs.exit_main(InvertedIndex)

@@ -1,0 +1,213 @@
+"""Logistic regression as iterative MapReduce (summation form).
+
+The paper's introduction cites Chu et al.'s "Map-Reduce for Machine
+Learning on Multicore" [3], whose observation is that any algorithm in
+*statistical query / summation form* parallelizes as: map computes
+partial sums over data shards, reduce adds them, the master updates the
+model.  Batch-gradient logistic regression is the canonical example:
+
+    map(shard, (X, y, w))  -> (0, (sum_i (sigma(x_i . w) - y_i) x_i,
+                                   sum_i loss_i, n_i))
+    reduce(0, partials)    -> totals
+    w <- w - lr * gradient / n
+
+Shards are fixed; the model ``w`` travels inside each record, the same
+broadcast pattern as :mod:`repro.apps.kmeans`, so the program behaves
+identically in every implementation including subprocess slaves.  The
+bypass implementation iterates the same shards in the same order, so
+results are bit-identical across all execution contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+import repro as mrs
+
+#: Stream namespaces.
+DATA_STREAM = 30
+WEIGHT_STREAM = 31
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+def generate_classification_data(
+    n_points: int,
+    dims: int,
+    rng: np.random.Generator,
+    noise_flip: float = 0.05,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Linearly separable-ish binary labels from a hidden weight vector.
+
+    Returns ``(X, y, true_weights)``; X includes a bias column of ones.
+    """
+    true_w = rng.normal(0.0, 2.0, dims + 1)
+    X = np.concatenate(
+        [rng.normal(0.0, 1.0, (n_points, dims)), np.ones((n_points, 1))],
+        axis=1,
+    )
+    probabilities = sigmoid(X @ true_w)
+    y = (probabilities > 0.5).astype(np.float64)
+    flips = rng.random(n_points) < noise_flip
+    y[flips] = 1.0 - y[flips]
+    return X, y, true_w
+
+
+def shard_gradient(
+    X: np.ndarray, y: np.ndarray, w: np.ndarray
+) -> Tuple[np.ndarray, float, int]:
+    """Partial gradient, log-loss sum, and count for one shard."""
+    p = sigmoid(X @ w)
+    gradient = X.T @ (p - y)
+    eps = 1e-12
+    loss = float(-(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps)).sum())
+    return gradient, loss, len(y)
+
+
+class LogisticRegression(mrs.MapReduce):
+    """Batch gradient descent over sharded data."""
+
+    def __init__(self, opts, args):
+        super().__init__(opts, args)
+        self.n_points = getattr(opts, "lr_points", 2000)
+        self.dims = getattr(opts, "lr_dims", 5)
+        self.shards = getattr(opts, "lr_shards", 4)
+        self.max_iters = getattr(opts, "lr_iters", 50)
+        self.learning_rate = getattr(opts, "lr_rate", 1.0)
+        self.tolerance = getattr(opts, "lr_tol", 1e-4)
+        self.weights: Optional[np.ndarray] = None
+        #: Mean log-loss per iteration.
+        self.loss_history: List[float] = []
+        self.iterations_run = 0
+
+    @classmethod
+    def update_parser(cls, parser):
+        parser.add_argument("--lr-points", dest="lr_points", type=int, default=2000)
+        parser.add_argument("--lr-dims", dest="lr_dims", type=int, default=5)
+        parser.add_argument("--lr-shards", dest="lr_shards", type=int, default=4)
+        parser.add_argument("--lr-iters", dest="lr_iters", type=int, default=50)
+        parser.add_argument("--lr-rate", dest="lr_rate", type=float, default=1.0)
+        parser.add_argument("--lr-tol", dest="lr_tol", type=float, default=1e-4)
+        return parser
+
+    # -- data -----------------------------------------------------------
+
+    def make_data(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rng = self.numpy_random(DATA_STREAM)
+        return generate_classification_data(self.n_points, self.dims, rng)
+
+    def make_shards(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Contiguous shards; order is part of the deterministic
+        contract (floating-point sums depend on it)."""
+        bounds = np.linspace(0, len(y), self.shards + 1).astype(int)
+        return [
+            (X[lo:hi], y[lo:hi])
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+
+    # -- MapReduce functions ------------------------------------------------
+
+    def map(
+        self, key: int, value: Tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> Iterator[Tuple[int, Tuple[np.ndarray, float, int]]]:
+        X, y, w = value
+        yield (0, shard_gradient(X, y, w))
+
+    def reduce(
+        self, key: int, values: Iterator[Tuple[np.ndarray, float, int]]
+    ) -> Iterator[Tuple[np.ndarray, float, int]]:
+        total_gradient = None
+        total_loss = 0.0
+        total_count = 0
+        for gradient, loss, count in values:
+            total_gradient = (
+                gradient.copy() if total_gradient is None
+                else total_gradient + gradient
+            )
+            total_loss += loss
+            total_count += count
+        if total_count:
+            yield (total_gradient, total_loss, total_count)
+
+    # -- drivers ----------------------------------------------------------------
+
+    def _step(self, gradient: np.ndarray, loss: float, count: int) -> float:
+        """Apply one gradient-descent update; returns the step size."""
+        update = self.learning_rate * gradient / count
+        self.weights = self.weights - update
+        self.loss_history.append(loss / count)
+        self.iterations_run += 1
+        return float(np.abs(update).max())
+
+    def run(self, job: mrs.Job) -> int:
+        X, y, _ = self.make_data()
+        shards = self.make_shards(X, y)
+        self.weights = np.zeros(X.shape[1])
+        for _ in range(self.max_iters):
+            source = job.local_data(
+                [
+                    (i, (sx, sy, self.weights))
+                    for i, (sx, sy) in enumerate(shards)
+                ],
+                splits=len(shards),
+                parter=lambda key, n: int(key) % n,
+            )
+            partials = job.map_data(
+                source, self.map, splits=1, affinity_group="lr_grad",
+            )
+            totals = job.reduce_data(
+                partials, self.reduce, splits=1, affinity_group="lr_sum",
+            )
+            job.wait(totals)
+            ((_, (gradient, loss, count)),) = totals.data()
+            step = self._step(gradient, loss, count)
+            job.remove_data(partials)
+            job.remove_data(totals)
+            if step <= self.tolerance:
+                break
+        self._finish(X, y)
+        return 0
+
+    def bypass(self) -> int:
+        """Identical math, shard order, and accumulation order."""
+        X, y, _ = self.make_data()
+        shards = self.make_shards(X, y)
+        self.weights = np.zeros(X.shape[1])
+        for _ in range(self.max_iters):
+            total_gradient = None
+            total_loss = 0.0
+            total_count = 0
+            for sx, sy in shards:
+                gradient, loss, count = shard_gradient(sx, sy, self.weights)
+                total_gradient = (
+                    gradient.copy() if total_gradient is None
+                    else total_gradient + gradient
+                )
+                total_loss += loss
+                total_count += count
+            step = self._step(total_gradient, total_loss, total_count)
+            if step <= self.tolerance:
+                break
+        self._finish(X, y)
+        return 0
+
+    def _finish(self, X: np.ndarray, y: np.ndarray) -> None:
+        predictions = sigmoid(X @ self.weights) > 0.5
+        self.accuracy = float((predictions == (y > 0.5)).mean())
+
+
+if __name__ == "__main__":
+    mrs.exit_main(LogisticRegression)

@@ -1,0 +1,164 @@
+"""Blocked matrix multiplication as two chained MapReduce operations.
+
+A teaching-classic dataflow that exercises machinery none of the other
+apps touch: a *union* input (both matrices tagged into one dataset),
+replication in the map (each block is needed by many output blocks),
+and a two-stage pipeline where the second stage aggregates the first's
+partial products.
+
+    stage 1 map((tag, r, c), block):
+        A block (i, k) -> emit ((i, j, k), block) for every j
+        B block (k, j) -> emit ((i, j, k), block) for every i
+    stage 1 reduce((i, j, k), [A_ik, B_kj]) -> A_ik @ B_kj
+    stage 2 (fused reducemap) reduce((i, j, k), [P]) -> P
+            map -> ((i, j), P)        # re-key to the output block
+    stage 3 reduce((i, j), partials) -> sum
+
+Blocks are NumPy arrays; results match ``A @ B`` up to summation
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+import repro as mrs
+
+BlockKey = Tuple[str, int, int]   # (matrix tag, block row, block col)
+TripleKey = Tuple[int, int, int]  # (i, j, k)
+
+
+def split_blocks(matrix: np.ndarray, block: int) -> Dict[Tuple[int, int], np.ndarray]:
+    """Partition a matrix into <=block x <=block tiles."""
+    if block < 1:
+        raise ValueError("block size must be >= 1")
+    rows, cols = matrix.shape
+    out = {}
+    for i, r0 in enumerate(range(0, rows, block)):
+        for j, c0 in enumerate(range(0, cols, block)):
+            out[(i, j)] = matrix[r0:r0 + block, c0:c0 + block].copy()
+    return out
+
+
+def assemble_blocks(blocks: Dict[Tuple[int, int], np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`split_blocks`."""
+    if not blocks:
+        return np.zeros((0, 0))
+    n_block_rows = 1 + max(i for i, _ in blocks)
+    n_block_cols = 1 + max(j for _, j in blocks)
+    rows = [
+        np.concatenate(
+            [blocks[(i, j)] for j in range(n_block_cols)], axis=1
+        )
+        for i in range(n_block_rows)
+    ]
+    return np.concatenate(rows, axis=0)
+
+
+class BlockMatMul(mrs.MapReduce):
+    """C = A @ B over tagged block records."""
+
+    def __init__(self, opts, args):
+        super().__init__(opts, args)
+        self.block = getattr(opts, "mm_block", 32)
+        #: Grid extents, set by ``multiply`` before the job runs (they
+        #: ride on self only in the master; the replication counts are
+        #: embedded in the records so slaves never need them).
+        self.result: Optional[np.ndarray] = None
+
+    @classmethod
+    def update_parser(cls, parser):
+        parser.add_argument("--mm-block", dest="mm_block", type=int, default=32)
+        parser.add_argument("--mm-size", dest="mm_size", type=int, default=96,
+                            help="square matrix size for the demo run")
+        return parser
+
+    # -- MapReduce functions ------------------------------------------------
+
+    def map(
+        self, key: BlockKey, value: Tuple[np.ndarray, int]
+    ) -> Iterator[Tuple[TripleKey, Tuple[str, np.ndarray]]]:
+        """Replicate each block to every (i, j, k) triple that needs it.
+
+        ``value`` is ``(block, extent)`` where extent is the number of
+        block-columns of B (for A blocks) or block-rows of A (for B
+        blocks) — i.e. how many times to replicate.
+        """
+        (tag, r, c) = key
+        block, extent = value
+        if tag == "A":
+            i, k = r, c
+            for j in range(extent):
+                yield ((i, j, k), ("A", block))
+        elif tag == "B":
+            k, j = r, c
+            for i in range(extent):
+                yield ((i, j, k), ("B", block))
+        else:
+            raise ValueError(f"unknown matrix tag {tag!r}")
+
+    def reduce(
+        self, key: TripleKey, values: Iterator[Tuple[str, np.ndarray]]
+    ) -> Iterator[np.ndarray]:
+        """Multiply the A and B tiles of one (i, j, k) triple."""
+        a_block = b_block = None
+        for tag, block in values:
+            if tag == "A":
+                a_block = block
+            else:
+                b_block = block
+        if a_block is None or b_block is None:
+            raise ValueError(f"triple {key} missing a factor block")
+        yield a_block @ b_block
+
+    def rekey(
+        self, key: TripleKey, value: np.ndarray
+    ) -> Iterator[Tuple[Tuple[int, int], np.ndarray]]:
+        i, j, _ = key
+        yield ((i, j), value)
+
+    def sum_blocks(
+        self, key: Tuple[int, int], values: Iterator[np.ndarray]
+    ) -> Iterator[np.ndarray]:
+        total = None
+        for partial in values:
+            total = partial.copy() if total is None else total + partial
+        if total is not None:
+            yield total
+
+    # -- driver --------------------------------------------------------------------
+
+    def multiply(self, job: mrs.Job, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if A.shape[1] != B.shape[0]:
+            raise ValueError(f"shape mismatch {A.shape} @ {B.shape}")
+        a_blocks = split_blocks(A, self.block)
+        b_blocks = split_blocks(B, self.block)
+        n_i = 1 + max(i for i, _ in a_blocks)
+        n_j = 1 + max(j for _, j in b_blocks)
+        records: List[Tuple[BlockKey, Tuple[np.ndarray, int]]] = []
+        for (i, k), block in a_blocks.items():
+            records.append((("A", i, k), (block, n_j)))
+        for (k, j), block in b_blocks.items():
+            records.append((("B", k, j), (block, n_i)))
+        source = job.local_data(records, splits=max(2, min(8, len(records))))
+        triples = job.map_data(source, self.map, splits=4)
+        partials = job.reducemap_data(triples, self.reduce, self.rekey, splits=4)
+        summed = job.reduce_data(partials, self.sum_blocks, splits=2)
+        job.wait(summed)
+        result_blocks = dict(summed.data())
+        return assemble_blocks(result_blocks)
+
+    def run(self, job: mrs.Job) -> int:
+        size = getattr(self.opts, "mm_size", 96)
+        rng = self.numpy_random(50)
+        A = rng.normal(size=(size, size))
+        B = rng.normal(size=(size, size))
+        self.result = self.multiply(job, A, B)
+        self.reference = A @ B
+        return 0
+
+
+if __name__ == "__main__":
+    mrs.exit_main(BlockMatMul)

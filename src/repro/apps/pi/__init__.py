@@ -1,0 +1,28 @@
+"""Monte Carlo pi estimation with Halton sequences (Fig 3).
+
+The paper's second benchmark is Hadoop's PiEstimator ported to Mrs:
+sample quasi-random points from a 2-D Halton sequence, count how many
+fall inside the unit quarter-circle, and estimate pi as four times the
+ratio.  Three inner-loop kernels reproduce the paper's three series:
+
+* :func:`repro.apps.pi.halton.HaltonSequence` — optimized pure Python
+  (Fig 3a's "Mrs with Python").
+* :func:`repro.apps.pi.halton_numpy.halton_points` — vectorized NumPy,
+  standing in for the paper's ctypes C module (Fig 3b).
+* The modeled Java rate in :mod:`repro.hadoopsim.costmodel` (the
+  Hadoop series in both figures).
+"""
+
+from repro.apps.pi.halton import HaltonSequence, radical_inverse, sample_inside
+from repro.apps.pi.halton_numpy import halton_points, count_inside_numpy
+from repro.apps.pi.estimator import PiEstimator, estimate_pi_serial
+
+__all__ = [
+    "HaltonSequence",
+    "radical_inverse",
+    "sample_inside",
+    "halton_points",
+    "count_inside_numpy",
+    "PiEstimator",
+    "estimate_pi_serial",
+]

@@ -1,0 +1,148 @@
+"""The PiEstimator MapReduce program (Fig 3).
+
+Structure mirrors Hadoop's PiEstimator example: ``--pi-tasks`` map
+tasks each draw ``samples / tasks`` Halton points from disjoint index
+ranges (quasi-random sequences are deterministic, so splitting by
+offset keeps the union identical to a serial run); a single reduce sums
+the inside/total counts.  ``--pi-kernel`` selects the inner loop:
+``python`` (Fig 3a) or ``numpy`` (the C-module stand-in, Fig 3b).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Tuple
+
+import repro as mrs
+from repro.apps.pi.halton import sample_inside
+from repro.apps.pi.halton_numpy import count_inside_numpy
+
+KERNELS = ("python", "numpy", "ctypes")
+
+
+def run_kernel(kernel: str, offset: int, count: int):
+    """Dispatch to the selected inner loop.
+
+    ``ctypes`` is the paper's actual mechanism (a C function compiled
+    on demand); it requires a C compiler and raises a clear error
+    otherwise — ``numpy`` is the always-available compiled fallback.
+    """
+    if kernel == "numpy":
+        return count_inside_numpy(offset, count)
+    if kernel == "ctypes":
+        from repro.apps.pi.halton_ctypes import count_inside_ctypes
+
+        return count_inside_ctypes(offset, count)
+    return sample_inside(offset, count)
+
+
+def split_samples(total: int, tasks: int):
+    """Disjoint (offset, count) ranges covering [0, total)."""
+    if tasks <= 0:
+        raise ValueError("tasks must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    base, extra = divmod(total, tasks)
+    ranges = []
+    offset = 0
+    for i in range(tasks):
+        count = base + (1 if i < extra else 0)
+        ranges.append((offset, count))
+        offset += count
+    return ranges
+
+
+class PiEstimator(mrs.MapReduce):
+    """Estimate pi by quasi-Monte Carlo over a Halton sequence."""
+
+    def __init__(self, opts, args):
+        super().__init__(opts, args)
+        self.pi_estimate: float = float("nan")
+        self.total_inside = 0
+        self.total_samples = 0
+
+    @classmethod
+    def update_parser(cls, parser):
+        parser.add_argument(
+            "--pi-samples",
+            dest="pi_samples",
+            type=int,
+            default=1_000_000,
+            help="total number of Halton sample points",
+        )
+        parser.add_argument(
+            "--pi-tasks",
+            dest="pi_tasks",
+            type=int,
+            default=8,
+            help="number of map tasks",
+        )
+        parser.add_argument(
+            "--pi-kernel",
+            dest="pi_kernel",
+            choices=KERNELS,
+            default="python",
+            help="inner loop: pure python or vectorized numpy "
+            "(the paper's C-module analogue)",
+        )
+        return parser
+
+    # -- MapReduce functions ---------------------------------------------
+
+    def map(self, key: int, value: Tuple[int, int]) -> Iterator[Tuple[int, Tuple[int, int]]]:
+        offset, count = value
+        inside, total = run_kernel(self.opts.pi_kernel, offset, count)
+        yield (0, (inside, total))
+
+    def reduce(self, key: int, values: Iterator[Tuple[int, int]]) -> Iterator[Tuple[int, int]]:
+        inside = 0
+        total = 0
+        for task_inside, task_total in values:
+            inside += task_inside
+            total += task_total
+        yield (inside, total)
+
+    # -- drivers -----------------------------------------------------------
+
+    def run(self, job: mrs.Job) -> int:
+        ranges = split_samples(self.opts.pi_samples, self.opts.pi_tasks)
+        source = job.local_data(
+            [(i, r) for i, r in enumerate(ranges)],
+            splits=len(ranges),
+        )
+        intermediate = job.map_data(source, self.map, splits=1)
+        output = job.reduce_data(intermediate, self.reduce, splits=1)
+        job.wait(output)
+        self.output_data = output
+        ((_, (inside, total)),) = output.data()
+        self._finish(inside, total)
+        return 0
+
+    def bypass(self) -> int:
+        """Serial implementation sharing the same kernels."""
+        inside = 0
+        total = 0
+        for offset, count in split_samples(
+            self.opts.pi_samples, self.opts.pi_tasks
+        ):
+            task_inside, task_total = run_kernel(
+                self.opts.pi_kernel, offset, count
+            )
+            inside += task_inside
+            total += task_total
+        self._finish(inside, total)
+        return 0
+
+    def _finish(self, inside: int, total: int) -> None:
+        self.total_inside = inside
+        self.total_samples = total
+        self.pi_estimate = 4.0 * inside / total if total else float("nan")
+
+
+def estimate_pi_serial(samples: int, kernel: str = "python") -> float:
+    """Convenience one-liner used by examples and tests."""
+    inside, total = run_kernel(kernel, 0, samples)
+    return 4.0 * inside / total if total else float("nan")
+
+
+if __name__ == "__main__":
+    mrs.exit_main(PiEstimator)

@@ -1,0 +1,145 @@
+"""The paper's actual Fig 3b mechanism: a C inner loop via ctypes.
+
+"Python makes it easy to rework existing code so that performance
+critical parts of an application, such as the inner loop of our map
+tasks, can be rewritten in C ... we use Python's ctypes module to call
+a C function instead of the pure Python implementation of the Halton
+sequence" (section V-B).
+
+The C source lives next to this module (``_halton.c``); it is compiled
+on demand with the system compiler into a per-user cache and loaded
+with :mod:`ctypes`.  Environments without a compiler fall back to the
+vectorized NumPy kernel (see DESIGN.md's substitution table) — call
+:func:`is_available` to find out which world you are in.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from typing import Optional, Tuple
+
+_SOURCE_PATH = os.path.join(os.path.dirname(__file__), "_halton.c")
+
+#: -ffp-contract=off forbids FMA contraction so x*x + y*y rounds the
+#: same way CPython does — results stay bit-identical to the pure
+#: Python kernel.
+_CFLAGS = ["-O2", "-ffp-contract=off", "-shared", "-fPIC"]
+
+_lock = threading.Lock()
+_library: Optional[ctypes.CDLL] = None
+_load_error: Optional[str] = None
+
+
+class CompilerUnavailable(RuntimeError):
+    """No working C compiler (or compilation failed)."""
+
+
+def _find_compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        for directory in os.environ.get("PATH", "").split(os.pathsep):
+            candidate = os.path.join(directory, name)
+            if os.access(candidate, os.X_OK):
+                return candidate
+    return None
+
+
+def _build_library() -> ctypes.CDLL:
+    compiler = _find_compiler()
+    if compiler is None:
+        raise CompilerUnavailable("no C compiler on PATH")
+    with open(_SOURCE_PATH, "rb") as f:
+        source = f.read()
+    tag = hashlib.sha256(source + " ".join(_CFLAGS).encode()).hexdigest()[:16]
+    cache_dir = os.path.join(
+        tempfile.gettempdir(), f"repro_halton_{os.getuid()}"
+    )
+    os.makedirs(cache_dir, exist_ok=True)
+    so_path = os.path.join(cache_dir, f"halton_{tag}.so")
+    if not os.path.exists(so_path):
+        build_path = so_path + f".build{os.getpid()}"
+        command = [compiler, *_CFLAGS, "-o", build_path, _SOURCE_PATH]
+        result = subprocess.run(command, capture_output=True, text=True)
+        if result.returncode != 0:
+            raise CompilerUnavailable(
+                f"compilation failed: {result.stderr.strip()}"
+            )
+        os.replace(build_path, so_path)  # atomic against racers
+    library = ctypes.CDLL(so_path)
+    library.halton_count_inside.restype = ctypes.c_int64
+    library.halton_count_inside.argtypes = [ctypes.c_int64, ctypes.c_int64]
+    library.halton_points.restype = None
+    library.halton_points.argtypes = [
+        ctypes.c_int64,
+        ctypes.c_int64,
+        ctypes.POINTER(ctypes.c_double),
+    ]
+    return library
+
+
+def _get_library() -> ctypes.CDLL:
+    global _library, _load_error
+    with _lock:
+        if _library is not None:
+            return _library
+        if _load_error is not None:
+            raise CompilerUnavailable(_load_error)
+        try:
+            _library = _build_library()
+            return _library
+        except CompilerUnavailable as exc:
+            _load_error = str(exc)
+            raise
+
+
+def is_available() -> bool:
+    """True if the C kernel can be (or has been) built and loaded."""
+    try:
+        _get_library()
+        return True
+    except CompilerUnavailable:
+        return False
+
+
+def count_inside_ctypes(offset: int, count: int) -> Tuple[int, int]:
+    """C-kernel twin of :func:`repro.apps.pi.halton.sample_inside`."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    library = _get_library()
+    inside = library.halton_count_inside(offset, count)
+    return int(inside), count
+
+
+def halton_points_ctypes(offset: int, count: int):
+    """The raw points, for sequence-level testing."""
+    import numpy as np
+
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    library = _get_library()
+    buffer = np.empty(2 * count, dtype=np.float64)
+    library.halton_points(
+        offset,
+        count,
+        buffer.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+    )
+    return buffer[0::2], buffer[1::2]
+
+
+def measure_ctypes_rate(samples: int = 5_000_000) -> float:
+    """Measured C-kernel sampling rate (points/second), best of 3."""
+    import time
+
+    count_inside_ctypes(0, min(samples, 100_000))  # warm the loader
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        count_inside_ctypes(0, samples)
+        best = min(best, time.perf_counter() - started)
+    return samples / best if best > 0 else float("inf")

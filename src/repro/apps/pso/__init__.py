@@ -1,0 +1,58 @@
+"""Particle Swarm Optimization as iterative MapReduce (Fig 4).
+
+PSO "can be naturally expressed as a MapReduce program, with the map
+function performing motion simulation and evaluation of the objective
+function and the reduce function calculating the neighborhood best"
+(section V-B, citing MRPSO).  For cheap objective functions the paper
+coarsens task granularity with subswarms — the "Apiary" approach: each
+map task advances one subswarm through several inner iterations, and
+the reduce exchanges subswarm bests around an outer ring.
+
+Modules:
+
+* :mod:`repro.apps.pso.functions` — benchmark objectives (Rosenbrock
+  et al.).
+* :mod:`repro.apps.pso.particle` — constriction-PSO motion (Bratton &
+  Kennedy's standard PSO, the paper's reference [9]).
+* :mod:`repro.apps.pso.topology` — ring/star neighborhoods and the
+  Apiary subswarm layout.
+* :mod:`repro.apps.pso.mrpso` — the iterative MapReduce program plus a
+  bit-identical serial/bypass implementation (the paper's debugging
+  methodology demands all implementations agree even stochastically).
+"""
+
+from repro.apps.pso.functions import (
+    FUNCTIONS,
+    Ackley,
+    Benchmark,
+    Griewank,
+    Rastrigin,
+    Rosenbrock,
+    Sphere,
+    get_function,
+)
+from repro.apps.pso.particle import CONSTRICTION_CHI, PHI_PERSONAL, PHI_SOCIAL
+from repro.apps.pso.topology import ring_neighbors, star_neighbors
+from repro.apps.pso.mrpso import ApiaryPSO, SubswarmState, serial_apiary_pso
+from repro.apps.pso.mrpso_single import ParticleState, SingleParticlePSO
+
+__all__ = [
+    "FUNCTIONS",
+    "Benchmark",
+    "Rosenbrock",
+    "Sphere",
+    "Rastrigin",
+    "Griewank",
+    "Ackley",
+    "get_function",
+    "CONSTRICTION_CHI",
+    "PHI_PERSONAL",
+    "PHI_SOCIAL",
+    "ring_neighbors",
+    "star_neighbors",
+    "ApiaryPSO",
+    "SubswarmState",
+    "serial_apiary_pso",
+    "SingleParticlePSO",
+    "ParticleState",
+]

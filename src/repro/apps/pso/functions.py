@@ -1,0 +1,143 @@
+"""Benchmark objective functions.
+
+The paper's headline PSO experiment optimizes "the well-known
+Rosenbrock benchmark function in 250 dimensions ('Rosenbrock-250')".
+We implement the standard suite used in the PSO literature (Bratton &
+Kennedy 2007) so ablations can vary the landscape.  All functions are
+minimization problems with optimum value 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+
+class Benchmark:
+    """Base class: a d-dimensional minimization problem.
+
+    Subclasses define ``bounds`` (symmetric search-space box) and
+    ``evaluate``.  Initialization uses the standard asymmetric scheme
+    (upper half of the space) to avoid center bias — but we keep the
+    plain symmetric box by default for simplicity and determinism;
+    the choice is irrelevant to the paper's overhead claims.
+    """
+
+    #: (lower, upper) per coordinate; override per function.
+    bounds: Tuple[float, float] = (-100.0, 100.0)
+    name = "benchmark"
+
+    def __init__(self, dims: int):
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.dims = dims
+
+    def evaluate(self, x: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.dims,):
+            raise ValueError(
+                f"{self.name} expects shape ({self.dims},), got {x.shape}"
+            )
+        return float(self.evaluate(x))
+
+    def in_bounds(self, x: np.ndarray) -> bool:
+        lo, hi = self.bounds
+        return bool(np.all(x >= lo) and np.all(x <= hi))
+
+    def random_position(self, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.bounds
+        return rng.uniform(lo, hi, self.dims)
+
+    def random_velocity(self, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.bounds
+        span = hi - lo
+        return rng.uniform(-span, span, self.dims) * 0.5
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(dims={self.dims})"
+
+
+class Sphere(Benchmark):
+    """f(x) = sum(x_i^2); the simplest unimodal baseline."""
+
+    name = "sphere"
+    bounds = (-100.0, 100.0)
+
+    def evaluate(self, x: np.ndarray) -> float:
+        return float(np.dot(x, x))
+
+
+class Rosenbrock(Benchmark):
+    """The banana valley: hard for PSO in high dimensions — the
+    paper's Rosenbrock-250 workload."""
+
+    name = "rosenbrock"
+    bounds = (-30.0, 30.0)
+
+    def evaluate(self, x: np.ndarray) -> float:
+        a = x[1:] - x[:-1] * x[:-1]
+        b = 1.0 - x[:-1]
+        return float(100.0 * np.dot(a, a) + np.dot(b, b))
+
+
+class Rastrigin(Benchmark):
+    """Highly multimodal with a regular lattice of minima."""
+
+    name = "rastrigin"
+    bounds = (-5.12, 5.12)
+
+    def evaluate(self, x: np.ndarray) -> float:
+        return float(
+            10.0 * x.size + np.sum(x * x - 10.0 * np.cos(2.0 * np.pi * x))
+        )
+
+
+class Griewank(Benchmark):
+    """Multimodal with product coupling between coordinates."""
+
+    name = "griewank"
+    bounds = (-600.0, 600.0)
+
+    def evaluate(self, x: np.ndarray) -> float:
+        indices = np.arange(1, x.size + 1, dtype=np.float64)
+        return float(
+            np.dot(x, x) / 4000.0
+            - np.prod(np.cos(x / np.sqrt(indices)))
+            + 1.0
+        )
+
+
+class Ackley(Benchmark):
+    """Nearly flat outer region with a deep central funnel."""
+
+    name = "ackley"
+    bounds = (-32.0, 32.0)
+
+    def evaluate(self, x: np.ndarray) -> float:
+        n = x.size
+        return float(
+            -20.0 * np.exp(-0.2 * np.sqrt(np.dot(x, x) / n))
+            - np.exp(np.sum(np.cos(2.0 * np.pi * x)) / n)
+            + 20.0
+            + np.e
+        )
+
+
+FUNCTIONS: Dict[str, Type[Benchmark]] = {
+    cls.name: cls for cls in (Sphere, Rosenbrock, Rastrigin, Griewank, Ackley)
+}
+
+
+def get_function(name: str, dims: int) -> Benchmark:
+    """Instantiate a benchmark by name (e.g. ``rosenbrock``, 250)."""
+    try:
+        cls = FUNCTIONS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown function {name!r}; available: {sorted(FUNCTIONS)}"
+        ) from None
+    return cls(dims)

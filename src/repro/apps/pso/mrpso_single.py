@@ -1,0 +1,268 @@
+"""MRPSO: one particle per map task (the paper's reference [5]).
+
+The original MapReduce PSO formulation, quoted directly in section V-B:
+"the map function performing motion simulation and evaluation of the
+objective function and the reduce function calculating the neighborhood
+best by combining the updated particle with messages from its
+neighbors."  Each particle is one record; neighborhoods are an lbest
+ring.
+
+This granularity is exactly what the paper then criticizes — "For
+computationally trivial objective functions, task granularity can be
+too fine if each map task operates on a single particle" — which is why
+the Apiary subswarm variant (:mod:`repro.apps.pso.mrpso`) exists.  Both
+are provided so the granularity ablation can measure the difference on
+the same machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+import repro as mrs
+from repro.apps.pso.functions import Benchmark, get_function
+from repro.apps.pso.particle import best_of, velocity_update
+from repro.apps.pso.topology import ring_neighbors
+
+#: Stream namespaces (distinct from the Apiary variant's).
+INIT_STREAM = 2
+MOVE_STREAM = 3
+
+PARTICLE_TAG = "particle"
+MESSAGE_TAG = "best"
+
+
+class ParticleState:
+    """One particle's full state."""
+
+    __slots__ = (
+        "pid", "iteration", "position", "velocity",
+        "pbest_pos", "pbest_val", "nbest_pos", "nbest_val",
+    )
+
+    def __init__(self, pid: int, position: np.ndarray, velocity: np.ndarray,
+                 value: float):
+        self.pid = pid
+        self.iteration = 0
+        self.position = position
+        self.velocity = velocity
+        self.pbest_pos = position.copy()
+        self.pbest_val = value
+        self.nbest_pos = position.copy()
+        self.nbest_val = value
+
+    def copy(self) -> "ParticleState":
+        fresh = ParticleState.__new__(ParticleState)
+        fresh.pid = self.pid
+        fresh.iteration = self.iteration
+        fresh.position = self.position.copy()
+        fresh.velocity = self.velocity.copy()
+        fresh.pbest_pos = self.pbest_pos.copy()
+        fresh.pbest_val = self.pbest_val
+        fresh.nbest_pos = self.nbest_pos.copy()
+        fresh.nbest_val = self.nbest_val
+        return fresh
+
+    def offer(self, value: float, position: np.ndarray) -> None:
+        if value < self.nbest_val:
+            self.nbest_val = float(value)
+            self.nbest_pos = np.array(position, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParticleState(pid={self.pid}, iter={self.iteration}, "
+            f"pbest={self.pbest_val:.4g})"
+        )
+
+
+class SingleParticlePSO(mrs.IterativeMR):
+    """lbest-ring PSO, one particle per task (MRPSO [5])."""
+
+    iterative_qmax = 2
+
+    def __init__(self, opts, args):
+        super().__init__(opts, args)
+        self.function: Benchmark = get_function(
+            getattr(opts, "sp_function", "sphere"),
+            getattr(opts, "sp_dims", 20),
+        )
+        self.n_particles = getattr(opts, "sp_particles", 20)
+        self.max_iters = getattr(opts, "sp_iters", 30)
+        self.target = getattr(opts, "sp_target", None)
+        self.ring_radius = getattr(opts, "sp_radius", 1)
+        self.convergence: List[Tuple[int, float, float]] = []
+        self.best_value = float("inf")
+        self.best_position: Optional[np.ndarray] = None
+        self._last_dataset = None
+        self._queued = 0
+        self._consumed: List[Any] = []
+        self._job = None
+        self._started_at: Optional[float] = None
+
+    @classmethod
+    def update_parser(cls, parser):
+        parser.add_argument("--sp-function", dest="sp_function",
+                            default="sphere")
+        parser.add_argument("--sp-dims", dest="sp_dims", type=int, default=20)
+        parser.add_argument("--sp-particles", dest="sp_particles", type=int,
+                            default=20)
+        parser.add_argument("--sp-iters", dest="sp_iters", type=int,
+                            default=30)
+        parser.add_argument("--sp-radius", dest="sp_radius", type=int,
+                            default=1)
+        parser.add_argument("--sp-target", dest="sp_target", type=float,
+                            default=None)
+        return parser
+
+    # -- state -----------------------------------------------------------
+
+    def initial_particles(self) -> List[Tuple[int, ParticleState]]:
+        out = []
+        for pid in range(self.n_particles):
+            rng = self.numpy_random(INIT_STREAM, pid)
+            position = self.function.random_position(rng)
+            velocity = self.function.random_velocity(rng)
+            value = self.function.evaluate(position)
+            out.append((pid, ParticleState(pid, position, velocity, value)))
+        return out
+
+    # -- MapReduce functions ------------------------------------------------
+
+    def mod_partition(self, key: Any, n_splits: int) -> int:
+        return int(key) % n_splits
+
+    def map(
+        self, key: int, value: ParticleState
+    ) -> Iterator[Tuple[int, Tuple[str, Any]]]:
+        """Motion simulation + objective evaluation for ONE particle."""
+        particle = value.copy()
+        rng = self.numpy_random(MOVE_STREAM, particle.pid, particle.iteration)
+        particle.velocity = velocity_update(
+            particle.velocity,
+            particle.position,
+            particle.pbest_pos,
+            particle.nbest_pos,
+            rng,
+        )
+        particle.position = particle.position + particle.velocity
+        if self.function.in_bounds(particle.position):
+            fitness = self.function.evaluate(particle.position)
+            if fitness < particle.pbest_val:
+                particle.pbest_val = float(fitness)
+                particle.pbest_pos = particle.position.copy()
+        particle.iteration += 1
+        particle.offer(particle.pbest_val, particle.pbest_pos)
+        yield (particle.pid, (PARTICLE_TAG, particle))
+        message = (particle.pbest_val, particle.pbest_pos)
+        for neighbor in ring_neighbors(
+            particle.pid, self.n_particles, self.ring_radius
+        ):
+            if neighbor != particle.pid:
+                yield (neighbor, (MESSAGE_TAG, message))
+
+    def reduce(
+        self, key: int, values: Iterator[Tuple[str, Any]]
+    ) -> Iterator[ParticleState]:
+        """Combine the updated particle with its neighbors' messages."""
+        particle: Optional[ParticleState] = None
+        messages: List[Tuple[float, np.ndarray]] = []
+        for tag, payload in values:
+            if tag == PARTICLE_TAG:
+                particle = payload
+            elif tag == MESSAGE_TAG:
+                messages.append(payload)
+            else:
+                raise ValueError(f"unknown record tag {tag!r}")
+        if particle is None:
+            raise ValueError(f"no particle record for pid {key}")
+        particle = particle.copy()
+        for value, position in messages:
+            particle.offer(value, position)
+        yield particle
+
+    # -- driver --------------------------------------------------------------------
+
+    def producer(self, job: mrs.Job) -> List[Any]:
+        self._job = job
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        if self._queued >= self.max_iters:
+            return []
+        splits = self.n_particles
+        if self._last_dataset is None:
+            source = job.local_data(
+                self.initial_particles(),
+                splits=splits,
+                parter=lambda key, n: int(key) % n,
+            )
+            dataset = job.map_data(
+                source, self.map, splits=splits,
+                parter=self.mod_partition, affinity_group="sp_iter",
+            )
+        else:
+            dataset = job.reducemap_data(
+                self._last_dataset, self.reduce, self.map,
+                splits=splits, parter=self.mod_partition,
+                affinity_group="sp_iter",
+            )
+        self._last_dataset = dataset
+        self._queued += 1
+        return [dataset]
+
+    def consumer(self, dataset: Any) -> bool:
+        particles = [
+            payload for _, (tag, payload) in dataset.data()
+            if tag == PARTICLE_TAG
+        ]
+        for particle in particles:
+            if particle.pbest_val < self.best_value:
+                self.best_value = particle.pbest_val
+                self.best_position = particle.pbest_pos.copy()
+        iteration = max(p.iteration for p in particles)
+        elapsed = time.perf_counter() - (self._started_at or 0.0)
+        self.convergence.append((iteration, elapsed, self.best_value))
+        self._consumed.append(dataset)
+        while len(self._consumed) > 2:
+            old = self._consumed.pop(0)
+            if self._job is not None and old is not self._last_dataset:
+                self._job.remove_data(old)
+        if self.target is not None and self.best_value <= self.target:
+            return False
+        return iteration < self.max_iters
+
+    def bypass(self) -> int:
+        """Identical dataflow through the same map/reduce, serially."""
+        self._started_at = time.perf_counter()
+        particles: Dict[int, ParticleState] = dict(self.initial_particles())
+        for _ in range(self.max_iters):
+            emissions: Dict[int, List[Tuple[str, Any]]] = {
+                pid: [] for pid in particles
+            }
+            for pid in sorted(particles):
+                for key, record in self.map(pid, particles[pid]):
+                    emissions[key].append(record)
+            particles = {
+                pid: next(iter(self.reduce(pid, iter(emissions[pid]))))
+                for pid in sorted(emissions)
+            }
+            for particle in particles.values():
+                if particle.pbest_val < self.best_value:
+                    self.best_value = particle.pbest_val
+                    self.best_position = particle.pbest_pos.copy()
+            self.convergence.append(
+                (
+                    max(p.iteration for p in particles.values()),
+                    time.perf_counter() - self._started_at,
+                    self.best_value,
+                )
+            )
+            if self.target is not None and self.best_value <= self.target:
+                break
+        return 0
+
+
+if __name__ == "__main__":
+    mrs.exit_main(SingleParticlePSO)

@@ -1,0 +1,108 @@
+"""Constriction PSO motion (standard PSO per Bratton & Kennedy 2007,
+the paper's reference [9]).
+
+Velocity update with Clerc's constriction coefficient:
+
+    v <- chi * (v + phi_p*u1*(pbest - x) + phi_s*u2*(nbest - x))
+    x <- x + v
+
+with chi = 0.72984, phi_p = phi_s = 2.05 (phi = 4.1 total).  Personal
+bests are only updated for in-bounds positions ("let them fly" boundary
+handling), which is the standard-PSO recommendation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.pso.functions import Benchmark
+
+#: Clerc constriction coefficient for phi = 4.1.
+CONSTRICTION_CHI = 0.72984
+PHI_PERSONAL = 2.05
+PHI_SOCIAL = 2.05
+
+
+def velocity_update(
+    velocity: np.ndarray,
+    position: np.ndarray,
+    pbest: np.ndarray,
+    nbest: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One constriction velocity update; draws 2 uniform vectors."""
+    u_personal = rng.random(position.shape)
+    u_social = rng.random(position.shape)
+    return CONSTRICTION_CHI * (
+        velocity
+        + PHI_PERSONAL * u_personal * (pbest - position)
+        + PHI_SOCIAL * u_social * (nbest - position)
+    )
+
+
+def step_swarm(
+    function: Benchmark,
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    pbest_pos: np.ndarray,
+    pbest_val: np.ndarray,
+    nbest_pos: np.ndarray,
+    rng: np.random.Generator,
+) -> int:
+    """Advance a whole (sub)swarm one iteration **in place**.
+
+    ``positions``/``velocities``/``pbest_pos`` are (s, d) arrays;
+    ``pbest_val`` is (s,); ``nbest_pos`` is the (d,) attractor each
+    particle uses this step (the subswarm best under the Apiary star
+    neighborhood).  Returns the number of objective evaluations
+    actually performed (out-of-bounds particles are not evaluated).
+
+    Particles are processed in index order drawing from the single
+    ``rng`` stream, so a serial re-execution with the same stream is
+    bit-identical — the cross-implementation equivalence the paper's
+    debugging methodology relies on.
+    """
+    n_particles = positions.shape[0]
+    evaluations = 0
+    for i in range(n_particles):
+        velocities[i] = velocity_update(
+            velocities[i], positions[i], pbest_pos[i], nbest_pos, rng
+        )
+        positions[i] = positions[i] + velocities[i]
+        if function.in_bounds(positions[i]):
+            value = function.evaluate(positions[i])
+            evaluations += 1
+            if value < pbest_val[i]:
+                pbest_val[i] = value
+                pbest_pos[i] = positions[i]
+    return evaluations
+
+
+def best_of(pbest_val: np.ndarray, pbest_pos: np.ndarray) -> Tuple[float, np.ndarray]:
+    """The (value, position) of the best personal best in a swarm."""
+    index = int(np.argmin(pbest_val))
+    return float(pbest_val[index]), pbest_pos[index].copy()
+
+
+def initialize_swarm(
+    function: Benchmark,
+    n_particles: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random positions/velocities and evaluated initial personal bests.
+
+    Returns ``(positions, velocities, pbest_pos, pbest_val)``.
+    """
+    if n_particles < 1:
+        raise ValueError("need at least one particle")
+    d = function.dims
+    positions = np.empty((n_particles, d))
+    velocities = np.empty((n_particles, d))
+    for i in range(n_particles):
+        positions[i] = function.random_position(rng)
+        velocities[i] = function.random_velocity(rng)
+    pbest_pos = positions.copy()
+    pbest_val = np.array([function.evaluate(p) for p in positions])
+    return positions, velocities, pbest_pos, pbest_val

@@ -1,0 +1,86 @@
+"""Swarm topologies: who informs whom.
+
+Classic single-swarm topologies (ring/lbest, star/gbest) plus the
+paper's **Apiary** layout [McNabb & Seppi 2012]: the swarm is divided
+into subswarms ("hives"); particles within a hive are fully connected
+(a star), and hives communicate their best along an outer ring.  One
+map task advances one hive for several *inner* iterations, so the task
+granularity matches what MapReduce can schedule efficiently even when a
+single function evaluation is cheap (section V-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def ring_neighbors(index: int, size: int, radius: int = 1) -> List[int]:
+    """lbest ring: each node sees itself and ``radius`` nodes each way."""
+    if size < 1:
+        raise ValueError("size must be positive")
+    if not 0 <= index < size:
+        raise IndexError(f"index {index} out of range({size})")
+    neighborhood = []
+    for offset in range(-radius, radius + 1):
+        neighbor = (index + offset) % size
+        if neighbor not in neighborhood:
+            neighborhood.append(neighbor)
+    return neighborhood
+
+
+def star_neighbors(index: int, size: int) -> List[int]:
+    """gbest star: everyone sees everyone."""
+    if size < 1:
+        raise ValueError("size must be positive")
+    if not 0 <= index < size:
+        raise IndexError(f"index {index} out of range({size})")
+    return list(range(size))
+
+
+def apiary_outgoing(subswarm: int, n_subswarms: int) -> List[int]:
+    """Subswarms a hive *sends its best to* each outer iteration.
+
+    The Apiary outer topology is a directed ring: hive i informs hive
+    (i+1) mod m.  With m == 1 there is no outer communication.
+    """
+    if n_subswarms < 1:
+        raise ValueError("need at least one subswarm")
+    if not 0 <= subswarm < n_subswarms:
+        raise IndexError(f"subswarm {subswarm} out of range({n_subswarms})")
+    if n_subswarms == 1:
+        return []
+    return [(subswarm + 1) % n_subswarms]
+
+
+def partition_swarm(
+    n_particles: int, n_subswarms: int
+) -> List[Tuple[int, int]]:
+    """Split ``n_particles`` into contiguous (start, count) hives.
+
+    Sizes differ by at most one; every hive is non-empty (raises if
+    there are more hives than particles).
+    """
+    if n_subswarms < 1:
+        raise ValueError("need at least one subswarm")
+    if n_particles < n_subswarms:
+        raise ValueError(
+            f"cannot split {n_particles} particles into {n_subswarms} "
+            "non-empty subswarms"
+        )
+    base, extra = divmod(n_particles, n_subswarms)
+    out = []
+    start = 0
+    for i in range(n_subswarms):
+        count = base + (1 if i < extra else 0)
+        out.append((start, count))
+        start += count
+    return out
+
+
+def coverage(neighbor_fn, size: int) -> bool:
+    """True if the union of all neighborhoods covers every node
+    (sanity check used by tests)."""
+    seen = set()
+    for i in range(size):
+        seen.update(neighbor_fn(i, size))
+    return seen == set(range(size))

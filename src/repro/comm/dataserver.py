@@ -1,0 +1,97 @@
+"""Built-in HTTP data server for direct slave-to-slave transfer.
+
+Section IV-B: "For data communicated directly, the writer opens and
+writes a file on a local filesystem, and requests from readers are
+served by a built-in HTTP server."  Small short-lived files typically
+never leave the kernel's page cache.
+
+A :class:`DataServer` serves one directory read-only.  Bucket URLs are
+``http://host:port/<path relative to root>``.
+"""
+
+from __future__ import annotations
+
+import http.server
+import os
+import threading
+import urllib.parse
+from typing import Optional
+
+
+class _BucketRequestHandler(http.server.BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "MrsData/1.0"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:
+        root = self.server.root_dir  # type: ignore[attr-defined]
+        path = urllib.parse.unquote(urllib.parse.urlparse(self.path).path)
+        full = os.path.realpath(os.path.join(root, path.lstrip("/")))
+        # Never serve anything outside the export root.
+        if not (full == root or full.startswith(root + os.sep)):
+            self.send_error(403, "path escapes export root")
+            return
+        if not os.path.isfile(full):
+            self.send_error(404, "no such bucket file")
+            return
+        try:
+            with open(full, "rb") as f:
+                payload = f.read()
+        except OSError as exc:
+            self.send_error(500, f"read failed: {exc}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_HEAD(self) -> None:
+        # Used by health checks.
+        self.send_response(200)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+
+class _ThreadingHTTPServer(http.server.ThreadingHTTPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class DataServer:
+    """Serve bucket files under ``root_dir`` over HTTP."""
+
+    def __init__(self, root_dir: str, host: str = "127.0.0.1", port: int = 0):
+        self.root_dir = os.path.realpath(root_dir)
+        self._server = _ThreadingHTTPServer((host, port), _BucketRequestHandler)
+        self._server.root_dir = self.root_dir  # type: ignore[attr-defined]
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"data-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def url_for(self, path: str) -> str:
+        """Return the URL that serves ``path`` (absolute or root-relative)."""
+        if os.path.isabs(path):
+            rel = os.path.relpath(os.path.realpath(path), self.root_dir)
+            if rel.startswith(".."):
+                raise ValueError(f"{path} is outside export root {self.root_dir}")
+        else:
+            rel = path
+        quoted = urllib.parse.quote(rel.replace(os.sep, "/"))
+        return f"http://{self.host}:{self.port}/{quoted}"
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> "DataServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

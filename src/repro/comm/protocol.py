@@ -1,0 +1,102 @@
+"""Wire schema for master/slave messages.
+
+Everything that crosses XML-RPC is a dict of scalars, strings, and
+lists — no pickles on the control plane.  (Data travels separately, as
+files or HTTP bucket fetches; see section IV-B.)
+
+The protocol is deliberately tiny:
+
+========================  =======================================
+master method             meaning
+========================  =======================================
+``signin``                slave announces itself, gets a slave id
+``done``                  slave finished a task, reports bucket URLs
+``failed``                slave reports a task error
+``ping``                  liveness check (both directions)
+========================  =======================================
+
+========================  =======================================
+slave method              meaning
+========================  =======================================
+``start_task``            master assigns a task descriptor
+``remove_data``           master frees a dataset's local files
+``quit``                  master ends the job
+``ping``                  liveness check
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Bump when the wire format changes; signin rejects mismatches
+#: ("version skew between master and slaves is a configuration error
+#: worth failing loudly on").
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(Exception):
+    """Malformed or version-skewed message."""
+
+
+def make_task_descriptor(
+    dataset_id: str,
+    task_index: int,
+    op_dict: Dict[str, Any],
+    input_urls: Sequence[str],
+    outdir: Optional[str],
+    format_ext: str,
+    user_output: bool = False,
+    key_serializer: Optional[str] = None,
+    value_serializer: Optional[str] = None,
+    input_key_serializer: Optional[str] = None,
+    input_value_serializer: Optional[str] = None,
+) -> Dict[str, Any]:
+    return {
+        "dataset_id": dataset_id,
+        "task_index": int(task_index),
+        "op": dict(op_dict),
+        "input_urls": list(input_urls),
+        "outdir": outdir,
+        "format_ext": format_ext,
+        "user_output": bool(user_output),
+        # Registered serializer names for this task's output buckets
+        # and for decoding its input buckets (None = pickle).
+        "key_serializer": key_serializer,
+        "value_serializer": value_serializer,
+        "input_key_serializer": input_key_serializer,
+        "input_value_serializer": input_value_serializer,
+    }
+
+
+def check_task_descriptor(descriptor: Dict[str, Any]) -> Dict[str, Any]:
+    required = {"dataset_id", "task_index", "op", "input_urls", "format_ext"}
+    missing = required - set(descriptor)
+    if missing:
+        raise ProtocolError(f"task descriptor missing fields: {sorted(missing)}")
+    if not isinstance(descriptor["op"], dict) or "kind" not in descriptor["op"]:
+        raise ProtocolError("task descriptor op must be an operation dict")
+    return descriptor
+
+
+def make_done_message(
+    slave_id: int,
+    dataset_id: str,
+    task_index: int,
+    bucket_urls: Sequence[Tuple[int, str]],
+    seconds: float = 0.0,
+) -> Dict[str, Any]:
+    return {
+        "slave_id": int(slave_id),
+        "dataset_id": dataset_id,
+        "task_index": int(task_index),
+        "bucket_urls": [[int(split), url] for split, url in bucket_urls],
+        "seconds": float(seconds),
+    }
+
+
+def parse_bucket_urls(raw: Any) -> List[Tuple[int, str]]:
+    try:
+        return [(int(split), str(url)) for split, url in raw]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed bucket url list: {raw!r}") from exc

@@ -1,0 +1,79 @@
+"""Pipe-based wakeup primitive.
+
+Section IV-B: "Main threads do not wait on locks for extended periods
+of time because wait is not generally interruptible by signals ...
+Writing a single byte to a pipe wakes up poll in a remote process or
+thread and causes it to continue through its event loop."
+
+A :class:`Wakeup` wraps a pipe pair: any thread (or a signal handler)
+calls :meth:`set`; a poll/select-based event loop includes
+:attr:`fileno` in its read set and calls :meth:`clear` when it fires.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+from typing import Optional
+
+
+class Wakeup:
+    """A selectable event backed by a pipe."""
+
+    def __init__(self) -> None:
+        self._read_fd, self._write_fd = os.pipe()
+        os.set_blocking(self._read_fd, False)
+        os.set_blocking(self._write_fd, False)
+        self._closed = False
+
+    def fileno(self) -> int:
+        """File descriptor to include in a poll/select read set."""
+        return self._read_fd
+
+    def set(self) -> None:
+        """Wake any waiter.  Safe to call from any thread; idempotent
+        enough in practice (the pipe buffer absorbs repeats)."""
+        if self._closed:
+            return
+        try:
+            os.write(self._write_fd, b"x")
+        except BlockingIOError:
+            # Pipe full: a wakeup is already pending, which is all we
+            # need.
+            pass
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Drain pending wakeup bytes."""
+        if self._closed:
+            return
+        try:
+            while os.read(self._read_fd, 4096):
+                pass
+        except BlockingIOError:
+            pass
+        except OSError:
+            pass
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until woken or ``timeout`` elapses; returns True if woken."""
+        if self._closed:
+            return False
+        ready, _, _ = select.select([self._read_fd], [], [], timeout)
+        if ready:
+            self.clear()
+            return True
+        return False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            for fd in (self._read_fd, self._write_fd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()

@@ -1,0 +1,44 @@
+"""Core programming model: programs, jobs, datasets, operations."""
+
+from repro.core.program import MapReduce, IterativeMR, expand_input_paths
+from repro.core.job import Job, Backend, JobError
+from repro.core.dataset import (
+    BaseDataset,
+    LocalData,
+    FileData,
+    MapData,
+    ReduceData,
+    ReduceMapData,
+)
+from repro.core.main import main, run_program, exit_main
+from repro.core.options import parse_options, default_options
+from repro.core.random_streams import (
+    random_stream,
+    numpy_stream,
+    stream_seed,
+    MAX_OFFSETS,
+)
+
+__all__ = [
+    "MapReduce",
+    "IterativeMR",
+    "expand_input_paths",
+    "Job",
+    "Backend",
+    "JobError",
+    "BaseDataset",
+    "LocalData",
+    "FileData",
+    "MapData",
+    "ReduceData",
+    "ReduceMapData",
+    "main",
+    "run_program",
+    "exit_main",
+    "parse_options",
+    "default_options",
+    "random_stream",
+    "numpy_stream",
+    "stream_seed",
+    "MAX_OFFSETS",
+]

@@ -1,0 +1,249 @@
+"""The Job facade handed to a program's ``run`` method.
+
+A ``Job`` creates datasets and queues operations on a runtime backend.
+Crucially, ``map_data``/``reduce_data``/``reducemap_data`` return
+*immediately* with a lazy dataset handle — the backend starts the work
+as soon as its inputs are ready, and the program only blocks when it
+calls :meth:`Job.wait`.  This is the paper's key iterative-MapReduce
+optimization (section IV-A): an iterative program can queue several
+iterations ahead and run its convergence check *in parallel* with the
+computation of subsequent iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import dataset as ds
+
+KeyValue = Tuple[Any, Any]
+
+
+class Backend:
+    """Runtime interface a Job drives.
+
+    Implementations: serial, mock-parallel, and the master (distributed)
+    runtime.  ``submit`` registers a computed dataset for execution;
+    ``wait`` blocks until at least one of the given datasets is
+    complete and returns the complete subset.
+    """
+
+    #: Reasonable default number of output splits when the program does
+    #: not specify one (the master backend overrides this with the
+    #: cluster size).
+    default_splits = 1
+
+    #: Default for Job.wait's timeout when the caller passes None —
+    #: wired from ``--mrs-timeout`` so a stuck distributed job returns
+    #: control instead of hanging forever.
+    default_timeout = None
+
+    def submit(self, dataset: ds.ComputedData, job: "Job") -> None:
+        raise NotImplementedError
+
+    def wait(
+        self,
+        datasets: Sequence[ds.BaseDataset],
+        job: "Job",
+        timeout: Optional[float] = None,
+    ) -> List[ds.BaseDataset]:
+        raise NotImplementedError
+
+    def progress(self, dataset: ds.BaseDataset) -> float:
+        return 1.0 if dataset.complete else 0.0
+
+    def remove_data(self, dataset_id: str, job: "Job") -> None:
+        """Release a dataset's storage (memory and spill files)."""
+
+    def close(self) -> None:
+        """Shut down any runtime resources."""
+
+
+class JobError(Exception):
+    """A queued operation failed irrecoverably."""
+
+
+class Job:
+    """Dataset factory and synchronization point for a running program."""
+
+    def __init__(self, backend: Backend, program: Any = None):
+        self.backend = backend
+        self.program = program
+        self._datasets: Dict[str, ds.BaseDataset] = {}
+
+    # -- dataset registry ---------------------------------------------
+
+    def get_dataset(self, dataset_id: str) -> ds.BaseDataset:
+        return self._datasets[dataset_id]
+
+    def _register(self, dataset: ds.BaseDataset) -> ds.BaseDataset:
+        if dataset.id in self._datasets:
+            raise ValueError(f"duplicate dataset id {dataset.id!r}")
+        self._datasets[dataset.id] = dataset
+        return dataset
+
+    # -- input datasets -------------------------------------------------
+
+    def local_data(
+        self,
+        pairs: Sequence[KeyValue],
+        splits: Optional[int] = None,
+        parter: Optional[Callable[[Any, int], int]] = None,
+        affinity_group: Optional[str] = None,
+    ) -> ds.LocalData:
+        """Create a dataset from literal key-value pairs."""
+        splits = splits or self.backend.default_splits
+        data = ds.LocalData(
+            pairs, splits=splits, parter=parter, affinity_group=affinity_group
+        )
+        return self._register(data)
+
+    def file_data(
+        self,
+        file_urls: Sequence[str],
+        affinity_group: Optional[str] = None,
+    ) -> ds.FileData:
+        """Create a dataset over existing files; one task per file."""
+        data = ds.FileData(list(file_urls), affinity_group=affinity_group)
+        return self._register(data)
+
+    # -- computed datasets ----------------------------------------------
+
+    def map_data(
+        self,
+        input: ds.BaseDataset,
+        mapper: Any,
+        splits: Optional[int] = None,
+        parter: Any = None,
+        combiner: Any = None,
+        outdir: Optional[str] = None,
+        format: Optional[str] = None,
+        affinity_group: Optional[str] = None,
+        blocking: Sequence[ds.BaseDataset] = (),
+        key_serializer: Optional[str] = None,
+        value_serializer: Optional[str] = None,
+    ) -> ds.MapData:
+        """Queue a map operation over ``input``; returns immediately."""
+        splits = splits or self.backend.default_splits
+        data = ds.make_map_data(
+            input,
+            mapper,
+            splits=splits,
+            parter=parter,
+            combiner=combiner,
+            outdir=outdir,
+            format_ext=format,
+            affinity_group=affinity_group or f"map:{ds.callable_name(mapper)}",
+            blocking_ids=[b.id for b in blocking],
+            key_serializer=key_serializer,
+            value_serializer=value_serializer,
+        )
+        self._register(data)
+        self.backend.submit(data, self)
+        return data
+
+    def reduce_data(
+        self,
+        input: ds.BaseDataset,
+        reducer: Any,
+        splits: Optional[int] = None,
+        parter: Any = None,
+        outdir: Optional[str] = None,
+        format: Optional[str] = None,
+        affinity_group: Optional[str] = None,
+        blocking: Sequence[ds.BaseDataset] = (),
+        key_serializer: Optional[str] = None,
+        value_serializer: Optional[str] = None,
+    ) -> ds.ReduceData:
+        """Queue a reduce operation over ``input``; returns immediately."""
+        splits = splits or self.backend.default_splits
+        data = ds.make_reduce_data(
+            input,
+            reducer,
+            splits=splits,
+            parter=parter,
+            outdir=outdir,
+            format_ext=format,
+            affinity_group=affinity_group or f"reduce:{ds.callable_name(reducer)}",
+            blocking_ids=[b.id for b in blocking],
+            key_serializer=key_serializer,
+            value_serializer=value_serializer,
+        )
+        self._register(data)
+        self.backend.submit(data, self)
+        return data
+
+    def reducemap_data(
+        self,
+        input: ds.BaseDataset,
+        reducer: Any,
+        mapper: Any,
+        splits: Optional[int] = None,
+        parter: Any = None,
+        combiner: Any = None,
+        outdir: Optional[str] = None,
+        format: Optional[str] = None,
+        affinity_group: Optional[str] = None,
+        blocking: Sequence[ds.BaseDataset] = (),
+        key_serializer: Optional[str] = None,
+        value_serializer: Optional[str] = None,
+    ) -> ds.ReduceMapData:
+        """Queue a fused reduce+map operation (one barrier per iteration)."""
+        splits = splits or self.backend.default_splits
+        data = ds.make_reducemap_data(
+            input,
+            reducer,
+            mapper,
+            splits=splits,
+            parter=parter,
+            combiner=combiner,
+            outdir=outdir,
+            format_ext=format,
+            affinity_group=affinity_group
+            or f"reducemap:{ds.callable_name(reducer)}+{ds.callable_name(mapper)}",
+            blocking_ids=[b.id for b in blocking],
+            key_serializer=key_serializer,
+            value_serializer=value_serializer,
+        )
+        self._register(data)
+        self.backend.submit(data, self)
+        return data
+
+    # -- synchronization --------------------------------------------------
+
+    def wait(
+        self,
+        *datasets: ds.BaseDataset,
+        timeout: Optional[float] = None,
+    ) -> List[ds.BaseDataset]:
+        """Block until at least one given dataset completes.
+
+        Returns the (possibly larger) list of given datasets that are
+        complete.  Raises :class:`JobError` if any of them failed.
+        ``timeout=None`` falls back to the backend's default (the
+        ``--mrs-timeout`` option), if any.
+        """
+        if not datasets:
+            return []
+        if timeout is None:
+            timeout = self.backend.default_timeout
+        done = self.backend.wait(list(datasets), self, timeout=timeout)
+        for dataset in done:
+            if dataset.error:
+                raise JobError(
+                    f"dataset {dataset.id} failed: {dataset.error}"
+                )
+        return done
+
+    def progress(self, dataset: ds.BaseDataset) -> float:
+        """Fraction of the dataset's tasks that have completed (0..1)."""
+        return self.backend.progress(dataset)
+
+    def remove_data(self, dataset: ds.BaseDataset) -> None:
+        """Free a dataset that no further operation will read.
+
+        Long iterative runs must release old iterations or the job's
+        footprint grows linearly with iteration count.
+        """
+        self.backend.remove_data(dataset.id, self)
+        dataset.clear()

@@ -1,0 +1,126 @@
+"""Program entry points.
+
+``main(ProgramClass)`` is the one call a Mrs program makes (Program 1):
+it parses options, instantiates the program, and dispatches to the
+implementation selected with ``--mrs``.  ``run_program`` is the
+programmatic equivalent used by tests, examples, and benchmarks.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, List, Optional, Sequence
+
+from repro.core import options as options_mod
+from repro.core.job import Job
+
+logger = logging.getLogger("repro")
+
+
+def _configure_logging(opts) -> None:
+    level = logging.WARNING
+    if getattr(opts, "debug", False):
+        level = logging.DEBUG
+    elif getattr(opts, "verbose", False):
+        level = logging.INFO
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+
+
+def main(program_class: Any, argv: Optional[Sequence[str]] = None) -> int:
+    """Parse the command line and run ``program_class``.
+
+    Returns the program's exit status; ``mrs.main`` in the paper.  Call
+    as the last line of a program script::
+
+        if __name__ == '__main__':
+            mrs.main(WordCount)
+    """
+    opts, args = options_mod.parse_options(program_class, argv)
+    _configure_logging(opts)
+    impl = opts.mrs_impl
+
+    if impl == "slave":
+        # A slave never runs the program's run(); it serves tasks.
+        from repro.runtime.slave import run_slave
+
+        return run_slave(program_class, opts, args)
+
+    program = program_class(opts, args)
+
+    if impl == "bypass":
+        from repro.runtime.bypass import run_bypass
+
+        return run_bypass(program)
+
+    backend = _make_backend(impl, program, opts)
+    try:
+        job = Job(backend, program)
+        return int(program.run(job) or 0)
+    finally:
+        backend.close()
+
+
+def _make_backend(impl: str, program: Any, opts) -> Any:
+    if impl == "serial":
+        from repro.runtime.serial import SerialBackend
+
+        return SerialBackend(program)
+    if impl == "mockparallel":
+        from repro.runtime.mockparallel import MockParallelBackend
+
+        return MockParallelBackend(program, tmpdir=getattr(opts, "tmpdir", None))
+    if impl == "master":
+        from repro.runtime.master import MasterBackend
+
+        return MasterBackend(program, opts)
+    raise ValueError(f"unknown implementation {impl!r}")
+
+
+def run_program(
+    program_class: Any,
+    args: Optional[List[str]] = None,
+    impl: str = "serial",
+    **opt_overrides: Any,
+) -> Any:
+    """Run a program in-process and return the program instance.
+
+    The returned instance exposes whatever its ``run`` recorded —
+    typically ``program.output_data`` for the default run.  This is the
+    entry point tests and benchmarks use::
+
+        program = run_program(WordCount, ['in.txt', 'out'], impl='serial')
+        pairs = program.output_data.data()
+    """
+    args = list(args or [])
+    flags = ["--mrs", impl]
+    opts, positional = options_mod.parse_options(program_class, flags + args)
+    for key, value in opt_overrides.items():
+        setattr(opts, key, value)
+    program = program_class(opts, positional)
+
+    if impl == "bypass":
+        from repro.runtime.bypass import run_bypass
+
+        run_bypass(program)
+        return program
+
+    backend = _make_backend(impl, program, opts)
+    try:
+        job = Job(backend, program)
+        status = program.run(job)
+        if status not in (None, 0):
+            raise RuntimeError(
+                f"{program_class.__name__} exited with status {status}"
+            )
+        return program
+    finally:
+        backend.close()
+
+
+def exit_main(program_class: Any) -> None:
+    """``main`` variant that exits the interpreter with the status."""
+    sys.exit(main(program_class))

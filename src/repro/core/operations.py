@@ -1,0 +1,183 @@
+"""Operation descriptors: serializable recipes for map/reduce tasks.
+
+A descriptor never holds a function object.  Slaves re-instantiate the
+user's program class locally (from the module path and command-line
+arguments), so descriptors reference the program's methods *by name*.
+This is what lets a task description travel over XML-RPC as a small
+dict while user code stays local to each process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+#: Operation kind tags used on the wire.
+MAP = "map"
+REDUCE = "reduce"
+REDUCEMAP = "reducemap"
+
+
+def callable_name(func: Any) -> Optional[str]:
+    """Extract an attribute name from a callable or pass a string through.
+
+    Accepts a bound method of the program (``self.map``), a plain
+    function defined on the program class, a string naming a program
+    attribute, or ``None``.
+    """
+    if func is None:
+        return None
+    if isinstance(func, str):
+        return func
+    name = getattr(func, "__name__", None)
+    if name is None:
+        raise TypeError(f"cannot derive a method name from {func!r}")
+    return name
+
+
+class Operation:
+    """Base operation descriptor.
+
+    Parameters
+    ----------
+    splits:
+        Number of output partitions this operation produces.
+    parter_name:
+        Program attribute used to partition output keys (defaults to
+        the program's ``partition`` method).
+    """
+
+    kind: str = "base"
+
+    def __init__(self, splits: int, parter_name: Optional[str] = None):
+        if splits <= 0:
+            raise ValueError(f"splits must be positive, got {splits}")
+        self.splits = splits
+        self.parter_name = parter_name or "partition"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "splits": self.splits,
+            "parter_name": self.parter_name,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Operation":
+        kind = data["kind"]
+        if kind == MAP:
+            return MapOperation(
+                map_name=data["map_name"],
+                splits=data["splits"],
+                parter_name=data["parter_name"],
+                combine_name=data.get("combine_name"),
+            )
+        if kind == REDUCE:
+            return ReduceOperation(
+                reduce_name=data["reduce_name"],
+                splits=data["splits"],
+                parter_name=data["parter_name"],
+            )
+        if kind == REDUCEMAP:
+            return ReduceMapOperation(
+                reduce_name=data["reduce_name"],
+                map_name=data["map_name"],
+                splits=data["splits"],
+                parter_name=data["parter_name"],
+                combine_name=data.get("combine_name"),
+            )
+        raise ValueError(f"unknown operation kind {kind!r}")
+
+    def resolve(self, program: Any, name: Optional[str]) -> Optional[Callable]:
+        if name is None:
+            return None
+        func = getattr(program, name, None)
+        if func is None:
+            raise AttributeError(
+                f"{type(program).__name__} has no method {name!r} "
+                f"required by a {self.kind} operation"
+            )
+        return func
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_dict()!r})"
+
+
+class MapOperation(Operation):
+    """Apply a map function to every input record, then partition.
+
+    ``combine_name`` optionally names a combiner run over each output
+    bucket before it leaves the task — the paper's WordCount
+    optimization where "the reduce function can function as a combiner
+    without any modifications".
+    """
+
+    kind = MAP
+
+    def __init__(
+        self,
+        map_name: str,
+        splits: int,
+        parter_name: Optional[str] = None,
+        combine_name: Optional[str] = None,
+    ):
+        super().__init__(splits, parter_name)
+        self.map_name = map_name
+        self.combine_name = combine_name
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = super().to_dict()
+        d["map_name"] = self.map_name
+        d["combine_name"] = self.combine_name
+        return d
+
+
+class ReduceOperation(Operation):
+    """Group sorted input by key and apply a reduce function."""
+
+    kind = REDUCE
+
+    def __init__(
+        self,
+        reduce_name: str,
+        splits: int,
+        parter_name: Optional[str] = None,
+    ):
+        super().__init__(splits, parter_name)
+        self.reduce_name = reduce_name
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = super().to_dict()
+        d["reduce_name"] = self.reduce_name
+        return d
+
+
+class ReduceMapOperation(Operation):
+    """Fused reduce-then-map in a single task.
+
+    Iterative programs alternate reduce and map; fusing them halves the
+    number of barriers per iteration (section IV-A's low-overhead
+    iteration support — the paper's own text calls a whole cycle a
+    "ReduceMap operation").
+    """
+
+    kind = REDUCEMAP
+
+    def __init__(
+        self,
+        reduce_name: str,
+        map_name: str,
+        splits: int,
+        parter_name: Optional[str] = None,
+        combine_name: Optional[str] = None,
+    ):
+        super().__init__(splits, parter_name)
+        self.reduce_name = reduce_name
+        self.map_name = map_name
+        self.combine_name = combine_name
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = super().to_dict()
+        d["reduce_name"] = self.reduce_name
+        d["map_name"] = self.map_name
+        d["combine_name"] = self.combine_name
+        return d

@@ -1,0 +1,161 @@
+"""Command-line option handling.
+
+Mrs's whole configuration story is "a short list of command-line
+options" (section IV) — no config files, no daemons.  Framework options
+are namespaced with ``--mrs-`` so they never collide with program
+options added via ``Program.update_parser``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, List, Optional, Sequence, Tuple
+
+#: Implementation names accepted by ``--mrs`` (case-insensitive).
+IMPLEMENTATIONS = ("serial", "bypass", "mockparallel", "master", "slave")
+
+
+def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description=getattr(program_class, "__doc__", None) or "Mrs program",
+        conflict_handler="resolve",
+    )
+    group = parser.add_argument_group("Mrs options")
+    group.add_argument(
+        "-I",
+        "--mrs",
+        dest="mrs_impl",
+        default="serial",
+        metavar="IMPL",
+        help=f"execution implementation, one of {', '.join(IMPLEMENTATIONS)}",
+    )
+    group.add_argument(
+        "--mrs-verbose",
+        dest="verbose",
+        action="store_true",
+        help="informational logging",
+    )
+    group.add_argument(
+        "--mrs-debug",
+        dest="debug",
+        action="store_true",
+        help="debug logging",
+    )
+    group.add_argument(
+        "--mrs-tmpdir",
+        dest="tmpdir",
+        default=None,
+        metavar="DIR",
+        help="directory for intermediate data (shared across slaves "
+        "for filesystem-based data exchange)",
+    )
+    group.add_argument(
+        "--mrs-seed",
+        dest="seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="program-wide random seed (first offset of every stream)",
+    )
+    group.add_argument(
+        "--mrs-reduce-tasks",
+        dest="reduce_tasks",
+        type=int,
+        default=0,
+        metavar="N",
+        help="number of reduce tasks (0 = implementation default)",
+    )
+    group.add_argument(
+        "--mrs-port",
+        dest="port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="master: RPC listen port (0 = ephemeral)",
+    )
+    group.add_argument(
+        "--mrs-runfile",
+        dest="runfile",
+        default=None,
+        metavar="FILE",
+        help="master: write host:port here once listening "
+        "(the slave-startup handshake of Program 3)",
+    )
+    group.add_argument(
+        "--mrs-master",
+        dest="master",
+        default=None,
+        metavar="HOST:PORT",
+        help="slave: master address (a slave needs nothing else)",
+    )
+    group.add_argument(
+        "--mrs-data-plane",
+        dest="data_plane",
+        choices=("file", "http"),
+        default="file",
+        help="intermediate data exchange: shared filesystem (fault-"
+        "tolerant) or direct HTTP between slaves (fast)",
+    )
+    group.add_argument(
+        "--mrs-no-affinity",
+        dest="no_affinity",
+        action="store_true",
+        help="disable iteration task affinity in the scheduler "
+        "(ablation knob)",
+    )
+    group.add_argument(
+        "--mrs-host",
+        dest="host",
+        default=None,
+        metavar="HOST",
+        help="interface for the master's servers (default 127.0.0.1)",
+    )
+    group.add_argument(
+        "--mrs-profile",
+        dest="profile_dir",
+        default=None,
+        metavar="DIR",
+        help="serial implementation: cProfile every task into DIR "
+        "(one .prof per task; inspect with pstats).  'Profiling has "
+        "helped to identify real bottlenecks' — section IV-B",
+    )
+    group.add_argument(
+        "--mrs-timeout",
+        dest="timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="overall job timeout (master/serial implementations)",
+    )
+    if program_class is not None and hasattr(program_class, "update_parser"):
+        program_class.update_parser(parser)
+    return parser
+
+
+def parse_options(
+    program_class: Any = None,
+    argv: Optional[Sequence[str]] = None,
+) -> Tuple[argparse.Namespace, List[str]]:
+    """Parse framework + program options; returns (opts, positional args)."""
+    parser = make_parser(program_class)
+    opts, args = parser.parse_known_args(argv)
+    impl = opts.mrs_impl.lower()
+    if impl not in IMPLEMENTATIONS:
+        parser.error(
+            f"unknown implementation {opts.mrs_impl!r}; "
+            f"choose from {', '.join(IMPLEMENTATIONS)}"
+        )
+    opts.mrs_impl = impl
+    # Anything left that still looks like a flag is a genuine error.
+    stray = [a for a in args if a.startswith("-")]
+    if stray:
+        parser.error(f"unrecognized options: {' '.join(stray)}")
+    return opts, args
+
+
+def default_options(**overrides: Any) -> argparse.Namespace:
+    """Build an options namespace programmatically (for tests/benches)."""
+    opts, _ = parse_options(None, [])
+    for key, value in overrides.items():
+        setattr(opts, key, value)
+    return opts

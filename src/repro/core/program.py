@@ -1,0 +1,221 @@
+"""Program classes: the user-facing API (Program 1 of the paper).
+
+The simplest MapReduce program subclasses :class:`MapReduce` and
+implements only ``map`` and ``reduce``::
+
+    import repro as mrs
+
+    class WordCount(mrs.MapReduce):
+        def map(self, key, value):
+            for word in value.split():
+                yield (word, 1)
+
+        def reduce(self, key, values):
+            yield sum(values)
+
+    if __name__ == '__main__':
+        mrs.main(WordCount)
+
+Everything else — input handling, output writing, the run loop, the
+partitioner, per-task random streams — has a reasonable overridable
+default, "to avoid any unnecessary complexity" (section IV).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import random
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core import random_streams
+from repro.core.job import Job
+from repro.io.partition import hash_partition
+
+KeyValue = Tuple[Any, Any]
+
+
+class MapReduce:
+    """Base program class with reasonable defaults (section IV-A)."""
+
+    def __init__(self, opts: Any, args: List[str]):
+        self.opts = opts
+        self.args = list(args)
+        #: Filled in by the default ``run`` so callers can read results
+        #: programmatically after the job finishes.
+        self.output_data = None
+
+    # -- methods the user typically overrides ---------------------------
+
+    def map(self, key: Any, value: Any) -> Iterator[KeyValue]:
+        """Emit zero or more (key, value) pairs for one input record."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement map() or override run()"
+        )
+
+    def reduce(self, key: Any, values: Iterator[Any]) -> Iterator[Any]:
+        """Emit zero or more output values for one key group."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement reduce() or override run()"
+        )
+
+    # A program may set ``combine = None`` explicitly or define a
+    # method; the default ``run`` uses it when present.
+    combine: Optional[Any] = None
+
+    def partition(self, key: Any, n_splits: int) -> int:
+        """Default partitioner: stable hash of the key."""
+        return hash_partition(key, n_splits)
+
+    # -- input / output defaults -----------------------------------------
+
+    def input_data(self, job: Job):
+        """Build the input dataset from positional arguments.
+
+        The default treats every positional argument but the last as an
+        input file, directory (walked recursively — this is what makes
+        the ragged Gutenberg tree trivial to ingest), or glob pattern.
+        """
+        if len(self.args) < 2:
+            raise ValueError(
+                "usage: program [options] input [input...] output_dir"
+            )
+        inputs = self.args[:-1]
+        return job.file_data(expand_input_paths(inputs))
+
+    @property
+    def output_dir(self) -> Optional[str]:
+        """Where the default ``run`` writes results (last positional arg)."""
+        if len(self.args) >= 1:
+            return self.args[-1]
+        return None
+
+    #: Output format extension for the default run (text by default).
+    output_format = "txt"
+
+    def run(self, job: Job) -> int:
+        """Default driver: input -> map -> reduce -> output files."""
+        source = self.input_data(job)
+        combiner = self.combine if callable(self.combine) else None
+        intermediate = job.map_data(
+            source,
+            self.map,
+            splits=getattr(self.opts, "reduce_tasks", None) or None,
+            combiner=combiner,
+        )
+        output = job.reduce_data(
+            intermediate,
+            self.reduce,
+            splits=getattr(self.opts, "reduce_tasks", None) or None,
+            outdir=self.output_dir,
+            format=self.output_format,
+        )
+        job.wait(output)
+        self.output_data = output
+        return 0
+
+    def bypass(self) -> int:
+        """Entry point for the bypass implementation (section IV-A).
+
+        Override to share code between a plain serial version of the
+        program and its MapReduce formulation.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a bypass implementation"
+        )
+
+    # -- reproducible randomness -------------------------------------------
+
+    def random(self, *offsets: int) -> random.Random:
+        """Return an independent random stream for this offset tuple.
+
+        The program-wide seed (``--mrs-seed``) is the first offset, so
+        two runs with the same seed and the same per-task offsets draw
+        identical sequences in any implementation, and any change to an
+        offset yields an independent stream.
+        """
+        seed = getattr(self.opts, "seed", 0) or 0
+        return random_streams.random_stream(seed, *offsets)
+
+    def numpy_random(self, *offsets: int):
+        """NumPy counterpart of :meth:`random` for array-heavy programs."""
+        seed = getattr(self.opts, "seed", 0) or 0
+        return random_streams.numpy_stream(seed, *offsets)
+
+    # -- hooks -------------------------------------------------------------
+
+    @classmethod
+    def update_parser(cls, parser):
+        """Add program-specific command-line options; returns the parser."""
+        return parser
+
+
+class IterativeMR(MapReduce):
+    """Producer/consumer driver for iterative MapReduce programs.
+
+    Subclasses implement:
+
+    * ``producer(job) -> list[Dataset]`` — queue one or more operations
+      and return the datasets whose completion the driver should watch.
+    * ``consumer(dataset) -> bool`` — handle one completed dataset;
+      return False to stop iterating.
+
+    The driver keeps up to ``iterative_qmax`` datasets in flight, which
+    is how a convergence check can overlap the next iteration's
+    computation (section IV-A).
+    """
+
+    #: Maximum number of watched datasets in flight.
+    iterative_qmax = 2
+
+    def producer(self, job: Job) -> List[Any]:
+        raise NotImplementedError
+
+    def consumer(self, dataset: Any) -> bool:
+        raise NotImplementedError
+
+    def run(self, job: Job) -> int:
+        running = True
+        pending: List[Any] = []
+        while True:
+            # Keep the pipeline primed.
+            while running and len(pending) < self.iterative_qmax:
+                produced = self.producer(job)
+                if not produced:
+                    running = False
+                    break
+                pending.extend(produced)
+            if not pending:
+                break
+            done = job.wait(*pending)
+            for dataset in done:
+                pending.remove(dataset)
+                keep_going = self.consumer(dataset)
+                if not keep_going:
+                    running = False
+        return 0
+
+
+def expand_input_paths(inputs: Iterable[str]) -> List[str]:
+    """Expand files, directories (recursive), and glob patterns.
+
+    Ordering is deterministic: inputs stay in argument order, directory
+    walks and globs are sorted.
+    """
+    out: List[str] = []
+    for item in inputs:
+        if "://" in item or item.startswith("file:"):
+            out.append(item)
+        elif os.path.isdir(item):
+            for dirpath, dirnames, filenames in os.walk(item):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    out.append(os.path.join(dirpath, name))
+        elif os.path.exists(item):
+            out.append(item)
+        else:
+            matches = sorted(glob.glob(item))
+            if not matches:
+                raise FileNotFoundError(f"input {item!r} matched no files")
+            out.extend(matches)
+    return out

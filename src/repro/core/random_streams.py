@@ -1,0 +1,82 @@
+"""Independent pseudorandom streams (section IV-A).
+
+Nondeterministic results make debugging difficult and testing
+impossible, but a single fixed seed would make every map/reduce task
+draw the same sequence.  Mrs solves this with a ``random`` method that
+derives a *unique* generator from any combination of integer offsets
+(program seed, dataset id, task index, particle id, ...).
+
+The construction packs each 64-bit offset into a single large integer
+seed.  Python's Mersenne Twister seeds from arbitrarily large integers
+by folding them into the full 19968-bit state, so "around 300 arguments
+that are each 64-bit integers" (the paper's figure: 312 sixty-four bit
+words fill the state) map injectively onto distinct states.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+#: The paper's bound on distinct offsets, from the MT19937 state size:
+#: 624 32-bit words = 312 64-bit words.
+MAX_OFFSETS = 312
+
+
+def stream_seed(*offsets: int) -> int:
+    """Pack integer offsets into one big deterministic seed.
+
+    The packing is injective for up to :data:`MAX_OFFSETS` offsets: a
+    leading 1 bit keeps ``(0,)`` distinct from ``(0, 0)``, and each
+    offset occupies its own 64-bit lane.  Negative offsets are folded
+    into their two's-complement 64-bit representation.
+
+    Raises
+    ------
+    TypeError
+        If any offset is not an integer (bools are rejected too: a bool
+        offset is almost always a bug).
+    ValueError
+        If an offset needs more than 64 bits.
+    """
+    seed = 1
+    for i, offset in enumerate(offsets):
+        if isinstance(offset, bool) or not isinstance(offset, int):
+            raise TypeError(
+                f"offset {i} must be an int, got {type(offset).__name__}"
+            )
+        if not (-(1 << 63) <= offset < (1 << 64)):
+            raise ValueError(f"offset {i} ({offset}) does not fit in 64 bits")
+        seed = (seed << _WORD_BITS) | (offset & _WORD_MASK)
+    return seed
+
+
+def random_stream(*offsets: int) -> random.Random:
+    """Return a :class:`random.Random` unique to this offset tuple."""
+    return random.Random(stream_seed(*offsets))
+
+
+def numpy_stream(*offsets: int):
+    """Return a NumPy ``Generator`` unique to this offset tuple.
+
+    Kept out of the framework's stdlib-only core path; only application
+    code (PSO, datagen) imports it.
+    """
+    import numpy as np
+
+    # SeedSequence accepts arbitrary entropy ints; reuse the same
+    # injective packing so numpy and stdlib streams share an offset
+    # namespace without sharing values.
+    return np.random.default_rng(np.random.SeedSequence(stream_seed(*offsets)))
+
+
+def spawn_seeds(base: int, count: int) -> Iterable[int]:
+    """Yield ``count`` child seeds derived from ``base``.
+
+    Convenience for workloads that need one seed per task up front.
+    """
+    for i in range(count):
+        yield stream_seed(base, i)

@@ -1,0 +1,20 @@
+"""Synthetic data generation.
+
+The paper's WordCount benchmark uses the 31,173-file Project Gutenberg
+corpus, which is not redistributable inside this offline reproduction.
+:mod:`repro.datagen.corpus` generates a synthetic corpus matching the
+two properties WordCount performance actually depends on: Zipfian token
+statistics and the ragged one-directory-per-book tree layout that
+defeats Hadoop's single-directory input loader (section V-B).
+"""
+
+from repro.datagen.zipf import ZipfVocabulary, zipf_weights
+from repro.datagen.corpus import CorpusSpec, generate_corpus, corpus_file_list
+
+__all__ = [
+    "ZipfVocabulary",
+    "zipf_weights",
+    "CorpusSpec",
+    "generate_corpus",
+    "corpus_file_list",
+]

@@ -1,0 +1,75 @@
+"""Zipf-distributed synthetic vocabulary.
+
+Natural-language word frequencies follow Zipf's law: the r-th most
+common word has probability proportional to ``1/r**s`` with s near 1.
+WordCount's compute and shuffle profile (many records, few distinct
+heavy keys, a long tail) depends on exactly this shape, so the
+synthetic corpus samples words from a Zipf model over a generated
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List
+
+import numpy as np
+
+
+def zipf_weights(vocab_size: int, exponent: float = 1.05) -> np.ndarray:
+    """Normalized Zipf probabilities for ranks 1..vocab_size."""
+    if vocab_size < 1:
+        raise ValueError("vocab_size must be >= 1")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+_LETTERS = string.ascii_lowercase
+
+
+def synthetic_word(index: int) -> str:
+    """A pronounceable-ish deterministic word for vocabulary rank
+    ``index`` (bijective base-26 with alternating structure)."""
+    # Bijective base-26: index 0 -> 'a', 25 -> 'z', 26 -> 'aa', ...
+    index += 1
+    letters: List[str] = []
+    while index > 0:
+        index, remainder = divmod(index - 1, 26)
+        letters.append(_LETTERS[remainder])
+    return "".join(reversed(letters))
+
+
+class ZipfVocabulary:
+    """A sampled vocabulary with Zipfian frequencies.
+
+    Deterministic given (vocab_size, exponent, rng): the same stream
+    always produces the same corpus — the datagen counterpart of the
+    framework's random_streams discipline.
+    """
+
+    def __init__(self, vocab_size: int = 10_000, exponent: float = 1.05):
+        self.vocab_size = vocab_size
+        self.exponent = exponent
+        self.words = [synthetic_word(i) for i in range(vocab_size)]
+        self.weights = zipf_weights(vocab_size, exponent)
+        self._cumulative = np.cumsum(self.weights)
+
+    def sample_indices(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` word ranks (vectorized inverse-CDF)."""
+        u = rng.random(count)
+        return np.searchsorted(self._cumulative, u, side="right")
+
+    def sample_words(self, count: int, rng: np.random.Generator) -> List[str]:
+        return [self.words[i] for i in self.sample_indices(count, rng)]
+
+    def text(self, n_words: int, rng: np.random.Generator, line_words: int = 12) -> str:
+        """Generate document text: ``n_words`` tokens, fixed-ish lines."""
+        tokens = self.sample_words(n_words, rng)
+        lines = [
+            " ".join(tokens[i : i + line_words])
+            for i in range(0, len(tokens), line_words)
+        ]
+        return "\n".join(lines) + "\n" if lines else ""

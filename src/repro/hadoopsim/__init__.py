@@ -1,0 +1,35 @@
+"""Hadoop baseline simulator.
+
+The paper compares Mrs against Hadoop 0.20-era deployments on a 21-node
+cluster.  Real Hadoop cannot run in this offline reproduction, so this
+package models the parts of Hadoop that produce the paper's observed
+behaviour — *framework overhead*, not Java micro-performance:
+
+* :mod:`repro.hadoopsim.hdfs` — a mini namenode/datanode model whose
+  input-split enumeration cost reproduces the "nearly nine minutes" of
+  startup on the 31,173-file Gutenberg tree.
+* :mod:`repro.hadoopsim.jobtracker` — a discrete-event simulation of
+  heartbeat-driven task assignment (the dominant per-job latency:
+  3-second tasktracker heartbeats, one task assigned per heartbeat).
+* :mod:`repro.hadoopsim.tasktracker` — per-attempt JVM spawn and slot
+  occupancy; *executes the user's real map/reduce functions* so output
+  parity with Mrs is testable.
+* :mod:`repro.hadoopsim.costmodel` — every calibrated constant, with
+  provenance notes, in one place.
+
+The simulator reports modeled wall-clock from a virtual clock; it never
+claims to predict absolute Hadoop performance, only the overhead shape
+the paper's evaluation turns on (>= ~30 s per MapReduce job).
+"""
+
+from repro.hadoopsim.api import HadoopCluster, HadoopJob, HadoopJobResult
+from repro.hadoopsim.costmodel import HadoopCostModel
+from repro.hadoopsim.hdfs import MiniHDFS
+
+__all__ = [
+    "HadoopCluster",
+    "HadoopJob",
+    "HadoopJobResult",
+    "HadoopCostModel",
+    "MiniHDFS",
+]

@@ -1,0 +1,81 @@
+"""CLI: explore the Hadoop cost model.
+
+    python -m repro.hadoopsim overhead
+    python -m repro.hadoopsim job --maps 126 --map-seconds 10 --reduces 21
+    python -m repro.hadoopsim enumerate --files 31173
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.hadoopsim import HadoopCluster, HadoopJob
+from repro.hadoopsim.costmodel import HadoopCostModel
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Query the calibrated Hadoop discrete-event cost model."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("overhead", help="modeled cost of an empty job")
+
+    job = sub.add_parser("job", help="simulate one job")
+    job.add_argument("--nodes", type=int, default=21)
+    job.add_argument("--map-slots", type=int, default=4)
+    job.add_argument("--reduce-slots", type=int, default=2)
+    job.add_argument("--maps", type=int, default=1)
+    job.add_argument("--map-seconds", type=float, default=0.0)
+    job.add_argument("--reduces", type=int, default=1)
+    job.add_argument("--reduce-seconds", type=float, default=0.0)
+    job.add_argument("--enumeration-seconds", type=float, default=0.0)
+
+    enum = sub.add_parser("enumerate", help="input enumeration cost")
+    enum.add_argument("--files", type=int, required=True)
+    enum.add_argument("--dirs", type=int, default=None,
+                      help="directory count (defaults to one per file, "
+                      "the Gutenberg layout)")
+
+    args = parser.parse_args(argv)
+    model = HadoopCostModel()
+
+    if args.command == "overhead":
+        seconds = HadoopJob(HadoopCluster(model=model)).per_job_overhead()
+        print(f"empty-job overhead: {seconds:.1f} s "
+              "(paper: 'at least 30 seconds per MapReduce operation')")
+        return 0
+
+    if args.command == "job":
+        cluster = HadoopCluster(
+            n_nodes=args.nodes,
+            map_slots_per_node=args.map_slots,
+            reduce_slots_per_node=args.reduce_slots,
+            model=model,
+        )
+        result = HadoopJob(cluster).run_modeled(
+            map_seconds=args.map_seconds,
+            n_map_tasks=args.maps,
+            reduce_seconds=args.reduce_seconds,
+            n_reduce_tasks=args.reduces,
+            enumeration_seconds=args.enumeration_seconds,
+        )
+        print(f"total: {result.modeled_seconds:.1f} s "
+              f"(startup {result.startup_seconds:.1f} s)")
+        for phase, seconds in sorted(result.breakdown.phases.items()):
+            print(f"  {phase:<20s} {seconds:8.2f} s")
+        return 0
+
+    if args.command == "enumerate":
+        dirs = args.files if args.dirs is None else args.dirs
+        seconds = model.listing_seconds(args.files, dirs)
+        print(f"enumerating {args.files} files in {dirs} directories: "
+              f"{seconds:.1f} s ({seconds / 60:.1f} min)")
+        return 0
+
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

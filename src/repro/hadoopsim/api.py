@@ -1,0 +1,251 @@
+"""Public facade of the Hadoop simulator.
+
+Two run modes:
+
+* :meth:`HadoopJob.run_modeled` — pure cost-model run: the caller
+  supplies per-task work seconds (e.g. pi samples / java rate) and the
+  simulator returns modeled wall-clock with a phase breakdown.  Used
+  for Fig 3 and the PSO-on-Hadoop estimate (E7).
+* :meth:`HadoopJob.run_program` — *executes the user's real map and
+  reduce functions* on local input files for output parity, measures
+  Python compute seconds per task, converts them to modeled Java time
+  via ``java_speedup_vs_python``, and runs the same cost model on top.
+  Used for the WordCount comparison (E3) and parity tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.hadoopsim.costmodel import HadoopCostModel, PhaseBreakdown
+from repro.hadoopsim.clock import VirtualClock
+from repro.hadoopsim.hdfs import MiniHDFS
+from repro.hadoopsim.jobtracker import JobTrackerSim
+from repro.hadoopsim.shuffle import (
+    estimate_record_bytes,
+    map_side_sort_seconds,
+    reduce_side_shuffle_seconds,
+)
+from repro.hadoopsim.tasktracker import (
+    ParityResult,
+    SimTaskTracker,
+    execute_job_for_parity,
+)
+
+KeyValue = Tuple[Any, Any]
+
+
+class HadoopCluster:
+    """A virtual cluster: N nodes, each with map/reduce slots and HDFS.
+
+    Defaults mirror the paper's private cluster: 21 machines with 6
+    cores each (we give each node 4 map + 2 reduce slots).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 21,
+        map_slots_per_node: int = 4,
+        reduce_slots_per_node: int = 2,
+        model: Optional[HadoopCostModel] = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.n_nodes = n_nodes
+        self.map_slots_per_node = map_slots_per_node
+        self.reduce_slots_per_node = reduce_slots_per_node
+        self.model = model or HadoopCostModel()
+        self.hdfs = MiniHDFS(n_datanodes=n_nodes, model=self.model)
+
+    def make_trackers(self) -> List[SimTaskTracker]:
+        return [
+            SimTaskTracker(
+                node_id=i,
+                map_slots=self.map_slots_per_node,
+                reduce_slots=self.reduce_slots_per_node,
+            )
+            for i in range(self.n_nodes)
+        ]
+
+    @property
+    def total_map_slots(self) -> int:
+        return self.n_nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return self.n_nodes * self.reduce_slots_per_node
+
+
+class HadoopJobResult:
+    """Everything a benchmark needs from one simulated job."""
+
+    def __init__(
+        self,
+        breakdown: PhaseBreakdown,
+        timeline: Dict[str, float],
+        n_map_tasks: int,
+        n_reduce_tasks: int,
+        pairs: Optional[List[KeyValue]] = None,
+        parity: Optional[ParityResult] = None,
+    ):
+        self.breakdown = breakdown
+        self.timeline = timeline
+        self.n_map_tasks = n_map_tasks
+        self.n_reduce_tasks = n_reduce_tasks
+        #: Real output pairs (run_program mode only).
+        self.pairs = pairs
+        self.parity = parity
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def startup_seconds(self) -> float:
+        """Time before the first map task can run (submit + enumeration
+        + setup task) — the paper's 'start up time' for WordCount."""
+        return (
+            self.breakdown.get("submit")
+            + self.breakdown.get("input_enumeration")
+            + self.breakdown.get("setup_task")
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HadoopJobResult(total={self.modeled_seconds:.1f}s, "
+            f"maps={self.n_map_tasks}, reduces={self.n_reduce_tasks}, "
+            f"{self.breakdown!r})"
+        )
+
+
+class HadoopJob:
+    """One MapReduce job against a :class:`HadoopCluster`."""
+
+    def __init__(self, cluster: Optional[HadoopCluster] = None):
+        self.cluster = cluster or HadoopCluster()
+
+    # -- pure cost-model mode -------------------------------------------
+
+    def run_modeled(
+        self,
+        map_seconds: Union[float, Sequence[float]],
+        n_map_tasks: Optional[int] = None,
+        reduce_seconds: Union[float, Sequence[float]] = 0.0,
+        n_reduce_tasks: int = 1,
+        enumeration_seconds: float = 0.0,
+    ) -> HadoopJobResult:
+        """Simulate a job from per-task work durations."""
+        if isinstance(map_seconds, (int, float)):
+            if n_map_tasks is None:
+                raise ValueError(
+                    "n_map_tasks required when map_seconds is scalar"
+                )
+            map_durations = [float(map_seconds)] * n_map_tasks
+        else:
+            map_durations = [float(s) for s in map_seconds]
+        if isinstance(reduce_seconds, (int, float)):
+            reduce_durations = [float(reduce_seconds)] * n_reduce_tasks
+        else:
+            reduce_durations = [float(s) for s in reduce_seconds]
+
+        sim = JobTrackerSim(
+            self.cluster.make_trackers(), self.cluster.model, VirtualClock()
+        )
+        breakdown = sim.run_job(
+            map_durations,
+            reduce_durations,
+            enumeration_seconds=enumeration_seconds,
+        )
+        return HadoopJobResult(
+            breakdown,
+            sim.timeline,
+            n_map_tasks=len(map_durations),
+            n_reduce_tasks=len(reduce_durations),
+        )
+
+    # -- real-execution mode --------------------------------------------------
+
+    def run_program(
+        self,
+        program: Any,
+        input_paths: Sequence[str],
+        n_reduce_tasks: int = 1,
+        combiner: Optional[Any] = None,
+        hdfs_prefix: str = "/input",
+        avg_intermediate_record_bytes: float = 20.0,
+    ) -> HadoopJobResult:
+        """Execute real user code; model Hadoop's wall-clock around it.
+
+        Input files are staged into the mini-HDFS (mirroring their
+        local sizes and directory structure) so the enumeration cost
+        reflects the real tree shape — the effect that dominates the
+        paper's full-Gutenberg result.
+        """
+        model = self.cluster.model
+        hdfs = self.cluster.hdfs
+
+        # Stage the corpus into HDFS, preserving directory structure.
+        common = os.path.commonpath([os.path.abspath(p) for p in input_paths])
+        if os.path.isfile(common):
+            common = os.path.dirname(common)
+        hdfs_paths = []
+        for path in input_paths:
+            rel = os.path.relpath(os.path.abspath(path), common)
+            hdfs_path = os.path.join(hdfs_prefix, rel).replace(os.sep, "/")
+            hdfs.put(hdfs_path, os.path.getsize(path))
+            hdfs_paths.append(hdfs_path)
+        _, enumeration_seconds = hdfs.enumerate_splits([hdfs_prefix])
+
+        # Run the real computation with Hadoop's decomposition.
+        parity = execute_job_for_parity(
+            program, input_paths, n_reduce_tasks=n_reduce_tasks,
+            combiner=combiner,
+        )
+
+        # Convert measured Python compute to modeled Java compute and
+        # add per-task I/O terms.
+        intermediate_bytes = estimate_record_bytes(
+            parity.map_output_records, avg_intermediate_record_bytes
+        )
+        map_durations = []
+        for task_index, py_seconds in enumerate(parity.map_seconds):
+            java_compute = py_seconds / model.java_speedup_vs_python
+            input_bytes = os.path.getsize(input_paths[task_index])
+            io = model.hdfs_open + input_bytes / model.read_rate
+            sort = map_side_sort_seconds(
+                model, intermediate_bytes / max(1, len(parity.map_seconds))
+            )
+            map_durations.append(java_compute + io + sort)
+        reduce_durations = []
+        for py_seconds in parity.reduce_seconds:
+            java_compute = py_seconds / model.java_speedup_vs_python
+            shuffle = reduce_side_shuffle_seconds(
+                model, intermediate_bytes, len(parity.reduce_seconds)
+            )
+            reduce_durations.append(java_compute + shuffle)
+
+        sim = JobTrackerSim(
+            self.cluster.make_trackers(), model, VirtualClock()
+        )
+        breakdown = sim.run_job(
+            map_durations,
+            reduce_durations,
+            enumeration_seconds=enumeration_seconds,
+        )
+        return HadoopJobResult(
+            breakdown,
+            sim.timeline,
+            n_map_tasks=len(map_durations),
+            n_reduce_tasks=len(reduce_durations),
+            pairs=parity.pairs,
+            parity=parity,
+        )
+
+    def per_job_overhead(self) -> float:
+        """Modeled cost of an *empty* job — the per-iteration price an
+        iterative algorithm pays on Hadoop (E7)."""
+        result = self.run_modeled(
+            map_seconds=0.0, n_map_tasks=1, reduce_seconds=0.0, n_reduce_tasks=1
+        )
+        return result.modeled_seconds

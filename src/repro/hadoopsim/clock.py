@@ -1,0 +1,58 @@
+"""Virtual clock and event queue for the discrete-event simulation."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+Event = Callable[[], None]
+
+
+class VirtualClock:
+    """A deterministic event-driven clock.
+
+    Events fire in (time, insertion order).  ``run_until_idle`` drives
+    the simulation; event callbacks may schedule further events.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+
+    def schedule(self, delay: float, event: Event) -> None:
+        """Schedule ``event`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+
+    def schedule_at(self, when: float, event: Event) -> None:
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        heapq.heappush(self._heap, (when, next(self._seq), event))
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        event()
+        return True
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Drain the event queue; returns the final virtual time."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; likely a "
+                    "recurring event was not cancelled"
+                )
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,124 @@
+"""JobClient: the client-side job submission lifecycle.
+
+Program 4 of the paper shows what a Hadoop job costs *before* any task
+runs on a shared cluster: format HDFS, start daemons, copy data in,
+submit, poll, copy data out, stop daemons.  This module models those
+steps so the startup-script comparison (experiment E2) and the
+WordCount table (E3) can charge them explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hadoopsim.costmodel import HadoopCostModel
+from repro.hadoopsim.hdfs import MiniHDFS
+
+
+@dataclass
+class StartupStep:
+    name: str
+    seconds: float
+
+
+@dataclass
+class StartupReport:
+    steps: List[StartupStep] = field(default_factory=list)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.steps.append(StartupStep(name, seconds))
+
+    @property
+    def total(self) -> float:
+        return sum(step.seconds for step in self.steps)
+
+    @property
+    def step_count(self) -> int:
+        return len(self.steps)
+
+
+#: Fixed latencies for per-job infrastructure steps on a shared
+#: cluster (Program 4).  Values are representative daemon start/stop
+#: and format times for a ~20 node cluster; they matter for *step
+#: count* and order-of-magnitude, not precision.
+INFRA_STEP_SECONDS = {
+    "find_network_address": 0.1,
+    "write_configuration": 0.5,
+    "format_namenode": 5.0,
+    "start_namenode": 5.0,
+    "start_jobtracker": 5.0,
+    "start_datanodes_tasktrackers": 15.0,
+    "stop_daemons": 10.0,
+}
+
+#: Mrs's equivalent steps (Program 3): find the address, start the
+#: master, wait for the port file, start slaves.  The ~2 s figure is
+#: the paper's reported Mrs startup time.
+MRS_STEP_SECONDS = {
+    "find_network_address": 0.1,
+    "start_master": 0.5,
+    "wait_for_port_file": 1.0,
+    "start_slaves": 0.5,
+}
+
+
+def hadoop_shared_cluster_startup(
+    hdfs: MiniHDFS,
+    input_files: Sequence[Tuple[str, int]],
+    model: Optional[HadoopCostModel] = None,
+) -> StartupReport:
+    """Model Program 4's steps, including copying the corpus into HDFS."""
+    model = model or hdfs.model
+    report = StartupReport()
+    for name in (
+        "find_network_address",
+        "write_configuration",
+        "format_namenode",
+        "start_namenode",
+        "start_jobtracker",
+        "start_datanodes_tasktrackers",
+    ):
+        report.add(name, INFRA_STEP_SECONDS[name])
+    copy_seconds = 0.0
+    for path, size in input_files:
+        copy_seconds += hdfs.put(path, size)
+    report.add("copy_data_into_hdfs", copy_seconds)
+    return report
+
+
+def hadoop_shared_cluster_teardown(
+    output_bytes: float, model: Optional[HadoopCostModel] = None
+) -> StartupReport:
+    """Copy results out of HDFS and stop the per-job daemons."""
+    model = model or HadoopCostModel()
+    report = StartupReport()
+    report.add("copy_data_out_of_hdfs", output_bytes / model.read_rate)
+    report.add("stop_daemons", INFRA_STEP_SECONDS["stop_daemons"])
+    return report
+
+
+def mrs_shared_cluster_startup() -> StartupReport:
+    """Model Program 3's four steps."""
+    report = StartupReport()
+    for name, seconds in MRS_STEP_SECONDS.items():
+        report.add(name, seconds)
+    return report
+
+
+def compare_startup_scripts(
+    n_input_files: int = 0,
+    avg_file_bytes: int = 50_000,
+    model: Optional[HadoopCostModel] = None,
+) -> Dict[str, StartupReport]:
+    """Build both startup reports for experiment E2."""
+    model = model or HadoopCostModel()
+    hdfs = MiniHDFS(model=model)
+    files = [
+        (f"/corpus/doc{i:05d}/doc{i:05d}.txt", avg_file_bytes)
+        for i in range(n_input_files)
+    ]
+    return {
+        "mrs": mrs_shared_cluster_startup(),
+        "hadoop": hadoop_shared_cluster_startup(hdfs, files, model),
+    }

@@ -1,0 +1,187 @@
+"""Discrete-event JobTracker: heartbeat-driven task assignment.
+
+The JobTracker of Hadoop 0.20 assigns at most one task to a TaskTracker
+per heartbeat (3 s apart).  For a job with M map tasks on T trackers
+that alone costs about ``ceil(M/T) * 3`` seconds of assignment latency
+before any work happens — the structural reason "Hadoop takes at least
+30 seconds per MapReduce operation" even for empty jobs, which is the
+number the paper's iterative-algorithm argument turns on.
+
+The simulation models one job at a time (matching the paper's
+dedicated-job benchmarks): a setup task, a map wave, a reduce wave
+(shuffle folded into each reduce's duration), a cleanup task, and the
+JobClient's completion poll.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hadoopsim.clock import VirtualClock
+from repro.hadoopsim.costmodel import HadoopCostModel, PhaseBreakdown
+from repro.hadoopsim.tasktracker import SimTaskTracker
+
+#: Job phases in lifecycle order.
+PHASES = ("setup", "maps", "reduces", "cleanup")
+
+
+class JobTrackerSim:
+    """Simulate one job's lifecycle on a virtual cluster."""
+
+    def __init__(
+        self,
+        trackers: List[SimTaskTracker],
+        model: HadoopCostModel,
+        clock: Optional[VirtualClock] = None,
+    ):
+        if not trackers:
+            raise ValueError("need at least one tasktracker")
+        self.trackers = trackers
+        self.model = model
+        self.clock = clock or VirtualClock()
+        self.breakdown = PhaseBreakdown()
+        self._timeline: Dict[str, float] = {}
+        # Per-run state, initialized in run_job.
+        self._phase = "idle"
+        self._pending: Dict[str, List[float]] = {}
+        self._running: Dict[str, int] = {}
+        self._job_arrival = 0.0
+
+    # ------------------------------------------------------------------
+
+    def run_job(
+        self,
+        map_durations: List[float],
+        reduce_durations: List[float],
+        submit_seconds: Optional[float] = None,
+        enumeration_seconds: float = 0.0,
+    ) -> PhaseBreakdown:
+        """Simulate a full job; returns the phase breakdown.
+
+        ``map_durations``/``reduce_durations`` are seconds of *work*
+        per task (I/O + compute); JVM spawn, launch overhead, heartbeat
+        waits, and client polling are added by the simulation.
+        """
+        model = self.model
+        clock = self.clock
+        start = clock.now
+
+        submit = model.client_submit if submit_seconds is None else submit_seconds
+        self.breakdown.add("submit", submit)
+        self.breakdown.add("input_enumeration", enumeration_seconds)
+        self._job_arrival = start + submit + enumeration_seconds
+
+        self._pending = {
+            "setup": [model.setup_task_work],
+            "maps": list(map_durations),
+            "reduces": list(reduce_durations),
+            "cleanup": [model.cleanup_task_work],
+        }
+        self._running = {phase: 0 for phase in PHASES}
+        self._phase = "setup"
+        self._timeline = {"job_arrival": self._job_arrival}
+
+        # Stagger heartbeats deterministically across trackers.
+        for i, tracker in enumerate(self.trackers):
+            offset = (i / len(self.trackers)) * model.heartbeat_interval
+            clock.schedule_at(
+                start + offset, lambda t=tracker: self._heartbeat(t)
+            )
+
+        clock.run_until_idle()
+
+        job_done = self._timeline.get("cleanup_done", clock.now)
+        # The JobClient polls for completion on a fixed period measured
+        # from submission.
+        polls = max(1, -int(-(job_done - start) // model.client_poll))
+        client_notice = max(job_done, start + polls * model.client_poll)
+        self.breakdown.add("completion_poll", client_notice - job_done)
+        self._timeline["client_notice"] = client_notice
+
+        # Wall-clock attribution per phase.
+        arrival = self._job_arrival
+        setup_done = self._timeline.get("setup_done", arrival)
+        maps_done = self._timeline.get("maps_done", setup_done)
+        reduces_done = self._timeline.get("reduces_done", maps_done)
+        cleanup_done = self._timeline.get("cleanup_done", reduces_done)
+        self.breakdown.add("setup_task", setup_done - arrival)
+        self.breakdown.add("map_phase", maps_done - setup_done)
+        self.breakdown.add("reduce_phase", reduces_done - maps_done)
+        self.breakdown.add("cleanup_task", cleanup_done - reduces_done)
+        return self.breakdown
+
+    @property
+    def total_seconds(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def timeline(self) -> Dict[str, float]:
+        return dict(self._timeline)
+
+    # ------------------------------------------------------------------
+
+    def _heartbeat(self, tracker: SimTaskTracker) -> None:
+        if self._phase == "done":
+            return  # stop rescheduling; the event queue drains
+        if self.clock.now >= self._job_arrival:
+            self._skip_empty_phases()
+            for _ in range(max(1, self.model.tasks_per_heartbeat)):
+                before = len(self._pending.get(self._phase, ()))
+                self._assign_one(tracker)
+                after = len(self._pending.get(self._phase, ()))
+                if after == before:
+                    break  # no slot free or nothing pending
+        self.clock.schedule(
+            self.model.heartbeat_interval, lambda: self._heartbeat(tracker)
+        )
+
+    def _skip_empty_phases(self) -> None:
+        """Advance past phases with no tasks at all (e.g. map-only jobs)."""
+        while (
+            self._phase != "done"
+            and not self._pending[self._phase]
+            and self._running[self._phase] == 0
+        ):
+            self._finish_phase(self._phase)
+
+    def _assign_one(self, tracker: SimTaskTracker) -> None:
+        """Assign at most one task of the current phase to ``tracker``."""
+        phase = self._phase
+        if phase == "done" or not self._pending[phase]:
+            return
+        # Setup/cleanup/map run in map slots; reduces in reduce slots.
+        is_map_slot = phase != "reduces"
+        if not tracker.acquire(is_map_slot):
+            return
+        work = self._pending[phase].pop(0)
+        self._running[phase] += 1
+        # A completed task is only *reported* at the tracker's next
+        # heartbeat; until then the JobTracker neither frees the slot
+        # nor advances the phase.  This reporting latency is a full
+        # heartbeat in the worst case and is the second structural
+        # source of Hadoop's fixed per-job cost (after assignment).
+        duration = (
+            self.model.jvm_startup
+            + self.model.task_launch_overhead
+            + work
+            + self.model.heartbeat_interval
+        )
+        self.clock.schedule(
+            duration, lambda: self._task_done(tracker, phase, is_map_slot)
+        )
+
+    def _task_done(
+        self, tracker: SimTaskTracker, phase: str, is_map_slot: bool
+    ) -> None:
+        tracker.release(is_map_slot)
+        self._running[phase] -= 1
+        if not self._pending[phase] and self._running[phase] == 0:
+            self._finish_phase(phase)
+
+    def _finish_phase(self, phase: str) -> None:
+        self._timeline[f"{phase}_done"] = self.clock.now
+        index = PHASES.index(phase)
+        if index + 1 < len(PHASES):
+            self._phase = PHASES[index + 1]
+        else:
+            self._phase = "done"

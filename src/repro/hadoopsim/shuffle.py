@@ -1,0 +1,54 @@
+"""Sort/shuffle cost model.
+
+Map output is sorted and spilled on the map side, then fetched and
+merged by each reduce.  We model both as throughput terms so that the
+data-heavy WordCount workload pays a realistic shuffle cost while the
+tiny iterative workloads (PSO) are dominated by control-plane latency,
+matching the paper's observation that overhead — not bandwidth — is
+what kills Hadoop on iterative scientific programs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hadoopsim.costmodel import HadoopCostModel
+
+
+def map_side_sort_seconds(model: HadoopCostModel, output_bytes: float) -> float:
+    """Sort + spill time charged to one map task."""
+    if output_bytes <= 0:
+        return 0.0
+    return output_bytes / model.sort_rate
+
+
+def reduce_side_shuffle_seconds(
+    model: HadoopCostModel,
+    total_map_output_bytes: float,
+    n_reduce_tasks: int,
+) -> float:
+    """Fetch + merge time charged to one reduce task.
+
+    Each reduce pulls roughly ``total / n_reduce_tasks`` bytes from all
+    the map hosts.
+    """
+    if total_map_output_bytes <= 0 or n_reduce_tasks <= 0:
+        return 0.0
+    share = total_map_output_bytes / n_reduce_tasks
+    return share / model.shuffle_rate
+
+
+def estimate_record_bytes(n_records: int, avg_record_bytes: float = 20.0) -> float:
+    """Approximate serialized size of intermediate records.
+
+    WordCount-style records (short word + int) are ~20 bytes each in
+    Hadoop's intermediate format.
+    """
+    return n_records * avg_record_bytes
+
+
+def spread_evenly(total_seconds: float, n_tasks: int) -> List[float]:
+    """Split a phase cost evenly across tasks (model convenience)."""
+    if n_tasks <= 0:
+        return []
+    return [total_seconds / n_tasks] * n_tasks

@@ -1,0 +1,52 @@
+"""I/O substrate: buckets, record formats, partitioners, serializers.
+
+Mirrors section IV-B of the paper: intermediate data lives in *buckets*
+addressed by ``(source, split)``; buckets may be held in memory, written
+to any POSIX filesystem, or served between slaves by a built-in HTTP
+server (see :mod:`repro.comm.dataserver`).
+"""
+
+from repro.io.bucket import Bucket, FileBucket
+from repro.io.partition import hash_partition, mod_partition, first_byte_partition
+from repro.io.serializers import (
+    Serializer,
+    PickleSerializer,
+    RawSerializer,
+    StrSerializer,
+    IntSerializer,
+    get_serializer,
+)
+from repro.io.formats import (
+    TextReader,
+    TextWriter,
+    BinReader,
+    BinWriter,
+    HexReader,
+    HexWriter,
+    ZipReader,
+    reader_for,
+    writer_for,
+)
+
+__all__ = [
+    "Bucket",
+    "FileBucket",
+    "hash_partition",
+    "mod_partition",
+    "first_byte_partition",
+    "Serializer",
+    "PickleSerializer",
+    "RawSerializer",
+    "StrSerializer",
+    "IntSerializer",
+    "get_serializer",
+    "TextReader",
+    "TextWriter",
+    "BinReader",
+    "BinWriter",
+    "HexReader",
+    "HexWriter",
+    "ZipReader",
+    "reader_for",
+    "writer_for",
+]

@@ -1,0 +1,244 @@
+"""Buckets: the unit of intermediate data in a MapReduce job.
+
+A dataset is a grid of buckets addressed by ``(source, split)``:
+``source`` is the index of the task that produced the data and
+``split`` is the partition it belongs to.  A reduce task for split *s*
+consumes bucket ``(source, s)`` for every source.
+
+Buckets collect key-value pairs in memory; they can be persisted to a
+file with any registered writer format (section IV-B: "the writer opens
+and writes a file and then sends the master the corresponding URL") and
+re-read later, possibly by a different process or over HTTP.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+from repro.util.hashing import key_to_bytes
+
+KeyValue = Tuple[Any, Any]
+
+
+def sort_key(pair: KeyValue) -> bytes:
+    """Canonical sort key: stable byte encoding of the record's key.
+
+    Sorting by encoded bytes (rather than the raw key) makes grouping
+    well-defined even for key sets that are not mutually comparable in
+    Python 3 (e.g. mixed int/str keys).
+    """
+    return key_to_bytes(pair[0])
+
+
+def group_sorted(pairs: Iterable[KeyValue]) -> Iterator[Tuple[Any, Iterator[Any]]]:
+    """Group a key-sorted pair stream into ``(key, values)`` items.
+
+    The values iterator is lazy and must be consumed before advancing,
+    exactly like the iterators handed to a reduce function.
+    """
+    for _, group in itertools.groupby(pairs, key=sort_key):
+        first_key, first_value = next(group)
+
+        def values(first_value=first_value, group=group) -> Iterator[Any]:
+            yield first_value
+            for _, value in group:
+                yield value
+
+        yield first_key, values()
+
+
+class Bucket:
+    """An in-memory collection of key-value pairs.
+
+    Parameters
+    ----------
+    source, split:
+        Grid coordinates within the owning dataset.
+    url:
+        Where a persisted copy of this bucket lives (``file:`` path or
+        ``http://`` address), if any.
+    """
+
+    def __init__(self, source: int = 0, split: int = 0, url: Optional[str] = None):
+        self.source = source
+        self.split = split
+        self.url = url
+        self._pairs: List[KeyValue] = []
+        self._sorted = True
+
+    def addpair(self, pair: KeyValue) -> None:
+        if self._pairs and self._sorted:
+            self._sorted = sort_key(self._pairs[-1]) <= sort_key(pair)
+        self._pairs.append(pair)
+
+    def collect(self, pairs: Iterable[KeyValue]) -> None:
+        for pair in pairs:
+            self.addpair(pair)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        return iter(self._pairs)
+
+    def __getitem__(self, index: int) -> KeyValue:
+        return self._pairs[index]
+
+    def sort(self) -> None:
+        """Sort pairs by canonical key encoding (stable)."""
+        if not self._sorted:
+            self._pairs.sort(key=sort_key)
+            self._sorted = True
+
+    @property
+    def is_sorted(self) -> bool:
+        return self._sorted
+
+    def sorted_pairs(self) -> List[KeyValue]:
+        self.sort()
+        return self._pairs
+
+    def grouped(self) -> Iterator[Tuple[Any, Iterator[Any]]]:
+        """Yield ``(key, values)`` groups in key order."""
+        return group_sorted(self.sorted_pairs())
+
+    def clean(self) -> None:
+        """Drop in-memory pairs (keep the url so data can be re-read)."""
+        self._pairs = []
+        self._sorted = True
+
+    def __repr__(self) -> str:
+        return (
+            f"Bucket(source={self.source}, split={self.split}, "
+            f"len={len(self._pairs)}, url={self.url!r})"
+        )
+
+
+class FileBucket(Bucket):
+    """A bucket whose authoritative contents live in a file.
+
+    Appending goes through an open writer; reading back re-opens the
+    file with the format implied by its extension.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        source: int = 0,
+        split: int = 0,
+        writer_cls: Optional[type] = None,
+        key_serializer: Optional[str] = None,
+        value_serializer: Optional[str] = None,
+    ):
+        super().__init__(source=source, split=split, url="file:" + os.path.abspath(path))
+        self.path = os.path.abspath(path)
+        self._writer = None
+        self._writer_cls = writer_cls
+        #: Registered serializer *names* (binary format only).
+        self.key_serializer = key_serializer
+        self.value_serializer = value_serializer
+
+    def open_writer(self):
+        from repro.io import formats
+        from repro.io.serializers import get_serializer
+
+        if self._writer is None:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            writer_cls = self._writer_cls or formats.writer_for(self.path)
+            fileobj = open(self.path, "wb")
+            if issubclass(writer_cls, formats.BinWriter) and (
+                self.key_serializer or self.value_serializer
+            ):
+                self._writer = writer_cls(
+                    fileobj,
+                    key_serializer=get_serializer(self.key_serializer),
+                    value_serializer=get_serializer(self.value_serializer),
+                )
+            else:
+                self._writer = writer_cls(fileobj)
+        return self._writer
+
+    def addpair(self, pair: KeyValue) -> None:
+        super().addpair(pair)
+        self.open_writer().writepair(pair)
+
+    def close_writer(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def readback(self) -> List[KeyValue]:
+        """Re-read pairs from the backing file (independent of memory)."""
+        from repro.io import urls as url_io
+
+        return url_io.fetch_pairs(
+            "file:" + self.path,
+            key_serializer=self.key_serializer,
+            value_serializer=self.value_serializer,
+        )
+
+
+class SidecarFileBucket(FileBucket):
+    """A user-facing output file plus a lossless ``.mrsb`` sidecar.
+
+    Final job output is often written in a human-readable but lossy
+    format (text).  When the master later needs the authoritative pairs
+    (programmatic result access, cross-implementation equivalence), it
+    reads the sidecar; the user keeps their text file.  The bucket's
+    URL points at the sidecar.
+    """
+
+    def __init__(
+        self,
+        user_path: str,
+        source: int = 0,
+        split: int = 0,
+        key_serializer: Optional[str] = None,
+        value_serializer: Optional[str] = None,
+    ):
+        sidecar_path = os.path.join(
+            os.path.dirname(user_path), "." + os.path.basename(user_path) + ".mrsb"
+        )
+        super().__init__(
+            sidecar_path,
+            source=source,
+            split=split,
+            key_serializer=key_serializer,
+            value_serializer=value_serializer,
+        )
+        self.user_path = os.path.abspath(user_path)
+        self._user_writer = None
+
+    def open_writer(self):
+        from repro.io import formats
+
+        writer = super().open_writer()
+        if self._user_writer is None:
+            os.makedirs(os.path.dirname(self.user_path) or ".", exist_ok=True)
+            writer_cls = formats.writer_for(self.user_path)
+            self._user_writer = writer_cls(open(self.user_path, "wb"))
+        return writer
+
+    def addpair(self, pair: KeyValue) -> None:
+        super().addpair(pair)
+        self._user_writer.writepair(pair)
+
+    def close_writer(self) -> None:
+        super().close_writer()
+        if self._user_writer is not None:
+            self._user_writer.close()
+            self._user_writer = None
+
+
+def merge_sorted_buckets(buckets: Iterable[Bucket]) -> Iterator[KeyValue]:
+    """Merge several buckets into one key-sorted pair stream.
+
+    Each bucket is sorted individually and the streams are merged with a
+    heap — the same merge a reduce task performs over the map-output
+    buckets it fetches from every map source.
+    """
+    streams = [bucket.sorted_pairs() for bucket in buckets]
+    return heapq.merge(*streams, key=sort_key)

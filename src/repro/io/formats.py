@@ -1,0 +1,264 @@
+"""Record file formats.
+
+Three formats, mirroring Mrs:
+
+* **Text** (``.txt``, ``.mtxt``): one record per line.  Reading yields
+  ``(line_number, line)`` pairs — the WordCount input convention where
+  "the input key is ignored but generally arbitrarily set to be the
+  line number".  Writing renders ``key<TAB>value`` lines.
+* **Bin** (``.mrsb``): length-prefixed binary records with pluggable
+  key/value serializers; the default intermediate format because it
+  round-trips arbitrary Python objects.
+* **Hex** (``.mrsx``): hex-encoded binary, one record per line; slower
+  but grep-able, kept for debuggability of mock-parallel runs.
+
+``reader_for``/``writer_for`` select a format class from a path's
+extension, defaulting to text for unknown extensions (so arbitrary
+corpus files are readable as lines).
+"""
+
+from __future__ import annotations
+
+import binascii
+import struct
+from typing import Any, BinaryIO, Iterator, Optional, Tuple
+
+from repro.io.serializers import Serializer, get_serializer
+
+KeyValue = Tuple[Any, Any]
+
+
+class Writer:
+    """Base class for record writers over a binary file object."""
+
+    def __init__(self, fileobj: BinaryIO):
+        self.fileobj = fileobj
+
+    def writepair(self, pair: KeyValue) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Flush buffered data without closing the underlying file."""
+        self.fileobj.flush()
+
+    def close(self) -> None:
+        self.finish()
+        self.fileobj.close()
+
+    def __enter__(self) -> "Writer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Reader:
+    """Base class for record readers: iterate to get key-value pairs."""
+
+    def __init__(self, fileobj: BinaryIO):
+        self.fileobj = fileobj
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self.fileobj.close()
+
+    def __enter__(self) -> "Reader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TextWriter(Writer):
+    """``key<TAB>value`` lines; the standard human-readable output."""
+
+    ext = "txt"
+
+    def writepair(self, pair: KeyValue) -> None:
+        key, value = pair
+        line = f"{key}\t{value}\n"
+        self.fileobj.write(line.encode("utf-8"))
+
+
+class TextReader(Reader):
+    """Yield ``(line_number, line_without_newline)`` for each line."""
+
+    ext = "txt"
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        for lineno, raw in enumerate(self.fileobj):
+            yield lineno, raw.decode("utf-8", errors="replace").rstrip("\r\n")
+
+
+_LEN_STRUCT = struct.Struct("!II")
+_BIN_MAGIC = b"MRSB\x01"
+
+
+class BinWriter(Writer):
+    """Length-prefixed binary records with named serializers.
+
+    Layout: magic, then per record ``!II`` (key length, value length)
+    followed by the encoded key and value bytes.
+    """
+
+    ext = "mrsb"
+
+    def __init__(
+        self,
+        fileobj: BinaryIO,
+        key_serializer: Optional[Serializer] = None,
+        value_serializer: Optional[Serializer] = None,
+    ):
+        super().__init__(fileobj)
+        self.key_s = key_serializer or get_serializer(None)
+        self.value_s = value_serializer or get_serializer(None)
+        self.fileobj.write(_BIN_MAGIC)
+
+    def writepair(self, pair: KeyValue) -> None:
+        key, value = pair
+        kb = self.key_s.dumps(key)
+        vb = self.value_s.dumps(value)
+        self.fileobj.write(_LEN_STRUCT.pack(len(kb), len(vb)))
+        self.fileobj.write(kb)
+        self.fileobj.write(vb)
+
+
+class BinReader(Reader):
+    ext = "mrsb"
+
+    def __init__(
+        self,
+        fileobj: BinaryIO,
+        key_serializer: Optional[Serializer] = None,
+        value_serializer: Optional[Serializer] = None,
+    ):
+        super().__init__(fileobj)
+        self.key_s = key_serializer or get_serializer(None)
+        self.value_s = value_serializer or get_serializer(None)
+        magic = self.fileobj.read(len(_BIN_MAGIC))
+        if magic != _BIN_MAGIC:
+            raise ValueError(f"not a BinWriter file (magic={magic!r})")
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        read = self.fileobj.read
+        while True:
+            header = read(_LEN_STRUCT.size)
+            if not header:
+                return
+            if len(header) != _LEN_STRUCT.size:
+                raise ValueError("truncated record header")
+            klen, vlen = _LEN_STRUCT.unpack(header)
+            kb = read(klen)
+            vb = read(vlen)
+            if len(kb) != klen or len(vb) != vlen:
+                raise ValueError("truncated record body")
+            yield self.key_s.loads(kb), self.value_s.loads(vb)
+
+
+class HexWriter(Writer):
+    """Hex-encoded pickled records, one per line — grep-able binary."""
+
+    ext = "mrsx"
+
+    def __init__(self, fileobj: BinaryIO):
+        super().__init__(fileobj)
+        self.serializer = get_serializer(None)
+
+    def writepair(self, pair: KeyValue) -> None:
+        key, value = pair
+        kb = binascii.hexlify(self.serializer.dumps(key))
+        vb = binascii.hexlify(self.serializer.dumps(value))
+        self.fileobj.write(kb + b" " + vb + b"\n")
+
+
+class HexReader(Reader):
+    ext = "mrsx"
+
+    def __init__(self, fileobj: BinaryIO):
+        super().__init__(fileobj)
+        self.serializer = get_serializer(None)
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        for lineno, line in enumerate(self.fileobj):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                khex, vhex = line.split(b" ", 1)
+            except ValueError:
+                raise ValueError(f"malformed hex record on line {lineno}") from None
+            yield (
+                self.serializer.loads(binascii.unhexlify(khex)),
+                self.serializer.loads(binascii.unhexlify(vhex)),
+            )
+
+
+class ZipReader(Reader):
+    """Read every text member of a zip archive as line records.
+
+    Project Gutenberg distributes books as individual zip files; Mrs
+    "can read and write to any filesystem" and any format with a
+    registered reader.  Keys are ``(member_name, line_number)`` so the
+    member provenance survives into the map function.
+    """
+
+    ext = "zip"
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        import zipfile
+
+        with zipfile.ZipFile(self.fileobj) as archive:
+            for name in sorted(archive.namelist()):
+                if name.endswith("/"):
+                    continue  # directory entry
+                with archive.open(name) as member:
+                    for lineno, raw in enumerate(member):
+                        yield (
+                            (name, lineno),
+                            raw.decode("utf-8", errors="replace").rstrip("\r\n"),
+                        )
+
+
+_WRITERS = {
+    "txt": TextWriter,
+    "mtxt": TextWriter,
+    "mrsb": BinWriter,
+    "mrsx": HexWriter,
+}
+
+_READERS = {
+    "txt": TextReader,
+    "mtxt": TextReader,
+    "mrsb": BinReader,
+    "mrsx": HexReader,
+    "zip": ZipReader,
+}
+
+
+def _extension(path: str) -> str:
+    name = path.rsplit("/", 1)[-1]
+    if "." not in name:
+        return ""
+    return name.rsplit(".", 1)[1].lower()
+
+
+def writer_for(path: str) -> type:
+    """Return the writer class for ``path`` based on its extension."""
+    return _WRITERS.get(_extension(path), TextWriter)
+
+
+def reader_for(path: str) -> type:
+    """Return the reader class for ``path`` based on its extension.
+
+    Unknown extensions read as text, which lets a job consume arbitrary
+    corpus files (``.html``, bare names, etc.) as line records.
+    """
+    return _READERS.get(_extension(path), TextReader)
+
+
+def default_read_pairs(path: str) -> Iterator[KeyValue]:
+    """Convenience: open ``path`` and yield its records."""
+    with open(path, "rb") as f:
+        yield from reader_for(path)(f)

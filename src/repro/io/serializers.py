@@ -1,0 +1,136 @@
+"""Key/value serializers.
+
+Real Mrs lets a program declare per-key and per-value serializers so
+that hot paths can skip pickle.  We reproduce that: a serializer is a
+named pair of ``dumps``/``loads`` over ``bytes``, registered in a global
+table so task descriptions can refer to serializers by name when they
+are shipped to slave processes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Callable, Dict, Optional
+
+
+class Serializer:
+    """A named bytes codec.
+
+    Parameters
+    ----------
+    name:
+        Registry key; task descriptions reference serializers by name.
+    dumps / loads:
+        The codec functions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dumps: Callable[[Any], bytes],
+        loads: Callable[[bytes], Any],
+    ) -> None:
+        self.name = name
+        self.dumps = dumps
+        self.loads = loads
+
+    def __repr__(self) -> str:
+        return f"Serializer({self.name!r})"
+
+    def roundtrip(self, obj: Any) -> Any:
+        """Encode then decode ``obj`` (used by tests and the mock-parallel
+        runtime, which forces every record through serialization to
+        surface bugs that would only appear in distributed runs)."""
+        return self.loads(self.dumps(obj))
+
+
+_REGISTRY: Dict[str, Serializer] = {}
+
+
+def register_serializer(serializer: Serializer) -> Serializer:
+    _REGISTRY[serializer.name] = serializer
+    return serializer
+
+
+def get_serializer(name: Optional[str]) -> Serializer:
+    """Look up a serializer by name; ``None`` means pickle (the default)."""
+    if name is None:
+        return PickleSerializer
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown serializer {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _pickle_dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+
+
+PickleSerializer = register_serializer(
+    Serializer("pickle", _pickle_dumps, pickle.loads)
+)
+
+
+def _raw_dumps(obj: Any) -> bytes:
+    if not isinstance(obj, bytes):
+        raise TypeError(f"raw serializer requires bytes, got {type(obj).__name__}")
+    return obj
+
+
+def _raw_loads(data: bytes) -> bytes:
+    return data
+
+
+RawSerializer = register_serializer(Serializer("raw", _raw_dumps, _raw_loads))
+
+
+def _str_dumps(obj: Any) -> bytes:
+    if not isinstance(obj, str):
+        raise TypeError(f"str serializer requires str, got {type(obj).__name__}")
+    return obj.encode("utf-8")
+
+
+def _str_loads(data: bytes) -> str:
+    return data.decode("utf-8")
+
+
+StrSerializer = register_serializer(Serializer("str", _str_dumps, _str_loads))
+
+_INT_STRUCT = struct.Struct("!q")
+
+
+def _int_dumps(obj: Any) -> bytes:
+    # bool is an int subclass but almost certainly a bug as a count.
+    if not isinstance(obj, int) or isinstance(obj, bool):
+        raise TypeError(f"int serializer requires int, got {type(obj).__name__}")
+    try:
+        return _INT_STRUCT.pack(obj)
+    except struct.error:
+        # Fall back to a variable-length encoding for big ints, tagged
+        # by length prefix impossibility: use sign-magnitude text.
+        return b"L" + str(obj).encode("ascii")
+
+
+def _int_loads(data: bytes) -> int:
+    if len(data) == _INT_STRUCT.size:
+        return _INT_STRUCT.unpack(data)[0]
+    if data[:1] == b"L":
+        return int(data[1:])
+    raise ValueError(f"malformed int encoding of length {len(data)}")
+
+
+IntSerializer = register_serializer(Serializer("int", _int_dumps, _int_loads))
+
+
+def _float_dumps(obj: Any) -> bytes:
+    return struct.pack("!d", obj)
+
+
+def _float_loads(data: bytes) -> float:
+    return struct.unpack("!d", data)[0]
+
+
+FloatSerializer = register_serializer(Serializer("float", _float_dumps, _float_loads))

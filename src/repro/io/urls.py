@@ -1,0 +1,112 @@
+"""URL-addressed bucket data.
+
+Persisted buckets are named by URL (section IV-B): ``file:`` URLs point
+at any mounted filesystem (NFS, Lustre, local disk); ``http://`` URLs
+point at a slave's built-in data server for direct peer transfer.  A
+reduce task resolves each input URL with :func:`fetch_pairs` without
+caring which transport backs it.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+import urllib.parse
+import urllib.request
+from typing import Any, Iterator, List, Tuple
+
+from repro.io import formats
+
+KeyValue = Tuple[Any, Any]
+
+# Transient-fetch retry policy.  A slave may momentarily be unable to
+# serve (restarting its data server, file still being renamed into
+# place); total failure is escalated to the master, which reruns the
+# producing task.
+FETCH_RETRIES = 3
+FETCH_RETRY_DELAY = 0.2
+
+
+class FetchError(Exception):
+    """A bucket URL could not be fetched after retries."""
+
+
+def parse(url: str) -> urllib.parse.ParseResult:
+    return urllib.parse.urlparse(url)
+
+
+def path_of_file_url(url: str) -> str:
+    parsed = parse(url)
+    if parsed.scheme not in ("", "file"):
+        raise ValueError(f"not a file url: {url}")
+    # 'file:/abs/path' and 'file:///abs/path' both resolve to the path.
+    return parsed.path or parsed.netloc
+
+
+def _make_reader(reader_cls, fileobj, key_serializer, value_serializer):
+    """Instantiate a reader, passing serializers where supported.
+
+    Only the binary format has pluggable serializers; text and hex
+    readers have fixed encodings.
+    """
+    if issubclass(reader_cls, formats.BinReader) and (
+        key_serializer or value_serializer
+    ):
+        from repro.io.serializers import get_serializer
+
+        return reader_cls(
+            fileobj,
+            key_serializer=get_serializer(key_serializer),
+            value_serializer=get_serializer(value_serializer),
+        )
+    return reader_cls(fileobj)
+
+
+def fetch_pairs(
+    url: str,
+    key_serializer: Optional[str] = None,
+    value_serializer: Optional[str] = None,
+) -> List[KeyValue]:
+    """Fetch and decode all key-value pairs behind ``url``.
+
+    ``key_serializer``/``value_serializer`` name registered serializers
+    for binary-format data written with non-default codecs.
+    """
+    parsed = parse(url)
+    if parsed.scheme in ("", "file"):
+        path = path_of_file_url(url)
+        reader_cls = formats.reader_for(path)
+        with open(path, "rb") as f:
+            return list(_make_reader(reader_cls, f, key_serializer, value_serializer))
+    if parsed.scheme in ("http", "https"):
+        return _fetch_http(url, key_serializer, value_serializer)
+    raise ValueError(f"unsupported url scheme {parsed.scheme!r} in {url}")
+
+
+def _fetch_http(
+    url: str,
+    key_serializer: Optional[str] = None,
+    value_serializer: Optional[str] = None,
+) -> List[KeyValue]:
+    last_error: Exception = FetchError(url)
+    for attempt in range(FETCH_RETRIES):
+        try:
+            with urllib.request.urlopen(url, timeout=30) as response:
+                payload = response.read()
+            reader_cls = formats.reader_for(parse(url).path)
+            return list(
+                _make_reader(
+                    reader_cls, io.BytesIO(payload),
+                    key_serializer, value_serializer,
+                )
+            )
+        except Exception as exc:  # urllib raises a zoo of error types
+            last_error = exc
+            if attempt + 1 < FETCH_RETRIES:
+                time.sleep(FETCH_RETRY_DELAY * (attempt + 1))
+    raise FetchError(f"failed to fetch {url}: {last_error}") from last_error
+
+
+def iter_pairs(url: str) -> Iterator[KeyValue]:
+    """Iterate pairs behind ``url`` (materializes http fetches)."""
+    return iter(fetch_pairs(url))

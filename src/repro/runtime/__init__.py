@@ -1,0 +1,15 @@
+"""Runtime implementations (section IV-A).
+
+Four execution contexts run the *same* program with identical results:
+
+* ``serial`` — everything sequential and deterministic in one process.
+* ``bypass`` — calls the program's ``bypass`` method, skipping Mrs.
+* ``mockparallel`` — the master/slave task decomposition on one
+  processor, with all intermediate data forced through files.
+* ``master``/``slave`` — the distributed implementation (XML-RPC
+  control plane, file or HTTP data plane).
+
+"Differences in behavior between any two implementations, even in
+stochastic algorithms, indicate a bug in the program or possibly in
+Mrs" — the test suite enforces exactly this equivalence.
+"""

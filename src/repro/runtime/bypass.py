@@ -1,0 +1,18 @@
+"""Bypass implementation: run the program's ``bypass`` method.
+
+"The bypass implementation invokes the program class's optional bypass
+method, which is a simple entry point that avoids almost all of the
+functionality of Mrs" (section IV-A).  It exists so a plain serial
+version of an algorithm and its MapReduce formulation can live in one
+file and be diffed against each other.
+"""
+
+from __future__ import annotations
+
+
+def run_bypass(program) -> int:
+    """Invoke ``program.bypass()`` and normalize its exit status."""
+    result = program.bypass()
+    if result is None:
+        return 0
+    return int(result)

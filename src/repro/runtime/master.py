@@ -1,0 +1,614 @@
+"""Master side of the distributed implementation.
+
+The master owns the job state machine: it registers slaves as they sign
+in (a slave needs only the master's address and port, section IV), runs
+the user program's ``run`` method in the main thread, and drives the
+affinity-aware :class:`~repro.runtime.scheduler.Scheduler` from RPC
+handler threads as results arrive.
+
+Data plane (section IV-B): by default intermediate buckets are files in
+a tmpdir shared by all slaves ("increased fault-tolerance" — a slave's
+death does not lose its output).  With ``--mrs-data-plane http``,
+buckets stay on the producing slave's local disk and are fetched
+directly from its built-in HTTP server ("direct communication for high
+performance").
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import shutil
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.comm import protocol
+from repro.comm.dataserver import DataServer
+from repro.comm.rpc import RpcServer, format_address, rpc_client
+from repro.core.dataset import BaseDataset, ComputedData
+from repro.core.job import Backend, Job
+from repro.io.bucket import Bucket, FileBucket
+from repro.runtime.scheduler import ScheduledDataset, Scheduler, TaskId
+
+logger = logging.getLogger("repro.master")
+
+#: A task is retried on another slave this many times before the whole
+#: dataset is declared failed.
+MAX_TASK_FAILURES = 3
+
+#: Watchdog ping period (seconds).
+PING_INTERVAL = 2.0
+
+#: RPC timeout for master->slave calls.
+SLAVE_RPC_TIMEOUT = 10.0
+
+
+class SlaveRecord:
+    """Master-side view of one signed-in slave."""
+
+    def __init__(self, slave_id: int, address: str):
+        self.id = slave_id
+        self.address = address
+        self.alive = True
+        #: Task currently executing on the slave, if any.
+        self.busy: Optional[TaskId] = None
+
+    def client(self):
+        """A fresh RPC proxy (ServerProxy is not thread-safe; callers
+        hold one per call site)."""
+        return rpc_client(self.address, timeout=SLAVE_RPC_TIMEOUT)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"SlaveRecord({self.id}, {self.address}, {state}, busy={self.busy})"
+
+
+class MasterBackend(Backend):
+    """The Job backend that distributes tasks to slaves over XML-RPC."""
+
+    def __init__(self, program: Any, opts: Any):
+        self.program = program
+        self.opts = opts
+        self._owns_tmpdir = opts.tmpdir is None
+        self.tmpdir = opts.tmpdir or tempfile.mkdtemp(prefix="mrs_master_")
+        os.makedirs(self.tmpdir, exist_ok=True)
+        self.data_plane = getattr(opts, "data_plane", "file") or "file"
+        #: --mrs-timeout: default deadline for Job.wait calls.
+        self.default_timeout = getattr(opts, "timeout", None)
+
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self.scheduler = Scheduler(
+            affinity=not getattr(opts, "no_affinity", False)
+        )
+        self._slaves: Dict[int, SlaveRecord] = {}
+        self._next_slave_id = 1
+        self._datasets: Dict[str, BaseDataset] = {}
+        self._failure_counts: Dict[TaskId, int] = {}
+        #: Which slave produced each completed task's output buckets —
+        #: the lineage needed to re-execute tasks whose data died with
+        #: a slave (http data plane only).
+        self._producers: Dict[TaskId, int] = {}
+        #: Wall seconds per completed task, per dataset (profiling:
+        #: "Profiling has helped to identify real bottlenecks",
+        #: section IV-B).
+        self._task_seconds: Dict[str, List[float]] = {}
+        self._closed = False
+
+        # Control-plane server.
+        host = getattr(opts, "host", None) or "127.0.0.1"
+        self.rpc = RpcServer(MasterInterface(self), host=host, port=opts.port)
+        logger.info("master listening on %s", self.rpc.address)
+
+        # Master-side data server (for LocalData buckets in http mode).
+        self.dataserver: Optional[DataServer] = None
+        if self.data_plane == "http":
+            self.dataserver = DataServer(self.tmpdir, host=host)
+
+        runfile = getattr(opts, "runfile", None)
+        if runfile:
+            # Program 3, steps 2-3: the master "writes its port to a
+            # file"; slaves wait for the file to appear.
+            with open(runfile + ".tmp", "w") as f:
+                f.write(self.rpc.address + "\n")
+            os.replace(runfile + ".tmp", runfile)
+
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="master-watchdog", daemon=True
+        )
+        self._watchdog.start()
+
+    # ------------------------------------------------------------------
+    # Backend interface (called from the program's main thread)
+    # ------------------------------------------------------------------
+
+    @property
+    def default_splits(self) -> int:
+        with self._lock:
+            alive = sum(1 for s in self._slaves.values() if s.alive)
+        requested = getattr(self.opts, "reduce_tasks", 0)
+        return requested or max(1, alive)
+
+    def submit(self, dataset: ComputedData, job: Job) -> None:
+        with self._lock:
+            input_dataset = job.get_dataset(dataset.input_id)
+            self._datasets[dataset.id] = dataset
+            self._datasets.setdefault(input_dataset.id, input_dataset)
+            for blocker_id in dataset.blocking_ids:
+                self._datasets.setdefault(blocker_id, job.get_dataset(blocker_id))
+            # Non-computed inputs (LocalData/FileData) are complete on
+            # arrival; tell the scheduler so dependents can activate.
+            for dep_id in [dataset.input_id, *dataset.blocking_ids]:
+                dep = self._datasets[dep_id]
+                if dep.complete and not self.scheduler.is_complete(dep_id):
+                    self.scheduler.mark_input_complete(dep_id)
+            self.scheduler.add_dataset(
+                ScheduledDataset(
+                    dataset.id,
+                    ntasks=dataset.ntasks,
+                    affinity_group=dataset.affinity_group,
+                    input_id=dataset.input_id,
+                    blocking_ids=dataset.blocking_ids,
+                )
+            )
+        self._dispatch()
+
+    def wait(
+        self,
+        datasets: Sequence[BaseDataset],
+        job: Job,
+        timeout: Optional[float] = None,
+    ) -> List[BaseDataset]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self._dispatch()
+        with self._cond:
+            while True:
+                done = [d for d in datasets if d.complete or d.error]
+                if done:
+                    # Wait semantics: return once at least one target
+                    # dataset is finished; report every finished target.
+                    if all(d.complete or d.error for d in datasets):
+                        return done
+                    return done
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return done
+                    self._cond.wait(remaining)
+                else:
+                    self._cond.wait(1.0)
+
+    def progress(self, dataset: BaseDataset) -> float:
+        if dataset.complete:
+            return 1.0
+        with self._lock:
+            return self.scheduler.progress(dataset.id)
+
+    def remove_data(self, dataset_id: str, job: Job) -> None:
+        shared_dir = os.path.join(self.tmpdir, dataset_id)
+        if os.path.isdir(shared_dir):
+            shutil.rmtree(shared_dir, ignore_errors=True)
+        with self._lock:
+            # Released datasets are exempt from lineage recovery: their
+            # data is gone on purpose and nothing will read it again.
+            self._producers = {
+                task: producer
+                for task, producer in self._producers.items()
+                if task[0] != dataset_id
+            }
+            slaves = [s for s in self._slaves.values() if s.alive]
+        for record in slaves:
+            try:
+                record.client().remove_data(dataset_id)
+            except Exception:
+                pass  # best-effort cleanup
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            slaves = [s for s in self._slaves.values() if s.alive]
+        for record in slaves:
+            try:
+                record.client().quit()
+            except Exception:
+                pass
+        self.rpc.shutdown()
+        if self.dataserver is not None:
+            self.dataserver.shutdown()
+        runfile = getattr(self.opts, "runfile", None)
+        if runfile and os.path.exists(runfile):
+            try:
+                os.unlink(runfile)
+            except OSError:
+                pass
+        if self._owns_tmpdir:
+            shutil.rmtree(self.tmpdir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Slave management (called from RPC handler threads)
+    # ------------------------------------------------------------------
+
+    def slave_signin(self, version: int, address: str) -> int:
+        if version != protocol.PROTOCOL_VERSION:
+            raise protocol.ProtocolError(
+                f"slave protocol version {version} != "
+                f"{protocol.PROTOCOL_VERSION}"
+            )
+        with self._lock:
+            slave_id = self._next_slave_id
+            self._next_slave_id += 1
+            self._slaves[slave_id] = SlaveRecord(slave_id, address)
+            self.scheduler.add_slave(slave_id)
+            self._cond.notify_all()
+        logger.info("slave %d signed in from %s", slave_id, address)
+        self._dispatch()
+        return slave_id
+
+    def wait_for_slaves(self, count: int, timeout: float = 30.0) -> int:
+        """Block until ``count`` slaves have signed in (startup helper)."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                alive = sum(1 for s in self._slaves.values() if s.alive)
+                if alive >= count:
+                    return alive
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return alive
+                self._cond.wait(remaining)
+
+    def alive_slaves(self) -> List[SlaveRecord]:
+        with self._lock:
+            return [s for s in self._slaves.values() if s.alive]
+
+    def status(self) -> Dict[str, Any]:
+        """A snapshot of the job for monitoring: slaves, datasets,
+        progress, outstanding work.  Exposed over RPC as ``status`` so
+        external tools (or a curious user with ``xmlrpc.client``) can
+        watch a running master."""
+        with self._lock:
+            slaves = [
+                {
+                    "id": record.id,
+                    "address": record.address,
+                    "alive": record.alive,
+                    "busy": list(record.busy) if record.busy else None,
+                }
+                for record in self._slaves.values()
+            ]
+            datasets = [
+                {
+                    "id": dataset.id,
+                    "complete": bool(dataset.complete),
+                    "error": dataset.error,
+                    "progress": self.scheduler.progress(dataset.id),
+                }
+                for dataset in self._datasets.values()
+            ]
+            return {
+                "address": self.rpc.address,
+                "data_plane": self.data_plane,
+                "outstanding_tasks": self.scheduler.outstanding(),
+                "slaves": slaves,
+                "datasets": datasets,
+            }
+
+    def task_stats(self, dataset_id: str) -> Dict[str, float]:
+        """Count/total/mean/max wall seconds of a dataset's tasks."""
+        with self._lock:
+            samples = list(self._task_seconds.get(dataset_id, ()))
+        if not samples:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "count": len(samples),
+            "total": sum(samples),
+            "mean": sum(samples) / len(samples),
+            "max": max(samples),
+        }
+
+    def task_done(
+        self,
+        slave_id: int,
+        dataset_id: str,
+        task_index: int,
+        bucket_urls: List[Tuple[int, str]],
+        seconds: float = 0.0,
+    ) -> None:
+        task: TaskId = (dataset_id, task_index)
+        with self._lock:
+            record = self._slaves.get(slave_id)
+            if record is not None and record.busy == task:
+                record.busy = None
+            dataset = self._datasets.get(dataset_id)
+            if dataset is None:
+                return
+            # The scheduler rejects stale duplicate reports (e.g. from a
+            # slave presumed dead whose tasks were reassigned).
+            accepted, dataset_complete = self.scheduler.task_done(slave_id, task)
+            if accepted:
+                self._producers[task] = slave_id
+                self._task_seconds.setdefault(dataset_id, []).append(
+                    float(seconds)
+                )
+                for split, url in bucket_urls:
+                    dataset.add_bucket(
+                        Bucket(source=task_index, split=split, url=url)
+                    )
+            if dataset_complete:
+                dataset.complete = True
+                logger.info("dataset %s complete", dataset_id)
+            self._cond.notify_all()
+        self._dispatch()
+
+    def task_failed(
+        self, slave_id: int, dataset_id: str, task_index: int, message: str
+    ) -> None:
+        task: TaskId = (dataset_id, task_index)
+        logger.warning(
+            "task %s failed on slave %d: %s", task, slave_id, message
+        )
+        with self._lock:
+            record = self._slaves.get(slave_id)
+            if record is not None and record.busy == task:
+                record.busy = None
+            # A fetch failure while the input dataset is being
+            # re-executed (lineage recovery) is expected, not a strike:
+            # requeue without burning the failure budget.
+            dataset = self._datasets.get(dataset_id)
+            input_dataset = (
+                self._datasets.get(getattr(dataset, "input_id", None))
+                if dataset is not None
+                else None
+            )
+            free_retry = (
+                "FetchError" in message
+                and input_dataset is not None
+                and not input_dataset.complete
+                and not input_dataset.error
+            )
+            if free_retry:
+                self.scheduler.task_failed(slave_id, task)
+            else:
+                self._failure_counts[task] = (
+                    self._failure_counts.get(task, 0) + 1
+                )
+                if self._failure_counts[task] >= MAX_TASK_FAILURES:
+                    if dataset is not None and not dataset.error:
+                        dataset.error = (
+                            f"task {task_index} failed "
+                            f"{self._failure_counts[task]} times; "
+                            f"last: {message}"
+                        )
+                        # Dependents can never run; fail them too so
+                        # any wait() on them returns instead of hanging.
+                        self._propagate_error(dataset_id)
+                else:
+                    self.scheduler.task_failed(slave_id, task)
+            self._cond.notify_all()
+        self._dispatch()
+
+    def _propagate_error(self, failed_id: str) -> None:
+        """Mark every (transitive) dependent of ``failed_id`` as failed.
+
+        Caller holds the lock.
+        """
+        frontier = [failed_id]
+        while frontier:
+            current = frontier.pop()
+            for dataset in self._datasets.values():
+                if dataset.error or dataset.complete:
+                    continue
+                deps = {getattr(dataset, "input_id", None)} | set(
+                    getattr(dataset, "blocking_ids", ())
+                )
+                if current in deps:
+                    dataset.error = (
+                        f"input dataset {current} failed"
+                    )
+                    frontier.append(dataset.id)
+
+    def lose_slave(self, slave_id: int, reason: str) -> None:
+        with self._lock:
+            record = self._slaves.get(slave_id)
+            if record is None or not record.alive:
+                return
+            record.alive = False
+            record.busy = None
+            reassigned = self.scheduler.remove_slave(slave_id)
+            recomputed = 0
+            if self.data_plane == "http":
+                recomputed = self._recover_lost_data(slave_id)
+            self._cond.notify_all()
+        if reassigned or recomputed:
+            logger.warning(
+                "slave %d lost (%s); reassigning %d tasks, "
+                "re-executing %d for lost data",
+                slave_id,
+                reason,
+                len(reassigned),
+                recomputed,
+            )
+        self._dispatch()
+
+    def _recover_lost_data(self, slave_id: int) -> int:
+        """Lineage re-execution for the direct (http) data plane.
+
+        Buckets served from a dead slave's data server are gone; any
+        completed task that produced them must run again.  Caller
+        holds the lock.  (The file data plane needs none of this —
+        "storage on a filesystem for increased fault-tolerance",
+        section IV-B.)
+        """
+        by_dataset: Dict[str, List[int]] = {}
+        for (dataset_id, task_index), producer in self._producers.items():
+            if producer != slave_id:
+                continue
+            dataset = self._datasets.get(dataset_id)
+            if dataset is None:
+                continue
+            # User-facing output was written to a real filesystem path
+            # (outdir), not the slave's ephemeral store.
+            if getattr(dataset, "outdir", None):
+                continue
+            by_dataset.setdefault(dataset_id, []).append(task_index)
+        recomputed = 0
+        for dataset_id, task_indices in by_dataset.items():
+            dataset = self._datasets[dataset_id]
+            reset = self.scheduler.reset_tasks(dataset_id, task_indices)
+            if reset:
+                for task_index in task_indices:
+                    dataset.remove_source(task_index)
+                    self._producers.pop((dataset_id, task_index), None)
+                dataset.complete = False
+                # Consumers' queued tasks must not run against partial
+                # input while the re-execution is in flight.
+                self.scheduler.unmark_complete(dataset_id)
+                recomputed += reset
+        return recomputed
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Hand pending tasks to idle slaves (outside the lock for I/O)."""
+        while True:
+            to_send: List[Tuple[SlaveRecord, Dict[str, Any]]] = []
+            with self._lock:
+                for record in self._slaves.values():
+                    if not record.alive or record.busy is not None:
+                        continue
+                    task = self.scheduler.next_task(record.id)
+                    if task is None:
+                        continue
+                    descriptor = self._build_descriptor(task)
+                    record.busy = task
+                    to_send.append((record, descriptor))
+            if not to_send:
+                return
+            for record, descriptor in to_send:
+                try:
+                    record.client().start_task(descriptor)
+                except Exception as exc:
+                    self.lose_slave(record.id, f"start_task failed: {exc}")
+
+    def _build_descriptor(self, task: TaskId) -> Dict[str, Any]:
+        """Build the wire descriptor for a task (caller holds the lock)."""
+        dataset_id, task_index = task
+        dataset = self._datasets[dataset_id]
+        assert isinstance(dataset, ComputedData)
+        input_dataset = self._datasets[dataset.input_id]
+        input_urls = []
+        for bucket in input_dataset.buckets_for_split(task_index):
+            if bucket.url is None:
+                self._spill_bucket(input_dataset, bucket)
+            input_urls.append(bucket.url)
+        user_output = dataset.outdir is not None
+        if user_output:
+            outdir: Optional[str] = dataset.outdir
+            ext = dataset.format_ext or "txt"
+        elif self.data_plane == "file":
+            outdir = os.path.join(self.tmpdir, dataset.id)
+            ext = dataset.format_ext or "mrsb"
+        else:
+            outdir = None  # slave-local + HTTP
+            ext = dataset.format_ext or "mrsb"
+        return protocol.make_task_descriptor(
+            dataset_id=dataset.id,
+            task_index=task_index,
+            op_dict=dataset.operation.to_dict(),
+            input_urls=input_urls,
+            outdir=outdir,
+            format_ext=ext,
+            user_output=user_output,
+            key_serializer=dataset.key_serializer,
+            value_serializer=dataset.value_serializer,
+            input_key_serializer=getattr(input_dataset, "key_serializer", None),
+            input_value_serializer=getattr(
+                input_dataset, "value_serializer", None
+            ),
+        )
+
+    def _spill_bucket(self, dataset: BaseDataset, bucket: Bucket) -> None:
+        """Write a master-resident bucket to the data plane so slaves
+        can read it (LocalData pairs live only in master memory)."""
+        directory = os.path.join(self.tmpdir, dataset.id)
+        path = os.path.join(
+            directory, f"{dataset.id}_{bucket.source}_{bucket.split}.mrsb"
+        )
+        os.makedirs(directory, exist_ok=True)
+        spill = FileBucket(
+            path,
+            source=bucket.source,
+            split=bucket.split,
+            key_serializer=getattr(dataset, "key_serializer", None),
+            value_serializer=getattr(dataset, "value_serializer", None),
+        )
+        writer = spill.open_writer()
+        for pair in bucket:
+            writer.writepair(pair)
+        spill.close_writer()
+        if self.data_plane == "http" and self.dataserver is not None:
+            bucket.url = self.dataserver.url_for(path)
+        else:
+            bucket.url = "file:" + path
+
+    # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        while not self._closed:
+            time.sleep(PING_INTERVAL)
+            if self._closed:
+                return
+            with self._lock:
+                records = [s for s in self._slaves.values() if s.alive]
+            for record in records:
+                if self._closed:
+                    return
+                try:
+                    record.client().ping()
+                except Exception as exc:
+                    self.lose_slave(record.id, f"ping failed: {exc}")
+
+
+class MasterInterface:
+    """RPC surface exposed to slaves (``rpc_`` prefix is stripped)."""
+
+    def __init__(self, backend: MasterBackend):
+        self.backend = backend
+
+    def rpc_signin(self, version: int, slave_host: str, slave_port: int) -> int:
+        address = format_address(slave_host, slave_port)
+        return self.backend.slave_signin(version, address)
+
+    def rpc_done(
+        self,
+        slave_id: int,
+        dataset_id: str,
+        task_index: int,
+        bucket_urls: Any,
+        seconds: float = 0.0,
+    ) -> bool:
+        urls = protocol.parse_bucket_urls(bucket_urls)
+        self.backend.task_done(
+            slave_id, dataset_id, task_index, urls, seconds
+        )
+        return True
+
+    def rpc_failed(
+        self, slave_id: int, dataset_id: str, task_index: int, message: str
+    ) -> bool:
+        self.backend.task_failed(slave_id, dataset_id, task_index, message)
+        return True
+
+    def rpc_ping(self, slave_id: int = 0) -> bool:
+        return True
+
+    def rpc_status(self) -> Dict[str, Any]:
+        return self.backend.status()

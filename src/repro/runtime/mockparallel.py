@@ -1,0 +1,137 @@
+"""Mock-parallel implementation (section IV-A).
+
+Splits work into exactly the same tasks as the master/slave
+implementation but performs all computation on a single processor, and
+forces *every* intermediate bucket through a file on disk.  Data that
+survives serialization, a filesystem round-trip, and re-parsing here
+will also survive the distributed data plane — which is why the paper
+recommends this mode for debugging ("Intermediate data between tasks is
+saved to files which can be helpful for debugging").
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import List, Optional, Sequence
+
+from repro.core.dataset import BaseDataset, ComputedData
+from repro.core.job import Backend, Job
+from repro.runtime import taskrunner
+
+
+class MockParallelBackend(Backend):
+    #: Mimic a small cluster's task decomposition by default.
+    default_splits = 4
+
+    def __init__(
+        self,
+        program=None,
+        tmpdir: Optional[str] = None,
+        default_splits: Optional[int] = None,
+    ):
+        self.program = program
+        self.tmpdir = tmpdir or tempfile.mkdtemp(prefix="mrs_mockp_")
+        if default_splits:
+            self.default_splits = default_splits
+        self._queue: List[ComputedData] = []
+        self._completed_tasks = {}
+        #: Wall seconds per completed task, per dataset (same
+        #: profiling surface as the master backend).
+        self._task_seconds = {}
+
+    def submit(self, dataset: ComputedData, job: Job) -> None:
+        self._queue.append(dataset)
+
+    def wait(
+        self,
+        datasets: Sequence[BaseDataset],
+        job: Job,
+        timeout: Optional[float] = None,
+    ) -> List[BaseDataset]:
+        while self._queue and not all(d.complete or d.error for d in datasets):
+            dataset = self._queue.pop(0)
+            self._compute(dataset, job)
+        return [d for d in datasets if d.complete or d.error]
+
+    def progress(self, dataset: BaseDataset) -> float:
+        if dataset.complete:
+            return 1.0
+        done = self._completed_tasks.get(dataset.id, 0)
+        ntasks = getattr(dataset, "ntasks", 1) or 1
+        return done / ntasks
+
+    def task_stats(self, dataset_id: str):
+        """Count/total/mean/max wall seconds of a dataset's tasks."""
+        samples = list(self._task_seconds.get(dataset_id, ()))
+        if not samples:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "count": len(samples),
+            "total": sum(samples),
+            "mean": sum(samples) / len(samples),
+            "max": max(samples),
+        }
+
+    def _compute(self, dataset: ComputedData, job: Job) -> None:
+        if dataset.complete or dataset.error:
+            return
+        input_dataset = job.get_dataset(dataset.input_id)
+        if input_dataset.error:
+            # Propagate upstream failure instead of computing garbage.
+            dataset.error = (
+                f"input dataset {input_dataset.id} failed: "
+                f"{input_dataset.error}"
+            )
+            return
+        if not input_dataset.complete:
+            raise RuntimeError(
+                f"dataset {dataset.id} scheduled before input "
+                f"{input_dataset.id} completed; submission order violated"
+            )
+        is_user_output = dataset.outdir is not None
+        outdir = dataset.outdir or os.path.join(self.tmpdir, dataset.id)
+        ext = dataset.format_ext or "mrsb"
+        try:
+            for task_index in dataset.task_indices():
+                input_buckets = taskrunner.materialize_input_buckets(
+                    input_dataset, task_index
+                )
+                factory = taskrunner.file_bucket_factory(
+                    outdir, dataset.id, task_index, ext=ext,
+                    key_serializer=dataset.key_serializer,
+                    value_serializer=dataset.value_serializer,
+                )
+                started = time.perf_counter()
+                out_buckets = taskrunner.execute_task(
+                    self.program, dataset, task_index, input_buckets, factory
+                )
+                self._task_seconds.setdefault(dataset.id, []).append(
+                    time.perf_counter() - started
+                )
+                for bucket in out_buckets:
+                    # Drop the in-memory copy of intermediate data:
+                    # downstream tasks must re-read through the file,
+                    # exercising the format and serializer layers.
+                    # User-facing output keeps its pairs (its on-disk
+                    # format, e.g. text, may be write-only).
+                    if not is_user_output:
+                        bucket.clean()
+                    dataset.add_bucket(bucket)
+                self._completed_tasks[dataset.id] = (
+                    self._completed_tasks.get(dataset.id, 0) + 1
+                )
+            dataset.complete = True
+        except taskrunner.TaskError as exc:
+            dataset.error = str(exc)
+
+    def remove_data(self, dataset_id: str, job: Job) -> None:
+        dataset_dir = os.path.join(self.tmpdir, dataset_id)
+        if os.path.isdir(dataset_dir):
+            for name in os.listdir(dataset_dir):
+                try:
+                    os.unlink(os.path.join(dataset_dir, name))
+                except OSError:
+                    pass
+        self._completed_tasks.pop(dataset_id, None)

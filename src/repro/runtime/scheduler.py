@@ -1,0 +1,281 @@
+"""Task scheduler with iteration affinity (section IV-A).
+
+"The task scheduler in Mrs also attempts to assign corresponding tasks
+to the same processor from one iteration to the next, which reduces
+communication between nodes and latency between iterations."
+
+The scheduler is a pure data structure (no I/O, no threads) so its
+policies are unit-testable: the master drives it under its own lock.
+
+Model
+-----
+* A *dataset* becomes **runnable** when its input dataset (and any
+  extra blockers) are complete; it then expands into one task per
+  input split.
+* A *task* is ``(dataset_id, task_index)``; it is pending, assigned to
+  a slave, or done.
+* Affinity: when a task completes on a slave, the scheduler remembers
+  ``(affinity_group, task_index) -> slave``.  Future tasks with the
+  same key prefer that slave.  Iterative programs get this for free
+  because every iteration's datasets share an affinity group.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+TaskId = Tuple[str, int]
+
+
+class TaskState:
+    PENDING = "pending"
+    ASSIGNED = "assigned"
+    DONE = "done"
+
+
+class ScheduledDataset:
+    """Scheduler-side bookkeeping for one computed dataset."""
+
+    def __init__(
+        self,
+        dataset_id: str,
+        ntasks: int,
+        affinity_group: str,
+        input_id: str,
+        blocking_ids: Sequence[str] = (),
+    ):
+        self.id = dataset_id
+        self.ntasks = ntasks
+        self.affinity_group = affinity_group
+        self.input_id = input_id
+        self.blocking_ids = set(blocking_ids)
+        self.task_state: Dict[int, str] = {}
+        self.runnable = False
+
+    @property
+    def done_count(self) -> int:
+        return sum(
+            1 for state in self.task_state.values() if state == TaskState.DONE
+        )
+
+    @property
+    def complete(self) -> bool:
+        return self.runnable and self.done_count == self.ntasks
+
+
+class Scheduler:
+    """Affinity-aware FIFO task scheduler."""
+
+    def __init__(self, affinity: bool = True):
+        self.affinity_enabled = affinity
+        self._datasets: Dict[str, ScheduledDataset] = {}
+        #: Insertion order of datasets — FIFO across datasets keeps
+        #: early operations flowing first.
+        self._order: List[str] = []
+        self._pending: List[TaskId] = []
+        self._assigned: Dict[TaskId, int] = {}
+        self._slave_tasks: Dict[int, Set[TaskId]] = {}
+        self._affinity: Dict[Tuple[str, int], int] = {}
+        #: Completed input datasets (including non-computed ones the
+        #: master marks complete directly).
+        self._complete_ids: Set[str] = set()
+
+    # -- dataset lifecycle ------------------------------------------------
+
+    def add_dataset(self, sched: ScheduledDataset) -> None:
+        if sched.id in self._datasets:
+            raise ValueError(f"dataset {sched.id} already scheduled")
+        self._datasets[sched.id] = sched
+        self._order.append(sched.id)
+        self._maybe_activate(sched)
+
+    def mark_input_complete(self, dataset_id: str) -> List[str]:
+        """Record that ``dataset_id`` is complete; activate dependents.
+
+        Returns the ids of datasets that just became runnable.
+        """
+        self._complete_ids.add(dataset_id)
+        activated = []
+        for ds_id in self._order:
+            sched = self._datasets[ds_id]
+            if not sched.runnable and self._maybe_activate(sched):
+                activated.append(ds_id)
+        return activated
+
+    def _maybe_activate(self, sched: ScheduledDataset) -> bool:
+        if sched.runnable:
+            return False
+        deps = {sched.input_id} | sched.blocking_ids
+        if not deps <= self._complete_ids:
+            return False
+        sched.runnable = True
+        for task_index in range(sched.ntasks):
+            sched.task_state[task_index] = TaskState.PENDING
+            self._pending.append((sched.id, task_index))
+        return True
+
+    def is_complete(self, dataset_id: str) -> bool:
+        return dataset_id in self._complete_ids
+
+    def unmark_complete(self, dataset_id: str) -> None:
+        """Revoke a dataset's completeness (lineage recovery): its
+        consumers' pending tasks become ineligible until the data is
+        re-executed and the dataset completes again."""
+        self._complete_ids.discard(dataset_id)
+
+    # -- slaves ------------------------------------------------------------
+
+    def add_slave(self, slave_id: int) -> None:
+        self._slave_tasks.setdefault(slave_id, set())
+
+    def remove_slave(self, slave_id: int) -> List[TaskId]:
+        """Drop a slave; its assigned tasks return to pending.
+
+        Returns the reassigned task ids.
+        """
+        tasks = sorted(self._slave_tasks.pop(slave_id, set()))
+        for task in tasks:
+            self._assigned.pop(task, None)
+            dataset_id, task_index = task
+            sched = self._datasets.get(dataset_id)
+            if sched is not None and sched.task_state.get(task_index) == (
+                TaskState.ASSIGNED
+            ):
+                sched.task_state[task_index] = TaskState.PENDING
+                self._pending.append(task)
+        # Affinity entries pointing at the dead slave are stale.
+        self._affinity = {
+            key: slave
+            for key, slave in self._affinity.items()
+            if slave != slave_id
+        }
+        return tasks
+
+    def known_slaves(self) -> List[int]:
+        return sorted(self._slave_tasks)
+
+    # -- assignment ----------------------------------------------------------
+
+    def _task_eligible(self, task: TaskId) -> bool:
+        """A task may only run while its input data is complete.
+
+        Normally true by construction (a dataset activates when its
+        input completes), but lineage recovery can *revoke* an input's
+        completeness while consumers are already queued — dispatching
+        one then would silently compute over partial input.
+        """
+        sched = self._datasets[task[0]]
+        deps = {sched.input_id} | sched.blocking_ids
+        return deps <= self._complete_ids
+
+    def next_task(self, slave_id: int) -> Optional[TaskId]:
+        """Pick a pending *eligible* task for ``slave_id`` (affinity
+        first)."""
+        if slave_id not in self._slave_tasks:
+            raise KeyError(f"unknown slave {slave_id}")
+        choice_index: Optional[int] = None
+        for index, (dataset_id, task_index) in enumerate(self._pending):
+            if not self._task_eligible((dataset_id, task_index)):
+                continue
+            if choice_index is None:
+                choice_index = index
+                if not self.affinity_enabled:
+                    break
+            if self.affinity_enabled:
+                group = self._datasets[dataset_id].affinity_group
+                if self._affinity.get((group, task_index)) == slave_id:
+                    choice_index = index
+                    break
+        if choice_index is None:
+            return None
+        task = self._pending.pop(choice_index)
+        dataset_id, task_index = task
+        self._datasets[dataset_id].task_state[task_index] = TaskState.ASSIGNED
+        self._assigned[task] = slave_id
+        self._slave_tasks[slave_id].add(task)
+        return task
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def assigned_slave(self, task: TaskId) -> Optional[int]:
+        return self._assigned.get(task)
+
+    # -- completion ------------------------------------------------------------
+
+    def task_done(self, slave_id: int, task: TaskId) -> Tuple[bool, bool]:
+        """Record task completion.
+
+        Returns ``(accepted, dataset_complete)``.  Stale reports (task
+        already done or reassigned elsewhere) are rejected — a slave
+        that was presumed dead may still deliver a result after its
+        tasks were given away.
+        """
+        dataset_id, task_index = task
+        sched = self._datasets.get(dataset_id)
+        if sched is None:
+            return False, False
+        if self._assigned.get(task) != slave_id:
+            return False, False
+        if sched.task_state.get(task_index) != TaskState.ASSIGNED:
+            return False, False
+        sched.task_state[task_index] = TaskState.DONE
+        del self._assigned[task]
+        self._slave_tasks[slave_id].discard(task)
+        if self.affinity_enabled:
+            self._affinity[(sched.affinity_group, task_index)] = slave_id
+        if sched.complete:
+            self.mark_input_complete(dataset_id)
+            return True, True
+        return True, False
+
+    def reset_tasks(self, dataset_id: str, task_indices) -> int:
+        """Return completed tasks to the pending queue (lineage
+        re-execution: their output data was lost with a dead slave).
+
+        Tasks currently assigned are left alone — if they were assigned
+        to the dead slave, :meth:`remove_slave` already requeued them.
+        Returns the number of tasks reset.
+        """
+        sched = self._datasets.get(dataset_id)
+        if sched is None or not sched.runnable:
+            return 0
+        count = 0
+        for task_index in task_indices:
+            if sched.task_state.get(task_index) == TaskState.DONE:
+                sched.task_state[task_index] = TaskState.PENDING
+                self._pending.append((dataset_id, task_index))
+                count += 1
+        return count
+
+    def task_failed(self, slave_id: int, task: TaskId) -> None:
+        """Return a failed task to the pending queue (retried elsewhere)."""
+        dataset_id, task_index = task
+        sched = self._datasets.get(dataset_id)
+        if sched is None:
+            return
+        if self._assigned.get(task) != slave_id:
+            return
+        del self._assigned[task]
+        self._slave_tasks[slave_id].discard(task)
+        sched.task_state[task_index] = TaskState.PENDING
+        self._pending.append(task)
+
+    # -- introspection ------------------------------------------------------------
+
+    def progress(self, dataset_id: str) -> float:
+        sched = self._datasets.get(dataset_id)
+        if sched is None:
+            return 1.0 if dataset_id in self._complete_ids else 0.0
+        if not sched.runnable:
+            return 0.0
+        if sched.ntasks == 0:
+            return 1.0
+        return sched.done_count / sched.ntasks
+
+    def affinity_slave(self, group: str, task_index: int) -> Optional[int]:
+        return self._affinity.get((group, task_index))
+
+    def outstanding(self) -> int:
+        """Tasks pending or assigned across all runnable datasets."""
+        return len(self._pending) + len(self._assigned)

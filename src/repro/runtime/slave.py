@@ -1,0 +1,243 @@
+"""Slave side of the distributed implementation.
+
+"A slave needs only the master's address and port to connect" (section
+IV).  A slave:
+
+1. re-instantiates the user's program class locally (user code never
+   crosses the wire — only method *names* inside task descriptors),
+2. starts a tiny XML-RPC server so the master can push tasks,
+3. optionally starts an HTTP data server over its local output
+   directory (``--mrs-data-plane http``),
+4. signs in, then executes one task at a time from its queue.
+
+One slave uses one core; a node contributes N cores by running N slave
+processes — processes rather than threads because of the GIL
+(section IV-B).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import queue
+import shutil
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.comm import protocol
+from repro.comm.dataserver import DataServer
+from repro.comm.rpc import RpcServer, rpc_client
+from repro.core.operations import Operation
+from repro.io.bucket import FileBucket
+from repro.runtime import taskrunner
+
+logger = logging.getLogger("repro.slave")
+
+#: How long the main loop sleeps on an empty queue before re-checking
+#: for quit / master liveness.
+IDLE_POLL = 0.2
+
+#: Consecutive master ping failures before the slave gives up and exits
+#: (the master is gone; PBS will reap us anyway, but exit cleanly).
+MASTER_PING_FAILURES = 3
+
+#: Seconds between idle master liveness checks.
+MASTER_PING_INTERVAL = 5.0
+
+
+class SlaveInterface:
+    """RPC surface exposed to the master."""
+
+    def __init__(self, slave: "Slave"):
+        self.slave = slave
+
+    def rpc_start_task(self, descriptor: Dict[str, Any]) -> bool:
+        protocol.check_task_descriptor(descriptor)
+        self.slave.task_queue.put(descriptor)
+        return True
+
+    def rpc_remove_data(self, dataset_id: str) -> bool:
+        self.slave.remove_data(dataset_id)
+        return True
+
+    def rpc_quit(self) -> bool:
+        self.slave.quit_event.set()
+        # Unblock the main loop promptly.
+        self.slave.task_queue.put(None)
+        return True
+
+    def rpc_ping(self) -> bool:
+        return True
+
+
+class Slave:
+    """Slave runtime state and main loop."""
+
+    def __init__(self, program: Any, opts: Any):
+        if not getattr(opts, "master", None):
+            raise ValueError("slave requires --mrs-master HOST:PORT")
+        self.program = program
+        self.opts = opts
+        self.master_address = opts.master
+        self.task_queue: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
+        self.quit_event = threading.Event()
+        self.data_plane = getattr(opts, "data_plane", "file") or "file"
+
+        self._owns_tmpdir = opts.tmpdir is None
+        base_tmp = opts.tmpdir or tempfile.mkdtemp(prefix="mrs_slave_")
+        os.makedirs(base_tmp, exist_ok=True)
+        #: Slave-local output directory (per-process to avoid collisions
+        #: when several slaves share a tmpdir).
+        self.localdir = os.path.join(base_tmp, f"slave_{os.getpid()}")
+        os.makedirs(self.localdir, exist_ok=True)
+
+        self.rpc = RpcServer(SlaveInterface(self), host="127.0.0.1", port=0)
+        self.dataserver: Optional[DataServer] = None
+        if self.data_plane == "http":
+            self.dataserver = DataServer(self.localdir, host="127.0.0.1")
+
+        self.slave_id: Optional[int] = None
+
+    # -- master communication -------------------------------------------
+
+    def _master(self):
+        return rpc_client(self.master_address, timeout=30.0)
+
+    def signin(self) -> int:
+        self.slave_id = int(
+            self._master().signin(
+                protocol.PROTOCOL_VERSION, self.rpc.host, self.rpc.port
+            )
+        )
+        logger.info(
+            "slave %d signed in to %s", self.slave_id, self.master_address
+        )
+        return self.slave_id
+
+    # -- task execution ------------------------------------------------------
+
+    def execute(self, descriptor: Dict[str, Any]) -> None:
+        dataset_id = descriptor["dataset_id"]
+        task_index = int(descriptor["task_index"])
+        started = time.perf_counter()
+        try:
+            op = Operation.from_dict(descriptor["op"])
+            input_buckets = taskrunner.buckets_from_urls(
+                descriptor["input_urls"],
+                split=task_index,
+                key_serializer=descriptor.get("input_key_serializer"),
+                value_serializer=descriptor.get("input_value_serializer"),
+            )
+            outdir = descriptor.get("outdir") or os.path.join(
+                self.localdir, dataset_id
+            )
+            ext = descriptor["format_ext"]
+            factory = taskrunner.file_bucket_factory(
+                outdir,
+                dataset_id,
+                task_index,
+                ext=ext,
+                sidecar=bool(descriptor.get("user_output")),
+                key_serializer=descriptor.get("key_serializer"),
+                value_serializer=descriptor.get("value_serializer"),
+            )
+            # Build a synthetic ComputedData shell for execute_task's
+            # dispatch; only .operation and .id are consulted.
+            out_buckets = _run_operation(
+                self.program, op, dataset_id, task_index, input_buckets, factory
+            )
+            urls: List[Tuple[int, str]] = []
+            for bucket in out_buckets:
+                assert isinstance(bucket, FileBucket)
+                if descriptor.get("outdir") is None and self.dataserver:
+                    url = self.dataserver.url_for(bucket.path)
+                else:
+                    url = "file:" + bucket.path
+                urls.append((bucket.split, url))
+            seconds = time.perf_counter() - started
+            self._master().done(
+                self.slave_id, dataset_id, task_index, urls, seconds
+            )
+        except Exception as exc:
+            logger.warning(
+                "task (%s, %d) failed: %r", dataset_id, task_index, exc
+            )
+            try:
+                self._master().failed(
+                    self.slave_id, dataset_id, task_index, repr(exc)
+                )
+            except Exception:
+                # Master unreachable; the main loop's liveness check
+                # will notice and exit.
+                pass
+
+    def remove_data(self, dataset_id: str) -> None:
+        path = os.path.join(self.localdir, dataset_id)
+        if os.path.isdir(path):
+            shutil.rmtree(path, ignore_errors=True)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> int:
+        self.signin()
+        ping_failures = 0
+        last_ping = time.monotonic()
+        try:
+            while not self.quit_event.is_set():
+                try:
+                    descriptor = self.task_queue.get(timeout=IDLE_POLL)
+                except queue.Empty:
+                    now = time.monotonic()
+                    if now - last_ping >= MASTER_PING_INTERVAL:
+                        last_ping = now
+                        try:
+                            self._master().ping(self.slave_id)
+                            ping_failures = 0
+                        except Exception:
+                            ping_failures += 1
+                            if ping_failures >= MASTER_PING_FAILURES:
+                                logger.warning(
+                                    "master unreachable; slave exiting"
+                                )
+                                return 1
+                    continue
+                if descriptor is None:
+                    continue
+                self.execute(descriptor)
+            return 0
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        self.rpc.shutdown()
+        if self.dataserver is not None:
+            self.dataserver.shutdown()
+        if self._owns_tmpdir:
+            shutil.rmtree(os.path.dirname(self.localdir), ignore_errors=True)
+
+
+def _run_operation(program, op, dataset_id, task_index, input_buckets, factory):
+    """Dispatch one operation without a full ComputedData object."""
+    from repro.core.operations import (
+        MapOperation,
+        ReduceMapOperation,
+        ReduceOperation,
+    )
+
+    if isinstance(op, MapOperation):
+        pairs = (pair for bucket in input_buckets for pair in bucket)
+        return taskrunner.run_map_task(program, op, pairs, factory)
+    if isinstance(op, ReduceMapOperation):
+        return taskrunner.run_reducemap_task(program, op, input_buckets, factory)
+    if isinstance(op, ReduceOperation):
+        return taskrunner.run_reduce_task(program, op, input_buckets, factory)
+    raise taskrunner.TaskError(f"unknown operation {type(op).__name__}")
+
+
+def run_slave(program_class: Any, opts: Any, args: List[str]) -> int:
+    """Entry point used by ``main`` for ``--mrs slave``."""
+    program = program_class(opts, args)
+    slave = Slave(program, opts)
+    return slave.run()

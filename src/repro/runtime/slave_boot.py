@@ -1,0 +1,48 @@
+"""Boot a slave process for a program class given as ``module:Class``.
+
+In the paper's deployments, slaves are started by re-running the same
+program script with ``--mrs slave`` (Program 3's pssh/PBS loop).  For
+programmatic cluster launches (tests, benchmarks, examples) we instead
+spawn::
+
+    python -m repro.runtime.slave_boot repro.apps.wordcount:WordCount \
+        --mrs slave --mrs-master 127.0.0.1:40123 [program args...]
+
+which imports the class and enters the standard ``main`` dispatcher.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from typing import Any
+
+
+def resolve_program(spec: str) -> Any:
+    """Resolve a ``package.module:ClassName`` spec to the class."""
+    if ":" not in spec:
+        raise ValueError(f"program spec must be module:Class, got {spec!r}")
+    module_name, class_name = spec.split(":", 1)
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, class_name)
+    except AttributeError:
+        raise ImportError(
+            f"module {module_name!r} has no class {class_name!r}"
+        ) from None
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    program_class = resolve_program(argv[0])
+
+    from repro.core.main import main as mrs_main
+
+    return mrs_main(program_class, argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

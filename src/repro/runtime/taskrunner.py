@@ -1,0 +1,285 @@
+"""Task execution shared by every runtime.
+
+A *task* is the unit of scheduling: task *j* of an operation consumes
+split column *j* of the input dataset and produces one output bucket
+per output split.  The same three execution paths (map, reduce,
+reduce+map) are used by the serial runtime, the mock-parallel runtime,
+slave worker processes, and the Hadoop simulator's tasktrackers — so a
+program is guaranteed to compute the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dataset import ComputedData
+from repro.core.operations import (
+    MapOperation,
+    Operation,
+    ReduceMapOperation,
+    ReduceOperation,
+)
+from repro.io.bucket import Bucket, FileBucket, group_sorted, merge_sorted_buckets
+from repro.io import urls as url_io
+
+KeyValue = Tuple[Any, Any]
+BucketFactory = Callable[[int], Bucket]
+
+
+class TaskError(Exception):
+    """A user function or the task plumbing raised; carries context."""
+
+    def __init__(self, message: str, cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+def memory_bucket_factory(source: int) -> BucketFactory:
+    def factory(split: int) -> Bucket:
+        return Bucket(source=source, split=split)
+
+    return factory
+
+
+#: Formats that faithfully round-trip arbitrary key-value pairs.
+LOSSLESS_EXTS = frozenset({"mrsb", "mrsx"})
+
+
+def file_bucket_factory(
+    directory: str,
+    dataset_id: str,
+    source: int,
+    ext: str = "mrsb",
+    sidecar: bool = False,
+    key_serializer: Optional[str] = None,
+    value_serializer: Optional[str] = None,
+) -> BucketFactory:
+    """Output buckets as files: ``<dir>/<dataset>_source_split.<ext>``.
+
+    With ``sidecar=True`` and a lossy ``ext`` (e.g. text), each bucket
+    also writes a hidden lossless ``.mrsb`` sidecar and reports *that*
+    as its URL, so user-facing output stays readable while the master
+    can still fetch authoritative pairs.  ``key_serializer``/
+    ``value_serializer`` name registered codecs for the binary format.
+    """
+    from repro.io.bucket import SidecarFileBucket
+
+    def factory(split: int) -> Bucket:
+        path = os.path.join(directory, f"{dataset_id}_{source}_{split}.{ext}")
+        if sidecar and ext not in LOSSLESS_EXTS:
+            return SidecarFileBucket(
+                path, source=source, split=split,
+                key_serializer=key_serializer,
+                value_serializer=value_serializer,
+            )
+        return FileBucket(
+            path, source=source, split=split,
+            key_serializer=key_serializer,
+            value_serializer=value_serializer,
+        )
+
+    return factory
+
+
+def _resolve_parter(program: Any, op: Operation) -> Callable[[Any, int], int]:
+    parter = op.resolve(program, op.parter_name)
+    assert parter is not None
+    return parter
+
+
+def _emit(
+    pairs: Iterable[KeyValue],
+    parter: Callable[[Any, int], int],
+    n_splits: int,
+    out: List[Bucket],
+) -> None:
+    for pair in pairs:
+        if not isinstance(pair, tuple) or len(pair) != 2:
+            raise TaskError(
+                f"map function must yield (key, value) tuples, got {pair!r}"
+            )
+        split = parter(pair[0], n_splits)
+        if not 0 <= split < n_splits:
+            raise TaskError(
+                f"partitioner returned {split} for key {pair[0]!r}, "
+                f"outside range(0, {n_splits})"
+            )
+        out[split].addpair(pair)
+
+
+def _apply_combiner(
+    program: Any, combine_name: Optional[str], op: Operation, buckets: List[Bucket]
+) -> List[Bucket]:
+    """Run a local reduce over each bucket's groups (the combiner).
+
+    Returns fresh in-memory buckets; callers persist them afterwards so
+    that only combined data hits disk/network — that is the entire
+    point of a combiner (section V-A).
+    """
+    if combine_name is None:
+        return buckets
+    combiner = op.resolve(program, combine_name)
+    combined: List[Bucket] = []
+    for bucket in buckets:
+        fresh = Bucket(source=bucket.source, split=bucket.split)
+        for key, values in bucket.grouped():
+            for value in combiner(key, values):
+                fresh.addpair((key, value))
+        combined.append(fresh)
+    return combined
+
+
+def run_map_task(
+    program: Any,
+    op: MapOperation,
+    input_pairs: Iterable[KeyValue],
+    bucket_factory: BucketFactory,
+) -> List[Bucket]:
+    mapper = op.resolve(program, op.map_name)
+    parter = _resolve_parter(program, op)
+    n = op.splits
+    # Map into memory first; the combiner (if any) must see the data
+    # before it is persisted.
+    staging = [Bucket(split=s) for s in range(n)]
+    for key, value in input_pairs:
+        result = mapper(key, value)
+        if result is not None:
+            _emit(result, parter, n, staging)
+    staging = _apply_combiner(program, op.combine_name, op, staging)
+    return _persist(staging, bucket_factory, n)
+
+
+def run_reduce_task(
+    program: Any,
+    op: ReduceOperation,
+    input_buckets: Sequence[Bucket],
+    bucket_factory: BucketFactory,
+) -> List[Bucket]:
+    reducer = op.resolve(program, op.reduce_name)
+    parter = _resolve_parter(program, op)
+    n = op.splits
+    staging = [Bucket(split=s) for s in range(n)]
+    merged = merge_sorted_buckets(input_buckets)
+    for key, values in group_sorted(merged):
+        result = reducer(key, values)
+        if result is not None:
+            _emit(((key, v) for v in result), parter, n, staging)
+    return _persist(staging, bucket_factory, n)
+
+
+def run_reducemap_task(
+    program: Any,
+    op: ReduceMapOperation,
+    input_buckets: Sequence[Bucket],
+    bucket_factory: BucketFactory,
+) -> List[Bucket]:
+    reducer = op.resolve(program, op.reduce_name)
+    mapper = op.resolve(program, op.map_name)
+    parter = _resolve_parter(program, op)
+    n = op.splits
+    staging = [Bucket(split=s) for s in range(n)]
+    merged = merge_sorted_buckets(input_buckets)
+    for key, values in group_sorted(merged):
+        reduced = reducer(key, values)
+        if reduced is None:
+            continue
+        for value in reduced:
+            mapped = mapper(key, value)
+            if mapped is not None:
+                _emit(mapped, parter, n, staging)
+    staging = _apply_combiner(program, op.combine_name, op, staging)
+    return _persist(staging, bucket_factory, n)
+
+
+def _persist(
+    staging: List[Bucket], bucket_factory: BucketFactory, n_splits: int
+) -> List[Bucket]:
+    """Move staged pairs into factory-made buckets (possibly files)."""
+    out: List[Bucket] = []
+    for split in range(n_splits):
+        bucket = bucket_factory(split)
+        bucket.collect(staging[split])
+        if isinstance(bucket, FileBucket):
+            # Open even when empty so the file (with its format header)
+            # exists for downstream readers and HTTP serving.
+            bucket.open_writer()
+            bucket.close_writer()
+        out.append(bucket)
+    return out
+
+
+def materialize_input_buckets(
+    dataset: Any, task_index: int
+) -> List[Bucket]:
+    """Resolve split column ``task_index`` of ``dataset`` into buckets
+    with in-memory pairs (fetching any URL-only buckets), decoding with
+    the dataset's declared serializers."""
+    buckets = dataset.buckets_for_split(task_index)
+    resolved: List[Bucket] = []
+    for bucket in buckets:
+        if len(bucket) == 0 and bucket.url:
+            fresh = Bucket(source=bucket.source, split=bucket.split, url=bucket.url)
+            fresh.collect(
+                url_io.fetch_pairs(
+                    bucket.url,
+                    key_serializer=getattr(dataset, "key_serializer", None),
+                    value_serializer=getattr(dataset, "value_serializer", None),
+                )
+            )
+            resolved.append(fresh)
+        else:
+            resolved.append(bucket)
+    return resolved
+
+
+def buckets_from_urls(
+    urls: Sequence[str],
+    split: int,
+    key_serializer: Optional[str] = None,
+    value_serializer: Optional[str] = None,
+) -> List[Bucket]:
+    """Fetch input buckets by URL (slave-side task input path)."""
+    resolved: List[Bucket] = []
+    for source, url in enumerate(urls):
+        bucket = Bucket(source=source, split=split, url=url)
+        bucket.collect(
+            url_io.fetch_pairs(
+                url,
+                key_serializer=key_serializer,
+                value_serializer=value_serializer,
+            )
+        )
+        resolved.append(bucket)
+    return resolved
+
+
+def execute_task(
+    program: Any,
+    dataset: ComputedData,
+    task_index: int,
+    input_buckets: Sequence[Bucket],
+    bucket_factory: Optional[BucketFactory] = None,
+) -> List[Bucket]:
+    """Run one task of ``dataset`` and return its output buckets."""
+    factory = bucket_factory or memory_bucket_factory(task_index)
+    op = dataset.operation
+    try:
+        if isinstance(op, MapOperation):
+            pairs: Iterable[KeyValue] = (
+                pair for bucket in input_buckets for pair in bucket
+            )
+            return run_map_task(program, op, pairs, factory)
+        if isinstance(op, ReduceMapOperation):
+            return run_reducemap_task(program, op, input_buckets, factory)
+        if isinstance(op, ReduceOperation):
+            return run_reduce_task(program, op, input_buckets, factory)
+    except TaskError:
+        raise
+    except Exception as exc:
+        raise TaskError(
+            f"task {task_index} of dataset {dataset.id} "
+            f"({type(op).__name__}) failed: {exc!r}",
+            cause=exc,
+        ) from exc
+    raise TaskError(f"unknown operation type {type(op).__name__}")

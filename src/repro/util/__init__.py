@@ -1,0 +1,16 @@
+"""Shared low-level utilities for the Mrs reproduction.
+
+Everything in this package is dependency-free (stdlib only) so that the
+framework core can honour the paper's "depends only on the standard
+library" constraint (section IV).
+"""
+
+from repro.util.hashing import stable_hash, stable_hash_bytes
+from repro.util.timing import Stopwatch, PhaseTimer
+
+__all__ = [
+    "stable_hash",
+    "stable_hash_bytes",
+    "Stopwatch",
+    "PhaseTimer",
+]

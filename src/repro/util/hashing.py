@@ -1,0 +1,53 @@
+"""Deterministic hashing helpers.
+
+Partition functions must behave identically in every process of a job:
+the master, every slave, and every worker subprocess must agree on which
+split a key belongs to.  Python's builtin ``hash`` is randomized per
+process for ``str``/``bytes`` (PYTHONHASHSEED), so the framework never
+uses it for placement decisions.  These helpers provide a stable,
+process-independent hash built on :mod:`hashlib`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any
+
+# Pickle protocol 2 output is stable across the CPython versions we
+# support for the value types used as MapReduce keys (str, bytes, int,
+# float, tuples thereof).  Higher protocols are also stable for these
+# types, but pinning one keeps hashes reproducible across interpreter
+# upgrades.
+_PICKLE_PROTOCOL = 2
+
+
+def stable_hash_bytes(data: bytes) -> int:
+    """Return a stable 64-bit unsigned hash of ``data``."""
+    digest = hashlib.blake2b(data, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def key_to_bytes(key: Any) -> bytes:
+    """Encode a key to bytes for hashing.
+
+    Strings and bytes get a direct, canonical encoding; other objects
+    fall back to a pinned-protocol pickle.  A leading type tag prevents
+    collisions between, e.g., the string ``"1"`` and the integer ``1``
+    having accidentally identical encodings.
+    """
+    if isinstance(key, bytes):
+        return b"b:" + key
+    if isinstance(key, str):
+        return b"s:" + key.encode("utf-8")
+    if isinstance(key, bool):
+        # bool is an int subclass; tag it distinctly.
+        return b"B:" + (b"1" if key else b"0")
+    if isinstance(key, int):
+        return b"i:" + str(key).encode("ascii")
+    return b"p:" + pickle.dumps(key, _PICKLE_PROTOCOL)
+
+
+def stable_hash(key: Any) -> int:
+    """Return a stable 64-bit unsigned hash of an arbitrary key."""
+    return stable_hash_bytes(key_to_bytes(key))

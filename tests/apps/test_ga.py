@@ -1,0 +1,119 @@
+"""Island-model genetic algorithm tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ga import (
+    IslandGA,
+    IslandState,
+    evolve_island,
+    merge_migrants,
+    tournament_select,
+)
+from repro.apps.pso.functions import Sphere, get_function
+from repro.core.main import run_program
+from repro.core.random_streams import numpy_stream
+
+GA_FLAGS = [
+    "--mrs-seed", "31", "--ga-function", "sphere", "--ga-dims", "6",
+    "--ga-islands", "3", "--ga-pop", "10", "--ga-gens", "3",
+    "--ga-rounds", "6",
+]
+
+
+def make_state(n=8, dims=4, seed=1):
+    func = Sphere(dims)
+    rng = numpy_stream(seed)
+    genomes = rng.uniform(*func.bounds, (n, dims))
+    fitness = np.array([func.evaluate(g) for g in genomes])
+    return IslandState(0, genomes, fitness), func
+
+
+class TestComponents:
+    def test_tournament_prefers_fitter(self):
+        fitness = np.array([100.0, 0.0, 100.0, 100.0])
+        rng = numpy_stream(2)
+        picks = [tournament_select(fitness, rng, k=3) for _ in range(50)]
+        assert picks.count(1) > 25  # the fit individual dominates
+
+    def test_evolve_island_counts_evals_and_generations(self):
+        state, func = make_state()
+        before = state.evals
+        evolve_island(state, func, generations=4, rng=numpy_stream(3))
+        assert state.generation == 4
+        assert state.evals == before + 4 * len(state.fitness)
+
+    def test_elitism_never_regresses(self):
+        state, func = make_state()
+        rng = numpy_stream(4)
+        best_history = [state.best_fitness]
+        for _ in range(15):
+            evolve_island(state, func, 1, rng)
+            best_history.append(state.best_fitness)
+        assert all(
+            b2 <= b1 + 1e-9 for b1, b2 in zip(best_history, best_history[1:])
+        )
+
+    def test_genomes_stay_in_bounds(self):
+        state, func = make_state()
+        evolve_island(state, func, 10, numpy_stream(5))
+        lo, hi = func.bounds
+        assert (state.genomes >= lo).all() and (state.genomes <= hi).all()
+
+    def test_merge_migrants_replaces_worst(self):
+        state, _ = make_state()
+        elite = np.zeros((2, 4))
+        elite_fitness = np.array([-1.0, -2.0])
+        merge_migrants(state, elite, elite_fitness)
+        assert state.best_fitness == -2.0
+        assert len(state.fitness) == 8  # population size preserved
+
+    def test_merge_no_migrants_noop(self):
+        state, _ = make_state()
+        before = state.fitness.copy()
+        merge_migrants(state, np.empty((0, 4)), np.empty(0))
+        assert np.array_equal(state.fitness, before)
+
+    def test_state_copy_is_independent(self):
+        state, _ = make_state()
+        clone = state.copy()
+        clone.genomes[0, 0] = 12345.0
+        assert state.genomes[0, 0] != 12345.0
+
+
+class TestIslandGAProgram:
+    def test_serial_bypass_mock_identical(self):
+        logs = {}
+        for impl in ("serial", "bypass", "mockparallel"):
+            prog = run_program(IslandGA, GA_FLAGS, impl=impl)
+            logs[impl] = [
+                (r[0], r[1], r[3]) for r in prog.convergence
+            ]
+        assert logs["serial"] == logs["bypass"] == logs["mockparallel"]
+
+    def test_fitness_monotone_nonincreasing(self):
+        prog = run_program(IslandGA, GA_FLAGS, impl="serial")
+        bests = [r[3] for r in prog.convergence]
+        assert all(b2 <= b1 + 1e-9 for b1, b2 in zip(bests, bests[1:]))
+
+    def test_makes_progress(self):
+        prog = run_program(IslandGA, GA_FLAGS, impl="serial")
+        assert prog.convergence[-1][3] < prog.convergence[0][3]
+
+    def test_best_genome_matches_fitness(self):
+        prog = run_program(IslandGA, GA_FLAGS, impl="serial")
+        func = get_function("sphere", 6)
+        assert func(prog.best_genome) == pytest.approx(prog.best_fitness)
+
+    def test_target_stop(self):
+        prog = run_program(
+            IslandGA, GA_FLAGS + ["--ga-target", "1e9"], impl="serial"
+        )
+        assert len(prog.convergence) <= 6
+
+    def test_different_seed_different_run(self):
+        a = run_program(IslandGA, GA_FLAGS, impl="serial")
+        b = run_program(
+            IslandGA, ["--mrs-seed", "32"] + GA_FLAGS[2:], impl="serial"
+        )
+        assert a.best_fitness != b.best_fitness

@@ -1,0 +1,70 @@
+"""Inverted index tests."""
+
+import pytest
+
+from repro.apps.inverted_index import InvertedIndex, output_index
+from repro.core.main import run_program
+
+
+@pytest.fixture
+def docs(tmp_path):
+    corpus = tmp_path / "docs"
+    corpus.mkdir()
+    (corpus / "a.txt").write_text("apple banana\napple\n")
+    (corpus / "b.txt").write_text("banana cherry\n")
+    (corpus / "c.txt").write_text("cherry apple\n")
+    return str(corpus)
+
+
+class TestInvertedIndex:
+    def test_postings_correct(self, docs, tmp_path):
+        prog = run_program(
+            InvertedIndex, [docs, str(tmp_path / "out")], impl="serial"
+        )
+        index = output_index(prog)
+        assert index["apple"] == ["a.txt", "c.txt"]
+        assert index["banana"] == ["a.txt", "b.txt"]
+        assert index["cherry"] == ["b.txt", "c.txt"]
+
+    def test_duplicates_within_doc_collapsed(self, docs, tmp_path):
+        prog = run_program(
+            InvertedIndex, [docs, str(tmp_path / "out")], impl="serial"
+        )
+        # 'apple' appears twice in a.txt but posts once.
+        assert output_index(prog)["apple"].count("a.txt") == 1
+
+    def test_matches_bypass(self, docs, tmp_path):
+        mr = run_program(
+            InvertedIndex, [docs, str(tmp_path / "m")], impl="serial"
+        )
+        plain = run_program(
+            InvertedIndex, [docs, str(tmp_path / "p")], impl="bypass"
+        )
+        assert output_index(mr) == plain.bypass_index
+
+    def test_mockparallel_matches(self, docs, tmp_path):
+        serial = run_program(
+            InvertedIndex, [docs, str(tmp_path / "s")], impl="serial"
+        )
+        mock = run_program(
+            InvertedIndex, [docs, str(tmp_path / "mk")], impl="mockparallel"
+        )
+        assert output_index(serial) == output_index(mock)
+
+    def test_postings_sorted(self, docs, tmp_path):
+        prog = run_program(
+            InvertedIndex, [docs, str(tmp_path / "out")], impl="serial"
+        )
+        for postings in output_index(prog).values():
+            assert postings == sorted(postings)
+
+    def test_empty_document_ok(self, tmp_path):
+        corpus = tmp_path / "docs"
+        corpus.mkdir()
+        (corpus / "full.txt").write_text("word\n")
+        (corpus / "empty.txt").write_text("")
+        prog = run_program(
+            InvertedIndex, [str(corpus), str(tmp_path / "out")],
+            impl="serial",
+        )
+        assert output_index(prog) == {"word": ["full.txt"]}

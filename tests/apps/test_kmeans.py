@@ -1,0 +1,70 @@
+"""k-means iterative MapReduce program."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeans, generate_blobs, inertia, nearest_centroid
+from repro.core.main import run_program
+from repro.core.random_streams import numpy_stream
+
+FLAGS = ["--km-points", "300", "--km-clusters", "3", "--km-dims", "2",
+         "--km-splits", "4", "--mrs-seed", "8"]
+
+
+class TestHelpers:
+    def test_generate_blobs_shapes(self):
+        points, centers = generate_blobs(100, 4, 3, numpy_stream(1))
+        assert points.shape == (100, 3)
+        assert centers.shape == (4, 3)
+
+    def test_blobs_deterministic(self):
+        a, _ = generate_blobs(50, 2, 2, numpy_stream(2))
+        b, _ = generate_blobs(50, 2, 2, numpy_stream(2))
+        assert np.array_equal(a, b)
+
+    def test_nearest_centroid(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+        assert nearest_centroid(np.array([1.0, 1.0]), centroids) == 0
+        assert nearest_centroid(np.array([9.0, 9.0]), centroids) == 1
+
+    def test_inertia_zero_when_points_are_centroids(self):
+        points = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert inertia(points, points) == 0.0
+
+
+class TestKMeansRun:
+    def test_converges(self):
+        prog = run_program(KMeans, FLAGS, impl="serial")
+        assert prog.iterations_run >= 1
+        assert prog.shift_history[-1] <= max(prog.shift_history)
+        assert np.isfinite(prog.inertia)
+
+    def test_inertia_reasonable_for_blobs(self):
+        """Tight blobs (sigma=0.5): mean squared distance per point
+        should be near the noise floor once converged."""
+        prog = run_program(KMeans, FLAGS, impl="serial")
+        per_point = prog.inertia / prog.n_points
+        assert per_point < 5.0
+
+    def test_last_shift_below_tolerance_or_max_iters(self):
+        prog = run_program(KMeans, FLAGS, impl="serial")
+        assert (
+            prog.shift_history[-1] <= prog.tolerance
+            or prog.iterations_run == prog.max_iters
+        )
+
+    def test_centroid_count_preserved(self):
+        prog = run_program(KMeans, FLAGS, impl="serial")
+        assert prog.centroids.shape == (3, 2)
+
+    def test_deterministic_given_seed(self):
+        a = run_program(KMeans, FLAGS, impl="serial")
+        b = run_program(KMeans, FLAGS, impl="serial")
+        assert np.array_equal(a.centroids, b.centroids)
+
+    def test_different_seed_differs(self):
+        other = ["--km-points", "300", "--km-clusters", "3", "--km-dims", "2",
+                 "--km-splits", "4", "--mrs-seed", "9"]
+        a = run_program(KMeans, FLAGS, impl="serial")
+        b = run_program(KMeans, other, impl="serial")
+        assert not np.array_equal(a.centroids, b.centroids)

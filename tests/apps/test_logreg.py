@@ -1,0 +1,125 @@
+"""Logistic regression (summation form) tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.logreg import (
+    LogisticRegression,
+    generate_classification_data,
+    shard_gradient,
+    sigmoid,
+)
+from repro.core.main import run_program
+from repro.core.random_streams import numpy_stream
+
+FLAGS = ["--lr-points", "600", "--lr-dims", "4", "--lr-shards", "3",
+         "--lr-iters", "40", "--mrs-seed", "15"]
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_symmetry(self):
+        z = np.array([-3.0, -1.0, 1.0, 3.0])
+        assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.array([-800.0, 800.0]))
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_monotone(self):
+        z = np.linspace(-6, 6, 50)
+        assert (np.diff(sigmoid(z)) > 0).all()
+
+
+class TestDataGeneration:
+    def test_shapes_and_bias_column(self):
+        X, y, w = generate_classification_data(100, 3, numpy_stream(1))
+        assert X.shape == (100, 4)
+        assert (X[:, -1] == 1.0).all()
+        assert set(np.unique(y)) <= {0.0, 1.0}
+        assert w.shape == (4,)
+
+    def test_deterministic(self):
+        a = generate_classification_data(50, 2, numpy_stream(2))
+        b = generate_classification_data(50, 2, numpy_stream(2))
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_labels_mostly_follow_model(self):
+        X, y, w = generate_classification_data(
+            2000, 3, numpy_stream(3), noise_flip=0.0
+        )
+        implied = (sigmoid(X @ w) > 0.5).astype(float)
+        assert (implied == y).mean() == 1.0
+
+
+class TestGradient:
+    def test_zero_at_perfect_separation_limit(self):
+        """With huge weights matching the labels, sigma saturates and
+        the gradient vanishes."""
+        X = np.array([[1.0, 1.0], [-1.0, 1.0]])
+        y = np.array([1.0, 0.0])
+        w = np.array([100.0, 0.0])
+        gradient, _, count = shard_gradient(X, y, w)
+        assert count == 2
+        assert np.abs(gradient).max() < 1e-10
+
+    def test_matches_finite_differences(self):
+        rng = numpy_stream(4)
+        X = rng.normal(size=(30, 3))
+        y = (rng.random(30) > 0.5).astype(float)
+        w = rng.normal(size=3)
+        gradient, loss, _ = shard_gradient(X, y, w)
+        eps = 1e-6
+        for j in range(3):
+            bump = w.copy()
+            bump[j] += eps
+            _, loss_plus, _ = shard_gradient(X, y, bump)
+            numeric = (loss_plus - loss) / eps
+            assert numeric == pytest.approx(gradient[j], rel=1e-3, abs=1e-4)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        prog = run_program(LogisticRegression, FLAGS, impl="serial")
+        assert prog.loss_history[0] > prog.loss_history[-1]
+        # Log-loss starts at ln(2) with zero weights.
+        assert prog.loss_history[0] == pytest.approx(np.log(2), rel=1e-6)
+
+    def test_accuracy_beats_chance_strongly(self):
+        prog = run_program(LogisticRegression, FLAGS, impl="serial")
+        assert prog.accuracy > 0.85
+
+    def test_all_implementations_bit_identical(self):
+        runs = {
+            impl: run_program(LogisticRegression, FLAGS, impl=impl)
+            for impl in ("serial", "mockparallel", "bypass")
+        }
+        base = runs["serial"]
+        for impl, prog in runs.items():
+            assert np.array_equal(prog.weights, base.weights), impl
+            assert prog.loss_history == base.loss_history, impl
+
+    def test_shard_count_changes_nothing_semantically(self):
+        """Different shard counts change FP summation order but the
+        learned model must be numerically indistinguishable."""
+        few = run_program(
+            LogisticRegression,
+            ["--lr-points", "600", "--lr-dims", "4", "--lr-shards", "2",
+             "--lr-iters", "40", "--mrs-seed", "15"],
+            impl="serial",
+        )
+        many = run_program(LogisticRegression, FLAGS, impl="serial")
+        assert np.allclose(few.weights, many.weights, atol=1e-8)
+
+    def test_tolerance_stops_early(self):
+        prog = run_program(
+            LogisticRegression,
+            FLAGS[:-2] + ["--mrs-seed", "15", "--lr-tol", "0.5"],
+            impl="serial",
+        )
+        assert prog.iterations_run < 40

@@ -1,0 +1,145 @@
+"""Blocked matrix multiplication and distributed sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.matmul import BlockMatMul, assemble_blocks, split_blocks
+from repro.apps.sort import DistributedSort, sorted_lines
+from repro.core.job import Job
+from repro.core.main import run_program
+from repro.core.options import default_options
+from repro.core.random_streams import numpy_stream
+from repro.runtime.serial import SerialBackend
+
+
+def multiply_via_mapreduce(A, B, block=8, impl_backend=SerialBackend):
+    opts = default_options(mm_block=block)
+    program = BlockMatMul(opts, [])
+    job = Job(impl_backend(program), program)
+    return program.multiply(job, A, B)
+
+
+class TestBlockHelpers:
+    def test_split_assemble_roundtrip(self):
+        rng = numpy_stream(1)
+        matrix = rng.normal(size=(10, 7))
+        blocks = split_blocks(matrix, 3)
+        assert np.array_equal(assemble_blocks(blocks), matrix)
+
+    def test_split_block_shapes(self):
+        blocks = split_blocks(np.zeros((5, 5)), 2)
+        assert blocks[(0, 0)].shape == (2, 2)
+        assert blocks[(2, 2)].shape == (1, 1)  # ragged edge
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            split_blocks(np.zeros((2, 2)), 0)
+
+    def test_empty_assemble(self):
+        assert assemble_blocks({}).size == 0
+
+
+class TestMatMul:
+    def test_matches_numpy(self):
+        rng = numpy_stream(2)
+        A = rng.normal(size=(12, 9))
+        B = rng.normal(size=(9, 15))
+        C = multiply_via_mapreduce(A, B, block=4)
+        assert np.allclose(C, A @ B, atol=1e-10)
+
+    def test_block_size_invariance(self):
+        rng = numpy_stream(3)
+        A = rng.normal(size=(10, 10))
+        B = rng.normal(size=(10, 10))
+        c3 = multiply_via_mapreduce(A, B, block=3)
+        c10 = multiply_via_mapreduce(A, B, block=10)
+        assert np.allclose(c3, c10, atol=1e-10)
+
+    def test_single_block_degenerate_case(self):
+        rng = numpy_stream(4)
+        A = rng.normal(size=(4, 4))
+        B = rng.normal(size=(4, 4))
+        C = multiply_via_mapreduce(A, B, block=16)
+        assert np.allclose(C, A @ B)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            multiply_via_mapreduce(np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_program_run(self):
+        prog = run_program(
+            BlockMatMul, ["--mm-size", "24", "--mm-block", "8"], impl="serial"
+        )
+        assert np.allclose(prog.result, prog.reference, atol=1e-10)
+
+    def test_mockparallel_agrees(self):
+        prog_s = run_program(
+            BlockMatMul, ["--mm-size", "20", "--mm-block", "6",
+                          "--mrs-seed", "2"], impl="serial",
+        )
+        prog_m = run_program(
+            BlockMatMul, ["--mm-size", "20", "--mm-block", "6",
+                          "--mrs-seed", "2"], impl="mockparallel",
+        )
+        assert np.array_equal(prog_s.result, prog_m.result)
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=20, deadline=None)
+def test_matmul_property(n, m, p, block):
+    rng = numpy_stream(5, n, m, p, block)
+    A = rng.normal(size=(n, m))
+    B = rng.normal(size=(m, p))
+    C = multiply_via_mapreduce(A, B, block=block)
+    assert C.shape == (n, p)
+    assert np.allclose(C, A @ B, atol=1e-9)
+
+
+class TestDistributedSort:
+    def run_sort(self, lines, tmp_path, impl="serial"):
+        path = tmp_path / "in.txt"
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return run_program(
+            DistributedSort,
+            [str(path), str(tmp_path / "out")],
+            impl=impl,
+            reduce_tasks=4,
+        )
+
+    def test_output_globally_sorted(self, tmp_path):
+        lines = ["pear", "apple", "zebra", "mango", "apple", "fig"]
+        prog = self.run_sort(lines, tmp_path)
+        assert sorted_lines(prog) == sorted(lines)
+
+    def test_duplicates_preserved(self, tmp_path):
+        lines = ["b", "a", "b", "a", "b"]
+        prog = self.run_sort(lines, tmp_path)
+        assert sorted_lines(prog) == ["a", "a", "b", "b", "b"]
+
+    def test_mockparallel_matches(self, tmp_path):
+        lines = [f"key{i % 7:02d}" for i in range(40)]
+        (tmp_path / "s").mkdir()
+        (tmp_path / "m").mkdir()
+        serial = self.run_sort(lines, tmp_path / "s")
+        mock = self.run_sort(lines, tmp_path / "m", impl="mockparallel")
+        assert sorted_lines(serial) == sorted_lines(mock) == sorted(lines)
+
+
+@given(st.lists(st.text(alphabet="abcdefghij", min_size=1, max_size=8),
+                min_size=1, max_size=30))
+@settings(max_examples=20, deadline=None)
+def test_sort_property(tmp_path_factory, lines):
+    tmp = tmp_path_factory.mktemp("sort")
+    path = tmp / "in.txt"
+    path.write_text("\n".join(lines) + "\n")
+    prog = run_program(
+        DistributedSort, [str(path), str(tmp / "out")],
+        impl="serial", reduce_tasks=3,
+    )
+    assert sorted_lines(prog) == sorted(lines)

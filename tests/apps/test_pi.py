@@ -1,0 +1,166 @@
+"""Halton sequences and the PiEstimator (Fig 3 workload)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.pi.estimator import PiEstimator, estimate_pi_serial, split_samples
+from repro.apps.pi.halton import HaltonSequence, radical_inverse, sample_inside
+from repro.apps.pi.halton_numpy import count_inside_numpy, halton_points
+from repro.core.main import run_program
+
+
+class TestRadicalInverse:
+    @pytest.mark.parametrize(
+        "base,index,expected",
+        [
+            (2, 0, 0.0),
+            (2, 1, 0.5),
+            (2, 2, 0.25),
+            (2, 3, 0.75),
+            (3, 1, 1 / 3),
+            (3, 2, 2 / 3),
+            (3, 4, 4 / 9),
+        ],
+    )
+    def test_known_values(self, base, index, expected):
+        assert radical_inverse(base, index) == pytest.approx(expected)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            radical_inverse(2, -1)
+
+    def test_values_in_unit_interval(self):
+        for i in range(200):
+            assert 0.0 <= radical_inverse(3, i) < 1.0
+
+
+class TestHaltonSequence:
+    def test_incremental_matches_direct(self):
+        seq = HaltonSequence(0)
+        for i in range(200):
+            x, y = seq.next_point()
+            assert x == pytest.approx(radical_inverse(2, i), abs=1e-14)
+            assert y == pytest.approx(radical_inverse(3, i), abs=1e-14)
+
+    def test_offset_start(self):
+        seq = HaltonSequence(1000)
+        x, y = seq.next_point()
+        assert x == pytest.approx(radical_inverse(2, 1000), abs=1e-14)
+        assert y == pytest.approx(radical_inverse(3, 1000), abs=1e-14)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            HaltonSequence(-1)
+
+    def test_low_discrepancy_beats_clumping(self):
+        """First 256 Halton points hit all 16 cells of a 4x4 grid —
+        the even-coverage property the paper chose Halton for."""
+        seq = HaltonSequence(0)
+        cells = set()
+        for _ in range(256):
+            x, y = seq.next_point()
+            cells.add((int(x * 4), int(y * 4)))
+        assert len(cells) == 16
+
+
+class TestKernels:
+    def test_python_and_numpy_agree_exactly(self):
+        assert sample_inside(0, 5000) == count_inside_numpy(0, 5000)
+
+    def test_agreement_at_offsets(self):
+        assert sample_inside(98765, 2000) == count_inside_numpy(98765, 2000)
+
+    def test_chunking_invariant(self):
+        whole = count_inside_numpy(0, 10_000, chunk=1 << 20)
+        chunked = count_inside_numpy(0, 10_000, chunk=777)
+        assert whole == chunked
+
+    def test_halton_points_shape_and_range(self):
+        x, y = halton_points(5, 100)
+        assert x.shape == y.shape == (100,)
+        assert (x >= 0).all() and (x < 1).all()
+        assert (y >= 0).all() and (y < 1).all()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            sample_inside(0, -1)
+        with pytest.raises(ValueError):
+            count_inside_numpy(0, -1)
+
+    def test_zero_count(self):
+        assert sample_inside(0, 0) == (0, 0)
+
+
+class TestSplitSamples:
+    def test_covers_range_disjointly(self):
+        ranges = split_samples(100, 7)
+        assert sum(count for _, count in ranges) == 100
+        position = 0
+        for offset, count in ranges:
+            assert offset == position
+            position += count
+
+    def test_remainder_distributed(self):
+        counts = [c for _, c in split_samples(10, 3)]
+        assert counts == [4, 3, 3]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            split_samples(10, 0)
+        with pytest.raises(ValueError):
+            split_samples(-1, 2)
+
+
+class TestEstimator:
+    def test_converges_to_pi(self):
+        estimate = estimate_pi_serial(200_000, kernel="numpy")
+        assert abs(estimate - math.pi) < 0.01
+
+    def test_quasi_random_beats_noise_floor(self):
+        """Halton error at n=1e5 should be far below the ~1/sqrt(n)
+        pseudo-random Monte Carlo error."""
+        estimate = estimate_pi_serial(100_000, kernel="numpy")
+        assert abs(estimate - math.pi) < 3.0 / math.sqrt(100_000)
+
+    def test_program_matches_serial_helper(self):
+        prog = run_program(
+            PiEstimator,
+            ["--pi-samples", "50000", "--pi-tasks", "4", "--pi-kernel", "numpy"],
+            impl="serial",
+        )
+        assert prog.pi_estimate == estimate_pi_serial(50_000, "numpy")
+
+    def test_totals_recorded(self):
+        prog = run_program(
+            PiEstimator, ["--pi-samples", "1000", "--pi-tasks", "2"],
+            impl="serial",
+        )
+        assert prog.total_samples == 1000
+        assert 0 < prog.total_inside <= 1000
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+@settings(max_examples=50)
+def test_radical_inverse_range_property(index):
+    assert 0.0 <= radical_inverse(2, index) < 1.0
+
+
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=20, deadline=None)
+def test_kernel_agreement_property(offset, count):
+    assert sample_inside(offset, count) == count_inside_numpy(offset, count)
+
+
+@given(st.integers(min_value=1, max_value=5000),
+       st.integers(min_value=1, max_value=64))
+def test_split_samples_partition_property(total, tasks):
+    ranges = split_samples(total, tasks)
+    assert len(ranges) == tasks
+    covered = [i for offset, count in ranges for i in range(offset, offset + count)]
+    assert covered == list(range(total))

@@ -1,0 +1,74 @@
+"""The ctypes C kernel (the paper's actual Fig 3b mechanism).
+
+All tests skip cleanly where no C compiler exists; the NumPy kernel
+covers that world (DESIGN.md substitution table).
+"""
+
+import pytest
+
+from repro.apps.pi import halton_ctypes
+from repro.apps.pi.halton import HaltonSequence, radical_inverse, sample_inside
+
+pytestmark = pytest.mark.skipif(
+    not halton_ctypes.is_available(), reason="no C compiler available"
+)
+
+
+class TestCKernel:
+    def test_counts_bit_identical_to_python(self):
+        for offset, count in [(0, 50_000), (987_654, 5_000), (1, 1), (7, 0)]:
+            assert halton_ctypes.count_inside_ctypes(offset, count) == (
+                sample_inside(offset, count)
+            )
+
+    def test_points_bit_identical_to_incremental_python(self):
+        """Same operations in the same order => same doubles, exactly
+        (the -ffp-contract=off compile flag is what makes this hold)."""
+        x, y = halton_ctypes.halton_points_ctypes(987_654, 200)
+        seq = HaltonSequence(987_654)
+        for i in range(200):
+            px, py = seq.next_point()
+            assert x[i] == px
+            assert y[i] == py
+
+    def test_points_match_direct_formula_approximately(self):
+        """The direct radical inverse accumulates in a different order,
+        so agreement is to rounding, not bit-exact."""
+        x, y = halton_ctypes.halton_points_ctypes(100, 50)
+        for i in range(50):
+            assert x[i] == pytest.approx(radical_inverse(2, 100 + i), abs=1e-12)
+            assert y[i] == pytest.approx(radical_inverse(3, 100 + i), abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            halton_ctypes.count_inside_ctypes(0, -1)
+        with pytest.raises(ValueError):
+            halton_ctypes.count_inside_ctypes(-1, 10)
+
+    def test_c_is_much_faster_than_python(self):
+        """The whole point of Fig 3b."""
+        from repro.apps.pi.halton import measure_python_rate
+
+        c_rate = halton_ctypes.measure_ctypes_rate(2_000_000)
+        py_rate = measure_python_rate(200_000)
+        assert c_rate > 5 * py_rate
+
+    def test_library_cached_across_calls(self):
+        first = halton_ctypes._get_library()
+        second = halton_ctypes._get_library()
+        assert first is second
+
+
+class TestEstimatorWithCKernel:
+    def test_kernel_option(self):
+        from repro.core.main import run_program
+        from repro.apps.pi.estimator import PiEstimator
+
+        flags = ["--pi-samples", "40000", "--pi-tasks", "4"]
+        c = run_program(
+            PiEstimator, flags + ["--pi-kernel", "ctypes"], impl="serial"
+        )
+        py = run_program(
+            PiEstimator, flags + ["--pi-kernel", "python"], impl="serial"
+        )
+        assert c.pi_estimate == py.pi_estimate

@@ -1,0 +1,124 @@
+"""Parameter-sweep driver and streaming moments."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.sweep import Moments, RandomWalkSweep
+from repro.core.main import run_program
+
+FLAGS = ["--sweep-replicates", "120", "--sweep-chunk", "30",
+         "--walk-steps", "50", "--mrs-seed", "77"]
+
+
+class TestMoments:
+    def test_single_value(self):
+        m = Moments()
+        m.add(5.0)
+        assert m.count == 1
+        assert m.mean == 5.0
+        assert math.isnan(m.variance)
+
+    def test_matches_numpy(self):
+        values = [1.5, -2.0, 0.25, 7.0, 7.0, -1.0]
+        m = Moments()
+        for v in values:
+            m.add(v)
+        assert m.mean == pytest.approx(np.mean(values))
+        assert m.variance == pytest.approx(np.var(values, ddof=1))
+
+    def test_merge_empty_identity(self):
+        m = Moments()
+        for v in (1.0, 2.0):
+            m.add(v)
+        before = (m.count, m.mean, m.m2)
+        m.merge(Moments())
+        assert (m.count, m.mean, m.m2) == before
+
+    def test_merge_into_empty(self):
+        m = Moments()
+        other = Moments()
+        other.add(3.0)
+        other.add(5.0)
+        m.merge(other)
+        assert (m.count, m.mean) == (2, 4.0)
+
+    def test_std_error(self):
+        m = Moments()
+        for v in (0.0, 2.0):
+            m.add(v)
+        assert m.std_error == pytest.approx(1.0)
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2,
+                max_size=40),
+       st.integers(min_value=1, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_merge_associativity_property(values, split_at):
+    """Chunked merge == sequential accumulation (to rounding)."""
+    sequential = Moments()
+    for v in values:
+        sequential.add(v)
+    merged = Moments()
+    for start in range(0, len(values), split_at):
+        chunk = Moments()
+        for v in values[start:start + split_at]:
+            chunk.add(v)
+        merged.merge(chunk)
+    assert merged.count == sequential.count
+    assert merged.mean == pytest.approx(sequential.mean, rel=1e-9, abs=1e-9)
+    assert merged.m2 == pytest.approx(sequential.m2, rel=1e-6, abs=1e-6)
+
+
+class TestRandomWalkSweep:
+    def test_results_per_parameter(self):
+        prog = run_program(RandomWalkSweep, FLAGS, impl="serial")
+        assert set(prog.results) == set(range(5))
+        for moments in prog.results.values():
+            assert moments.count == 120
+
+    def test_drift_orders_the_means(self):
+        """Higher drift -> higher expected running maximum."""
+        prog = run_program(RandomWalkSweep, FLAGS, impl="serial")
+        means = [prog.results[i].mean for i in range(5)]
+        assert means[0] < means[-1]
+        assert means == sorted(means)
+
+    def test_mapreduce_matches_bypass_statistics(self):
+        mr = run_program(RandomWalkSweep, FLAGS, impl="serial")
+        byp = run_program(RandomWalkSweep, FLAGS, impl="bypass")
+        for index in mr.results:
+            assert mr.results[index].count == byp.results[index].count
+            assert mr.results[index].mean == pytest.approx(
+                byp.results[index].mean, rel=1e-12
+            )
+            assert mr.results[index].variance == pytest.approx(
+                byp.results[index].variance, rel=1e-9
+            )
+
+    def test_chunking_invariance(self):
+        """Task decomposition must not change the statistics."""
+        coarse = run_program(
+            RandomWalkSweep,
+            ["--sweep-replicates", "120", "--sweep-chunk", "120",
+             "--walk-steps", "50", "--mrs-seed", "77"],
+            impl="serial",
+        )
+        fine = run_program(
+            RandomWalkSweep,
+            ["--sweep-replicates", "120", "--sweep-chunk", "10",
+             "--walk-steps", "50", "--mrs-seed", "77"],
+            impl="serial",
+        )
+        for index in coarse.results:
+            assert coarse.results[index].mean == pytest.approx(
+                fine.results[index].mean, rel=1e-12
+            )
+
+    def test_mockparallel_agrees(self):
+        a = run_program(RandomWalkSweep, FLAGS, impl="serial")
+        b = run_program(RandomWalkSweep, FLAGS, impl="mockparallel")
+        for index in a.results:
+            assert a.results[index].mean == b.results[index].mean

@@ -1,0 +1,79 @@
+"""WordCount program (Program 1)."""
+
+import collections
+
+import pytest
+
+from repro.apps.wordcount import (
+    WordCount,
+    WordCountCombined,
+    WordCountWithBypass,
+    count_words_serially,
+    output_counts,
+)
+from repro.core.main import run_program
+from repro.core.options import default_options
+
+
+class TestMapReduceFunctions:
+    def test_map_emits_one_per_token(self):
+        prog = WordCount(default_options(), [])
+        assert list(prog.map(0, "a b a")) == [("a", 1), ("b", 1), ("a", 1)]
+
+    def test_map_empty_line(self):
+        prog = WordCount(default_options(), [])
+        assert list(prog.map(3, "")) == []
+
+    def test_map_collapses_whitespace(self):
+        prog = WordCount(default_options(), [])
+        assert [k for k, _ in prog.map(0, "  x\t\ty  ")] == ["x", "y"]
+
+    def test_reduce_sums(self):
+        prog = WordCount(default_options(), [])
+        assert list(prog.reduce("w", iter([1, 1, 1]))) == [3]
+
+    def test_combiner_is_reduce(self):
+        prog = WordCountCombined(default_options(), [])
+        assert list(prog.combine("w", iter([2, 3]))) == [5]
+
+
+class TestEndToEnd:
+    def test_counts_match_reference(self, text_file, out_dir):
+        prog = run_program(WordCountCombined, [text_file, out_dir])
+        expected = count_words_serially(open(text_file).read().splitlines())
+        assert output_counts(prog) == expected
+
+    def test_multi_file_input(self, small_corpus, out_dir):
+        root, paths = small_corpus
+        prog = run_program(WordCountCombined, [root, out_dir])
+        lines = []
+        for path in paths:
+            lines.extend(open(path).read().splitlines())
+        assert output_counts(prog) == count_words_serially(lines)
+
+    def test_directory_vs_explicit_files_identical(self, small_corpus, tmp_path):
+        root, paths = small_corpus
+        by_dir = run_program(
+            WordCountCombined, [root, str(tmp_path / "d")]
+        )
+        by_files = run_program(
+            WordCountCombined, paths + [str(tmp_path / "f")]
+        )
+        assert output_counts(by_dir) == output_counts(by_files)
+
+    def test_bypass_program(self, text_file, out_dir):
+        prog = run_program(
+            WordCountWithBypass, [text_file, out_dir], impl="bypass"
+        )
+        expected = count_words_serially(open(text_file).read().splitlines())
+        assert prog.bypass_counts == expected
+
+
+class TestReference:
+    def test_counter_equivalence(self):
+        lines = ["a b", "b c c"]
+        expected = collections.Counter("a b b c c".split())
+        assert count_words_serially(lines) == dict(expected)
+
+    def test_empty_input(self):
+        assert count_words_serially([]) == {}

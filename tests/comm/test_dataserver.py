@@ -1,0 +1,66 @@
+"""Built-in HTTP data server."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.comm.dataserver import DataServer
+
+
+@pytest.fixture
+def served_dir(tmp_path):
+    (tmp_path / "bucket.bin").write_bytes(b"\x00\x01payload")
+    sub = tmp_path / "ds1"
+    sub.mkdir()
+    (sub / "part.bin").write_bytes(b"nested")
+    with DataServer(str(tmp_path)) as server:
+        yield server, tmp_path
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read()
+
+
+class TestDataServer:
+    def test_serves_file(self, served_dir):
+        server, root = served_dir
+        assert fetch(server.url_for("bucket.bin")) == b"\x00\x01payload"
+
+    def test_serves_nested_path(self, served_dir):
+        server, _ = served_dir
+        assert fetch(server.url_for("ds1/part.bin")) == b"nested"
+
+    def test_url_for_absolute_path(self, served_dir):
+        server, root = served_dir
+        url = server.url_for(str(root / "bucket.bin"))
+        assert fetch(url) == b"\x00\x01payload"
+
+    def test_404_for_missing(self, served_dir):
+        server, _ = served_dir
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"http://{server.host}:{server.port}/ghost.bin")
+        assert excinfo.value.code == 404
+
+    def test_path_escape_rejected(self, served_dir):
+        server, _ = served_dir
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"http://{server.host}:{server.port}/../../etc/passwd")
+        assert excinfo.value.code in (403, 404)
+
+    def test_url_for_outside_root_rejected(self, served_dir):
+        server, _ = served_dir
+        with pytest.raises(ValueError):
+            server.url_for("/etc/passwd")
+
+    def test_directory_request_is_404(self, served_dir):
+        server, _ = served_dir
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"http://{server.host}:{server.port}/ds1")
+        assert excinfo.value.code == 404
+
+    def test_url_quoting(self, served_dir):
+        server, root = served_dir
+        (root / "with space.bin").write_bytes(b"sp")
+        assert fetch(server.url_for("with space.bin")) == b"sp"

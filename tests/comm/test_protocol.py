@@ -1,0 +1,55 @@
+"""Wire schema validation."""
+
+import pytest
+
+from repro.comm import protocol
+
+
+class TestTaskDescriptor:
+    def make(self, **overrides):
+        descriptor = protocol.make_task_descriptor(
+            dataset_id="map_1",
+            task_index=2,
+            op_dict={"kind": "map", "splits": 2, "parter_name": "partition",
+                     "map_name": "map", "combine_name": None},
+            input_urls=["file:/a", "file:/b"],
+            outdir="/shared/map_1",
+            format_ext="mrsb",
+        )
+        descriptor.update(overrides)
+        return descriptor
+
+    def test_valid_descriptor_passes(self):
+        assert protocol.check_task_descriptor(self.make())
+
+    def test_missing_field_rejected(self):
+        descriptor = self.make()
+        del descriptor["input_urls"]
+        with pytest.raises(protocol.ProtocolError, match="input_urls"):
+            protocol.check_task_descriptor(descriptor)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="operation"):
+            protocol.check_task_descriptor(self.make(op={"no": "kind"}))
+
+    def test_user_output_defaults_false(self):
+        assert self.make()["user_output"] is False
+
+    def test_types_are_xmlrpc_safe(self):
+        for value in self.make().values():
+            assert isinstance(value, (str, int, bool, list, dict, type(None)))
+
+
+class TestDoneMessage:
+    def test_roundtrip(self):
+        message = protocol.make_done_message(
+            3, "map_1", 0, [(0, "file:/x"), (1, "http://h:1/y")]
+        )
+        urls = protocol.parse_bucket_urls(message["bucket_urls"])
+        assert urls == [(0, "file:/x"), (1, "http://h:1/y")]
+
+    def test_malformed_urls_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_bucket_urls([["notanint", object()]])
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_bucket_urls(42)

@@ -1,0 +1,104 @@
+"""XML-RPC control-plane wrappers."""
+
+import threading
+
+import pytest
+
+from repro.comm.rpc import (
+    RpcServer,
+    format_address,
+    parse_address,
+    rpc_client,
+)
+
+
+class EchoHandler:
+    def __init__(self):
+        self.calls = []
+
+    def rpc_echo(self, value):
+        self.calls.append(value)
+        return value
+
+    def rpc_add(self, a, b):
+        return a + b
+
+    def rpc_none_roundtrip(self):
+        return None
+
+    def not_exposed(self):  # no rpc_ prefix
+        return "secret"
+
+
+@pytest.fixture
+def server():
+    handler = EchoHandler()
+    with RpcServer(handler) as srv:
+        yield srv, handler
+
+
+class TestRpcServer:
+    def test_ephemeral_port_assigned(self, server):
+        srv, _ = server
+        assert srv.port > 0
+
+    def test_prefixed_methods_exposed(self, server):
+        srv, _ = server
+        client = rpc_client(srv.address)
+        assert client.echo("hello") == "hello"
+        assert client.add(2, 3) == 5
+
+    def test_unprefixed_methods_hidden(self, server):
+        srv, _ = server
+        client = rpc_client(srv.address)
+        with pytest.raises(Exception):
+            client.not_exposed()
+
+    def test_none_values_allowed(self, server):
+        srv, _ = server
+        assert rpc_client(srv.address).none_roundtrip() is None
+
+    def test_dicts_and_lists_roundtrip(self, server):
+        srv, _ = server
+        payload = {"op": {"kind": "map", "splits": 2}, "urls": ["a", "b"]}
+        assert rpc_client(srv.address).echo(payload) == payload
+
+    def test_concurrent_calls(self, server):
+        srv, handler = server
+        errors = []
+
+        def hammer(n):
+            try:
+                client = rpc_client(srv.address)
+                for i in range(10):
+                    assert client.add(n, i) == n + i
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_client_timeout_on_dead_server(self):
+        handler = EchoHandler()
+        srv = RpcServer(handler)
+        address = srv.address
+        srv.shutdown()
+        client = rpc_client(address, timeout=0.5)
+        with pytest.raises(Exception):
+            client.echo("x")
+
+
+class TestAddresses:
+    def test_roundtrip(self):
+        assert parse_address(format_address("1.2.3.4", 99)) == ("1.2.3.4", 99)
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(ValueError):
+            parse_address("justahost")
+
+    def test_empty_host_defaults_to_loopback(self):
+        assert parse_address(":8000") == ("127.0.0.1", 8000)

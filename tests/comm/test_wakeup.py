@@ -1,0 +1,68 @@
+"""Pipe-based wakeup primitive."""
+
+import select
+import threading
+import time
+
+from repro.comm.wakeup import Wakeup
+
+
+class TestWakeup:
+    def test_wait_returns_false_on_timeout(self):
+        w = Wakeup()
+        try:
+            started = time.perf_counter()
+            assert w.wait(timeout=0.05) is False
+            assert time.perf_counter() - started >= 0.04
+        finally:
+            w.close()
+
+    def test_set_wakes_waiter(self):
+        w = Wakeup()
+        try:
+            w.set()
+            assert w.wait(timeout=1.0) is True
+        finally:
+            w.close()
+
+    def test_cross_thread_wakeup(self):
+        w = Wakeup()
+        try:
+            threading.Timer(0.02, w.set).start()
+            started = time.perf_counter()
+            assert w.wait(timeout=2.0) is True
+            assert time.perf_counter() - started < 1.0
+        finally:
+            w.close()
+
+    def test_repeated_sets_coalesce(self):
+        w = Wakeup()
+        try:
+            for _ in range(10_000):  # more than the pipe buffer
+                w.set()
+            assert w.wait(timeout=0.5) is True
+            # After clear, no residual wakeups.
+            assert w.wait(timeout=0.05) is False
+        finally:
+            w.close()
+
+    def test_usable_with_select(self):
+        w = Wakeup()
+        try:
+            w.set()
+            readable, _, _ = select.select([w.fileno()], [], [], 0.5)
+            assert readable
+        finally:
+            w.close()
+
+    def test_safe_after_close(self):
+        w = Wakeup()
+        w.close()
+        w.set()  # no crash
+        w.clear()
+        assert w.wait(timeout=0.01) is False
+
+    def test_double_close(self):
+        w = Wakeup()
+        w.close()
+        w.close()

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import os
+
+import pytest
+
+from repro.datagen import CorpusSpec, generate_corpus
+
+
+@pytest.fixture
+def text_file(tmp_path):
+    """A small multi-line text file."""
+    path = tmp_path / "input.txt"
+    path.write_text(
+        "the quick brown fox\n"
+        "jumps over the lazy dog\n"
+        "the dog sleeps\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def out_dir(tmp_path):
+    return str(tmp_path / "out")
+
+
+@pytest.fixture
+def small_corpus(tmp_path):
+    """A 12-file gutenberg-layout synthetic corpus."""
+    root = str(tmp_path / "corpus")
+    spec = CorpusSpec(n_files=12, mean_words_per_file=120, seed=1)
+    paths = generate_corpus(root, spec)
+    return root, paths
+
+
+def pair_dict(pairs):
+    """Collect (k, v) pairs into a dict, asserting unique keys."""
+    out = {}
+    for key, value in pairs:
+        assert key not in out, f"duplicate key {key!r}"
+        out[key] = value
+    return out

@@ -1,0 +1,117 @@
+"""Property-based tests of core dataflow invariants."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataset import LocalData, make_map_data, make_reduce_data
+from repro.core.job import Job
+from repro.core.options import default_options
+from repro.core.program import MapReduce
+from repro.io.partition import hash_partition
+from repro.runtime.serial import SerialBackend
+
+
+class Identity(MapReduce):
+    def map(self, key, value):
+        yield (key, value)
+
+    def reduce(self, key, values):
+        for value in values:
+            yield value
+
+    def count_reduce(self, key, values):
+        yield sum(1 for _ in values)
+
+
+def make_job():
+    program = Identity(default_options(), [])
+    return Job(SerialBackend(program), program), program
+
+
+pairs_strategy = st.lists(
+    st.tuples(
+        st.one_of(st.integers(min_value=-50, max_value=50),
+                  st.text(max_size=6)),
+        st.integers(),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(pairs_strategy, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_localdata_partitions_all_pairs(pairs, splits):
+    """Every pair lands in exactly one split; none invented or lost."""
+    data = LocalData(pairs, splits=splits)
+    reassembled = []
+    for split in range(splits):
+        reassembled.extend(data.splitdata(split))
+    assert collections.Counter(map(repr, reassembled)) == collections.Counter(
+        map(repr, pairs)
+    )
+
+
+@given(pairs_strategy, st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_map_identity_preserves_multiset(pairs, splits):
+    """An identity map over any partitioning preserves the multiset."""
+    job, program = make_job()
+    source = job.local_data(pairs, splits=min(splits, len(pairs)))
+    mapped = job.map_data(source, program.map, splits=splits)
+    job.wait(mapped)
+    assert collections.Counter(map(repr, mapped.data())) == (
+        collections.Counter(map(repr, pairs))
+    )
+
+
+@given(pairs_strategy, st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_reduce_counts_match_key_multiplicity(pairs, map_splits, reduce_splits):
+    """Counting reduce == Counter over keys, for any decomposition."""
+    job, program = make_job()
+    source = job.local_data(pairs, splits=min(map_splits, len(pairs)))
+    mapped = job.map_data(source, program.map, splits=map_splits)
+    reduced = job.reduce_data(mapped, program.count_reduce, splits=reduce_splits)
+    job.wait(reduced)
+    expected = collections.Counter(key for key, _ in pairs)
+    got = {}
+    for key, count in reduced.data():
+        assert key not in got, "same key reduced in two splits"
+        got[key] = count
+    assert got == dict(expected)
+
+
+@given(pairs_strategy, st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_same_key_same_split(pairs, splits):
+    """After a map, all occurrences of one key share a split column."""
+    job, program = make_job()
+    source = job.local_data(pairs, splits=min(3, len(pairs)))
+    mapped = job.map_data(source, program.map, splits=splits)
+    job.wait(mapped)
+    location = {}
+    for split in range(splits):
+        for key, _ in mapped.splitdata(split):
+            token = repr(key)
+            assert location.setdefault(token, split) == split
+            assert split == hash_partition(key, splits)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_chained_identities_stable(data):
+    """N chained identity maps leave the multiset unchanged."""
+    pairs = data.draw(pairs_strategy)
+    depth = data.draw(st.integers(min_value=1, max_value=4))
+    job, program = make_job()
+    dataset = job.local_data(pairs, splits=2)
+    for _ in range(depth):
+        dataset = job.map_data(dataset, program.map, splits=3)
+    job.wait(dataset)
+    assert collections.Counter(map(repr, dataset.data())) == (
+        collections.Counter(map(repr, pairs))
+    )

@@ -1,0 +1,152 @@
+"""Dataset grid semantics: LocalData, FileData, computed datasets."""
+
+import pytest
+
+from repro.core.dataset import (
+    BaseDataset,
+    FileData,
+    LocalData,
+    make_map_data,
+    make_reduce_data,
+    make_reducemap_data,
+)
+from repro.core.operations import MapOperation
+from repro.io.bucket import Bucket
+
+
+class TestBaseDataset:
+    def test_bucket_get_or_create(self):
+        ds = BaseDataset(splits=2)
+        bucket = ds.bucket(0, 1)
+        assert ds.bucket(0, 1) is bucket
+
+    def test_buckets_for_split(self):
+        ds = BaseDataset(splits=2)
+        ds.bucket(0, 0)
+        ds.bucket(1, 0)
+        ds.bucket(0, 1)
+        assert [b.source for b in ds.buckets_for_split(0)] == [0, 1]
+
+    def test_rejects_nonpositive_splits(self):
+        with pytest.raises(ValueError):
+            BaseDataset(splits=0)
+
+    def test_unique_ids(self):
+        assert BaseDataset().id != BaseDataset().id
+
+    def test_n_sources(self):
+        ds = BaseDataset()
+        assert ds.n_sources == 0
+        ds.bucket(3, 0)
+        assert ds.n_sources == 4
+
+    def test_clear_keeps_urls(self):
+        ds = BaseDataset()
+        bucket = Bucket(0, 0, url="file:/x")
+        bucket.addpair(("a", 1))
+        ds.add_bucket(bucket)
+        ds.clear()
+        assert len(ds.existing_buckets()[0]) == 0
+        assert ds.existing_buckets()[0].url == "file:/x"
+
+
+class TestLocalData:
+    def test_round_robin_default(self):
+        ds = LocalData([("a", 1), ("b", 2), ("c", 3)], splits=2)
+        assert ds.splitdata(0) == [("a", 1), ("c", 3)]
+        assert ds.splitdata(1) == [("b", 2)]
+
+    def test_custom_parter(self):
+        ds = LocalData(
+            [(0, "x"), (1, "y"), (2, "z")],
+            splits=2,
+            parter=lambda key, n: key % n,
+        )
+        assert ds.splitdata(0) == [(0, "x"), (2, "z")]
+
+    def test_all_split_columns_exist_even_empty(self):
+        ds = LocalData([("only", 1)], splits=4)
+        for split in range(4):
+            assert ds.buckets_for_split(split)
+
+    def test_complete_on_creation(self):
+        assert LocalData([("a", 1)]).complete
+
+    def test_rejects_non_pairs(self):
+        with pytest.raises(TypeError, match="item 1"):
+            LocalData([("ok", 1), "not-a-pair"])
+
+    def test_rejects_out_of_range_parter(self):
+        with pytest.raises(ValueError, match="outside"):
+            LocalData([("a", 1)], splits=2, parter=lambda k, n: 7)
+
+    def test_data_returns_everything(self):
+        pairs = [(i, i * i) for i in range(7)]
+        ds = LocalData(pairs, splits=3)
+        assert sorted(ds.data()) == pairs
+
+
+class TestFileData:
+    def test_one_bucket_per_file(self, text_file):
+        ds = FileData([text_file, text_file])
+        assert ds.splits == 2
+        assert ds.complete
+
+    def test_urls_get_file_scheme(self, text_file):
+        ds = FileData([text_file])
+        assert ds.existing_buckets()[0].url == "file:" + text_file
+
+    def test_existing_scheme_preserved(self):
+        ds = FileData(["http://host:1/x.mrsb"])
+        assert ds.existing_buckets()[0].url == "http://host:1/x.mrsb"
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            FileData([])
+
+    def test_fetchall_loads_lines(self, text_file):
+        ds = FileData([text_file])
+        ds.fetchall()
+        pairs = ds.data()
+        assert pairs[0] == (0, "the quick brown fox")
+
+
+class TestComputedFactories:
+    def test_map_data_tasks_follow_input_splits(self):
+        source = LocalData([(i, i) for i in range(6)], splits=3)
+        ds = make_map_data(source, "map", splits=2)
+        assert ds.ntasks == 3
+        assert ds.splits == 2
+        assert ds.operation.map_name == "map"
+        assert not ds.complete
+
+    def test_callable_names_extracted(self):
+        class Prog:
+            def my_map(self):
+                pass
+
+        source = LocalData([(0, 0)])
+        ds = make_map_data(source, Prog.my_map, splits=1)
+        assert ds.operation.map_name == "my_map"
+
+    def test_reduce_data(self):
+        source = LocalData([(0, 0)], splits=2)
+        ds = make_reduce_data(source, "reduce", splits=5)
+        assert ds.operation.reduce_name == "reduce"
+        assert ds.ntasks == 2
+        assert ds.splits == 5
+
+    def test_reducemap_data(self):
+        source = LocalData([(0, 0)])
+        ds = make_reducemap_data(source, "reduce", "map", splits=2)
+        assert ds.operation.reduce_name == "reduce"
+        assert ds.operation.map_name == "map"
+
+    def test_affinity_group_defaults_to_id(self):
+        ds = BaseDataset()
+        assert ds.affinity_group == ds.id
+
+    def test_id_prefixes_reflect_kind(self):
+        source = LocalData([(0, 0)])
+        assert make_map_data(source, "m", splits=1).id.startswith("map")
+        assert make_reduce_data(source, "r", splits=1).id.startswith("reduce")

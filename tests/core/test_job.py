@@ -1,0 +1,132 @@
+"""Job facade: dataset registry, queueing, wait semantics."""
+
+import pytest
+
+from repro.core.job import Job, JobError
+from repro.core.main import run_program
+from repro.core.options import default_options
+from repro.core.program import MapReduce
+from repro.runtime.serial import SerialBackend
+
+
+class Doubler(MapReduce):
+    def map(self, key, value):
+        yield (key, value * 2)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+    def bad_map(self, key, value):
+        raise RuntimeError("intentional failure")
+
+
+@pytest.fixture
+def job():
+    program = Doubler(default_options(), [])
+    return Job(SerialBackend(program), program), program
+
+
+class TestDatasetCreation:
+    def test_local_data_registered(self, job):
+        j, _ = job
+        ds = j.local_data([("a", 1)])
+        assert j.get_dataset(ds.id) is ds
+
+    def test_map_data_is_lazy(self, job):
+        j, p = job
+        source = j.local_data([(1, 1)])
+        mapped = j.map_data(source, p.map)
+        assert not mapped.complete  # queued, not computed
+
+    def test_wait_completes_queued_chain(self, job):
+        j, p = job
+        source = j.local_data([(1, 1), (2, 2)], splits=2)
+        mapped = j.map_data(source, p.map)
+        reduced = j.reduce_data(mapped, p.reduce)
+        done = j.wait(reduced)
+        assert reduced in done
+        assert sorted(reduced.data()) == [(1, 2), (2, 4)]
+
+    def test_wait_empty_is_noop(self, job):
+        j, _ = job
+        assert j.wait() == []
+
+    def test_duplicate_ids_rejected(self, job):
+        j, _ = job
+        ds = j.local_data([("a", 1)])
+        with pytest.raises(ValueError, match="duplicate"):
+            j._register(ds)
+
+    def test_default_splits_from_backend(self, job):
+        j, p = job
+        source = j.local_data([(1, 1)])
+        mapped = j.map_data(source, p.map)
+        assert mapped.splits == SerialBackend.default_splits
+
+
+class TestFailurePropagation:
+    def test_failed_task_raises_joberror_on_wait(self, job):
+        j, p = job
+        source = j.local_data([(1, 1)])
+        mapped = j.map_data(source, p.bad_map)
+        with pytest.raises(JobError, match="intentional failure"):
+            j.wait(mapped)
+
+    def test_error_recorded_on_dataset(self, job):
+        j, p = job
+        source = j.local_data([(1, 1)])
+        mapped = j.map_data(source, p.bad_map)
+        with pytest.raises(JobError):
+            j.wait(mapped)
+        assert mapped.error is not None
+
+
+class TestProgress:
+    def test_progress_zero_then_one(self, job):
+        j, p = job
+        source = j.local_data([(1, 1)])
+        mapped = j.map_data(source, p.map)
+        assert j.progress(mapped) == 0.0
+        j.wait(mapped)
+        assert j.progress(mapped) == 1.0
+
+
+class TestRemoveData:
+    def test_remove_clears_pairs(self, job):
+        j, p = job
+        source = j.local_data([(1, 1)])
+        mapped = j.map_data(source, p.map)
+        j.wait(mapped)
+        assert mapped.data()
+        j.remove_data(mapped)
+        assert mapped.data() == []
+
+
+class ChainProgram(MapReduce):
+    """Three chained operations queued before any wait."""
+
+    def map(self, key, value):
+        yield (key, value + 1)
+
+    def reduce(self, key, values):
+        yield max(values)
+
+    def run(self, job):
+        source = job.local_data([(i, 0) for i in range(4)], splits=2)
+        a = job.map_data(source, self.map)
+        b = job.map_data(a, self.map)
+        c = job.reduce_data(b, self.reduce)
+        job.wait(c)
+        self.result = sorted(c.data())
+        return 0
+
+
+def test_deep_pipeline_queues_then_resolves():
+    prog = run_program(ChainProgram, [], impl="serial")
+    assert prog.result == [(i, 2) for i in range(4)]
+
+
+def test_deep_pipeline_mockparallel_matches():
+    a = run_program(ChainProgram, [], impl="serial").result
+    b = run_program(ChainProgram, [], impl="mockparallel").result
+    assert a == b

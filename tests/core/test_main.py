@@ -1,0 +1,82 @@
+"""The mrs.main dispatcher."""
+
+import pytest
+
+from repro.core.main import main, run_program
+from repro.core.program import MapReduce
+
+
+class Recorder(MapReduce):
+    """Program that records which path ran."""
+
+    def map(self, key, value):
+        yield (key, value)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+    def run(self, job):
+        source = job.local_data([(0, 1), (1, 2)])
+        out = job.reduce_data(job.map_data(source, self.map), self.reduce)
+        job.wait(out)
+        self.ran = "run"
+        self.pairs = sorted(out.data())
+        return 0
+
+    def bypass(self):
+        self.ran = "bypass"
+        return 0
+
+
+class Failing(Recorder):
+    def run(self, job):
+        return 3
+
+
+class TestMainDispatch:
+    def test_serial_default(self, capsys):
+        status = main(Recorder, ["dummy_in", "dummy_out"])
+        assert status == 0
+
+    def test_explicit_serial(self):
+        assert main(Recorder, ["--mrs", "serial", "a", "b"]) == 0
+
+    def test_bypass_path(self):
+        assert main(Recorder, ["--mrs", "bypass"]) == 0
+
+    def test_nonzero_exit_propagates(self):
+        assert main(Failing, []) == 3
+
+    def test_bad_impl_exits(self):
+        with pytest.raises(SystemExit):
+            main(Recorder, ["--mrs", "nonsense"])
+
+    def test_slave_requires_master_address(self):
+        with pytest.raises(ValueError, match="mrs-master"):
+            main(Recorder, ["--mrs", "slave"])
+
+    def test_verbose_flag_accepted(self):
+        assert main(Recorder, ["--mrs-verbose"]) == 0
+
+
+class TestRunProgram:
+    def test_returns_program_instance(self):
+        prog = run_program(Recorder, [], impl="serial")
+        assert prog.ran == "run"
+        assert prog.pairs == [(0, 1), (1, 2)]
+
+    def test_bypass_impl(self):
+        prog = run_program(Recorder, [], impl="bypass")
+        assert prog.ran == "bypass"
+
+    def test_nonzero_status_raises(self):
+        with pytest.raises(RuntimeError, match="status 3"):
+            run_program(Failing, [], impl="serial")
+
+    def test_opt_overrides_applied(self):
+        prog = run_program(Recorder, [], impl="serial", seed=777)
+        assert prog.opts.seed == 777
+
+    def test_positional_args_separated(self):
+        prog = run_program(Recorder, ["in.txt", "out"], impl="bypass")
+        assert prog.args == ["in.txt", "out"]

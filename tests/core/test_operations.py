@@ -1,0 +1,96 @@
+"""Operation descriptors: wire round-trips and method resolution."""
+
+import pytest
+
+from repro.core.operations import (
+    MapOperation,
+    Operation,
+    ReduceMapOperation,
+    ReduceOperation,
+    callable_name,
+)
+
+
+class TestCallableName:
+    def test_none_passthrough(self):
+        assert callable_name(None) is None
+
+    def test_string_passthrough(self):
+        assert callable_name("map") == "map"
+
+    def test_function_name(self):
+        def my_func():
+            pass
+
+        assert callable_name(my_func) == "my_func"
+
+    def test_bound_method(self):
+        class P:
+            def reduce(self):
+                pass
+
+        assert callable_name(P().reduce) == "reduce"
+
+    def test_unnameable_rejected(self):
+        with pytest.raises(TypeError):
+            callable_name(42)
+
+
+class TestWireRoundTrip:
+    def test_map_operation(self):
+        op = MapOperation("map", splits=3, combine_name="combine")
+        clone = Operation.from_dict(op.to_dict())
+        assert isinstance(clone, MapOperation)
+        assert clone.map_name == "map"
+        assert clone.splits == 3
+        assert clone.combine_name == "combine"
+        assert clone.parter_name == "partition"
+
+    def test_reduce_operation(self):
+        op = ReduceOperation("reduce", splits=2, parter_name="mod_partition")
+        clone = Operation.from_dict(op.to_dict())
+        assert isinstance(clone, ReduceOperation)
+        assert clone.reduce_name == "reduce"
+        assert clone.parter_name == "mod_partition"
+
+    def test_reducemap_operation(self):
+        op = ReduceMapOperation("reduce", "map", splits=4)
+        clone = Operation.from_dict(op.to_dict())
+        assert isinstance(clone, ReduceMapOperation)
+        assert (clone.reduce_name, clone.map_name) == ("reduce", "map")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            Operation.from_dict({"kind": "mystery", "splits": 1})
+
+    def test_dict_is_xmlrpc_safe(self):
+        """Only scalars/strings/None — serializable by xmlrpc."""
+        d = ReduceMapOperation("r", "m", splits=2, combine_name=None).to_dict()
+        for value in d.values():
+            assert value is None or isinstance(value, (str, int))
+
+
+class TestValidation:
+    def test_rejects_nonpositive_splits(self):
+        with pytest.raises(ValueError):
+            MapOperation("map", splits=0)
+
+    def test_resolve_finds_method(self):
+        class P:
+            def map(self, k, v):
+                return []
+
+        op = MapOperation("map", splits=1)
+        assert callable(op.resolve(P(), "map"))
+
+    def test_resolve_missing_method_is_informative(self):
+        class P:
+            pass
+
+        op = MapOperation("mapper", splits=1)
+        with pytest.raises(AttributeError, match="mapper"):
+            op.resolve(P(), "mapper")
+
+    def test_resolve_none_is_none(self):
+        op = MapOperation("map", splits=1)
+        assert op.resolve(object(), None) is None

@@ -1,0 +1,85 @@
+"""Command-line option parsing."""
+
+import pytest
+
+from repro.core.options import default_options, make_parser, parse_options
+
+
+class TestParseOptions:
+    def test_defaults(self):
+        opts, args = parse_options(None, [])
+        assert opts.mrs_impl == "serial"
+        assert opts.seed == 0
+        assert opts.data_plane == "file"
+        assert args == []
+
+    def test_implementation_case_insensitive(self):
+        opts, _ = parse_options(None, ["--mrs", "MockParallel"])
+        assert opts.mrs_impl == "mockparallel"
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_options(None, ["--mrs", "quantum"])
+
+    def test_positional_args_pass_through(self):
+        _, args = parse_options(None, ["in.txt", "out"])
+        assert args == ["in.txt", "out"]
+
+    def test_stray_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_options(None, ["--not-a-real-flag"])
+
+    def test_master_slave_options(self):
+        opts, _ = parse_options(
+            None,
+            ["--mrs", "slave", "--mrs-master", "10.0.0.1:4000"],
+        )
+        assert opts.master == "10.0.0.1:4000"
+
+    def test_numeric_options(self):
+        opts, _ = parse_options(
+            None, ["--mrs-seed", "99", "--mrs-reduce-tasks", "7"]
+        )
+        assert opts.seed == 99
+        assert opts.reduce_tasks == 7
+
+    def test_data_plane_choices(self):
+        opts, _ = parse_options(None, ["--mrs-data-plane", "http"])
+        assert opts.data_plane == "http"
+        with pytest.raises(SystemExit):
+            parse_options(None, ["--mrs-data-plane", "carrier-pigeon"])
+
+
+class TestProgramOptions:
+    def test_program_parser_hook(self):
+        class Prog:
+            @classmethod
+            def update_parser(cls, parser):
+                parser.add_argument("--flavor", default="plain")
+                return parser
+
+        opts, _ = parse_options(Prog, ["--flavor", "spicy"])
+        assert opts.flavor == "spicy"
+
+    def test_program_flags_and_mrs_flags_coexist(self):
+        class Prog:
+            @classmethod
+            def update_parser(cls, parser):
+                parser.add_argument("--n", type=int, default=1)
+                return parser
+
+        opts, args = parse_options(
+            Prog, ["--mrs-seed", "3", "--n", "5", "input", "output"]
+        )
+        assert (opts.seed, opts.n) == (3, 5)
+        assert args == ["input", "output"]
+
+
+class TestDefaultOptions:
+    def test_overrides_applied(self):
+        opts = default_options(seed=123, custom_thing="x")
+        assert opts.seed == 123
+        assert opts.custom_thing == "x"
+
+    def test_parser_builds_without_program(self):
+        assert make_parser(None) is not None

@@ -1,0 +1,153 @@
+"""MapReduce program base class defaults and helpers."""
+
+import os
+
+import pytest
+
+from repro.core.main import run_program
+from repro.core.options import default_options
+from repro.core.program import IterativeMR, MapReduce, expand_input_paths
+
+
+class Minimal(MapReduce):
+    def map(self, key, value):
+        yield (value, 1)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+
+class TestDefaults:
+    def test_map_reduce_required(self):
+        prog = MapReduce(default_options(), [])
+        with pytest.raises(NotImplementedError):
+            list(prog.map(0, "x"))
+        with pytest.raises(NotImplementedError):
+            list(prog.reduce("x", iter([1])))
+
+    def test_bypass_not_implemented_by_default(self):
+        with pytest.raises(NotImplementedError):
+            MapReduce(default_options(), []).bypass()
+
+    def test_default_partition_is_stable_hash(self):
+        prog = Minimal(default_options(), [])
+        assert prog.partition("word", 4) == prog.partition("word", 4)
+        assert 0 <= prog.partition("word", 4) < 4
+
+    def test_output_dir_is_last_arg(self):
+        prog = Minimal(default_options(), ["a", "b", "outdir"])
+        assert prog.output_dir == "outdir"
+
+    def test_input_data_requires_two_args(self):
+        prog = Minimal(default_options(), ["only-one"])
+        with pytest.raises(ValueError, match="usage"):
+            prog.input_data(None)
+
+
+class TestRandomMethod:
+    def test_seed_prefixes_streams(self):
+        p1 = Minimal(default_options(seed=1), [])
+        p2 = Minimal(default_options(seed=2), [])
+        assert p1.random(5).random() != p2.random(5).random()
+
+    def test_same_seed_same_stream(self):
+        p1 = Minimal(default_options(seed=9), [])
+        p2 = Minimal(default_options(seed=9), [])
+        assert p1.random(1, 2).random() == p2.random(1, 2).random()
+
+    def test_numpy_random(self):
+        prog = Minimal(default_options(seed=4), [])
+        assert (prog.numpy_random(1).random(3) == prog.numpy_random(1).random(3)).all()
+
+
+class TestExpandInputPaths:
+    def test_plain_file(self, text_file):
+        assert expand_input_paths([text_file]) == [text_file]
+
+    def test_directory_walk_sorted(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "b.txt").write_text("b")
+        (tmp_path / "a.txt").write_text("a")
+        (tmp_path / "sub" / "c.txt").write_text("c")
+        found = expand_input_paths([str(tmp_path)])
+        names = [os.path.basename(p) for p in found]
+        assert names == ["a.txt", "b.txt", "c.txt"]
+
+    def test_glob_pattern(self, tmp_path):
+        for name in ("x1.log", "x2.log", "y.txt"):
+            (tmp_path / name).write_text("data")
+        found = expand_input_paths([str(tmp_path / "x*.log")])
+        assert len(found) == 2
+
+    def test_missing_input_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            expand_input_paths([str(tmp_path / "absent*.txt")])
+
+    def test_urls_pass_through(self):
+        url = "http://host:1/data.mrsb"
+        assert expand_input_paths([url]) == [url]
+
+    def test_order_preserved_across_arguments(self, tmp_path):
+        a = tmp_path / "zz.txt"
+        b = tmp_path / "aa.txt"
+        a.write_text("1")
+        b.write_text("2")
+        assert expand_input_paths([str(a), str(b)]) == [str(a), str(b)]
+
+
+class TestDefaultRun:
+    def test_end_to_end_writes_output_dir(self, text_file, out_dir):
+        prog = run_program(Minimal, [text_file, out_dir], impl="serial")
+        pairs = dict(prog.output_data.data())
+        assert pairs["the quick brown fox"] == 1
+        assert os.path.isdir(out_dir)
+
+    def test_reduce_tasks_option_respected(self, text_file, out_dir):
+        prog = run_program(
+            Minimal, [text_file, out_dir], impl="serial", reduce_tasks=3
+        )
+        assert prog.output_data.splits == 3
+
+
+class CountDown(IterativeMR):
+    """Iterative program that queues local maps until a counter hits 0."""
+
+    def __init__(self, opts, args):
+        super().__init__(opts, args)
+        self.remaining = 4
+        self.consumed = []
+
+    def noop_map(self, key, value):
+        yield (key, value + 1)
+
+    def producer(self, job):
+        if self.remaining <= 0:
+            return []
+        source = job.local_data([(0, self.remaining)])
+        self.remaining -= 1
+        return [job.map_data(source, self.noop_map, splits=1)]
+
+    def consumer(self, dataset):
+        self.consumed.append(dataset.data())
+        return True
+
+
+class TestIterativeMR:
+    def test_producer_consumer_loop(self):
+        prog = run_program(CountDown, [], impl="serial")
+        assert len(prog.consumed) == 4
+        assert prog.consumed[0] == [(0, 5)]
+
+    def test_consumer_can_stop_early(self):
+        class StopAtTwo(CountDown):
+            def __init__(self, opts, args):
+                super().__init__(opts, args)
+                self.remaining = 100
+
+            def consumer(self, dataset):
+                self.consumed.append(dataset)
+                return len(self.consumed) < 2
+
+        prog = run_program(StopAtTwo, [], impl="serial")
+        # qmax lookahead means at most consumed + qmax were produced.
+        assert 2 <= len(prog.consumed) <= 2 + prog.iterative_qmax

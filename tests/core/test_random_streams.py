@@ -1,0 +1,123 @@
+"""Independent pseudorandom streams: injectivity and determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.random_streams import (
+    MAX_OFFSETS,
+    numpy_stream,
+    random_stream,
+    spawn_seeds,
+    stream_seed,
+)
+
+offsets_strategy = st.lists(
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    max_size=8,
+)
+
+
+class TestStreamSeed:
+    def test_no_offsets(self):
+        assert stream_seed() == 1
+
+    def test_length_matters(self):
+        assert stream_seed(0) != stream_seed(0, 0)
+        assert stream_seed() != stream_seed(0)
+
+    def test_order_matters(self):
+        assert stream_seed(1, 2) != stream_seed(2, 1)
+
+    def test_negative_offsets_fold_to_distinct_lanes(self):
+        assert stream_seed(-1) != stream_seed(1)
+        assert stream_seed(-1) == stream_seed(2**64 - 1)  # two's complement
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            stream_seed(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            stream_seed(1.5)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            stream_seed(2**64)
+        with pytest.raises(ValueError):
+            stream_seed(-(2**63) - 1)
+
+    def test_paper_scale_300_offsets(self):
+        """The paper: 'around 300 arguments that are each 64-bit
+        integers'."""
+        offsets = list(range(MAX_OFFSETS))
+        seed = stream_seed(*offsets)
+        assert seed != stream_seed(*offsets[:-1])
+        assert seed.bit_length() <= 64 * MAX_OFFSETS + 1
+
+
+class TestRandomStream:
+    def test_same_offsets_same_sequence(self):
+        a = [random_stream(3, 4).random() for _ in range(3)]
+        b = [random_stream(3, 4).random() for _ in range(3)]
+        assert a == b
+
+    def test_different_offsets_different_sequences(self):
+        a = random_stream(1).random()
+        b = random_stream(2).random()
+        assert a != b
+
+    def test_streams_are_independent_objects(self):
+        s1 = random_stream(9)
+        s2 = random_stream(9)
+        s1.random()
+        assert s2.random() == random_stream(9).random()
+
+    def test_task_style_usage(self):
+        """One stream per (seed, dataset, task): all distinct."""
+        draws = {
+            random_stream(42, ds, task).random()
+            for ds in range(5)
+            for task in range(5)
+        }
+        assert len(draws) == 25
+
+
+class TestNumpyStream:
+    def test_deterministic(self):
+        a = numpy_stream(1, 2).random(4)
+        b = numpy_stream(1, 2).random(4)
+        assert (a == b).all()
+
+    def test_distinct_from_other_offsets(self):
+        assert numpy_stream(1).random() != numpy_stream(2).random()
+
+    def test_distinct_from_stdlib_stream(self):
+        # Same offsets, different generator families: no accidental
+        # coupling expected (sanity, not a hard guarantee).
+        assert numpy_stream(5).random() != random_stream(5).random()
+
+
+class TestSpawnSeeds:
+    def test_count_and_distinctness(self):
+        seeds = list(spawn_seeds(7, 10))
+        assert len(seeds) == 10
+        assert len(set(seeds)) == 10
+
+    def test_matches_stream_seed(self):
+        assert list(spawn_seeds(3, 2)) == [stream_seed(3, 0), stream_seed(3, 1)]
+
+
+@given(offsets_strategy, offsets_strategy)
+@settings(max_examples=200)
+def test_injectivity_property(a, b):
+    """Distinct offset tuples (mod 64-bit folding) give distinct seeds."""
+    fold = lambda xs: tuple(x & (2**64 - 1) for x in xs)
+    if fold(a) != fold(b):
+        assert stream_seed(*a) != stream_seed(*b)
+    else:
+        assert stream_seed(*a) == stream_seed(*b)
+
+
+@given(offsets_strategy)
+def test_seed_positive(offsets):
+    assert stream_seed(*offsets) >= 1

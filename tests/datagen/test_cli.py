@@ -1,0 +1,59 @@
+"""Command-line entry points."""
+
+import os
+
+import pytest
+
+from repro.datagen.__main__ import main as datagen_main
+from repro.hadoopsim.__main__ import main as hadoopsim_main
+
+
+class TestDatagenCli:
+    def test_generates_corpus(self, tmp_path, capsys):
+        outdir = str(tmp_path / "c")
+        status = datagen_main(
+            [outdir, "--files", "10", "--mean-words", "50", "--seed", "4"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "10 files" in out
+        assert os.path.isdir(outdir)
+
+    def test_flat_layout(self, tmp_path, capsys):
+        outdir = str(tmp_path / "f")
+        datagen_main([outdir, "--files", "5", "--layout", "flat",
+                      "--mean-words", "20"])
+        assert "in 1 directories" in capsys.readouterr().out
+
+    def test_requires_outdir(self):
+        with pytest.raises(SystemExit):
+            datagen_main([])
+
+
+class TestHadoopsimCli:
+    def test_overhead(self, capsys):
+        assert hadoopsim_main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "30" in out
+
+    def test_job(self, capsys):
+        status = hadoopsim_main(
+            ["job", "--maps", "8", "--map-seconds", "2",
+             "--reduces", "2", "--reduce-seconds", "1"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+        assert "map_phase" in out
+
+    def test_enumerate_matches_model(self, capsys):
+        hadoopsim_main(["enumerate", "--files", "31173"])
+        out = capsys.readouterr().out
+        assert "min" in out
+        # the paper's nine-minute number
+        minutes = float(out.split("(")[1].split(" min")[0])
+        assert 8 <= minutes <= 11
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            hadoopsim_main([])

@@ -1,0 +1,141 @@
+"""Synthetic corpus and Zipf vocabulary."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.random_streams import numpy_stream
+from repro.datagen.corpus import (
+    CorpusSpec,
+    corpus_file_list,
+    count_dirs,
+    document_lengths,
+    flat_path,
+    generate_corpus,
+    gutenberg_path,
+)
+from repro.datagen.zipf import ZipfVocabulary, synthetic_word, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(100).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50)
+        assert (np.diff(weights) < 0).all()
+
+    def test_zipf_ratio(self):
+        weights = zipf_weights(10, exponent=1.0)
+        assert weights[0] / weights[1] == pytest.approx(2.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, exponent=0)
+
+
+class TestSyntheticWords:
+    def test_first_words(self):
+        assert [synthetic_word(i) for i in range(3)] == ["a", "b", "c"]
+
+    def test_rollover(self):
+        assert synthetic_word(26) == "aa"
+
+    def test_unique(self):
+        words = [synthetic_word(i) for i in range(2000)]
+        assert len(set(words)) == 2000
+
+
+class TestVocabulary:
+    def test_sampling_deterministic(self):
+        vocab = ZipfVocabulary(100)
+        a = vocab.sample_words(20, numpy_stream(1))
+        b = vocab.sample_words(20, numpy_stream(1))
+        assert a == b
+
+    def test_head_words_dominate(self):
+        vocab = ZipfVocabulary(1000, exponent=1.1)
+        indices = vocab.sample_indices(20_000, numpy_stream(2))
+        top_ten_share = (indices < 10).mean()
+        assert top_ten_share > 0.25
+
+    def test_text_token_count(self):
+        vocab = ZipfVocabulary(50)
+        text = vocab.text(37, numpy_stream(3))
+        assert len(text.split()) == 37
+
+    def test_empty_text(self):
+        assert ZipfVocabulary(10).text(0, numpy_stream(4)) == ""
+
+
+class TestPaths:
+    def test_gutenberg_digit_tree(self):
+        assert gutenberg_path("/r", 1234) == "/r/1/2/3/1234/1234.txt"
+
+    def test_single_digit_under_zero(self):
+        assert gutenberg_path("/r", 7) == "/r/0/7/7.txt"
+
+    def test_flat(self):
+        assert flat_path("/r", 42) == "/r/42.txt"
+
+
+class TestGenerateCorpus:
+    def test_file_count_and_listing(self, tmp_path):
+        spec = CorpusSpec(n_files=20, mean_words_per_file=50, seed=2)
+        paths = generate_corpus(str(tmp_path / "c"), spec)
+        assert len(paths) == 20
+        assert corpus_file_list(str(tmp_path / "c")) == sorted(paths)
+
+    def test_gutenberg_layout_many_dirs(self, tmp_path):
+        spec = CorpusSpec(n_files=30, mean_words_per_file=20, seed=1)
+        generate_corpus(str(tmp_path / "g"), spec)
+        assert count_dirs(str(tmp_path / "g")) > 30  # one dir per book + tree
+
+    def test_flat_layout_single_dir(self, tmp_path):
+        spec = CorpusSpec(n_files=30, mean_words_per_file=20, seed=1,
+                          layout="flat")
+        generate_corpus(str(tmp_path / "f"), spec)
+        assert count_dirs(str(tmp_path / "f")) == 1
+
+    def test_deterministic_bytes(self, tmp_path):
+        spec = CorpusSpec(n_files=5, mean_words_per_file=100, seed=7)
+        a = generate_corpus(str(tmp_path / "a"), spec)
+        b = generate_corpus(str(tmp_path / "b"), spec)
+        for pa, pb in zip(a, b):
+            assert open(pa, "rb").read() == open(pb, "rb").read()
+
+    def test_layout_change_keeps_content(self, tmp_path):
+        base = dict(n_files=5, mean_words_per_file=60, seed=3)
+        g = generate_corpus(str(tmp_path / "g"), CorpusSpec(**base))
+        f = generate_corpus(
+            str(tmp_path / "f"), CorpusSpec(layout="flat", **base)
+        )
+        assert [open(p).read() for p in g] == [open(p).read() for p in f]
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            CorpusSpec(n_files=0)
+        with pytest.raises(ValueError):
+            CorpusSpec(layout="spiral")
+
+    def test_document_lengths_positive(self):
+        spec = CorpusSpec(n_files=100, mean_words_per_file=500, sigma=1.0)
+        lengths = document_lengths(spec, numpy_stream(5))
+        assert (lengths >= 1).all()
+        assert 100 <= lengths.mean() <= 2500  # log-normal around the mean
+
+    def test_constant_lengths_when_sigma_zero(self):
+        spec = CorpusSpec(n_files=10, mean_words_per_file=100, sigma=0.0)
+        lengths = document_lengths(spec, numpy_stream(6))
+        assert (lengths == 100).all()
+
+
+@given(st.integers(min_value=1, max_value=5000))
+@settings(max_examples=50)
+def test_synthetic_word_bijective(index):
+    word = synthetic_word(index)
+    assert word.isalpha() and word.islower()

@@ -1,0 +1,105 @@
+"""HadoopJob facade: modeled runs, real-execution parity."""
+
+import pytest
+
+from repro.apps.wordcount import WordCountCombined, count_words_serially
+from repro.core.main import run_program
+from repro.core.options import default_options
+from repro.hadoopsim import HadoopCluster, HadoopJob
+from repro.hadoopsim.costmodel import HadoopCostModel
+
+
+class TestRunModeled:
+    def test_scalar_durations_expand(self):
+        result = HadoopJob().run_modeled(
+            map_seconds=1.0, n_map_tasks=4, reduce_seconds=0.5, n_reduce_tasks=2
+        )
+        assert result.n_map_tasks == 4
+        assert result.n_reduce_tasks == 2
+
+    def test_scalar_requires_count(self):
+        with pytest.raises(ValueError):
+            HadoopJob().run_modeled(map_seconds=1.0)
+
+    def test_per_job_overhead_is_paper_floor(self):
+        assert 28.0 <= HadoopJob().per_job_overhead() <= 36.0
+
+    def test_compute_dominates_at_scale(self):
+        """Fig 3 right side: for long tasks, total ≈ compute."""
+        job = HadoopJob(HadoopCluster(n_nodes=4, map_slots_per_node=2))
+        result = job.run_modeled(
+            map_seconds=300.0, n_map_tasks=8, reduce_seconds=0.0,
+            n_reduce_tasks=1,
+        )
+        assert result.modeled_seconds >= 300.0
+        assert result.modeled_seconds <= 300.0 + 60.0
+
+    def test_startup_seconds_property(self):
+        result = HadoopJob().run_modeled(
+            map_seconds=0.0, n_map_tasks=1, enumeration_seconds=120.0
+        )
+        assert result.startup_seconds >= 120.0
+
+
+class TestRunProgram:
+    def test_output_parity_with_mrs_serial(self, small_corpus, tmp_path):
+        """The simulator executes real user code: its WordCount output
+        must equal the Mrs serial run and the plain Counter."""
+        root, paths = small_corpus
+        program = WordCountCombined(default_options(), [])
+        result = HadoopJob().run_program(
+            program, paths, n_reduce_tasks=2, combiner=program.combine
+        )
+        hadoop_counts = dict(result.pairs)
+
+        mrs_prog = run_program(
+            WordCountCombined, [root, str(tmp_path / "out")], impl="serial"
+        )
+        mrs_counts = dict(mrs_prog.output_data.iterdata())
+        assert hadoop_counts == mrs_counts
+
+        lines = []
+        for path in paths:
+            lines.extend(open(path).read().splitlines())
+        assert hadoop_counts == count_words_serially(lines)
+
+    def test_enumeration_reflects_tree_shape(self, small_corpus):
+        root, paths = small_corpus
+        program = WordCountCombined(default_options(), [])
+        result = HadoopJob().run_program(program, paths)
+        assert result.breakdown.get("input_enumeration") > 0
+
+    def test_one_map_task_per_file(self, small_corpus):
+        _, paths = small_corpus
+        program = WordCountCombined(default_options(), [])
+        result = HadoopJob().run_program(program, paths)
+        assert result.n_map_tasks == len(paths)
+
+    def test_parity_timings_recorded(self, small_corpus):
+        _, paths = small_corpus
+        program = WordCountCombined(default_options(), [])
+        result = HadoopJob().run_program(program, paths)
+        assert len(result.parity.map_seconds) == len(paths)
+        assert all(s >= 0 for s in result.parity.map_seconds)
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper_cluster(self):
+        cluster = HadoopCluster()
+        assert cluster.n_nodes == 21
+
+    def test_slot_totals(self):
+        cluster = HadoopCluster(n_nodes=3, map_slots_per_node=4,
+                                reduce_slots_per_node=2)
+        assert cluster.total_map_slots == 12
+        assert cluster.total_reduce_slots == 6
+
+    def test_model_overrides(self):
+        model = HadoopCostModel().with_overrides(heartbeat_interval=1.0)
+        fast = HadoopJob(HadoopCluster(model=model)).per_job_overhead()
+        slow = HadoopJob().per_job_overhead()
+        assert fast < slow
+
+    def test_invalid_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            HadoopCluster(n_nodes=0)

@@ -1,0 +1,66 @@
+"""Virtual clock and event ordering."""
+
+import pytest
+
+from repro.hadoopsim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_events_fire_in_time_order(self):
+        clock = VirtualClock()
+        fired = []
+        clock.schedule(2.0, lambda: fired.append("late"))
+        clock.schedule(1.0, lambda: fired.append("early"))
+        clock.run_until_idle()
+        assert fired == ["early", "late"]
+        assert clock.now == 2.0
+
+    def test_ties_fire_in_insertion_order(self):
+        clock = VirtualClock()
+        fired = []
+        for name in ("a", "b", "c"):
+            clock.schedule(1.0, lambda n=name: fired.append(n))
+        clock.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_events_can_schedule_events(self):
+        clock = VirtualClock()
+        fired = []
+
+        def recurse(depth):
+            fired.append(clock.now)
+            if depth:
+                clock.schedule(1.5, lambda: recurse(depth - 1))
+
+        clock.schedule(0.0, lambda: recurse(3))
+        clock.run_until_idle()
+        assert fired == [0.0, 1.5, 3.0, 4.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        clock = VirtualClock()
+        clock.schedule(1.0, lambda: None)
+        clock.run_until_idle()
+        with pytest.raises(ValueError):
+            clock.schedule_at(0.5, lambda: None)
+
+    def test_runaway_guard(self):
+        clock = VirtualClock()
+
+        def forever():
+            clock.schedule(1.0, forever)
+
+        clock.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            clock.run_until_idle(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert VirtualClock().step() is False
+
+    def test_pending_count(self):
+        clock = VirtualClock()
+        clock.schedule(1, lambda: None)
+        assert clock.pending == 1

@@ -1,0 +1,108 @@
+"""Mini-HDFS namespace, block placement, enumeration costs."""
+
+import pytest
+
+from repro.hadoopsim.costmodel import HadoopCostModel
+from repro.hadoopsim.hdfs import HDFSError, MiniHDFS
+
+
+@pytest.fixture
+def hdfs():
+    return MiniHDFS(n_datanodes=4, block_size=100, replication=3)
+
+
+class TestNamespace:
+    def test_put_creates_parents(self, hdfs):
+        hdfs.put("/a/b/c/file.txt", 10)
+        assert hdfs.is_dir("/a/b/c")
+        assert hdfs.exists("/a/b/c/file.txt")
+        assert hdfs.size_of("/a/b/c/file.txt") == 10
+
+    def test_listdir_sorted(self, hdfs):
+        hdfs.put("/d/z.txt", 1)
+        hdfs.put("/d/a.txt", 1)
+        assert hdfs.listdir("/d") == ["a.txt", "z.txt"]
+
+    def test_file_vs_dir_conflicts(self, hdfs):
+        hdfs.put("/x/file", 1)
+        with pytest.raises(HDFSError):
+            hdfs.mkdirs("/x/file/sub")
+        with pytest.raises(HDFSError):
+            hdfs.put("/x", 1)
+
+    def test_missing_paths_raise(self, hdfs):
+        with pytest.raises(HDFSError):
+            hdfs.listdir("/ghost")
+        with pytest.raises(HDFSError):
+            hdfs.size_of("/ghost.txt")
+
+    def test_walk_files_depth_first_sorted(self, hdfs):
+        for path in ("/w/2/b.txt", "/w/1/a.txt", "/w/top.txt"):
+            hdfs.put(path, 1)
+        assert list(hdfs.walk_files("/w")) == [
+            "/w/1/a.txt",
+            "/w/2/b.txt",
+            "/w/top.txt",
+        ]
+
+    def test_count_tree(self, hdfs):
+        hdfs.put("/t/x/1.txt", 1)
+        hdfs.put("/t/y/2.txt", 1)
+        n_files, n_dirs = hdfs.count_tree("/t")
+        assert n_files == 2
+        assert n_dirs == 3  # /t, /t/x, /t/y
+
+
+class TestBlocks:
+    def test_block_count_follows_size(self, hdfs):
+        hdfs.put("/big.bin", 250)  # block_size=100 -> 3 blocks
+        assert len(hdfs.block_locations("/big.bin")) == 3
+
+    def test_replication_capped_by_datanodes(self):
+        small = MiniHDFS(n_datanodes=2, replication=3)
+        small.put("/f", 10)
+        locations = small.block_locations("/f")
+        assert all(len(set(replicas)) == 2 for replicas in locations)
+
+    def test_replicas_distinct(self, hdfs):
+        hdfs.put("/f", 10)
+        for replicas in hdfs.block_locations("/f"):
+            assert len(set(replicas)) == len(replicas)
+
+    def test_write_cost_accumulates(self, hdfs):
+        before = hdfs.modeled_seconds
+        hdfs.put("/data.bin", 10_000_000)
+        assert hdfs.modeled_seconds > before
+
+
+class TestEnumeration:
+    def test_one_split_per_block(self, hdfs):
+        hdfs.put("/in/one.txt", 250)
+        splits, _ = hdfs.enumerate_splits(["/in"])
+        assert len(splits) == 3
+        assert sum(size for _, size in splits) == 250
+
+    def test_small_files_one_split_each(self, hdfs):
+        for i in range(5):
+            hdfs.put(f"/in/{i}/{i}.txt", 10)
+        splits, _ = hdfs.enumerate_splits(["/in"])
+        assert len(splits) == 5
+
+    def test_gutenberg_scale_costs_match_paper(self):
+        """The calibration targets: ~9 min for 31,173 nested files,
+        ~1 min for the 8,316-file subset (section V-B)."""
+        model = HadoopCostModel()
+        full = model.listing_seconds(31_173, 31_173)
+        subset = model.listing_seconds(8_316, 8_316)
+        assert 8 * 60 <= full <= 11 * 60
+        assert 40 <= subset <= 120
+
+    def test_enumeration_superlinear_in_files(self):
+        model = HadoopCostModel()
+        small = model.listing_seconds(1000)
+        big = model.listing_seconds(10_000)
+        assert big > 10 * small  # superlinear namenode pressure
+
+    def test_missing_input_raises(self, hdfs):
+        with pytest.raises(HDFSError):
+            hdfs.enumerate_splits(["/ghost"])

@@ -1,0 +1,43 @@
+"""Related-work iterative-framework cost models (section II)."""
+
+import pytest
+
+from repro.hadoopsim.costmodel import HadoopCostModel
+from repro.hadoopsim.iterative_rivals import (
+    HaLoopModel,
+    TwisterModel,
+    hadoop_per_iteration_overhead,
+    overhead_ladder,
+)
+
+
+class TestOverheadLadder:
+    def test_ordering_matches_related_work_narrative(self):
+        """Hadoop >> HaLoop > Twister: each design strips more
+        per-iteration machinery."""
+        ladder = dict((name.split()[0], s) for name, s in overhead_ladder())
+        assert ladder["Hadoop"] > 4 * ladder["HaLoop"]
+        assert ladder["HaLoop"] > ladder["Twister"]
+
+    def test_hadoop_matches_calibrated_floor(self):
+        assert 28.0 <= hadoop_per_iteration_overhead() <= 36.0
+
+    def test_haloop_keeps_heartbeat_costs(self):
+        overhead = HaLoopModel().per_iteration_overhead()
+        heartbeat = HadoopCostModel().heartbeat_interval
+        assert overhead >= 2 * heartbeat  # dispatch + report waves
+        assert overhead < 15.0
+
+    def test_haloop_scales_with_task_waves(self):
+        small = HaLoopModel().per_iteration_overhead(n_tasks=1)
+        large = HaLoopModel().per_iteration_overhead(n_tasks=1000)
+        assert large > small
+
+    def test_twister_sub_second(self):
+        assert TwisterModel().per_iteration_overhead() < 1.0
+
+    def test_twister_failure_rework(self):
+        model = TwisterModel(checkpoint_interval_iterations=50)
+        assert model.expected_rework_on_failure(49) == 49
+        assert model.expected_rework_on_failure(50) == 0
+        assert model.expected_rework_on_failure(75) == 25

@@ -1,0 +1,53 @@
+"""Startup-script models (Programs 3 and 4, experiment E2)."""
+
+from repro.hadoopsim.costmodel import HadoopCostModel
+from repro.hadoopsim.hdfs import MiniHDFS
+from repro.hadoopsim.jobclient import (
+    compare_startup_scripts,
+    hadoop_shared_cluster_startup,
+    hadoop_shared_cluster_teardown,
+    mrs_shared_cluster_startup,
+)
+
+
+class TestMrsStartup:
+    def test_four_steps(self):
+        """Program 3 'has four basic parts'."""
+        report = mrs_shared_cluster_startup()
+        assert report.step_count == 4
+
+    def test_total_near_two_seconds(self):
+        """Paper: Mrs startup 'is about 2 seconds'."""
+        total = mrs_shared_cluster_startup().total
+        assert 1.0 <= total <= 4.0
+
+
+class TestHadoopStartup:
+    def test_more_steps_than_mrs(self):
+        reports = compare_startup_scripts(n_input_files=10)
+        assert reports["hadoop"].step_count > reports["mrs"].step_count
+
+    def test_includes_hdfs_format_and_daemons(self):
+        hdfs = MiniHDFS()
+        report = hadoop_shared_cluster_startup(hdfs, [("/in/a.txt", 100)])
+        names = [step.name for step in report.steps]
+        assert "format_namenode" in names
+        assert "start_datanodes_tasktrackers" in names
+        assert "copy_data_into_hdfs" in names
+
+    def test_copy_cost_scales_with_corpus(self):
+        small = compare_startup_scripts(n_input_files=10)["hadoop"].total
+        large = compare_startup_scripts(n_input_files=1000)["hadoop"].total
+        assert large > small
+
+    def test_teardown_includes_daemon_stop(self):
+        report = hadoop_shared_cluster_teardown(output_bytes=1e6)
+        names = [step.name for step in report.steps]
+        assert "stop_daemons" in names
+        assert "copy_data_out_of_hdfs" in names
+
+    def test_order_of_magnitude_gap(self):
+        """Even before the MapReduce job itself, per-job Hadoop
+        infrastructure costs ~10-20x Mrs's startup."""
+        reports = compare_startup_scripts(n_input_files=0)
+        assert reports["hadoop"].total >= 10 * reports["mrs"].total

@@ -1,0 +1,140 @@
+"""Discrete-event JobTracker: phase ordering, heartbeat scaling."""
+
+import pytest
+
+from repro.hadoopsim.clock import VirtualClock
+from repro.hadoopsim.costmodel import HadoopCostModel
+from repro.hadoopsim.jobtracker import JobTrackerSim
+from repro.hadoopsim.tasktracker import SimTaskTracker
+
+
+def run_sim(n_trackers=4, map_slots=2, reduce_slots=2, model=None, **job_kw):
+    model = model or HadoopCostModel()
+    trackers = [
+        SimTaskTracker(i, map_slots=map_slots, reduce_slots=reduce_slots)
+        for i in range(n_trackers)
+    ]
+    sim = JobTrackerSim(trackers, model, VirtualClock())
+    breakdown = sim.run_job(**job_kw)
+    return sim, breakdown
+
+
+class TestLifecycle:
+    def test_phases_in_order(self):
+        sim, _ = run_sim(map_durations=[1.0, 1.0], reduce_durations=[1.0])
+        t = sim.timeline
+        assert (
+            t["job_arrival"]
+            < t["setup_done"]
+            < t["maps_done"]
+            < t["reduces_done"]
+            < t["cleanup_done"]
+            <= t["client_notice"]
+        )
+
+    def test_empty_job_matches_paper_floor(self):
+        """'Hadoop takes at least 30 seconds for each MapReduce
+        operation' — the calibrated floor of the default model."""
+        sim, breakdown = run_sim(map_durations=[0.0], reduce_durations=[0.0])
+        assert 28.0 <= breakdown.total <= 36.0
+
+    def test_map_only_job(self):
+        sim, breakdown = run_sim(map_durations=[1.0], reduce_durations=[])
+        # The empty reduce phase is skipped when the next heartbeat is
+        # processed — within one heartbeat interval of maps finishing.
+        lag = sim.timeline["reduces_done"] - sim.timeline["maps_done"]
+        assert 0.0 <= lag <= HadoopCostModel().heartbeat_interval
+        assert breakdown.get("reduce_phase") <= HadoopCostModel().heartbeat_interval
+
+    def test_breakdown_sums_to_client_notice(self):
+        sim, breakdown = run_sim(
+            map_durations=[2.0] * 5, reduce_durations=[1.0]
+        )
+        assert breakdown.total == pytest.approx(sim.timeline["client_notice"])
+
+    def test_enumeration_charged(self):
+        _, with_enum = run_sim(
+            map_durations=[0.0], reduce_durations=[], enumeration_seconds=100.0
+        )
+        _, without = run_sim(map_durations=[0.0], reduce_durations=[])
+        assert with_enum.total >= without.total + 100.0 - 5.0  # poll rounding
+
+
+class TestHeartbeatScaling:
+    def test_assignment_latency_grows_with_task_count(self):
+        """With stock 0.20 behaviour (one task per tracker per
+        heartbeat) many tasks on few trackers serialize on the 3 s
+        heartbeat."""
+        classic = HadoopCostModel(tasks_per_heartbeat=1)
+        _, few_tasks = run_sim(
+            n_trackers=2, map_slots=8, model=classic,
+            map_durations=[0.1] * 2, reduce_durations=[],
+        )
+        _, many_tasks = run_sim(
+            n_trackers=2, map_slots=8, model=classic,
+            map_durations=[0.1] * 24, reduce_durations=[],
+        )
+        # 22 extra tasks / 2 trackers = 11 extra heartbeat rounds ≈ 33 s.
+        assert many_tasks.total >= few_tasks.total + 25.0
+
+    def test_multiple_assignment_shrinks_wave_latency(self):
+        """MAPREDUCE-318-style multiple assignment reduces the
+        per-wave heartbeat serialization."""
+        classic = HadoopCostModel(tasks_per_heartbeat=1)
+        batched = HadoopCostModel(tasks_per_heartbeat=4)
+        _, slow = run_sim(
+            n_trackers=2, map_slots=8, model=classic,
+            map_durations=[0.1] * 24, reduce_durations=[],
+        )
+        _, fast = run_sim(
+            n_trackers=2, map_slots=8, model=batched,
+            map_durations=[0.1] * 24, reduce_durations=[],
+        )
+        assert fast.total < slow.total
+
+    def test_more_trackers_shrink_map_phase(self):
+        _, small = run_sim(
+            n_trackers=2, map_durations=[5.0] * 16, reduce_durations=[]
+        )
+        _, large = run_sim(
+            n_trackers=16, map_durations=[5.0] * 16, reduce_durations=[]
+        )
+        assert large.get("map_phase") < small.get("map_phase")
+
+    def test_slots_limit_concurrency(self):
+        _, one_slot = run_sim(
+            n_trackers=1, map_slots=1,
+            map_durations=[10.0] * 4, reduce_durations=[],
+        )
+        _, four_slots = run_sim(
+            n_trackers=1, map_slots=4,
+            map_durations=[10.0] * 4, reduce_durations=[],
+        )
+        assert one_slot.get("map_phase") > four_slots.get("map_phase")
+
+
+class TestSlotAccounting:
+    def test_acquire_release(self):
+        tracker = SimTaskTracker(0, map_slots=1, reduce_slots=1)
+        assert tracker.acquire(True)
+        assert not tracker.acquire(True)
+        tracker.release(True)
+        assert tracker.acquire(True)
+
+    def test_double_release_detected(self):
+        tracker = SimTaskTracker(0)
+        with pytest.raises(RuntimeError):
+            tracker.release(True)
+
+    def test_reduce_slots_independent(self):
+        tracker = SimTaskTracker(0, map_slots=1, reduce_slots=1)
+        assert tracker.acquire(True)
+        assert tracker.acquire(False)
+
+    def test_invalid_slot_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SimTaskTracker(0, map_slots=0)
+
+    def test_no_trackers_rejected(self):
+        with pytest.raises(ValueError):
+            JobTrackerSim([], HadoopCostModel())

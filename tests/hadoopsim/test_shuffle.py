@@ -1,0 +1,69 @@
+"""Shuffle/sort cost model."""
+
+import pytest
+
+from repro.hadoopsim.costmodel import HadoopCostModel
+from repro.hadoopsim.shuffle import (
+    estimate_record_bytes,
+    map_side_sort_seconds,
+    reduce_side_shuffle_seconds,
+    spread_evenly,
+)
+
+
+@pytest.fixture
+def model():
+    return HadoopCostModel()
+
+
+class TestSortCost:
+    def test_zero_bytes_free(self, model):
+        assert map_side_sort_seconds(model, 0) == 0.0
+        assert map_side_sort_seconds(model, -5) == 0.0
+
+    def test_linear_in_bytes(self, model):
+        one = map_side_sort_seconds(model, 1e6)
+        ten = map_side_sort_seconds(model, 1e7)
+        assert ten == pytest.approx(10 * one)
+
+    def test_rate_matches_model(self, model):
+        assert map_side_sort_seconds(model, model.sort_rate) == pytest.approx(1.0)
+
+
+class TestShuffleCost:
+    def test_share_divided_among_reducers(self, model):
+        one = reduce_side_shuffle_seconds(model, 1e8, 1)
+        four = reduce_side_shuffle_seconds(model, 1e8, 4)
+        assert one == pytest.approx(4 * four)
+
+    def test_degenerate_inputs(self, model):
+        assert reduce_side_shuffle_seconds(model, 0, 4) == 0.0
+        assert reduce_side_shuffle_seconds(model, 1e6, 0) == 0.0
+
+
+class TestHelpers:
+    def test_record_bytes_default(self):
+        assert estimate_record_bytes(1000) == 20_000.0
+
+    def test_spread_evenly(self):
+        assert spread_evenly(10.0, 4) == [2.5] * 4
+        assert spread_evenly(10.0, 0) == []
+
+
+class TestEndToEndEffect:
+    def test_data_heavy_job_pays_shuffle(self, model):
+        """WordCount-scale intermediate data visibly lengthens the
+        reduce phase relative to a compute-only job."""
+        from repro.hadoopsim import HadoopCluster, HadoopJob
+
+        job = HadoopJob(HadoopCluster(model=model))
+        shuffle = reduce_side_shuffle_seconds(model, 2e9, 4)
+        heavy = job.run_modeled(
+            map_seconds=1.0, n_map_tasks=8,
+            reduce_seconds=shuffle, n_reduce_tasks=4,
+        )
+        light = job.run_modeled(
+            map_seconds=1.0, n_map_tasks=8,
+            reduce_seconds=0.0, n_reduce_tasks=4,
+        )
+        assert heavy.modeled_seconds > light.modeled_seconds + shuffle / 2

@@ -1,0 +1,86 @@
+"""Programs used by integration tests (importable by slave_boot)."""
+
+import repro as mrs
+
+
+class FailingMap(mrs.MapReduce):
+    """Map that always raises — exercises task-failure propagation."""
+
+    def map(self, key, value):
+        raise ValueError("injected failure")
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+    def run(self, job):
+        source = job.local_data([(i, i) for i in range(4)], splits=2)
+        mapped = job.map_data(source, self.map, splits=2)
+        reduced = job.reduce_data(mapped, self.reduce, splits=1)
+        job.wait(reduced, timeout=60)
+        self.output_data = reduced
+        return 0
+
+
+class FlakyOnce(mrs.MapReduce):
+    """Map that fails on the first attempt of task 0 (per process).
+
+    Because the retry lands on a *different* slave (or a fresh
+    attempt), the job still completes — exercising the retry path
+    rather than the permanent-failure path.
+    """
+
+    attempts = 0
+
+    def map(self, key, value):
+        if key == 0:
+            type(self).attempts += 1
+            if type(self).attempts == 1:
+                raise RuntimeError("flaky first attempt")
+        yield (key % 2, value)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+    def run(self, job):
+        source = job.local_data([(i, 1) for i in range(6)], splits=3)
+        mapped = job.map_data(source, self.map, splits=2)
+        reduced = job.reduce_data(mapped, self.reduce, splits=1)
+        job.wait(reduced, timeout=60)
+        self.output_data = reduced
+        return 0
+
+
+class SummingProgram(mrs.MapReduce):
+    """Simple two-stage program driven manually by recovery tests."""
+
+    def map(self, key, value):
+        yield (key % 2, value)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+
+class TypedWordCount(mrs.MapReduce):
+    """WordCount whose datasets declare str/int typed serializers —
+    slaves must honour the codec names from task descriptors."""
+
+    def map(self, key, value):
+        for word in value.split():
+            yield (word, 1)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+    def run(self, job):
+        source = self.input_data(job)
+        intermediate = job.map_data(
+            source, self.map, splits=2,
+            key_serializer="str", value_serializer="int",
+        )
+        output = job.reduce_data(
+            intermediate, self.reduce, splits=2,
+            outdir=self.output_dir, format="txt",
+        )
+        job.wait(output)
+        self.output_data = output
+        return 0

@@ -1,0 +1,39 @@
+"""Distributed failure semantics: retries, permanent failures,
+error propagation to dependents."""
+
+import pytest
+
+from repro.core.job import JobError
+from repro.runtime.cluster import LocalCluster
+from tests.integration.programs import FailingMap, FlakyOnce
+
+pytestmark = pytest.mark.integration
+
+
+class TestPermanentFailure:
+    def test_failing_map_raises_joberror_not_hang(self):
+        """A task that fails on every attempt must surface as a
+        JobError on wait() — including for the *dependent* reduce the
+        program is actually waiting on — within the retry budget."""
+        with LocalCluster(FailingMap, [], n_slaves=2) as cluster:
+            with pytest.raises(JobError):
+                cluster.run()
+
+    def test_error_recorded_with_context(self):
+        with LocalCluster(FailingMap, [], n_slaves=2) as cluster:
+            try:
+                cluster.run()
+            except JobError as exc:
+                assert "failed" in str(exc)
+            else:  # pragma: no cover
+                pytest.fail("expected JobError")
+
+
+class TestRetry:
+    def test_flaky_task_retried_to_success(self):
+        """One failed attempt requeues the task; the job completes with
+        correct output."""
+        with LocalCluster(FlakyOnce, [], n_slaves=2) as cluster:
+            program = cluster.run()
+        counts = dict(program.output_data.iterdata())
+        assert counts == {0: 3, 1: 3}

@@ -1,0 +1,158 @@
+"""Bucket invariants: sort/group, merge, file backing, sidecars."""
+
+import os
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.io.bucket import (
+    Bucket,
+    FileBucket,
+    SidecarFileBucket,
+    group_sorted,
+    merge_sorted_buckets,
+    sort_key,
+)
+
+
+def make_bucket(pairs, **kw):
+    bucket = Bucket(**kw)
+    bucket.collect(pairs)
+    return bucket
+
+
+class TestBucket:
+    def test_collect_and_len(self):
+        bucket = make_bucket([("a", 1), ("b", 2)])
+        assert len(bucket) == 2
+        assert bucket[0] == ("a", 1)
+
+    def test_sort_orders_by_canonical_key(self):
+        bucket = make_bucket([("b", 1), ("a", 2), ("b", 0)])
+        assert bucket.sorted_pairs() == [("a", 2), ("b", 1), ("b", 0)]
+
+    def test_sort_is_stable_for_equal_keys(self):
+        bucket = make_bucket([("k", i) for i in range(10)])
+        assert [v for _, v in bucket.sorted_pairs()] == list(range(10))
+
+    def test_already_sorted_detection(self):
+        bucket = make_bucket([("a", 1), ("b", 2), ("c", 3)])
+        assert bucket.is_sorted
+        bucket.addpair(("a", 9))
+        assert not bucket.is_sorted
+
+    def test_mixed_type_keys_sortable(self):
+        """int and str keys cannot be compared directly in Python 3;
+        the canonical byte encoding makes grouping well-defined."""
+        bucket = make_bucket([(1, "x"), ("a", "y"), (2, "z")])
+        assert len(bucket.sorted_pairs()) == 3
+
+    def test_grouped(self):
+        bucket = make_bucket([("b", 1), ("a", 2), ("b", 3)])
+        groups = [(k, list(vs)) for k, vs in bucket.grouped()]
+        assert groups == [("a", [2]), ("b", [1, 3])]
+
+    def test_clean_drops_pairs_keeps_url(self):
+        bucket = make_bucket([("a", 1)], url="file:/nope")
+        bucket.clean()
+        assert len(bucket) == 0
+        assert bucket.url == "file:/nope"
+
+
+class TestGroupSorted:
+    def test_empty(self):
+        assert list(group_sorted([])) == []
+
+    def test_values_are_lazy_iterators(self):
+        pairs = sorted([("a", 1), ("a", 2), ("b", 3)], key=sort_key)
+        for key, values in group_sorted(pairs):
+            first = next(values)
+            assert first in (1, 3)
+            break  # abandoning the group iterator must not blow up
+
+    def test_single_key(self):
+        groups = [(k, list(v)) for k, v in group_sorted([("x", i) for i in range(5)])]
+        assert groups == [("x", [0, 1, 2, 3, 4])]
+
+
+class TestMergeSorted:
+    def test_merge_two_buckets(self):
+        b1 = make_bucket([("a", 1), ("c", 3)])
+        b2 = make_bucket([("b", 2), ("d", 4)])
+        merged = [k for k, _ in merge_sorted_buckets([b1, b2])]
+        assert merged == ["a", "b", "c", "d"]
+
+    def test_merge_preserves_source_order_for_ties(self):
+        b1 = make_bucket([("k", "first")], source=0)
+        b2 = make_bucket([("k", "second")], source=1)
+        values = [v for _, v in merge_sorted_buckets([b1, b2])]
+        assert values == ["first", "second"]
+
+    def test_merge_empty(self):
+        assert list(merge_sorted_buckets([])) == []
+
+
+class TestFileBucket:
+    def test_write_and_readback(self, tmp_path):
+        path = str(tmp_path / "bucket.mrsb")
+        bucket = FileBucket(path, source=1, split=2)
+        bucket.addpair(("word", 3))
+        bucket.addpair((5, [1, 2]))
+        bucket.close_writer()
+        assert bucket.readback() == [("word", 3), (5, [1, 2])]
+        assert bucket.url == "file:" + path
+
+    def test_empty_file_created_on_open(self, tmp_path):
+        path = str(tmp_path / "empty.mrsb")
+        bucket = FileBucket(path)
+        bucket.open_writer()
+        bucket.close_writer()
+        assert os.path.exists(path)
+        assert bucket.readback() == []
+
+    def test_text_format_selected_by_extension(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        bucket = FileBucket(path)
+        bucket.addpair(("hello", 2))
+        bucket.close_writer()
+        assert open(path).read() == "hello\t2\n"
+
+
+class TestSidecarFileBucket:
+    def test_user_file_and_sidecar_both_written(self, tmp_path):
+        path = str(tmp_path / "out" / "result.txt")
+        bucket = SidecarFileBucket(path, source=0, split=1)
+        bucket.addpair(("word", 7))
+        bucket.close_writer()
+        assert open(path).read() == "word\t7\n"
+        assert bucket.readback() == [("word", 7)]  # lossless sidecar
+        assert bucket.url.endswith(".mrsb")
+
+    def test_empty_sidecar(self, tmp_path):
+        path = str(tmp_path / "empty.txt")
+        bucket = SidecarFileBucket(path)
+        bucket.open_writer()
+        bucket.close_writer()
+        assert os.path.exists(path)
+        assert bucket.readback() == []
+
+
+@given(
+    st.lists(
+        st.tuples(st.one_of(st.text(), st.integers()), st.integers()),
+        max_size=60,
+    )
+)
+def test_grouping_partitions_all_pairs(pairs):
+    """Every pair lands in exactly one group; groups have distinct keys."""
+    bucket = make_bucket(pairs)
+    total = 0
+    seen_keys = []
+    for key, values in bucket.grouped():
+        count = len(list(values))
+        assert count >= 1
+        total += count
+        seen_keys.append(sort_key((key, None)))
+    assert total == len(pairs)
+    assert seen_keys == sorted(seen_keys)
+    assert len(seen_keys) == len(set(seen_keys))

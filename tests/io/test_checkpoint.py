@@ -1,0 +1,150 @@
+"""Dataset checkpoint/restore."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.job import Job
+from repro.core.options import default_options
+from repro.core.program import MapReduce
+from repro.io.checkpoint import (
+    CheckpointError,
+    checkpoint_exists,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.runtime.serial import SerialBackend
+
+
+class Doubler(MapReduce):
+    def map(self, key, value):
+        yield (key, value * 2)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+
+def make_job():
+    program = Doubler(default_options(), [])
+    return Job(SerialBackend(program), program), program
+
+
+class TestWriteLoad:
+    def test_roundtrip(self, tmp_path):
+        job, program = make_job()
+        source = job.local_data([(i, i) for i in range(10)], splits=3)
+        mapped = job.map_data(source, program.map, splits=2)
+        job.wait(mapped)
+        path = str(tmp_path / "ckpt")
+        write_checkpoint(path, mapped)
+        assert checkpoint_exists(path)
+
+        job2, program2 = make_job()
+        restored = load_checkpoint(path, job2)
+        assert sorted(restored.data()) == sorted(mapped.data())
+        assert restored.splits == mapped.splits
+        assert restored.complete
+
+    def test_restored_dataset_is_consumable(self, tmp_path):
+        job, program = make_job()
+        source = job.local_data([(i, 1) for i in range(6)], splits=2)
+        mapped = job.map_data(source, program.map, splits=2)
+        job.wait(mapped)
+        path = str(tmp_path / "ckpt")
+        write_checkpoint(path, mapped)
+
+        job2, program2 = make_job()
+        restored = load_checkpoint(path, job2)
+        reduced = job2.reduce_data(restored, program2.reduce, splits=1)
+        job2.wait(reduced)
+        assert sorted(reduced.data()) == [(i, 2) for i in range(6)]
+
+    def test_numpy_payloads_roundtrip(self, tmp_path):
+        job, program = make_job()
+        arrays = [(i, np.arange(4) * i) for i in range(4)]
+        source = job.local_data(arrays, splits=2)
+        path = str(tmp_path / "ckpt")
+        write_checkpoint(path, source)
+        restored = load_checkpoint(path)
+        for (k1, v1), (k2, v2) in zip(sorted(source.data()),
+                                      sorted(restored.data())):
+            assert k1 == k2
+            assert np.array_equal(v1, v2)
+
+    def test_overwrite_keeps_previous_as_old(self, tmp_path):
+        job, program = make_job()
+        first = job.local_data([(0, "v1")])
+        second = job.local_data([(0, "v2")])
+        path = str(tmp_path / "ckpt")
+        write_checkpoint(path, first)
+        write_checkpoint(path, second)
+        assert load_checkpoint(path).data() == [(0, "v2")]
+        assert os.path.isdir(path + ".old")
+
+    def test_incomplete_dataset_rejected(self, tmp_path):
+        job, program = make_job()
+        source = job.local_data([(0, 0)])
+        mapped = job.map_data(source, program.map)  # queued, not run
+        with pytest.raises(CheckpointError, match="incomplete"):
+            write_checkpoint(str(tmp_path / "c"), mapped)
+
+
+class TestFailureModes:
+    def test_missing_checkpoint(self, tmp_path):
+        assert not checkpoint_exists(str(tmp_path / "nope"))
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(str(tmp_path / "nope"))
+
+    def test_corrupt_manifest(self, tmp_path):
+        path = tmp_path / "ckpt"
+        path.mkdir()
+        (path / "manifest.json").write_text("{ not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(str(path))
+
+    def test_version_skew(self, tmp_path):
+        path = tmp_path / "ckpt"
+        path.mkdir()
+        (path / "manifest.json").write_text(
+            json.dumps({"version": 999, "splits": 1, "buckets": []})
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(str(path))
+
+    def test_missing_bucket_file(self, tmp_path):
+        job, program = make_job()
+        source = job.local_data([(0, 1)])
+        path = str(tmp_path / "ckpt")
+        write_checkpoint(path, source)
+        manifest = json.load(open(os.path.join(path, "manifest.json")))
+        os.unlink(os.path.join(path, manifest["buckets"][0]["file"]))
+        with pytest.raises(CheckpointError, match="missing"):
+            load_checkpoint(path)
+
+
+class TestIterativeResume:
+    def test_resume_mid_loop_matches_straight_run(self, tmp_path):
+        """Checkpoint after iteration 2 of 5, reload in a fresh job,
+        finish — identical final data to an uninterrupted run."""
+        def iterate(job, program, dataset, iterations):
+            for _ in range(iterations):
+                dataset = job.map_data(dataset, program.map, splits=2)
+            job.wait(dataset)
+            return dataset
+
+        job, program = make_job()
+        start = job.local_data([(i, 1) for i in range(4)], splits=2)
+        straight = iterate(job, program, start, 5)
+
+        job_a, program_a = make_job()
+        start_a = job_a.local_data([(i, 1) for i in range(4)], splits=2)
+        half = iterate(job_a, program_a, start_a, 2)
+        path = str(tmp_path / "ckpt")
+        write_checkpoint(path, half)
+
+        job_b, program_b = make_job()
+        restored = load_checkpoint(path, job_b)
+        finished = iterate(job_b, program_b, restored, 3)
+        assert sorted(finished.data()) == sorted(straight.data())

@@ -1,0 +1,162 @@
+"""Record format round-trips and registry dispatch."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.io.formats import (
+    BinReader,
+    BinWriter,
+    HexReader,
+    HexWriter,
+    TextReader,
+    TextWriter,
+    default_read_pairs,
+    reader_for,
+    writer_for,
+)
+from repro.io.serializers import IntSerializer, StrSerializer
+
+
+def roundtrip_bin(pairs, **kw):
+    buffer = io.BytesIO()
+    writer = BinWriter(buffer, **kw)
+    for pair in pairs:
+        writer.writepair(pair)
+    writer.finish()
+    buffer.seek(0)
+    return list(BinReader(buffer, **kw))
+
+
+def roundtrip_hex(pairs):
+    buffer = io.BytesIO()
+    writer = HexWriter(buffer)
+    for pair in pairs:
+        writer.writepair(pair)
+    writer.finish()
+    buffer.seek(0)
+    return list(HexReader(buffer))
+
+
+class TestTextFormat:
+    def test_writer_renders_tab_separated(self):
+        buffer = io.BytesIO()
+        TextWriter(buffer).writepair(("word", 3))
+        assert buffer.getvalue() == b"word\t3\n"
+
+    def test_reader_yields_line_number_keys(self):
+        buffer = io.BytesIO(b"alpha\nbeta\n")
+        assert list(TextReader(buffer)) == [(0, "alpha"), (1, "beta")]
+
+    def test_reader_strips_crlf(self):
+        buffer = io.BytesIO(b"alpha\r\n")
+        assert list(TextReader(buffer)) == [(0, "alpha")]
+
+    def test_reader_tolerates_invalid_utf8(self):
+        buffer = io.BytesIO(b"\xff\xfe bad\n")
+        ((_, line),) = list(TextReader(buffer))
+        assert "bad" in line
+
+
+class TestBinFormat:
+    def test_roundtrip_arbitrary_objects(self):
+        pairs = [("k", {"nested": [1, 2]}), ((1, 2), None)]
+        assert roundtrip_bin(pairs) == pairs
+
+    def test_roundtrip_with_typed_serializers(self):
+        pairs = [("word", 1), ("other", 2)]
+        assert roundtrip_bin(
+            pairs, key_serializer=StrSerializer, value_serializer=IntSerializer
+        ) == pairs
+
+    def test_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            BinReader(io.BytesIO(b"garbage data"))
+
+    def test_truncated_header_detected(self):
+        buffer = io.BytesIO()
+        writer = BinWriter(buffer)
+        writer.writepair(("a", 1))
+        data = buffer.getvalue()[:-3]  # drop part of the value
+        reader = BinReader(io.BytesIO(data))
+        with pytest.raises(ValueError, match="truncated"):
+            list(reader)
+
+    def test_empty_stream(self):
+        buffer = io.BytesIO()
+        BinWriter(buffer).finish()
+        buffer.seek(0)
+        assert list(BinReader(buffer)) == []
+
+
+class TestHexFormat:
+    def test_roundtrip(self):
+        pairs = [("key", [1, 2]), (9, "value")]
+        assert roundtrip_hex(pairs) == pairs
+
+    def test_blank_lines_skipped(self):
+        buffer = io.BytesIO()
+        writer = HexWriter(buffer)
+        writer.writepair(("a", 1))
+        buffer.write(b"\n\n")
+        writer.writepair(("b", 2))
+        buffer.seek(0)
+        assert list(HexReader(buffer)) == [("a", 1), ("b", 2)]
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            list(HexReader(io.BytesIO(b"justonefield\n")))
+
+    def test_output_is_grepable_ascii(self):
+        buffer = io.BytesIO()
+        HexWriter(buffer).writepair(("a", 1))
+        line = buffer.getvalue()
+        assert line.endswith(b"\n")
+        assert all(32 <= c < 127 or c == 10 for c in line)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "path,writer,reader",
+        [
+            ("x.txt", TextWriter, TextReader),
+            ("x.mtxt", TextWriter, TextReader),
+            ("dir/y.mrsb", BinWriter, BinReader),
+            ("z.mrsx", HexWriter, HexReader),
+        ],
+    )
+    def test_known_extensions(self, path, writer, reader):
+        assert writer_for(path) is writer
+        assert reader_for(path) is reader
+
+    def test_unknown_extension_reads_as_text(self):
+        assert reader_for("book.html") is TextReader
+        assert reader_for("README") is TextReader
+
+    def test_case_insensitive(self):
+        assert reader_for("X.MRSB") is BinReader
+
+    def test_default_read_pairs(self, tmp_path):
+        path = tmp_path / "lines.txt"
+        path.write_text("one\ntwo\n")
+        assert list(default_read_pairs(str(path))) == [(0, "one"), (1, "two")]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.one_of(st.text(), st.integers(), st.binary()),
+            st.one_of(st.none(), st.integers(), st.text(),
+                      st.lists(st.integers(), max_size=3)),
+        ),
+        max_size=30,
+    )
+)
+def test_bin_roundtrip_property(pairs):
+    assert roundtrip_bin(pairs) == pairs
+
+
+@given(st.lists(st.tuples(st.integers(), st.text()), max_size=20))
+def test_hex_roundtrip_property(pairs):
+    assert roundtrip_hex(pairs) == pairs

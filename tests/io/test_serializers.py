@@ -1,0 +1,104 @@
+"""Serializer registry and codec round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.io.serializers import (
+    FloatSerializer,
+    IntSerializer,
+    PickleSerializer,
+    RawSerializer,
+    Serializer,
+    StrSerializer,
+    get_serializer,
+    register_serializer,
+)
+
+
+class TestRegistry:
+    def test_none_means_pickle(self):
+        assert get_serializer(None) is PickleSerializer
+
+    def test_lookup_by_name(self):
+        assert get_serializer("str") is StrSerializer
+        assert get_serializer("int") is IntSerializer
+        assert get_serializer("raw") is RawSerializer
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="pickle"):
+            get_serializer("nope")
+
+    def test_custom_registration(self):
+        upper = register_serializer(
+            Serializer(
+                "upper-test",
+                lambda s: s.upper().encode(),
+                lambda b: b.decode().lower(),
+            )
+        )
+        assert get_serializer("upper-test") is upper
+        assert upper.roundtrip("abc") == "abc"
+
+
+class TestTypedSerializers:
+    def test_raw_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            RawSerializer.dumps("not bytes")
+
+    def test_str_rejects_bytes(self):
+        with pytest.raises(TypeError):
+            StrSerializer.dumps(b"bytes")
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            IntSerializer.dumps(True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            IntSerializer.dumps(1.5)
+
+    def test_int_big_values(self):
+        big = 2**100
+        assert IntSerializer.roundtrip(big) == big
+        assert IntSerializer.roundtrip(-big) == -big
+
+    def test_int_malformed_raises(self):
+        with pytest.raises(ValueError):
+            IntSerializer.loads(b"xyz")
+
+    def test_pickle_handles_nested_structures(self):
+        value = {"a": [1, (2, 3)], "b": {"c": None}}
+        assert PickleSerializer.roundtrip(value) == value
+
+
+@given(st.binary())
+def test_raw_roundtrip(data):
+    assert RawSerializer.roundtrip(data) == data
+
+
+@given(st.text())
+def test_str_roundtrip(text):
+    assert StrSerializer.roundtrip(text) == text
+
+
+@given(st.integers())
+def test_int_roundtrip(value):
+    assert IntSerializer.roundtrip(value) == value
+
+
+@given(st.floats(allow_nan=False))
+def test_float_roundtrip(value):
+    assert FloatSerializer.roundtrip(value) == value
+
+
+@given(
+    st.recursive(
+        st.one_of(st.none(), st.integers(), st.text(), st.booleans()),
+        lambda children: st.one_of(
+            st.lists(children), st.tuples(children, children)
+        ),
+        max_leaves=10,
+    )
+)
+def test_pickle_roundtrip(value):
+    assert PickleSerializer.roundtrip(value) == value

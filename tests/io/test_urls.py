@@ -1,0 +1,83 @@
+"""URL-addressed bucket fetches over file and HTTP transports."""
+
+import os
+
+import pytest
+
+from repro.comm.dataserver import DataServer
+from repro.io.bucket import FileBucket
+from repro.io.urls import FetchError, fetch_pairs, parse, path_of_file_url
+
+
+@pytest.fixture
+def bucket_file(tmp_path):
+    path = str(tmp_path / "data.mrsb")
+    bucket = FileBucket(path)
+    bucket.addpair(("alpha", 1))
+    bucket.addpair(("beta", [2, 3]))
+    bucket.close_writer()
+    return path
+
+
+class TestFileUrls:
+    def test_fetch_with_scheme(self, bucket_file):
+        assert fetch_pairs("file:" + bucket_file) == [
+            ("alpha", 1),
+            ("beta", [2, 3]),
+        ]
+
+    def test_fetch_bare_path(self, bucket_file):
+        assert fetch_pairs(bucket_file)[0] == ("alpha", 1)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            fetch_pairs("file:" + str(tmp_path / "nope.mrsb"))
+
+    def test_path_of_file_url(self):
+        assert path_of_file_url("file:/a/b.txt") == "/a/b.txt"
+
+    def test_path_of_http_url_rejected(self):
+        with pytest.raises(ValueError):
+            path_of_file_url("http://host/x")
+
+    def test_text_file_reads_as_lines(self, tmp_path):
+        path = tmp_path / "in.txt"
+        path.write_text("hello world\n")
+        assert fetch_pairs(str(path)) == [(0, "hello world")]
+
+
+class TestHttpUrls:
+    def test_fetch_over_dataserver(self, bucket_file, tmp_path):
+        with DataServer(str(tmp_path)) as server:
+            url = server.url_for(bucket_file)
+            assert fetch_pairs(url) == [("alpha", 1), ("beta", [2, 3])]
+
+    def test_missing_remote_file_raises_fetch_error(self, tmp_path):
+        with DataServer(str(tmp_path)) as server:
+            url = f"http://{server.host}:{server.port}/nothing.mrsb"
+            with pytest.raises(FetchError):
+                fetch_pairs(url)
+
+    def test_dead_server_raises_fetch_error(self, bucket_file, tmp_path):
+        server = DataServer(str(tmp_path))
+        url = server.url_for(bucket_file)
+        server.shutdown()
+        with pytest.raises(FetchError):
+            fetch_pairs(url)
+
+    def test_format_inferred_from_url_path(self, tmp_path):
+        (tmp_path / "plain.txt").write_text("line one\n")
+        with DataServer(str(tmp_path)) as server:
+            url = server.url_for(str(tmp_path / "plain.txt"))
+            assert fetch_pairs(url) == [(0, "line one")]
+
+
+class TestParse:
+    def test_unsupported_scheme(self):
+        with pytest.raises(ValueError, match="scheme"):
+            fetch_pairs("ftp://host/file")
+
+    def test_parse_preserves_components(self):
+        parsed = parse("http://h:123/p/q.mrsb")
+        assert parsed.netloc == "h:123"
+        assert parsed.path == "/p/q.mrsb"

@@ -1,0 +1,220 @@
+"""Scheduler policies: activation, affinity, failure handling."""
+
+import pytest
+
+from repro.runtime.scheduler import ScheduledDataset, Scheduler, TaskState
+
+
+def sched_ds(ds_id, ntasks=2, group=None, input_id="input", blocking=()):
+    return ScheduledDataset(
+        ds_id,
+        ntasks=ntasks,
+        affinity_group=group or ds_id,
+        input_id=input_id,
+        blocking_ids=blocking,
+    )
+
+
+@pytest.fixture
+def scheduler():
+    s = Scheduler()
+    s.add_slave(1)
+    s.add_slave(2)
+    return s
+
+
+class TestActivation:
+    def test_not_runnable_until_input_complete(self, scheduler):
+        scheduler.add_dataset(sched_ds("d1"))
+        assert scheduler.next_task(1) is None
+        scheduler.mark_input_complete("input")
+        assert scheduler.next_task(1) == ("d1", 0)
+
+    def test_input_complete_before_add(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1"))
+        assert scheduler.next_task(1) is not None
+
+    def test_blocking_ids_also_required(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", blocking=["other"]))
+        assert scheduler.next_task(1) is None
+        scheduler.mark_input_complete("other")
+        assert scheduler.next_task(1) is not None
+
+    def test_chained_activation(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=1))
+        scheduler.add_dataset(sched_ds("d2", ntasks=1, input_id="d1"))
+        task = scheduler.next_task(1)
+        assert task == ("d1", 0)
+        accepted, complete = scheduler.task_done(1, task)
+        assert accepted and complete
+        assert scheduler.next_task(1) == ("d2", 0)
+
+    def test_duplicate_dataset_rejected(self, scheduler):
+        scheduler.add_dataset(sched_ds("d1"))
+        with pytest.raises(ValueError):
+            scheduler.add_dataset(sched_ds("d1"))
+
+
+class TestAssignment:
+    def test_fifo_within_dataset(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=3))
+        assert scheduler.next_task(1) == ("d1", 0)
+        assert scheduler.next_task(2) == ("d1", 1)
+        assert scheduler.next_task(1) == ("d1", 2)
+        assert scheduler.next_task(2) is None
+
+    def test_unknown_slave_rejected(self, scheduler):
+        with pytest.raises(KeyError):
+            scheduler.next_task(99)
+
+    def test_progress(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=2))
+        assert scheduler.progress("d1") == 0.0
+        task = scheduler.next_task(1)
+        scheduler.task_done(1, task)
+        assert scheduler.progress("d1") == 0.5
+
+
+class TestCompletion:
+    def test_stale_done_rejected(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=1))
+        task = scheduler.next_task(1)
+        accepted, _ = scheduler.task_done(2, task)  # wrong slave
+        assert not accepted
+        accepted, complete = scheduler.task_done(1, task)
+        assert accepted and complete
+
+    def test_double_done_rejected(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=1))
+        task = scheduler.next_task(1)
+        scheduler.task_done(1, task)
+        accepted, _ = scheduler.task_done(1, task)
+        assert not accepted
+
+    def test_outstanding_counts(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=2))
+        assert scheduler.outstanding() == 2
+        scheduler.next_task(1)
+        assert scheduler.outstanding() == 2  # pending + assigned
+        scheduler.task_done(1, ("d1", 0))
+        assert scheduler.outstanding() == 1
+
+
+class TestAffinity:
+    def _run_iteration(self, scheduler, ds_id, group="iter"):
+        scheduler.add_dataset(sched_ds(ds_id, ntasks=2, group=group, input_id="input"))
+
+    def test_affinity_prefers_previous_slave(self, scheduler):
+        scheduler.mark_input_complete("input")
+        self._run_iteration(scheduler, "it1")
+        t0 = scheduler.next_task(1)
+        t1 = scheduler.next_task(2)
+        scheduler.task_done(1, t0)
+        scheduler.task_done(2, t1)
+        # Second iteration, same affinity group: slave 2 should get the
+        # same task index it ran before, even though index 0 is first
+        # in FIFO order.
+        self._run_iteration(scheduler, "it2")
+        assert scheduler.next_task(2) == ("it2", 1)
+        assert scheduler.next_task(1) == ("it2", 0)
+
+    def test_affinity_disabled(self):
+        s = Scheduler(affinity=False)
+        s.add_slave(1)
+        s.add_slave(2)
+        s.mark_input_complete("input")
+        s.add_dataset(sched_ds("it1", ntasks=2, group="iter"))
+        t0 = s.next_task(1)
+        t1 = s.next_task(2)
+        s.task_done(1, t0)
+        s.task_done(2, t1)
+        s.add_dataset(sched_ds("it2", ntasks=2, group="iter"))
+        # FIFO order regardless of history.
+        assert s.next_task(2) == ("it2", 0)
+
+    def test_affinity_map_queryable(self, scheduler):
+        scheduler.mark_input_complete("input")
+        self._run_iteration(scheduler, "it1")
+        task = scheduler.next_task(1)
+        scheduler.task_done(1, task)
+        assert scheduler.affinity_slave("iter", task[1]) == 1
+
+
+class TestLineageRecovery:
+    def test_reset_tasks_requeues_done_work(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=2))
+        for _ in range(2):
+            task = scheduler.next_task(1)
+            scheduler.task_done(1, task)
+        assert scheduler.progress("d1") == 1.0
+        reset = scheduler.reset_tasks("d1", [0, 1])
+        assert reset == 2
+        assert scheduler.progress("d1") == 0.0
+        assert scheduler.next_task(2) is not None
+
+    def test_reset_skips_assigned_and_pending(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=3))
+        t0 = scheduler.next_task(1)
+        scheduler.task_done(1, t0)  # t0 done; t1,t2 pending
+        assert scheduler.reset_tasks("d1", [0, 1, 2]) == 1
+
+    def test_unmark_complete_blocks_consumers(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("producer", ntasks=1))
+        task = scheduler.next_task(1)
+        scheduler.task_done(1, task)
+        scheduler.add_dataset(
+            sched_ds("consumer", ntasks=1, input_id="producer")
+        )
+        # Revoke the producer: the consumer's pending task becomes
+        # ineligible even though it is queued.
+        scheduler.unmark_complete("producer")
+        assert scheduler.next_task(2) is None
+        # Recompute the producer; the consumer becomes eligible again.
+        scheduler.reset_tasks("producer", [0])
+        redo = scheduler.next_task(2)
+        assert redo == ("producer", 0)
+        scheduler.task_done(2, redo)
+        assert scheduler.next_task(1) == ("consumer", 0)
+
+    def test_reset_unknown_dataset_is_noop(self, scheduler):
+        assert scheduler.reset_tasks("ghost", [0]) == 0
+
+
+class TestSlaveFailure:
+    def test_assigned_tasks_return_to_pending(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=2))
+        t0 = scheduler.next_task(1)
+        reassigned = scheduler.remove_slave(1)
+        assert t0 in reassigned
+        # Slave 2 can now pick it up.
+        assert scheduler.next_task(2) in [("d1", 0), ("d1", 1)]
+
+    def test_dead_slave_affinity_forgotten(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("it1", ntasks=1, group="iter"))
+        task = scheduler.next_task(1)
+        scheduler.task_done(1, task)
+        scheduler.remove_slave(1)
+        assert scheduler.affinity_slave("iter", 0) is None
+
+    def test_task_failed_requeues(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=1))
+        task = scheduler.next_task(1)
+        scheduler.task_failed(1, task)
+        assert scheduler.next_task(2) == task
+
+    def test_remove_unknown_slave_is_noop(self, scheduler):
+        assert scheduler.remove_slave(99) == []

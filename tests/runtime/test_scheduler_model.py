@@ -1,0 +1,176 @@
+"""Model-based property testing of the scheduler.
+
+Hypothesis drives random interleavings of slave arrivals/failures,
+task assignment, completions, and stale reports; after every step the
+scheduler must satisfy its structural invariants, and eventually every
+dataset must complete as long as at least one slave survives.
+"""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.runtime.scheduler import ScheduledDataset, Scheduler, TaskState
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.scheduler = Scheduler()
+        self.scheduler.mark_input_complete("input")
+        self.next_slave = 0
+        self.next_dataset = 0
+        self.live_slaves = set()
+        self.assigned = {}  # task -> slave
+        self.done = set()
+        self.all_tasks = set()
+
+    # -- rules -------------------------------------------------------------
+
+    @rule()
+    def add_slave(self):
+        slave = self.next_slave
+        self.next_slave += 1
+        self.scheduler.add_slave(slave)
+        self.live_slaves.add(slave)
+
+    @rule(ntasks=st.integers(min_value=1, max_value=4))
+    def add_dataset(self, ntasks):
+        ds_id = f"d{self.next_dataset}"
+        self.next_dataset += 1
+        self.scheduler.add_dataset(
+            ScheduledDataset(
+                ds_id, ntasks=ntasks, affinity_group="g", input_id="input"
+            )
+        )
+        self.all_tasks.update((ds_id, i) for i in range(ntasks))
+
+    @rule(data=st.data())
+    def assign(self, data):
+        if not self.live_slaves:
+            return
+        slave = data.draw(st.sampled_from(sorted(self.live_slaves)))
+        task = self.scheduler.next_task(slave)
+        if task is not None:
+            assert task not in self.assigned, "task double-assigned"
+            assert task not in self.done, "completed task re-assigned"
+            self.assigned[task] = slave
+
+    @rule(data=st.data())
+    def complete(self, data):
+        if not self.assigned:
+            return
+        task = data.draw(st.sampled_from(sorted(self.assigned)))
+        slave = self.assigned.pop(task)
+        accepted, _ = self.scheduler.task_done(slave, task)
+        if slave in self.live_slaves:
+            assert accepted, "live slave's completion rejected"
+            self.done.add(task)
+        else:
+            assert not accepted, "dead slave's completion accepted"
+
+    @rule(data=st.data())
+    def fail_task(self, data):
+        if not self.assigned:
+            return
+        task = data.draw(st.sampled_from(sorted(self.assigned)))
+        slave = self.assigned.pop(task)
+        self.scheduler.task_failed(slave, task)
+
+    @rule(data=st.data())
+    def stale_done_from_wrong_slave(self, data):
+        """Completion reports from the wrong slave are rejected."""
+        if not self.assigned or not self.live_slaves:
+            return
+        task = data.draw(st.sampled_from(sorted(self.assigned)))
+        owner = self.assigned[task]
+        impostors = self.live_slaves - {owner}
+        if not impostors:
+            return
+        impostor = data.draw(st.sampled_from(sorted(impostors)))
+        accepted, _ = self.scheduler.task_done(impostor, task)
+        assert not accepted
+
+    @rule(data=st.data())
+    def lose_slave(self, data):
+        if len(self.live_slaves) <= 1:
+            return  # keep at least one slave so progress stays possible
+        slave = data.draw(st.sampled_from(sorted(self.live_slaves)))
+        self.live_slaves.discard(slave)
+        reassigned = self.scheduler.remove_slave(slave)
+        for task in reassigned:
+            self.assigned.pop(task, None)
+
+    @rule()
+    def drain(self):
+        """Run everything to completion on the surviving slaves."""
+        if not self.live_slaves:
+            return
+        slaves = sorted(self.live_slaves)
+        for _ in range(10_000):
+            progress = False
+            for slave in slaves:
+                task = self.scheduler.next_task(slave)
+                if task is not None:
+                    accepted, _ = self.scheduler.task_done(slave, task)
+                    assert accepted
+                    self.done.add(task)
+                    self.assigned.pop(task, None)
+                    progress = True
+            if not progress:
+                break
+        # After a full drain, every task is either done or still held
+        # by a live slave the model never completed (in-flight).  No
+        # task may be lost.
+        assert self.all_tasks - self.done == set(self.assigned)
+
+    # -- invariants -------------------------------------------------------------
+
+    @invariant()
+    def outstanding_never_negative(self):
+        if hasattr(self, "scheduler"):
+            assert self.scheduler.outstanding() >= 0
+
+    @invariant()
+    def no_task_both_done_and_assigned(self):
+        if hasattr(self, "done"):
+            assert not (self.done & set(self.assigned))
+
+
+SchedulerMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestSchedulerModel = SchedulerMachine.TestCase
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_full_drain_completes_everything(n_slaves, n_tasks):
+    """With live slaves and no failures, every task gets exactly one
+    completion and the dataset finishes."""
+    scheduler = Scheduler()
+    for slave in range(n_slaves):
+        scheduler.add_slave(slave)
+    scheduler.mark_input_complete("input")
+    scheduler.add_dataset(
+        ScheduledDataset("d", ntasks=n_tasks, affinity_group="g",
+                         input_id="input")
+    )
+    completions = 0
+    while scheduler.outstanding():
+        for slave in range(n_slaves):
+            task = scheduler.next_task(slave)
+            if task is not None:
+                accepted, _ = scheduler.task_done(slave, task)
+                assert accepted
+                completions += 1
+    assert completions == n_tasks
+    assert scheduler.progress("d") == 1.0
+    assert scheduler.is_complete("d")

@@ -1,0 +1,87 @@
+"""Stable hashing: determinism, type separation, distribution."""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.hashing import key_to_bytes, stable_hash, stable_hash_bytes
+
+
+class TestStableHashBytes:
+    def test_deterministic(self):
+        assert stable_hash_bytes(b"abc") == stable_hash_bytes(b"abc")
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash_bytes(b"abc") != stable_hash_bytes(b"abd")
+
+    def test_64_bit_range(self):
+        h = stable_hash_bytes(b"anything")
+        assert 0 <= h < 2**64
+
+    def test_empty_input(self):
+        assert isinstance(stable_hash_bytes(b""), int)
+
+
+class TestKeyToBytes:
+    def test_str_and_bytes_distinct(self):
+        assert key_to_bytes("abc") != key_to_bytes(b"abc")
+
+    def test_int_and_str_distinct(self):
+        assert key_to_bytes(1) != key_to_bytes("1")
+
+    def test_bool_and_int_distinct(self):
+        assert key_to_bytes(True) != key_to_bytes(1)
+        assert key_to_bytes(False) != key_to_bytes(0)
+
+    def test_tuple_keys_supported(self):
+        assert key_to_bytes((1, "a")) == key_to_bytes((1, "a"))
+        assert key_to_bytes((1, "a")) != key_to_bytes((1, "b"))
+
+    def test_negative_int(self):
+        assert key_to_bytes(-5) != key_to_bytes(5)
+
+    def test_unicode(self):
+        assert key_to_bytes("héllo") == key_to_bytes("héllo")
+
+
+class TestStableHashCrossProcess:
+    def test_stable_across_interpreter_runs(self):
+        """The whole point: placement decisions must agree between
+        master and slave processes with different hash seeds."""
+        code = (
+            "from repro.util.hashing import stable_hash;"
+            "print(stable_hash('gutenberg'), stable_hash(42))"
+        )
+        outputs = set()
+        for _ in range(2):
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONHASHSEED": "random", "PATH": "/usr/bin:/bin"},
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1
+        expected = f"{stable_hash('gutenberg')} {stable_hash(42)}"
+        assert outputs.pop() == expected
+
+
+@given(st.one_of(st.text(), st.integers(), st.binary(),
+                 st.tuples(st.integers(), st.text())))
+def test_hash_is_deterministic_property(key):
+    assert stable_hash(key) == stable_hash(key)
+
+
+@given(st.integers(min_value=-(2**70), max_value=2**70))
+def test_big_ints_hashable(value):
+    assert 0 <= stable_hash(value) < 2**64
+
+
+@given(st.lists(st.text(min_size=1), min_size=50, max_size=50, unique=True))
+def test_distribution_not_degenerate(keys):
+    """50 distinct keys should not all collide into one hash."""
+    hashes = {stable_hash(k) for k in keys}
+    assert len(hashes) > 40

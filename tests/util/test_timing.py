@@ -1,0 +1,106 @@
+"""Stopwatch and PhaseTimer behaviour."""
+
+import time
+
+from repro.util.timing import PhaseTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_initially_zero(self):
+        assert Stopwatch().elapsed == 0.0
+
+    def test_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        first = sw.stop()
+        assert first >= 0.01
+        sw.start()
+        time.sleep(0.01)
+        assert sw.stop() >= first + 0.01
+
+    def test_stop_without_start_is_noop(self):
+        sw = Stopwatch()
+        assert sw.stop() == 0.0
+
+    def test_double_start_is_idempotent(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.start()
+        time.sleep(0.005)
+        assert sw.stop() < 0.1  # not double-counted
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.005)
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_running_property(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.005
+
+    def test_elapsed_while_running(self):
+        sw = Stopwatch().start()
+        time.sleep(0.005)
+        assert sw.elapsed >= 0.005
+        assert sw.running
+
+
+class TestPhaseTimer:
+    def test_begin_end_attribution(self):
+        timer = PhaseTimer()
+        timer.begin("map")
+        time.sleep(0.01)
+        timer.end()
+        assert timer.get("map") >= 0.01
+        assert timer.get("reduce") == 0.0
+
+    def test_begin_closes_previous_phase(self):
+        timer = PhaseTimer()
+        timer.begin("a")
+        time.sleep(0.005)
+        timer.begin("b")
+        time.sleep(0.005)
+        timer.end()
+        assert timer.get("a") >= 0.005
+        assert timer.get("b") >= 0.005
+
+    def test_add_modeled_time(self):
+        timer = PhaseTimer()
+        timer.add("modeled", 12.5)
+        timer.add("modeled", 2.5)
+        assert timer.get("modeled") == 15.0
+
+    def test_total(self):
+        timer = PhaseTimer()
+        timer.add("x", 1.0)
+        timer.add("y", 2.0)
+        assert timer.total == 3.0
+
+    def test_breakdown_preserves_first_seen_order(self):
+        timer = PhaseTimer()
+        timer.add("z", 1.0)
+        timer.add("a", 1.0)
+        timer.add("z", 1.0)
+        assert [name for name, _ in timer.breakdown()] == ["z", "a"]
+
+    def test_end_without_begin_is_noop(self):
+        timer = PhaseTimer()
+        timer.end()
+        assert timer.total == 0.0
+
+    def test_repr_mentions_phases(self):
+        timer = PhaseTimer()
+        timer.add("shuffle", 1.0)
+        assert "shuffle" in repr(timer)
