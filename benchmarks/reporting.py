@@ -53,6 +53,22 @@ def fmt_count(value: float) -> str:
     return f"{value:.3g}"
 
 
+def metrics_startup_seconds(backend) -> float:
+    """A backend's measured startup time, read from the runtime
+    metrics layer (the same number ``--mrs-metrics-json`` reports)."""
+    from repro.observability import export
+
+    return export.startup_seconds(backend.metrics())
+
+
+def metrics_phase_rows(report, phases=("map", "shuffle", "reduce")):
+    """Table rows for a metrics report's per-phase breakdown."""
+    return [
+        [phase, fmt_seconds(float((report.get("phases") or {}).get(phase, 0.0)))]
+        for phase in phases
+    ]
+
+
 def once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 

@@ -9,8 +9,13 @@ in-process master plus two slave subprocesses speaking XML-RPC.
 Run:
 
     python examples/quickstart.py
+
+Pass ``--mrs-metrics-json out.json`` to dump the serial run's metrics
+report — startup time, per-phase (map/shuffle/reduce) breakdown, and
+one span per task — as JSON.
 """
 
+import argparse
 import os
 import sys
 import tempfile
@@ -22,6 +27,16 @@ from repro.runtime.cluster import run_on_cluster
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--mrs-metrics-json",
+        dest="metrics_json",
+        metavar="PATH",
+        default=None,
+        help="dump the serial run's metrics report as JSON to PATH",
+    )
+    cli = parser.parse_args()
+
     workdir = tempfile.mkdtemp(prefix="mrs_quickstart_")
     corpus_root = os.path.join(workdir, "corpus")
     print(f"Generating a 30-file synthetic corpus under {corpus_root} ...")
@@ -35,9 +50,23 @@ def main() -> int:
         WordCountCombined,
         [corpus_root, os.path.join(workdir, "out_serial")],
         impl="serial",
+        metrics_json=cli.metrics_json,
     )
     counts = output_counts(serial)
     print(f"serial:       {len(counts)} distinct words")
+    if cli.metrics_json:
+        from repro.observability import export
+
+        report = serial.metrics_report
+        phases = ", ".join(
+            f"{name} {export.phase_seconds(report, name) * 1000:.0f} ms"
+            for name in ("map", "shuffle", "reduce")
+        )
+        print(
+            f"metrics:      startup "
+            f"{export.startup_seconds(report) * 1000:.0f} ms; {phases}; "
+            f"{export.span_count(report)} task spans -> {cli.metrics_json}"
+        )
 
     # 2. Mock parallel: same task split as a cluster, one process,
     #    all intermediate data through files (catches serialization bugs).

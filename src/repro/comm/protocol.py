@@ -11,9 +11,16 @@ master method             meaning
 ========================  =======================================
 ``signin``                slave announces itself, gets a slave id
 ``done``                  slave finished a task, reports bucket URLs
+                          (plus piggybacked per-task metrics)
 ``failed``                slave reports a task error
 ``ping``                  liveness check (both directions)
 ========================  =======================================
+
+A ``done`` message optionally carries a *task metrics* payload — the
+slave's measured phase durations for the task and a snapshot of its
+metrics registry — so the master can aggregate a whole-job view without
+any extra round trips.  The field is optional and ignored by old
+masters, so the protocol version is unchanged.
 
 ========================  =======================================
 slave method              meaning
@@ -85,6 +92,7 @@ def make_done_message(
     task_index: int,
     bucket_urls: Sequence[Tuple[int, str]],
     seconds: float = 0.0,
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     return {
         "slave_id": int(slave_id),
@@ -92,6 +100,46 @@ def make_done_message(
         "task_index": int(task_index),
         "bucket_urls": [[int(split), url] for split, url in bucket_urls],
         "seconds": float(seconds),
+        "metrics": metrics,
+    }
+
+
+def make_task_metrics(
+    durations: Optional[Dict[str, float]] = None,
+    registry: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The per-task metrics payload piggybacked on ``done``.
+
+    ``durations`` maps span event names to seconds measured on the
+    slave; ``registry`` is a
+    :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`.
+    """
+    return {
+        "durations": {
+            str(name): float(value)
+            for name, value in (durations or {}).items()
+        },
+        "registry": dict(registry or {}),
+    }
+
+
+def parse_task_metrics(raw: Any) -> Dict[str, Any]:
+    """Validate a piggybacked metrics payload; tolerates None/garbage
+    (metrics must never fail a task completion)."""
+    if not isinstance(raw, dict):
+        return {"durations": {}, "registry": {}}
+    durations: Dict[str, float] = {}
+    raw_durations = raw.get("durations")
+    if isinstance(raw_durations, dict):
+        for name, value in raw_durations.items():
+            try:
+                durations[str(name)] = float(value)
+            except (TypeError, ValueError):
+                continue
+    registry = raw.get("registry")
+    return {
+        "durations": durations,
+        "registry": registry if isinstance(registry, dict) else {},
     }
 
 

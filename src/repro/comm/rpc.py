@@ -11,8 +11,10 @@ surface.
 
 from __future__ import annotations
 
+import functools
 import socket
 import threading
+import time
 from typing import Any, Optional, Tuple
 from xmlrpc.client import ServerProxy
 from xmlrpc.server import SimpleXMLRPCRequestHandler, SimpleXMLRPCServer
@@ -61,8 +63,15 @@ class RpcServer:
     from terminating", section IV-B).
     """
 
-    def __init__(self, handler: Any, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        handler: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Any = None,
+    ):
         self.handler = handler
+        self.registry = registry
         self._server = _ThreadedXMLRPCServer(
             (host, port),
             requestHandler=_QuietHandler,
@@ -73,7 +82,10 @@ class RpcServer:
         for name in dir(handler):
             if name.startswith(RPC_PREFIX):
                 public = name[len(RPC_PREFIX):]
-                self._server.register_function(getattr(handler, name), public)
+                method = getattr(handler, name)
+                if registry is not None:
+                    method = _metered_handler(method, public, registry)
+                self._server.register_function(method, public)
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name=f"rpc-server-{self.port}",
@@ -96,17 +108,77 @@ class RpcServer:
         self.shutdown()
 
 
-def rpc_client(address: str, timeout: Optional[float] = None) -> ServerProxy:
+def rpc_client(
+    address: str,
+    timeout: Optional[float] = None,
+    registry: Any = None,
+) -> Any:
     """Connect to an RPC server at ``HOST:PORT``.
 
     Each client proxy is cheap; callers create one per thread because
-    :class:`ServerProxy` is not thread-safe.
+    :class:`ServerProxy` is not thread-safe.  With a ``registry``
+    (a :class:`~repro.observability.metrics.MetricsRegistry`), every
+    call is timed into ``rpc.client.<method>.seconds`` and failures
+    counted in ``rpc.client.errors`` — the control-plane latency the
+    paper's per-iteration overhead numbers are made of.
     """
     host, port = parse_address(address)
     uri = f"http://{host}:{port}/"
     if timeout is not None:
-        return ServerProxy(uri, allow_none=True, transport=_TimeoutTransport(timeout))
-    return ServerProxy(uri, allow_none=True)
+        proxy = ServerProxy(
+            uri, allow_none=True, transport=_TimeoutTransport(timeout)
+        )
+    else:
+        proxy = ServerProxy(uri, allow_none=True)
+    if registry is not None:
+        return MeteredProxy(proxy, registry)
+    return proxy
+
+
+class MeteredProxy:
+    """Wrap a ServerProxy so each method call records latency metrics."""
+
+    def __init__(self, proxy: Any, registry: Any, prefix: str = "rpc.client"):
+        self._proxy = proxy
+        self._registry = registry
+        self._prefix = prefix
+
+    def __getattr__(self, name: str) -> Any:
+        method = getattr(self._proxy, name)
+        registry = self._registry
+        prefix = self._prefix
+
+        def call(*args: Any) -> Any:
+            started = time.perf_counter()
+            try:
+                result = method(*args)
+            except Exception:
+                registry.counter(f"{prefix}.errors").inc()
+                raise
+            registry.histogram(f"{prefix}.{name}.seconds").observe(
+                time.perf_counter() - started
+            )
+            registry.counter(f"{prefix}.calls").inc()
+            return result
+
+        return call
+
+
+def _metered_handler(method: Any, public: str, registry: Any) -> Any:
+    """Wrap a server-side handler to time and count its invocations."""
+
+    @functools.wraps(method)
+    def handle(*args: Any, **kwargs: Any) -> Any:
+        started = time.perf_counter()
+        try:
+            return method(*args, **kwargs)
+        finally:
+            registry.histogram(f"rpc.server.{public}.seconds").observe(
+                time.perf_counter() - started
+            )
+            registry.counter("rpc.server.calls").inc()
+
+    return handle
 
 
 def parse_address(address: str) -> Tuple[str, int]:

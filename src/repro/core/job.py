@@ -52,8 +52,19 @@ class Backend:
     def progress(self, dataset: ds.BaseDataset) -> float:
         return 1.0 if dataset.complete else 0.0
 
+    #: Observability bundle (set by concrete backends); None means the
+    #: backend records nothing and ``metrics`` returns an empty report.
+    observability = None
+
     def remove_data(self, dataset_id: str, job: "Job") -> None:
         """Release a dataset's storage (memory and spill files)."""
+
+    def metrics(self) -> Dict[str, Any]:
+        """The backend's aggregate metrics report (see
+        :mod:`repro.observability`)."""
+        if self.observability is None:
+            return {}
+        return self.observability.report()
 
     def close(self) -> None:
         """Shut down any runtime resources."""
@@ -238,6 +249,12 @@ class Job:
     def progress(self, dataset: ds.BaseDataset) -> float:
         """Fraction of the dataset's tasks that have completed (0..1)."""
         return self.backend.progress(dataset)
+
+    def metrics(self) -> Dict[str, Any]:
+        """Whole-job metrics: startup time, per-phase wall clock,
+        per-task spans, and per-operation overhead.  Distributed runs
+        include slave-side numbers aggregated by the master."""
+        return self.backend.metrics()
 
     def remove_data(self, dataset: ds.BaseDataset) -> None:
         """Free a dataset that no further operation will read.

@@ -59,9 +59,24 @@ def main(program_class: Any, argv: Optional[Sequence[str]] = None) -> int:
     backend = _make_backend(impl, program, opts)
     try:
         job = Job(backend, program)
-        return int(program.run(job) or 0)
+        status = int(program.run(job) or 0)
+        _maybe_dump_metrics(backend, opts)
+        return status
     finally:
         backend.close()
+
+
+def _maybe_dump_metrics(backend: Any, opts: Any) -> Optional[str]:
+    """Write the backend's metrics report if --mrs-metrics-json was set."""
+    path = getattr(opts, "metrics_json", None)
+    if not path:
+        return None
+    from repro.observability import export
+
+    report = backend.metrics()
+    export.write_json(report, path)
+    logger.info("metrics report written to %s", path)
+    return path
 
 
 def _make_backend(impl: str, program: Any, opts) -> Any:
@@ -116,6 +131,10 @@ def run_program(
             raise RuntimeError(
                 f"{program_class.__name__} exited with status {status}"
             )
+        _maybe_dump_metrics(backend, opts)
+        # Expose the metrics report on the returned instance so tests
+        # and benchmarks can read it after the backend is closed.
+        program.metrics_report = backend.metrics()
         return program
     finally:
         backend.close()

@@ -120,6 +120,15 @@ def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
         "helped to identify real bottlenecks' — section IV-B",
     )
     group.add_argument(
+        "--mrs-metrics-json",
+        dest="metrics_json",
+        default=None,
+        metavar="PATH",
+        help="dump the job's aggregate metrics report (startup time, "
+        "per-phase wall clock, per-task spans, per-operation overhead) "
+        "as JSON to PATH on job exit",
+    )
+    group.add_argument(
         "--mrs-timeout",
         dest="timeout",
         type=float,

@@ -1,0 +1,131 @@
+"""Runtime observability: metrics, task spans, and JSON export.
+
+Every execution backend owns one :class:`Observability` instance
+bundling the three primitives the runtime instruments itself with:
+
+* a :class:`~repro.observability.metrics.MetricsRegistry` of counters,
+  gauges, and histograms,
+* a :class:`~repro.observability.tracing.Tracer` holding one
+  :class:`~repro.observability.tracing.TaskSpan` per task,
+* a :class:`~repro.util.timing.PhaseTimer` accumulating per-phase
+  (map / reduce / shuffle) wall clock.
+
+``Observability.report()`` assembles the whole-job view that
+``Job.metrics()`` returns and ``--mrs-metrics-json`` dumps; slaves ship
+registry snapshots and span durations to the master on the existing
+task-completion RPC, so the master's report covers the entire cluster.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import EVENTS, TaskSpan, Tracer
+from repro.observability import export
+from repro.util.timing import PhaseTimer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EVENTS",
+    "TaskSpan",
+    "Tracer",
+    "Observability",
+    "export",
+]
+
+#: Span duration keys that count as user compute.
+_COMPUTE_EVENTS = ("map", "reduce")
+
+
+class Observability:
+    """Per-backend bundle of registry + tracer + phase timer."""
+
+    def __init__(self, role: str = "serial"):
+        self.role = role
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.phases = PhaseTimer()
+        self._created_at = time.perf_counter()
+        #: Seconds from backend construction to ready-to-run, set once
+        #: by :meth:`mark_startup_complete` (the paper's "~2 s" number).
+        self.startup_seconds: Optional[float] = None
+        #: dataset id -> operation kind ("map"/"reduce"/"reducemap").
+        self._operation_kinds: Dict[str, str] = {}
+
+    # -- lifecycle ------------------------------------------------------
+
+    def mark_startup_complete(self) -> float:
+        """Record startup as complete (idempotent); returns the time."""
+        if self.startup_seconds is None:
+            self.startup_seconds = time.perf_counter() - self._created_at
+            self.registry.gauge("startup.seconds").set(self.startup_seconds)
+        return self.startup_seconds
+
+    def note_operation(self, dataset_id: str, kind: str) -> None:
+        """Remember a dataset's operation kind for the report."""
+        self._operation_kinds[dataset_id] = kind
+        self.registry.counter(f"operations.{kind}").inc()
+
+    def merge_remote(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a remote process's registry snapshot into this one."""
+        self.registry.merge_snapshot(snapshot)
+
+    # -- reporting ------------------------------------------------------
+
+    def operations_breakdown(self) -> list:
+        """Per-dataset wall/compute/overhead rows derived from spans."""
+        rows = []
+        by_dataset: Dict[str, list] = {}
+        for span in self.tracer.spans():
+            by_dataset.setdefault(span.dataset_id, []).append(span)
+        for dataset_id, spans in sorted(by_dataset.items()):
+            wall = sum(s.total_seconds for s in spans)
+            durations: Dict[str, float] = {}
+            for span in spans:
+                for event, seconds in span.durations_dict().items():
+                    durations[event] = durations.get(event, 0.0) + seconds
+            compute = sum(durations.get(e, 0.0) for e in _COMPUTE_EVENTS)
+            rows.append(
+                {
+                    "dataset_id": dataset_id,
+                    "kind": self._operation_kinds.get(dataset_id),
+                    "tasks": len(spans),
+                    "wall_seconds": wall,
+                    "compute_seconds": compute,
+                    "serialize_seconds": durations.get("serialize", 0.0),
+                    "transfer_seconds": durations.get("transfer", 0.0),
+                    "overhead_seconds": max(0.0, wall - compute),
+                }
+            )
+        return rows
+
+    def report(self) -> Dict[str, Any]:
+        """The aggregate whole-job view (see export module docstring)."""
+        operations = self.operations_breakdown()
+        compute = sum(op["compute_seconds"] for op in operations)
+        overhead = sum(op["overhead_seconds"] for op in operations)
+        return {
+            "version": export.REPORT_VERSION,
+            "role": self.role,
+            "startup": {"seconds": self.startup_seconds},
+            "phases": dict(self.phases.breakdown()),
+            "metrics": self.registry.snapshot(),
+            "spans": self.tracer.snapshot(),
+            "operations": operations,
+            "summary": {
+                "startup_seconds": self.startup_seconds or 0.0,
+                "compute_seconds": compute,
+                "overhead_seconds": overhead,
+                "task_count": len(self.tracer),
+            },
+        }

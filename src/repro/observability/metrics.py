@@ -1,0 +1,192 @@
+"""Counters, gauges, and histograms for the runtime.
+
+The paper's evaluation is built on overhead numbers — ~2 s startup,
+~0.3 s per-iteration MapReduce overhead, ≥30 s per Hadoop operation —
+so the runtime must be able to *measure itself* in production, not only
+inside ad-hoc benchmark timers.  A :class:`MetricsRegistry` is cheap,
+thread-safe, and fully serializable: a slave snapshots its registry,
+ships the snapshot over the control plane, and the master merges it
+into the whole-job view.
+
+Three instrument kinds cover everything the runtime needs:
+
+* :class:`Counter` — monotonically increasing event counts
+  (tasks completed, RPC calls, failures).
+* :class:`Gauge` — last-written values (slaves alive, queue depth).
+* :class:`Histogram` — mergeable summaries of a distribution
+  (task seconds, RPC latency): count / total / min / max.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+SNAPSHOT_VERSION = 1
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down; reports the last write."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A mergeable summary of observed values.
+
+    Keeps count / total / min / max rather than buckets: the summary
+    merges exactly (slave -> master aggregation) and is enough for the
+    mean/extremes the paper's tables report.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_lock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / self.count if self.count else 0.0,
+            }
+
+    def merge_dict(self, other: Dict[str, Any]) -> None:
+        count = int(other.get("count", 0))
+        if not count:
+            return
+        total = float(other.get("total", 0.0))
+        omin = other.get("min")
+        omax = other.get("max")
+        with self._lock:
+            self.count += count
+            self.total += total
+            if omin is not None:
+                self.min = omin if self.min is None else min(self.min, omin)
+            if omax is not None:
+                self.max = omax if self.max is None else max(self.max, omax)
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Instrument names are dotted paths (``rpc.client.done``,
+    ``tasks.completed``); the registry is flat — no label dimensions —
+    because the runtime's cardinality is tiny and flat names serialize
+    trivially over XML-RPC.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter()
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge()
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram()
+            return inst
+
+    # -- serialization / aggregation ------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-data copy safe to ship over the control plane."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another process's snapshot into this registry.
+
+        Counters and histograms add; gauges take the incoming value
+        (last write wins, which is what "slaves alive"-style gauges
+        want when each snapshot is newer than the last).
+        """
+        if not snapshot:
+            return
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))
+        for name, summary in (snapshot.get("histograms") or {}).items():
+            self.histogram(name).merge_dict(summary)

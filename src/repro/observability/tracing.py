@@ -1,0 +1,144 @@
+"""Per-task span tracing.
+
+Every task moves through a fixed lifecycle::
+
+    queued -> started -> map|reduce -> serialize -> transfer -> committed
+
+``queued`` is stamped when the operation is submitted, ``started`` when
+a runtime begins executing the task, ``map``/``reduce`` when the user
+function finishes, ``serialize`` when output buckets are persisted,
+``transfer`` when output URLs are published (distributed runs), and
+``committed`` when the owning dataset accepts the buckets.
+
+A span's events are timestamps on the *recording process's* monotonic
+clock, so cross-process phases cannot be stitched from raw stamps.
+Instead, a slave derives phase *durations* from its local span and
+piggybacks them on the task-completion RPC; the master attaches them to
+its own span for the task via :meth:`TaskSpan.add_duration`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Canonical lifecycle event names, in order.
+EVENTS = (
+    "queued",
+    "started",
+    "map",
+    "reduce",
+    "serialize",
+    "transfer",
+    "committed",
+)
+
+
+class TaskSpan:
+    """The recorded lifecycle of one task of one dataset."""
+
+    def __init__(self, dataset_id: str, task_index: int):
+        self.dataset_id = dataset_id
+        self.task_index = int(task_index)
+        #: (event, monotonic timestamp) in arrival order.
+        self.events: List[Tuple[str, float]] = []
+        #: Phase durations in seconds, either derived locally from
+        #: consecutive events or attached from another process.
+        self.durations: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def mark(self, event: str, timestamp: Optional[float] = None) -> None:
+        """Record ``event`` now; derives the duration since the
+        previous event and attributes it to ``event``."""
+        now = time.perf_counter() if timestamp is None else timestamp
+        with self._lock:
+            if self.events:
+                previous_time = self.events[-1][1]
+                elapsed = max(0.0, now - previous_time)
+                self.durations[event] = self.durations.get(event, 0.0) + elapsed
+            self.events.append((event, now))
+
+    def add_duration(self, event: str, seconds: float) -> None:
+        """Attach an externally measured phase duration (piggybacked
+        from another process's span)."""
+        with self._lock:
+            self.durations[event] = self.durations.get(event, 0.0) + float(
+                seconds
+            )
+
+    def has_event(self, event: str) -> bool:
+        with self._lock:
+            return any(name == event for name, _ in self.events)
+
+    @property
+    def total_seconds(self) -> float:
+        with self._lock:
+            if len(self.events) < 2:
+                return 0.0
+            return self.events[-1][1] - self.events[0][1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            first = self.events[0][1] if self.events else 0.0
+            return {
+                "dataset_id": self.dataset_id,
+                "task_index": self.task_index,
+                "events": [
+                    {"event": name, "offset": t - first}
+                    for name, t in self.events
+                ],
+                "durations": dict(self.durations),
+                "total_seconds": (
+                    self.events[-1][1] - first if len(self.events) >= 2 else 0.0
+                ),
+            }
+
+    def durations_dict(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self.durations)
+
+    def __repr__(self) -> str:
+        names = "->".join(name for name, _ in self.events)
+        return (
+            f"TaskSpan({self.dataset_id}[{self.task_index}], {names or '<empty>'})"
+        )
+
+
+class Tracer:
+    """Get-or-create registry of task spans, keyed by (dataset, task)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: Dict[Tuple[str, int], TaskSpan] = {}
+
+    def span(self, dataset_id: str, task_index: int) -> TaskSpan:
+        key = (dataset_id, int(task_index))
+        with self._lock:
+            span = self._spans.get(key)
+            if span is None:
+                span = self._spans[key] = TaskSpan(dataset_id, task_index)
+            return span
+
+    def get(self, dataset_id: str, task_index: int) -> Optional[TaskSpan]:
+        with self._lock:
+            return self._spans.get((dataset_id, int(task_index)))
+
+    def spans(self) -> List[TaskSpan]:
+        with self._lock:
+            return [span for _, span in sorted(self._spans.items())]
+
+    def spans_for(self, dataset_id: str) -> List[TaskSpan]:
+        with self._lock:
+            return [
+                span
+                for (did, _), span in sorted(self._spans.items())
+                if did == dataset_id
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.spans()]

@@ -30,7 +30,11 @@ from repro.comm.rpc import RpcServer, format_address, rpc_client
 from repro.core.dataset import BaseDataset, ComputedData
 from repro.core.job import Backend, Job
 from repro.io.bucket import Bucket, FileBucket
+from repro.observability import Observability
 from repro.runtime.scheduler import ScheduledDataset, Scheduler, TaskId
+
+#: Slave-reported span durations folded into the master's phase timer.
+PIGGYBACK_PHASES = ("map", "reduce", "serialize", "transfer")
 
 logger = logging.getLogger("repro.master")
 
@@ -48,17 +52,21 @@ SLAVE_RPC_TIMEOUT = 10.0
 class SlaveRecord:
     """Master-side view of one signed-in slave."""
 
-    def __init__(self, slave_id: int, address: str):
+    def __init__(self, slave_id: int, address: str, registry: Any = None):
         self.id = slave_id
         self.address = address
         self.alive = True
         #: Task currently executing on the slave, if any.
         self.busy: Optional[TaskId] = None
+        #: Metrics registry receiving master->slave RPC latencies.
+        self.registry = registry
 
     def client(self):
         """A fresh RPC proxy (ServerProxy is not thread-safe; callers
         hold one per call site)."""
-        return rpc_client(self.address, timeout=SLAVE_RPC_TIMEOUT)
+        return rpc_client(
+            self.address, timeout=SLAVE_RPC_TIMEOUT, registry=self.registry
+        )
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "dead"
@@ -77,6 +85,8 @@ class MasterBackend(Backend):
         self.data_plane = getattr(opts, "data_plane", "file") or "file"
         #: --mrs-timeout: default deadline for Job.wait calls.
         self.default_timeout = getattr(opts, "timeout", None)
+
+        self.observability = Observability(role="master")
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -97,9 +107,15 @@ class MasterBackend(Backend):
         self._task_seconds: Dict[str, List[float]] = {}
         self._closed = False
 
-        # Control-plane server.
+        # Control-plane server (instrumented: every handled RPC is
+        # timed into rpc.server.* in the master's registry).
         host = getattr(opts, "host", None) or "127.0.0.1"
-        self.rpc = RpcServer(MasterInterface(self), host=host, port=opts.port)
+        self.rpc = RpcServer(
+            MasterInterface(self),
+            host=host,
+            port=opts.port,
+            registry=self.observability.registry,
+        )
         logger.info("master listening on %s", self.rpc.address)
 
         # Master-side data server (for LocalData buckets in http mode).
@@ -132,6 +148,11 @@ class MasterBackend(Backend):
         return requested or max(1, alive)
 
     def submit(self, dataset: ComputedData, job: Job) -> None:
+        self.observability.note_operation(dataset.id, dataset.operation.kind)
+        for task_index in dataset.task_indices():
+            self.observability.tracer.span(dataset.id, task_index).mark(
+                "queued"
+            )
         with self._lock:
             input_dataset = job.get_dataset(dataset.input_id)
             self._datasets[dataset.id] = dataset
@@ -241,9 +262,14 @@ class MasterBackend(Backend):
         with self._lock:
             slave_id = self._next_slave_id
             self._next_slave_id += 1
-            self._slaves[slave_id] = SlaveRecord(slave_id, address)
+            self._slaves[slave_id] = SlaveRecord(
+                slave_id, address, registry=self.observability.registry
+            )
             self.scheduler.add_slave(slave_id)
+            alive = sum(1 for s in self._slaves.values() if s.alive)
             self._cond.notify_all()
+        self.observability.registry.counter("slaves.signins").inc()
+        self.observability.registry.gauge("slaves.alive").set(alive)
         logger.info("slave %d signed in from %s", slave_id, address)
         self._dispatch()
         return slave_id
@@ -255,6 +281,9 @@ class MasterBackend(Backend):
             while True:
                 alive = sum(1 for s in self._slaves.values() if s.alive)
                 if alive >= count:
+                    # The cluster is ready: this is the paper's "~2 s"
+                    # startup quantity, master launch to N slaves ready.
+                    self.observability.mark_startup_complete()
                     return alive
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -317,6 +346,7 @@ class MasterBackend(Backend):
         task_index: int,
         bucket_urls: List[Tuple[int, str]],
         seconds: float = 0.0,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         task: TaskId = (dataset_id, task_index)
         with self._lock:
@@ -338,11 +368,35 @@ class MasterBackend(Backend):
                     dataset.add_bucket(
                         Bucket(source=task_index, split=split, url=url)
                     )
+                self._record_task_metrics(
+                    dataset_id, task_index, float(seconds), metrics
+                )
             if dataset_complete:
                 dataset.complete = True
                 logger.info("dataset %s complete", dataset_id)
             self._cond.notify_all()
         self._dispatch()
+
+    def _record_task_metrics(
+        self,
+        dataset_id: str,
+        task_index: int,
+        seconds: float,
+        metrics: Optional[Dict[str, Any]],
+    ) -> None:
+        """Fold one accepted completion (and its piggybacked slave
+        metrics) into the whole-job view.  Caller holds the lock."""
+        obs = self.observability
+        obs.registry.counter("tasks.completed").inc()
+        obs.registry.histogram("task.seconds").observe(seconds)
+        span = obs.tracer.span(dataset_id, task_index)
+        payload = protocol.parse_task_metrics(metrics)
+        for event, phase_seconds in payload["durations"].items():
+            span.add_duration(event, phase_seconds)
+            if event in PIGGYBACK_PHASES:
+                obs.phases.add(event, phase_seconds)
+        obs.merge_remote(payload["registry"])
+        span.mark("committed")
 
     def task_failed(
         self, slave_id: int, dataset_id: str, task_index: int, message: str
@@ -351,6 +405,7 @@ class MasterBackend(Backend):
         logger.warning(
             "task %s failed on slave %d: %s", task, slave_id, message
         )
+        self.observability.registry.counter("tasks.failed").inc()
         with self._lock:
             record = self._slaves.get(slave_id)
             if record is not None and record.busy == task:
@@ -422,7 +477,10 @@ class MasterBackend(Backend):
             recomputed = 0
             if self.data_plane == "http":
                 recomputed = self._recover_lost_data(slave_id)
+            alive = sum(1 for s in self._slaves.values() if s.alive)
             self._cond.notify_all()
+        self.observability.registry.counter("slaves.lost").inc()
+        self.observability.registry.gauge("slaves.alive").set(alive)
         if reassigned or recomputed:
             logger.warning(
                 "slave %d lost (%s); reassigning %d tasks, "
@@ -477,7 +535,7 @@ class MasterBackend(Backend):
     def _dispatch(self) -> None:
         """Hand pending tasks to idle slaves (outside the lock for I/O)."""
         while True:
-            to_send: List[Tuple[SlaveRecord, Dict[str, Any]]] = []
+            to_send: List[Tuple[SlaveRecord, TaskId, Dict[str, Any]]] = []
             with self._lock:
                 for record in self._slaves.values():
                     if not record.alive or record.busy is not None:
@@ -487,10 +545,18 @@ class MasterBackend(Backend):
                         continue
                     descriptor = self._build_descriptor(task)
                     record.busy = task
-                    to_send.append((record, descriptor))
+                    to_send.append((record, task, descriptor))
             if not to_send:
                 return
-            for record, descriptor in to_send:
+            # First work handed out: the job is effectively started even
+            # if the caller never blocked in wait_for_slaves.
+            self.observability.mark_startup_complete()
+            for record, task, descriptor in to_send:
+                dataset_id, task_index = task
+                self.observability.tracer.span(dataset_id, task_index).mark(
+                    "started"
+                )
+                self.observability.registry.counter("tasks.dispatched").inc()
                 try:
                     record.client().start_task(descriptor)
                 except Exception as exc:
@@ -594,10 +660,11 @@ class MasterInterface:
         task_index: int,
         bucket_urls: Any,
         seconds: float = 0.0,
+        metrics: Any = None,
     ) -> bool:
         urls = protocol.parse_bucket_urls(bucket_urls)
         self.backend.task_done(
-            slave_id, dataset_id, task_index, urls, seconds
+            slave_id, dataset_id, task_index, urls, seconds, metrics
         )
         return True
 

@@ -18,7 +18,9 @@ from typing import List, Optional, Sequence
 
 from repro.core.dataset import BaseDataset, ComputedData
 from repro.core.job import Backend, Job
+from repro.observability import Observability
 from repro.runtime import taskrunner
+from repro.runtime.serial import PHASE_FOR_KIND
 
 
 class MockParallelBackend(Backend):
@@ -35,6 +37,7 @@ class MockParallelBackend(Backend):
         self.tmpdir = tmpdir or tempfile.mkdtemp(prefix="mrs_mockp_")
         if default_splits:
             self.default_splits = default_splits
+        self.observability = Observability(role="mockparallel")
         self._queue: List[ComputedData] = []
         self._completed_tasks = {}
         #: Wall seconds per completed task, per dataset (same
@@ -43,6 +46,11 @@ class MockParallelBackend(Backend):
 
     def submit(self, dataset: ComputedData, job: Job) -> None:
         self._queue.append(dataset)
+        self.observability.note_operation(dataset.id, dataset.operation.kind)
+        for task_index in dataset.task_indices():
+            self.observability.tracer.span(dataset.id, task_index).mark(
+                "queued"
+            )
 
     def wait(
         self,
@@ -50,6 +58,7 @@ class MockParallelBackend(Backend):
         job: Job,
         timeout: Optional[float] = None,
     ) -> List[BaseDataset]:
+        self.observability.mark_startup_complete()
         while self._queue and not all(d.complete or d.error for d in datasets):
             dataset = self._queue.pop(0)
             self._compute(dataset, job)
@@ -93,23 +102,38 @@ class MockParallelBackend(Backend):
         is_user_output = dataset.outdir is not None
         outdir = dataset.outdir or os.path.join(self.tmpdir, dataset.id)
         ext = dataset.format_ext or "mrsb"
+        obs = self.observability
+        phase = PHASE_FOR_KIND.get(dataset.operation.kind, "map")
         try:
             for task_index in dataset.task_indices():
-                input_buckets = taskrunner.materialize_input_buckets(
-                    input_dataset, task_index
-                )
+                span = obs.tracer.span(dataset.id, task_index)
+                # Reduce-side input gathering is the shuffle (see the
+                # serial backend); here it re-reads spill files, so the
+                # measured shuffle includes deserialization cost.
+                if phase == "reduce":
+                    with obs.phases.measure("shuffle"):
+                        input_buckets = taskrunner.materialize_input_buckets(
+                            input_dataset, task_index
+                        )
+                else:
+                    input_buckets = taskrunner.materialize_input_buckets(
+                        input_dataset, task_index
+                    )
                 factory = taskrunner.file_bucket_factory(
                     outdir, dataset.id, task_index, ext=ext,
                     key_serializer=dataset.key_serializer,
                     value_serializer=dataset.value_serializer,
                 )
                 started = time.perf_counter()
-                out_buckets = taskrunner.execute_task(
-                    self.program, dataset, task_index, input_buckets, factory
-                )
-                self._task_seconds.setdefault(dataset.id, []).append(
-                    time.perf_counter() - started
-                )
+                span.mark("started", started)
+                with obs.phases.measure(phase):
+                    out_buckets = taskrunner.execute_task(
+                        self.program, dataset, task_index, input_buckets,
+                        factory, span=span,
+                    )
+                seconds = time.perf_counter() - started
+                self._task_seconds.setdefault(dataset.id, []).append(seconds)
+                obs.registry.histogram("task.seconds").observe(seconds)
                 for bucket in out_buckets:
                     # Drop the in-memory copy of intermediate data:
                     # downstream tasks must re-read through the file,
@@ -119,11 +143,14 @@ class MockParallelBackend(Backend):
                     if not is_user_output:
                         bucket.clean()
                     dataset.add_bucket(bucket)
+                span.mark("committed")
+                obs.registry.counter("tasks.completed").inc()
                 self._completed_tasks[dataset.id] = (
                     self._completed_tasks.get(dataset.id, 0) + 1
                 )
             dataset.complete = True
         except taskrunner.TaskError as exc:
+            obs.registry.counter("tasks.failed").inc()
             dataset.error = str(exc)
 
     def remove_data(self, dataset_id: str, job: Job) -> None:

@@ -14,7 +14,11 @@ from typing import List, Optional, Sequence
 
 from repro.core.dataset import BaseDataset, ComputedData
 from repro.core.job import Backend, Job
+from repro.observability import Observability
 from repro.runtime import taskrunner
+
+#: Phase name each operation kind's compute is attributed to.
+PHASE_FOR_KIND = {"map": "map", "reduce": "reduce", "reducemap": "reduce"}
 
 
 class SerialBackend(Backend):
@@ -26,6 +30,7 @@ class SerialBackend(Backend):
         self.profile_dir = getattr(
             getattr(program, "opts", None), "profile_dir", None
         )
+        self.observability = Observability(role="serial")
         self._queue: List[ComputedData] = []
         self._completed_tasks = {}
         #: Wall seconds per completed task, per dataset (same
@@ -34,6 +39,11 @@ class SerialBackend(Backend):
 
     def submit(self, dataset: ComputedData, job: Job) -> None:
         self._queue.append(dataset)
+        self.observability.note_operation(dataset.id, dataset.operation.kind)
+        for task_index in dataset.task_indices():
+            self.observability.tracer.span(dataset.id, task_index).mark(
+                "queued"
+            )
 
     def wait(
         self,
@@ -41,6 +51,9 @@ class SerialBackend(Backend):
         job: Job,
         timeout: Optional[float] = None,
     ) -> List[BaseDataset]:
+        # Startup for the serial backend is everything before the first
+        # task can run: construction to the first wait.
+        self.observability.mark_startup_complete()
         wanted = {d.id for d in datasets}
         # Run queued operations in order until every wanted dataset is
         # complete (or the queue empties).
@@ -90,11 +103,23 @@ class SerialBackend(Backend):
                 f"dataset {dataset.id} scheduled before input "
                 f"{input_dataset.id} completed; submission order violated"
             )
+        obs = self.observability
+        phase = PHASE_FOR_KIND.get(dataset.operation.kind, "map")
         try:
             for task_index in dataset.task_indices():
-                input_buckets = taskrunner.materialize_input_buckets(
-                    input_dataset, task_index
-                )
+                span = obs.tracer.span(dataset.id, task_index)
+                # Gathering a reduce task's input is the shuffle: map
+                # outputs were partitioned at write time, so all that
+                # remains is collecting each split's buckets.
+                if phase == "reduce":
+                    with obs.phases.measure("shuffle"):
+                        input_buckets = taskrunner.materialize_input_buckets(
+                            input_dataset, task_index
+                        )
+                else:
+                    input_buckets = taskrunner.materialize_input_buckets(
+                        input_dataset, task_index
+                    )
                 if dataset.outdir:
                     factory = taskrunner.file_bucket_factory(
                         dataset.outdir,
@@ -107,26 +132,32 @@ class SerialBackend(Backend):
                 else:
                     factory = taskrunner.memory_bucket_factory(task_index)
                 started = time.perf_counter()
-                out_buckets = self._execute(
-                    dataset, task_index, input_buckets, factory
-                )
-                self._task_seconds.setdefault(dataset.id, []).append(
-                    time.perf_counter() - started
-                )
+                span.mark("started", started)
+                with obs.phases.measure(phase):
+                    out_buckets = self._execute(
+                        dataset, task_index, input_buckets, factory, span
+                    )
+                seconds = time.perf_counter() - started
+                self._task_seconds.setdefault(dataset.id, []).append(seconds)
+                obs.registry.histogram("task.seconds").observe(seconds)
                 for bucket in out_buckets:
                     dataset.add_bucket(bucket)
+                span.mark("committed")
+                obs.registry.counter("tasks.completed").inc()
                 self._completed_tasks[dataset.id] = (
                     self._completed_tasks.get(dataset.id, 0) + 1
                 )
             dataset.complete = True
         except taskrunner.TaskError as exc:
+            obs.registry.counter("tasks.failed").inc()
             dataset.error = str(exc)
 
-    def _execute(self, dataset, task_index, input_buckets, factory):
+    def _execute(self, dataset, task_index, input_buckets, factory, span=None):
         """Run one task, optionally under cProfile (--mrs-profile)."""
         if not self.profile_dir:
             return taskrunner.execute_task(
-                self.program, dataset, task_index, input_buckets, factory
+                self.program, dataset, task_index, input_buckets, factory,
+                span=span,
             )
         import cProfile
         import os
@@ -141,6 +172,7 @@ class SerialBackend(Backend):
                 task_index,
                 input_buckets,
                 factory,
+                span=span,
             )
         finally:
             profiler.dump_stats(

@@ -31,6 +31,8 @@ from repro.comm.dataserver import DataServer
 from repro.comm.rpc import RpcServer, rpc_client
 from repro.core.operations import Operation
 from repro.io.bucket import FileBucket
+from repro.observability import Observability
+from repro.observability.tracing import TaskSpan
 from repro.runtime import taskrunner
 
 logger = logging.getLogger("repro.slave")
@@ -84,6 +86,7 @@ class Slave:
         self.task_queue: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
         self.quit_event = threading.Event()
         self.data_plane = getattr(opts, "data_plane", "file") or "file"
+        self.observability = Observability(role="slave")
 
         self._owns_tmpdir = opts.tmpdir is None
         base_tmp = opts.tmpdir or tempfile.mkdtemp(prefix="mrs_slave_")
@@ -93,7 +96,12 @@ class Slave:
         self.localdir = os.path.join(base_tmp, f"slave_{os.getpid()}")
         os.makedirs(self.localdir, exist_ok=True)
 
-        self.rpc = RpcServer(SlaveInterface(self), host="127.0.0.1", port=0)
+        self.rpc = RpcServer(
+            SlaveInterface(self),
+            host="127.0.0.1",
+            port=0,
+            registry=self.observability.registry,
+        )
         self.dataserver: Optional[DataServer] = None
         if self.data_plane == "http":
             self.dataserver = DataServer(self.localdir, host="127.0.0.1")
@@ -103,7 +111,11 @@ class Slave:
     # -- master communication -------------------------------------------
 
     def _master(self):
-        return rpc_client(self.master_address, timeout=30.0)
+        return rpc_client(
+            self.master_address,
+            timeout=30.0,
+            registry=self.observability.registry,
+        )
 
     def signin(self) -> int:
         self.slave_id = int(
@@ -122,6 +134,12 @@ class Slave:
         dataset_id = descriptor["dataset_id"]
         task_index = int(descriptor["task_index"])
         started = time.perf_counter()
+        # A fresh span per execution: its phase durations ride back to
+        # the master on the done RPC (input fetch lands in "started",
+        # compute in "map"/"reduce", output writing in "serialize",
+        # URL publication in "transfer").
+        span = TaskSpan(dataset_id, task_index)
+        span.mark("queued", started)
         try:
             op = Operation.from_dict(descriptor["op"])
             input_buckets = taskrunner.buckets_from_urls(
@@ -130,6 +148,7 @@ class Slave:
                 key_serializer=descriptor.get("input_key_serializer"),
                 value_serializer=descriptor.get("input_value_serializer"),
             )
+            span.mark("started")
             outdir = descriptor.get("outdir") or os.path.join(
                 self.localdir, dataset_id
             )
@@ -146,7 +165,8 @@ class Slave:
             # Build a synthetic ComputedData shell for execute_task's
             # dispatch; only .operation and .id are consulted.
             out_buckets = _run_operation(
-                self.program, op, dataset_id, task_index, input_buckets, factory
+                self.program, op, dataset_id, task_index, input_buckets,
+                factory, span=span,
             )
             urls: List[Tuple[int, str]] = []
             for bucket in out_buckets:
@@ -156,14 +176,24 @@ class Slave:
                 else:
                     url = "file:" + bucket.path
                 urls.append((bucket.split, url))
+            span.mark("transfer")
             seconds = time.perf_counter() - started
+            self.observability.registry.counter("tasks.completed").inc()
+            self.observability.registry.histogram("task.seconds").observe(
+                seconds
+            )
+            metrics = protocol.make_task_metrics(
+                durations=span.durations_dict(),
+                registry=self._task_registry_snapshot(seconds),
+            )
             self._master().done(
-                self.slave_id, dataset_id, task_index, urls, seconds
+                self.slave_id, dataset_id, task_index, urls, seconds, metrics
             )
         except Exception as exc:
             logger.warning(
                 "task (%s, %d) failed: %r", dataset_id, task_index, exc
             )
+            self.observability.registry.counter("tasks.failed").inc()
             try:
                 self._master().failed(
                     self.slave_id, dataset_id, task_index, repr(exc)
@@ -172,6 +202,22 @@ class Slave:
                 # Master unreachable; the main loop's liveness check
                 # will notice and exit.
                 pass
+
+    @staticmethod
+    def _task_registry_snapshot(seconds: float) -> Dict[str, Any]:
+        """A *per-task* registry snapshot for piggybacking.
+
+        Deliberately built fresh for each completion rather than
+        snapshotting the slave's cumulative registry: the master merges
+        every payload it receives, and merging cumulative counter
+        snapshots repeatedly would double-count.
+        """
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("slave.tasks.completed").inc()
+        registry.histogram("slave.task.seconds").observe(seconds)
+        return registry.snapshot()
 
     def remove_data(self, dataset_id: str) -> None:
         path = os.path.join(self.localdir, dataset_id)
@@ -218,7 +264,9 @@ class Slave:
             shutil.rmtree(os.path.dirname(self.localdir), ignore_errors=True)
 
 
-def _run_operation(program, op, dataset_id, task_index, input_buckets, factory):
+def _run_operation(
+    program, op, dataset_id, task_index, input_buckets, factory, span=None
+):
     """Dispatch one operation without a full ComputedData object."""
     from repro.core.operations import (
         MapOperation,
@@ -228,11 +276,15 @@ def _run_operation(program, op, dataset_id, task_index, input_buckets, factory):
 
     if isinstance(op, MapOperation):
         pairs = (pair for bucket in input_buckets for pair in bucket)
-        return taskrunner.run_map_task(program, op, pairs, factory)
+        return taskrunner.run_map_task(program, op, pairs, factory, span=span)
     if isinstance(op, ReduceMapOperation):
-        return taskrunner.run_reducemap_task(program, op, input_buckets, factory)
+        return taskrunner.run_reducemap_task(
+            program, op, input_buckets, factory, span=span
+        )
     if isinstance(op, ReduceOperation):
-        return taskrunner.run_reduce_task(program, op, input_buckets, factory)
+        return taskrunner.run_reduce_task(
+            program, op, input_buckets, factory, span=span
+        )
     raise taskrunner.TaskError(f"unknown operation {type(op).__name__}")
 
 

@@ -135,6 +135,7 @@ def run_map_task(
     op: MapOperation,
     input_pairs: Iterable[KeyValue],
     bucket_factory: BucketFactory,
+    span: Any = None,
 ) -> List[Bucket]:
     mapper = op.resolve(program, op.map_name)
     parter = _resolve_parter(program, op)
@@ -147,7 +148,12 @@ def run_map_task(
         if result is not None:
             _emit(result, parter, n, staging)
     staging = _apply_combiner(program, op.combine_name, op, staging)
-    return _persist(staging, bucket_factory, n)
+    if span is not None:
+        span.mark("map")
+    out = _persist(staging, bucket_factory, n)
+    if span is not None:
+        span.mark("serialize")
+    return out
 
 
 def run_reduce_task(
@@ -155,6 +161,7 @@ def run_reduce_task(
     op: ReduceOperation,
     input_buckets: Sequence[Bucket],
     bucket_factory: BucketFactory,
+    span: Any = None,
 ) -> List[Bucket]:
     reducer = op.resolve(program, op.reduce_name)
     parter = _resolve_parter(program, op)
@@ -165,7 +172,12 @@ def run_reduce_task(
         result = reducer(key, values)
         if result is not None:
             _emit(((key, v) for v in result), parter, n, staging)
-    return _persist(staging, bucket_factory, n)
+    if span is not None:
+        span.mark("reduce")
+    out = _persist(staging, bucket_factory, n)
+    if span is not None:
+        span.mark("serialize")
+    return out
 
 
 def run_reducemap_task(
@@ -173,6 +185,7 @@ def run_reducemap_task(
     op: ReduceMapOperation,
     input_buckets: Sequence[Bucket],
     bucket_factory: BucketFactory,
+    span: Any = None,
 ) -> List[Bucket]:
     reducer = op.resolve(program, op.reduce_name)
     mapper = op.resolve(program, op.map_name)
@@ -189,7 +202,14 @@ def run_reducemap_task(
             if mapped is not None:
                 _emit(mapped, parter, n, staging)
     staging = _apply_combiner(program, op.combine_name, op, staging)
-    return _persist(staging, bucket_factory, n)
+    if span is not None:
+        # The fused operation's compute is reduce-dominated; attribute
+        # it to "reduce" so phase totals stay two-bucket (map/reduce).
+        span.mark("reduce")
+    out = _persist(staging, bucket_factory, n)
+    if span is not None:
+        span.mark("serialize")
+    return out
 
 
 def _persist(
@@ -260,8 +280,14 @@ def execute_task(
     task_index: int,
     input_buckets: Sequence[Bucket],
     bucket_factory: Optional[BucketFactory] = None,
+    span: Any = None,
 ) -> List[Bucket]:
-    """Run one task of ``dataset`` and return its output buckets."""
+    """Run one task of ``dataset`` and return its output buckets.
+
+    ``span``, when given, is a :class:`~repro.observability.tracing.
+    TaskSpan` that receives ``map``/``reduce`` and ``serialize`` events
+    as the task moves through compute and persistence.
+    """
     factory = bucket_factory or memory_bucket_factory(task_index)
     op = dataset.operation
     try:
@@ -269,11 +295,13 @@ def execute_task(
             pairs: Iterable[KeyValue] = (
                 pair for bucket in input_buckets for pair in bucket
             )
-            return run_map_task(program, op, pairs, factory)
+            return run_map_task(program, op, pairs, factory, span=span)
         if isinstance(op, ReduceMapOperation):
-            return run_reducemap_task(program, op, input_buckets, factory)
+            return run_reducemap_task(
+                program, op, input_buckets, factory, span=span
+            )
         if isinstance(op, ReduceOperation):
-            return run_reduce_task(program, op, input_buckets, factory)
+            return run_reduce_task(program, op, input_buckets, factory, span=span)
     except TaskError:
         raise
     except Exception as exc:

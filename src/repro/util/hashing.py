@@ -35,6 +35,14 @@ def key_to_bytes(key: Any) -> bytes:
     fall back to a pinned-protocol pickle.  A leading type tag prevents
     collisions between, e.g., the string ``"1"`` and the integer ``1``
     having accidentally identical encodings.
+
+    ``int`` *subclasses* (``enum.IntEnum`` and friends) are tagged with
+    their qualified type name rather than routed through the plain-int
+    branch: an ``IntEnum`` key must not silently collide with its
+    integer value, because two processes of one job may disagree about
+    which of the two types a key has (e.g. a slave that rebuilt the key
+    from serialized data as a plain int) and placement decisions would
+    then diverge.  ``bool`` keeps its own dedicated tag.
     """
     if isinstance(key, bytes):
         return b"b:" + key
@@ -44,7 +52,11 @@ def key_to_bytes(key: Any) -> bytes:
         # bool is an int subclass; tag it distinctly.
         return b"B:" + (b"1" if key else b"0")
     if isinstance(key, int):
-        return b"i:" + str(key).encode("ascii")
+        if type(key) is int:
+            return b"i:" + str(key).encode("ascii")
+        cls = type(key)
+        type_tag = f"{cls.__module__}.{cls.__qualname__}".encode("utf-8")
+        return b"I:" + type_tag + b":" + str(int(key)).encode("ascii")
     return b"p:" + pickle.dumps(key, _PICKLE_PROTOCOL)
 
 

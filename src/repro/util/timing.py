@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import contextlib
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class Stopwatch:
@@ -73,8 +74,36 @@ class PhaseTimer:
         self._current = (phase, now)
 
     def end(self) -> None:
-        """Stop attributing time to the open phase, if any."""
+        """Stop attributing time to the open phase, if any.
+
+        Safe to call with no open phase (e.g. a second ``end`` or an
+        ``end`` before any ``begin``): it is a no-op.
+        """
         self._close(time.perf_counter())
+
+    @property
+    def current(self) -> Optional[str]:
+        """Name of the open phase, or None."""
+        return self._current[0] if self._current is not None else None
+
+    @contextlib.contextmanager
+    def measure(self, phase: str) -> Iterator["PhaseTimer"]:
+        """Attribute the block's wall time to ``phase``.
+
+        Unlike raw ``begin``/``end`` pairs, ``measure`` restores any
+        phase that was open when the block was entered, so nested and
+        re-entrant instrumentation (runtime code timing a sub-phase
+        inside a larger phase, including the *same* phase name) never
+        silently truncates the outer attribution.
+        """
+        previous = self.current
+        self.begin(phase)
+        try:
+            yield self
+        finally:
+            self.end()
+            if previous is not None:
+                self.begin(previous)
 
     def _close(self, now: float) -> None:
         if self._current is not None:

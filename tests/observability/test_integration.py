@@ -1,0 +1,158 @@
+"""End-to-end metrics: real runs produce complete, consistent reports."""
+
+import pytest
+
+import repro as mrs
+from repro.core.main import run_program
+from repro.observability import export
+
+
+class WordCount(mrs.MapReduce):
+    """Tiny WordCount with a fully determined task layout:
+    3 source splits -> 3 map tasks, map output splits=2 -> 2 reduce
+    tasks.  5 tasks total."""
+
+    N_TASKS = 5
+
+    def map(self, key, value):
+        for word in value.split():
+            yield (word, 1)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+    def run(self, job):
+        lines = [
+            (0, "the quick brown fox"),
+            (1, "jumps over the lazy dog"),
+            (2, "the dog sleeps"),
+        ]
+        source = job.local_data(lines, splits=3)
+        mapped = job.map_data(source, self.map, splits=2)
+        reduced = job.reduce_data(mapped, self.reduce, splits=2)
+        job.wait(reduced)
+        self.output_data = reduced
+        return 0
+
+
+class TestSerialWordCountReport:
+    @pytest.fixture
+    def report(self):
+        program = run_program(WordCount, [], impl="serial")
+        assert dict(program.output_data.iterdata())["the"] == 3
+        return program.metrics_report
+
+    def test_nonzero_map_and_reduce_phases(self, report):
+        assert export.phase_seconds(report, "map") > 0.0
+        assert export.phase_seconds(report, "reduce") > 0.0
+        # Reduce-side input gathering is attributed to "shuffle".
+        assert export.phase_seconds(report, "shuffle") > 0.0
+
+    def test_one_span_per_task(self, report):
+        assert export.span_count(report) == WordCount.N_TASKS
+        assert report["summary"]["task_count"] == WordCount.N_TASKS
+        assert report["metrics"]["counters"]["tasks.completed"] == float(
+            WordCount.N_TASKS
+        )
+
+    def test_every_span_ran_to_committed(self, report):
+        for span in report["spans"]:
+            events = [e["event"] for e in span["events"]]
+            assert events[0] == "queued"
+            assert "started" in events
+            assert events[-1] == "committed"
+
+    def test_startup_recorded(self, report):
+        assert report["startup"]["seconds"] is not None
+        assert export.startup_seconds(report) >= 0.0
+
+    def test_operations_cover_both_datasets(self, report):
+        kinds = sorted(op["kind"] for op in report["operations"])
+        assert kinds == ["map", "reduce"]
+        by_kind = {op["kind"]: op for op in report["operations"]}
+        assert by_kind["map"]["tasks"] == 3
+        assert by_kind["reduce"]["tasks"] == 2
+        for op in report["operations"]:
+            assert op["wall_seconds"] >= op["compute_seconds"] >= 0.0
+            assert op["overhead_seconds"] >= 0.0
+
+    def test_task_seconds_histogram_matches_task_count(self, report):
+        hist = report["metrics"]["histograms"]["task.seconds"]
+        assert hist["count"] == WordCount.N_TASKS
+        assert hist["total"] > 0.0
+
+
+class TestMetricsJsonOption:
+    def test_run_program_dumps_report(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        program = run_program(
+            WordCount, [], impl="serial", metrics_json=path
+        )
+        report = export.read_json(path)
+        assert report == program.metrics_report
+        assert report["role"] == "serial"
+        assert export.span_count(report) == WordCount.N_TASKS
+
+    def test_no_option_no_file(self, tmp_path):
+        run_program(WordCount, [], impl="serial")
+        assert not list(tmp_path.iterdir())
+
+
+class TestJobMetricsApi:
+    def test_job_metrics_mid_run(self):
+        """job.metrics() is usable from inside run() for live progress."""
+
+        class Introspective(WordCount):
+            def run(self, job):
+                status = super().run(job)
+                self.live_report = job.metrics()
+                return status
+
+        program = run_program(Introspective, [], impl="serial")
+        assert program.live_report["summary"]["task_count"] == WordCount.N_TASKS
+
+    def test_backend_without_observability_reports_empty(self):
+        from repro.core.job import Backend
+
+        assert Backend().metrics() == {}
+
+
+class TestMockParallelReport:
+    def test_same_shape_as_serial(self):
+        program = run_program(WordCount, [], impl="mockparallel")
+        report = program.metrics_report
+        assert report["role"] == "mockparallel"
+        assert export.span_count(report) == WordCount.N_TASKS
+        assert export.phase_seconds(report, "map") > 0.0
+
+
+@pytest.mark.integration
+class TestClusterPiggyback:
+    def test_master_aggregates_slave_metrics(self, tmp_path):
+        """Slave-side phase durations and registry snapshots ride the
+        done RPC; the master report covers the whole cluster."""
+        from repro.apps.pi.estimator import PiEstimator
+        from repro.runtime.cluster import LocalCluster
+
+        flags = ["--pi-samples", "4000", "--pi-tasks", "4"]
+        with LocalCluster(PiEstimator, flags, n_slaves=2) as cluster:
+            cluster.run()
+            report = cluster.backend.metrics()
+
+        assert report["role"] == "master"
+        counters = report["metrics"]["counters"]
+        completed = counters["tasks.completed"]
+        assert completed >= 4  # 4 map tasks + reduce task(s)
+        # Piggybacked per-task registries merged without double-counting.
+        assert counters["slave.tasks.completed"] == completed
+        assert report["metrics"]["histograms"]["slave.task.seconds"][
+            "count"
+        ] == completed
+        # Slave-side compute durations were stitched into master spans.
+        assert export.phase_seconds(report, "map") > 0.0
+        assert export.span_count(report) == report["summary"]["task_count"]
+        for span in report["spans"]:
+            assert [e["event"] for e in span["events"]][0] == "queued"
+        # RPC instrumentation observed the control-plane traffic.
+        assert counters["rpc.server.calls"] > 0
+        assert report["startup"]["seconds"] is not None

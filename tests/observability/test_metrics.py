@@ -1,0 +1,169 @@
+"""Counters, gauges, histograms, and registry aggregation."""
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SNAPSHOT_VERSION,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0.0
+
+    def test_inc_default_and_amount(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter()
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3.0
+
+    def test_can_go_negative(self):
+        g = Gauge()
+        g.add(-1)
+        assert g.value == -1.0
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        h = Histogram()
+        assert h.to_dict() == {
+            "count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0,
+        }
+
+    def test_observe_updates_summary(self):
+        h = Histogram()
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        summary = h.to_dict()
+        assert summary["count"] == 3
+        assert summary["total"] == 12.0
+        assert summary["min"] == 2.0
+        assert summary["max"] == 6.0
+        assert summary["mean"] == pytest.approx(4.0)
+        assert h.mean == pytest.approx(4.0)
+
+    def test_merge_dict(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(3.0)
+        b.observe(5.0)
+        a.merge_dict(b.to_dict())
+        summary = a.to_dict()
+        assert summary["count"] == 3
+        assert summary["total"] == 9.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+
+    def test_merge_empty_is_noop(self):
+        h = Histogram()
+        h.observe(2.0)
+        h.merge_dict(Histogram().to_dict())
+        assert h.to_dict()["count"] == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")
+
+    def test_same_name_different_kinds_coexist(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.gauge("n").set(7)
+        snap = reg.snapshot()
+        assert snap["counters"]["n"] == 1.0
+        assert snap["gauges"]["n"] == 7.0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks.completed").inc(3)
+        reg.gauge("slaves.alive").set(2)
+        reg.histogram("task.seconds").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["version"] == SNAPSHOT_VERSION
+        assert snap["counters"] == {"tasks.completed": 3.0}
+        assert snap["gauges"] == {"slaves.alive": 2.0}
+        assert snap["histograms"]["task.seconds"]["count"] == 1
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("b").observe(1.0)
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_merge_snapshot_counters_add(self):
+        master, slave = MetricsRegistry(), MetricsRegistry()
+        master.counter("tasks.completed").inc(2)
+        slave.counter("tasks.completed").inc(3)
+        master.merge_snapshot(slave.snapshot())
+        assert master.counter("tasks.completed").value == 5.0
+
+    def test_merge_snapshot_gauges_last_write_wins(self):
+        master, slave = MetricsRegistry(), MetricsRegistry()
+        master.gauge("depth").set(10)
+        slave.gauge("depth").set(4)
+        master.merge_snapshot(slave.snapshot())
+        assert master.gauge("depth").value == 4.0
+
+    def test_merge_snapshot_histograms_merge(self):
+        master, slave = MetricsRegistry(), MetricsRegistry()
+        master.histogram("t").observe(1.0)
+        slave.histogram("t").observe(9.0)
+        master.merge_snapshot(slave.snapshot())
+        summary = master.histogram("t").to_dict()
+        assert summary["count"] == 2
+        assert summary["min"] == 1.0
+        assert summary["max"] == 9.0
+
+    def test_merge_empty_or_none_snapshot_is_noop(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.merge_snapshot({})
+        reg.merge_snapshot(None)
+        assert reg.counter("a").value == 1.0
+
+    def test_double_merge_double_counts(self):
+        """Documents why slaves ship *per-task* snapshots: merging the
+        same cumulative snapshot twice over-counts."""
+        master, slave = MetricsRegistry(), MetricsRegistry()
+        slave.counter("n").inc()
+        snap = slave.snapshot()
+        master.merge_snapshot(snap)
+        master.merge_snapshot(snap)
+        assert master.counter("n").value == 2.0

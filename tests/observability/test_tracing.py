@@ -1,0 +1,105 @@
+"""Task span lifecycle and the tracer registry."""
+
+from repro.observability.tracing import EVENTS, TaskSpan, Tracer
+
+
+class TestTaskSpan:
+    def test_lifecycle_events_recorded_in_order(self):
+        span = TaskSpan("ds1", 0)
+        for event in ("queued", "started", "map", "serialize", "committed"):
+            span.mark(event)
+        assert [name for name, _ in span.events] == [
+            "queued", "started", "map", "serialize", "committed",
+        ]
+        assert span.has_event("map")
+        assert not span.has_event("reduce")
+
+    def test_mark_attributes_elapsed_to_event(self):
+        span = TaskSpan("ds1", 0)
+        span.mark("queued", timestamp=10.0)
+        span.mark("started", timestamp=10.5)
+        span.mark("map", timestamp=12.5)
+        assert span.durations["started"] == 0.5
+        assert span.durations["map"] == 2.0
+        assert "queued" not in span.durations  # first event has no prior
+        assert span.total_seconds == 2.5
+
+    def test_repeated_event_accumulates_duration(self):
+        span = TaskSpan("ds1", 0)
+        span.mark("queued", timestamp=0.0)
+        span.mark("map", timestamp=1.0)
+        span.mark("map", timestamp=1.5)
+        assert span.durations["map"] == 1.5
+
+    def test_clock_skew_clamped_to_zero(self):
+        span = TaskSpan("ds1", 0)
+        span.mark("queued", timestamp=5.0)
+        span.mark("started", timestamp=4.0)  # goes backwards
+        assert span.durations["started"] == 0.0
+
+    def test_add_duration_for_piggybacked_phases(self):
+        span = TaskSpan("ds1", 3)
+        span.add_duration("map", 0.25)
+        span.add_duration("map", 0.25)
+        span.add_duration("transfer", 0.1)
+        assert span.durations_dict() == {"map": 0.5, "transfer": 0.1}
+
+    def test_to_dict_uses_offsets_from_first_event(self):
+        span = TaskSpan("ds1", 2)
+        span.mark("queued", timestamp=100.0)
+        span.mark("started", timestamp=100.25)
+        d = span.to_dict()
+        assert d["dataset_id"] == "ds1"
+        assert d["task_index"] == 2
+        assert d["events"] == [
+            {"event": "queued", "offset": 0.0},
+            {"event": "started", "offset": 0.25},
+        ]
+        assert d["total_seconds"] == 0.25
+
+    def test_empty_span_to_dict(self):
+        d = TaskSpan("ds1", 0).to_dict()
+        assert d["events"] == []
+        assert d["total_seconds"] == 0.0
+        assert TaskSpan("ds1", 0).total_seconds == 0.0
+
+    def test_canonical_event_names(self):
+        assert EVENTS == (
+            "queued", "started", "map", "reduce",
+            "serialize", "transfer", "committed",
+        )
+
+
+class TestTracer:
+    def test_span_get_or_create(self):
+        tracer = Tracer()
+        a = tracer.span("ds1", 0)
+        assert tracer.span("ds1", 0) is a
+        assert tracer.span("ds1", 1) is not a
+        assert len(tracer) == 2
+
+    def test_get_returns_none_for_unknown(self):
+        assert Tracer().get("nope", 0) is None
+
+    def test_spans_sorted_by_dataset_then_index(self):
+        tracer = Tracer()
+        tracer.span("b", 1)
+        tracer.span("a", 1)
+        tracer.span("a", 0)
+        keys = [(s.dataset_id, s.task_index) for s in tracer.spans()]
+        assert keys == [("a", 0), ("a", 1), ("b", 1)]
+
+    def test_spans_for_filters_by_dataset(self):
+        tracer = Tracer()
+        tracer.span("a", 0)
+        tracer.span("b", 0)
+        assert [s.dataset_id for s in tracer.spans_for("a")] == ["a"]
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        tracer = Tracer()
+        tracer.span("a", 0).mark("queued", timestamp=1.0)
+        snap = tracer.snapshot()
+        assert len(snap) == 1
+        json.dumps(snap)  # must not raise

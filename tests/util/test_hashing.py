@@ -1,11 +1,14 @@
 """Stable hashing: determinism, type separation, distribution."""
 
+import enum
+import os
 import subprocess
 import sys
 
 import pytest
 from hypothesis import given, strategies as st
 
+import repro
 from repro.util.hashing import key_to_bytes, stable_hash, stable_hash_bytes
 
 
@@ -45,6 +48,35 @@ class TestKeyToBytes:
     def test_unicode(self):
         assert key_to_bytes("héllo") == key_to_bytes("héllo")
 
+    def test_int_subclass_distinct_from_plain_int(self):
+        """Regression: an IntEnum key must not collide with its integer
+        value (processes can disagree about which type a key has)."""
+
+        class Shard(enum.IntEnum):
+            FIRST = 1
+            SECOND = 2
+
+        assert key_to_bytes(Shard.FIRST) != key_to_bytes(1)
+        assert key_to_bytes(Shard.SECOND) != key_to_bytes(2)
+        # Still deterministic for the subclass itself.
+        assert key_to_bytes(Shard.FIRST) == key_to_bytes(Shard.FIRST)
+        assert stable_hash(Shard.FIRST) != stable_hash(Shard.SECOND)
+
+    def test_distinct_int_subclasses_distinct(self):
+        class A(int):
+            pass
+
+        class B(int):
+            pass
+
+        assert key_to_bytes(A(7)) != key_to_bytes(B(7))
+        assert key_to_bytes(A(7)) != key_to_bytes(7)
+
+    def test_bool_unaffected_by_int_subclass_tagging(self):
+        # bool is itself an int subclass but keeps its dedicated tag.
+        assert key_to_bytes(True) == b"B:1"
+        assert key_to_bytes(False) == b"B:0"
+
 
 class TestStableHashCrossProcess:
     def test_stable_across_interpreter_runs(self):
@@ -54,14 +86,26 @@ class TestStableHashCrossProcess:
             "from repro.util.hashing import stable_hash;"
             "print(stable_hash('gutenberg'), stable_hash(42))"
         )
+        # A minimal, fully controlled child environment: the package
+        # location must be propagated (a bare PATH has no import path
+        # for ``repro``), while PYTHONHASHSEED forces a fresh, distinct
+        # builtin-hash seed per child so seed-independence is proven,
+        # not inherited.
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        base_env = {
+            "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+            "PYTHONPATH": package_root,
+        }
         outputs = set()
-        for _ in range(2):
+        for hash_seed in ("random", "1", "2"):
             result = subprocess.run(
                 [sys.executable, "-c", code],
                 capture_output=True,
                 text=True,
                 check=True,
-                env={"PYTHONHASHSEED": "random", "PATH": "/usr/bin:/bin"},
+                env={**base_env, "PYTHONHASHSEED": hash_seed},
             )
             outputs.add(result.stdout.strip())
         assert len(outputs) == 1

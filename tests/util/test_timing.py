@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.util.timing import PhaseTimer, Stopwatch
 
 
@@ -104,3 +106,85 @@ class TestPhaseTimer:
         timer = PhaseTimer()
         timer.add("shuffle", 1.0)
         assert "shuffle" in repr(timer)
+
+
+class TestPhaseTimerSafety:
+    """The runtime instrumentation exercises unbalanced and re-entrant
+    begin/end sequences; none of them may lose or corrupt time."""
+
+    def test_double_end_is_noop(self):
+        timer = PhaseTimer()
+        timer.begin("map")
+        timer.end()
+        recorded = timer.get("map")
+        timer.end()
+        timer.end()
+        assert timer.get("map") == recorded
+        assert timer.total == recorded
+
+    def test_end_before_any_begin_is_noop(self):
+        timer = PhaseTimer()
+        timer.end()
+        timer.begin("map")
+        time.sleep(0.005)
+        timer.end()
+        assert timer.get("map") >= 0.005
+
+    def test_reentrant_begin_same_phase_accumulates(self):
+        timer = PhaseTimer()
+        timer.begin("map")
+        time.sleep(0.005)
+        timer.begin("map")  # re-entrant: closes and reopens "map"
+        time.sleep(0.005)
+        timer.end()
+        assert timer.get("map") >= 0.01
+        assert timer.current is None
+        assert [name for name, _ in timer.breakdown()] == ["map"]
+
+    def test_current_property(self):
+        timer = PhaseTimer()
+        assert timer.current is None
+        timer.begin("reduce")
+        assert timer.current == "reduce"
+        timer.end()
+        assert timer.current is None
+
+    def test_measure_attributes_block_time(self):
+        timer = PhaseTimer()
+        with timer.measure("map"):
+            time.sleep(0.005)
+        assert timer.get("map") >= 0.005
+        assert timer.current is None
+
+    def test_measure_restores_enclosing_phase(self):
+        timer = PhaseTimer()
+        timer.begin("outer")
+        time.sleep(0.003)
+        with timer.measure("inner"):
+            time.sleep(0.003)
+        # The outer phase is open again and keeps accumulating.
+        assert timer.current == "outer"
+        time.sleep(0.003)
+        timer.end()
+        assert timer.get("outer") >= 0.006
+        assert timer.get("inner") >= 0.003
+
+    def test_measure_reentrant_same_phase(self):
+        timer = PhaseTimer()
+        with timer.measure("map"):
+            time.sleep(0.003)
+            with timer.measure("map"):
+                time.sleep(0.003)
+            time.sleep(0.003)
+        assert timer.get("map") >= 0.009
+        assert timer.current is None
+
+    def test_measure_restores_phase_on_exception(self):
+        timer = PhaseTimer()
+        timer.begin("outer")
+        with pytest.raises(RuntimeError):
+            with timer.measure("inner"):
+                raise RuntimeError("boom")
+        assert timer.current == "outer"
+        timer.end()
+        assert timer.get("inner") >= 0.0
