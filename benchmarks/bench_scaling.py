@@ -1,10 +1,12 @@
-"""Extension — parallel scaling of the Mrs master/slave runtime.
+"""Extension — parallel scaling of the Mrs parallel runtimes.
 
 Not a paper table (the paper's cluster numbers are per-application),
 but the claim "Mrs programs are fast" implies real speedup from real
-slaves.  We run a compute-bound pi job (pure-Python kernel, so each
-task is genuinely CPU-heavy) on 1, 2, and 4 local slave processes and
-report the speedup, plus the fixed overhead measured from a tiny job.
+worker processes.  We run a compute-bound pi job (pure-Python kernel,
+so each task is genuinely CPU-heavy) on 1, 2, and 4 local slave
+processes, then sweep the multiprocess worker pool over 1/2/4/8
+workers, and report speedup vs the in-process serial run.  The pool
+sweep also writes a machine-readable JSON speedup table.
 """
 
 import os
@@ -13,10 +15,11 @@ import time
 from repro.apps.pi.estimator import PiEstimator
 from repro.core.main import run_program
 from repro.runtime.cluster import run_on_cluster
-from reporting import fmt_seconds, once, print_table
+from reporting import fmt_seconds, once, print_table, write_json_table
 
 SAMPLES = 1_200_000
 TASKS = 8
+PROC_SWEEP = (1, 2, 4, 8)
 
 
 def timed_cluster_pi(n_slaves: int, samples: int = SAMPLES):
@@ -72,3 +75,67 @@ def test_slave_scaling(benchmark):
     else:
         assert results[4] < serial_s * 6.0, "overhead must stay bounded"
     # Identical answers everywhere (asserted per-run above).
+
+
+def timed_pool_pi(procs: int, samples: int = SAMPLES):
+    flags = ["--pi-samples", str(samples), "--pi-tasks", str(TASKS)]
+    started = time.perf_counter()
+    program = run_program(
+        PiEstimator, flags, impl="multiprocess", procs=procs
+    )
+    return program, time.perf_counter() - started
+
+
+def test_multiprocess_scaling(benchmark, tmp_path):
+    """--mrs-procs sweep: the worker pool's speedup over serial, as a
+    printed table and a JSON artifact (speedup.json)."""
+    serial_started = time.perf_counter()
+    serial = run_program(
+        PiEstimator,
+        ["--pi-samples", str(SAMPLES), "--pi-tasks", str(TASKS)],
+        impl="serial",
+    )
+    serial_s = time.perf_counter() - serial_started
+
+    results = {}
+    for procs in PROC_SWEEP:
+        if procs == 2:
+            program, seconds = once(benchmark, timed_pool_pi, procs)
+        else:
+            program, seconds = timed_pool_pi(procs)
+        assert program.pi_estimate == serial.pi_estimate
+        results[procs] = seconds
+
+    cores = os.cpu_count() or 1
+    headers = ["configuration", "wall time", "speedup vs serial"]
+    rows = [["serial (in-process)", fmt_seconds(serial_s), "1.00x"]]
+    for procs, seconds in results.items():
+        rows.append([
+            f"{procs} worker(s)",
+            fmt_seconds(seconds),
+            f"{serial_s / seconds:.2f}x",
+        ])
+    notes = [
+        "includes pool spin-up; speedup is bounded by the "
+        f"{cores} core(s) available here",
+    ]
+    title = (
+        f"Scaling: pi with {SAMPLES:,} samples, {TASKS} tasks "
+        "on the multiprocess worker pool"
+    )
+    print_table(title, headers, rows, notes=notes)
+    json_path = os.environ.get(
+        "MRS_SCALING_JSON", str(tmp_path / "speedup.json")
+    )
+    write_json_table(json_path, title, headers, rows, notes=notes)
+    print(f"json table: {json_path}")
+
+    # Same conditional shape as the slave sweep: with real cores the
+    # pool must beat one worker; on a single core it may only add
+    # bounded scheduling overhead.
+    if cores >= 4:
+        assert results[4] < results[1]
+    elif cores >= 2:
+        assert results[2] < results[1] * 1.25
+    else:
+        assert results[8] < serial_s * 6.0, "overhead must stay bounded"

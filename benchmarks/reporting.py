@@ -8,6 +8,8 @@ measurement to paper scale.  EXPERIMENTS.md mirrors these tables.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from typing import Iterable, List, Optional, Sequence
 
@@ -33,6 +35,48 @@ def print_table(
     for note in notes or []:
         out.write(f"note: {note}\n")
     out.flush()
+
+
+def json_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: Optional[List[str]] = None,
+) -> dict:
+    """The table :func:`print_table` renders, as a JSON-ready dict —
+    one record per row, keyed by header, so scripts can consume bench
+    results without scraping stdout."""
+    records = []
+    for row in rows:
+        row = list(row)
+        records.append(
+            {h: (row[i] if i < len(row) else None) for i, h in enumerate(headers)}
+        )
+    return {
+        "version": 1,
+        "title": title,
+        "headers": list(headers),
+        "rows": records,
+        "notes": list(notes or []),
+    }
+
+
+def write_json_table(
+    path: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: Optional[List[str]] = None,
+) -> dict:
+    """Atomically write :func:`json_table` output to ``path``."""
+    doc = json_table(title, headers, rows, notes)
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(parent, exist_ok=True)
+    staging = path + ".tmp"
+    with open(staging, "w") as f:
+        json.dump(doc, f, indent=2)
+    os.replace(staging, path)
+    return doc
 
 
 def fmt_seconds(seconds: float) -> str:

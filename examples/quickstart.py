@@ -2,9 +2,10 @@
 """Quickstart: WordCount, the paper's Program 1, end to end.
 
 Generates a small synthetic Gutenberg-style corpus, runs WordCount
-through three execution contexts (the paper's debugging methodology:
-they must agree), and finishes with a real distributed run — an
-in-process master plus two slave subprocesses speaking XML-RPC.
+through four execution contexts (the paper's debugging methodology:
+they must agree) — serial, mock parallel, a multiprocess worker pool —
+and finishes with a real distributed run: an in-process master plus
+two slave subprocesses speaking XML-RPC.
 
 Run:
 
@@ -78,7 +79,18 @@ def main() -> int:
     assert output_counts(mock) == counts, "implementations must agree!"
     print("mockparallel: identical output ✓")
 
-    # 3. Distributed: master in this process, 2 slave subprocesses.
+    # 3. Multiprocess: a real worker pool on this machine — parallel
+    #    map/reduce without starting a master and slaves by hand.
+    pool = run_program(
+        WordCountCombined,
+        [corpus_root, os.path.join(workdir, "out_pool")],
+        impl="multiprocess",
+        procs=2,
+    )
+    assert output_counts(pool) == counts, "implementations must agree!"
+    print("multiprocess: identical output ✓ (2 worker processes)")
+
+    # 4. Distributed: master in this process, 2 slave subprocesses.
     distributed = run_on_cluster(
         WordCountCombined,
         [corpus_root, os.path.join(workdir, "out_cluster")],

@@ -56,7 +56,7 @@ def main(program_class: Any, argv: Optional[Sequence[str]] = None) -> int:
 
         return run_bypass(program)
 
-    backend = _make_backend(impl, program, opts)
+    backend = _make_backend(impl, program, opts, args)
     try:
         job = Job(backend, program)
         status = int(program.run(job) or 0)
@@ -79,7 +79,7 @@ def _maybe_dump_metrics(backend: Any, opts: Any) -> Optional[str]:
     return path
 
 
-def _make_backend(impl: str, program: Any, opts) -> Any:
+def _make_backend(impl: str, program: Any, opts, args: Sequence[str] = ()) -> Any:
     if impl == "serial":
         from repro.runtime.serial import SerialBackend
 
@@ -88,6 +88,10 @@ def _make_backend(impl: str, program: Any, opts) -> Any:
         from repro.runtime.mockparallel import MockParallelBackend
 
         return MockParallelBackend(program, tmpdir=getattr(opts, "tmpdir", None))
+    if impl == "multiprocess":
+        from repro.runtime.multiprocess import MultiprocessBackend
+
+        return MultiprocessBackend(program, opts, list(args))
     if impl == "master":
         from repro.runtime.master import MasterBackend
 
@@ -123,7 +127,7 @@ def run_program(
         run_bypass(program)
         return program
 
-    backend = _make_backend(impl, program, opts)
+    backend = _make_backend(impl, program, opts, positional)
     try:
         job = Job(backend, program)
         status = program.run(job)

@@ -12,7 +12,14 @@ import argparse
 from typing import Any, List, Optional, Sequence, Tuple
 
 #: Implementation names accepted by ``--mrs`` (case-insensitive).
-IMPLEMENTATIONS = ("serial", "bypass", "mockparallel", "master", "slave")
+IMPLEMENTATIONS = (
+    "serial",
+    "bypass",
+    "mockparallel",
+    "multiprocess",
+    "master",
+    "slave",
+)
 
 
 def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
@@ -64,6 +71,23 @@ def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="number of reduce tasks (0 = implementation default)",
+    )
+    group.add_argument(
+        "--mrs-procs",
+        dest="procs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="multiprocess: number of worker processes "
+        "(0 = one per CPU core)",
+    )
+    group.add_argument(
+        "--mrs-start-method",
+        dest="start_method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocess: how worker processes are started "
+        "(default: the platform's multiprocessing default)",
     )
     group.add_argument(
         "--mrs-port",

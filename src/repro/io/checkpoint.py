@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 from typing import Any, Optional
 
 from repro.core.dataset import BaseDataset
-from repro.io.bucket import FileBucket
+from repro.io.bucket import Bucket, FileBucket
 
 MANIFEST = "manifest.json"
 FORMAT_VERSION = 1
@@ -84,15 +85,11 @@ def write_checkpoint(path: str, dataset: BaseDataset) -> str:
         if os.path.isdir(path):
             retired = path + ".old"
             if os.path.isdir(retired):
-                import shutil
-
                 shutil.rmtree(retired)
             os.replace(path, retired)
         os.replace(staging, path)
         return path
     except Exception:
-        import shutil
-
         shutil.rmtree(staging, ignore_errors=True)
         raise
 
@@ -136,7 +133,12 @@ def load_checkpoint(path: str, job: Optional[Any] = None) -> BaseDataset:
             key_serializer=manifest.get("key_serializer"),
             value_serializer=manifest.get("value_serializer"),
         )
-        bucket.collect(bucket.readback())
+        # Load pairs into memory *without* FileBucket's write-through
+        # addpair: rewriting the checkpoint file on load would truncate
+        # it under any other process reading the same file (a worker
+        # pool consumes checkpoint buckets by URL).
+        for pair in bucket.readback():
+            Bucket.addpair(bucket, pair)
         dataset.add_bucket(bucket)
     dataset.complete = True
     if job is not None:

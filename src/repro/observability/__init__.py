@@ -40,11 +40,16 @@ __all__ = [
     "TaskSpan",
     "Tracer",
     "Observability",
+    "PIGGYBACK_PHASES",
     "export",
 ]
 
 #: Span duration keys that count as user compute.
 _COMPUTE_EVENTS = ("map", "reduce")
+
+#: Remote-reported span durations that fold into a coordinating
+#: backend's phase timer (slave->master and worker->pool piggybacks).
+PIGGYBACK_PHASES = ("map", "reduce", "serialize", "transfer")
 
 
 class Observability:
@@ -61,6 +66,11 @@ class Observability:
         self.startup_seconds: Optional[float] = None
         #: dataset id -> operation kind ("map"/"reduce"/"reducemap").
         self._operation_kinds: Dict[str, str] = {}
+        #: Per-source registries accumulated by :meth:`merge_remote`
+        #: (one per slave/worker), so the report can break the job down
+        #: by contributing process without double-counting the main
+        #: registry.
+        self._sources: Dict[str, MetricsRegistry] = {}
 
     # -- lifecycle ------------------------------------------------------
 
@@ -76,9 +86,23 @@ class Observability:
         self._operation_kinds[dataset_id] = kind
         self.registry.counter(f"operations.{kind}").inc()
 
-    def merge_remote(self, snapshot: Dict[str, Any]) -> None:
-        """Fold a remote process's registry snapshot into this one."""
+    def merge_remote(
+        self, snapshot: Dict[str, Any], source: Optional[str] = None
+    ) -> None:
+        """Fold a remote process's registry snapshot into this one.
+
+        ``source``, when given, names the contributing process (e.g.
+        ``"slave-3"`` or ``"worker-1"``); the snapshot is additionally
+        accumulated into a per-source registry so the report can
+        attribute work to individual slaves/workers.  Each snapshot is
+        merged into the main registry exactly once regardless.
+        """
         self.registry.merge_snapshot(snapshot)
+        if source:
+            registry = self._sources.get(source)
+            if registry is None:
+                registry = self._sources[source] = MetricsRegistry()
+            registry.merge_snapshot(snapshot)
 
     # -- reporting ------------------------------------------------------
 
@@ -120,6 +144,10 @@ class Observability:
             "startup": {"seconds": self.startup_seconds},
             "phases": dict(self.phases.breakdown()),
             "metrics": self.registry.snapshot(),
+            "sources": {
+                name: registry.snapshot()
+                for name, registry in sorted(self._sources.items())
+            },
             "spans": self.tracer.snapshot(),
             "operations": operations,
             "summary": {

@@ -1,0 +1,40 @@
+"""Shared-filesystem data-plane helpers.
+
+Both parallel runtimes (cluster master and multiprocess worker pool)
+exchange intermediate data as bucket files under a tmpdir shared by
+every worker.  Input buckets that exist only in the coordinating
+process's memory (``LocalData`` pairs) must be spilled to that tmpdir
+before a task descriptor referencing them can be handed out.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.dataset import BaseDataset
+from repro.io.bucket import Bucket, FileBucket
+
+
+def spill_bucket(dataset: BaseDataset, bucket: Bucket, tmpdir: str) -> str:
+    """Write a coordinator-resident bucket to the shared data plane.
+
+    Returns the filesystem path of the spill file; the caller decides
+    how to publish it (``file:`` URL or HTTP data-server URL).
+    """
+    directory = os.path.join(tmpdir, dataset.id)
+    path = os.path.join(
+        directory, f"{dataset.id}_{bucket.source}_{bucket.split}.mrsb"
+    )
+    os.makedirs(directory, exist_ok=True)
+    spill = FileBucket(
+        path,
+        source=bucket.source,
+        split=bucket.split,
+        key_serializer=getattr(dataset, "key_serializer", None),
+        value_serializer=getattr(dataset, "value_serializer", None),
+    )
+    writer = spill.open_writer()
+    for pair in bucket:
+        writer.writepair(pair)
+    spill.close_writer()
+    return path

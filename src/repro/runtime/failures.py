@@ -1,0 +1,61 @@
+"""Task-failure policy shared by the parallel runtimes.
+
+The cluster master and the multiprocess worker pool apply the same
+rules when a task attempt dies: retry it elsewhere until a per-task
+budget is exhausted, then fail the owning dataset and transitively
+everything that depends on it, so a ``Job.wait`` on any affected
+dataset raises instead of hanging forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+TaskId = Tuple[str, int]
+
+#: A task is retried on another worker/slave this many times before the
+#: whole dataset is declared failed.
+MAX_TASK_FAILURES = 3
+
+
+class FailureTracker:
+    """Per-task strike counter with a fixed budget.
+
+    Not thread-safe on its own; callers mutate it under their backend
+    lock, the same discipline the scheduler requires.
+    """
+
+    def __init__(self, budget: int = MAX_TASK_FAILURES):
+        self.budget = budget
+        self._counts: Dict[TaskId, int] = {}
+
+    def record(self, task: TaskId) -> bool:
+        """Count one strike; returns True when the budget is exhausted."""
+        self._counts[task] = self._counts.get(task, 0) + 1
+        return self._counts[task] >= self.budget
+
+    def count(self, task: TaskId) -> int:
+        return self._counts.get(task, 0)
+
+
+def propagate_error(
+    datasets: Dict[str, object], failed_id: str, message: Optional[str] = None
+) -> None:
+    """Mark every (transitive) dependent of ``failed_id`` as failed.
+
+    ``datasets`` maps dataset id -> dataset; dependents are found
+    through ``input_id`` and ``blocking_ids``.  Caller holds whatever
+    lock guards the dataset table.
+    """
+    frontier = [failed_id]
+    while frontier:
+        current = frontier.pop()
+        for dataset in datasets.values():
+            if dataset.error or dataset.complete:
+                continue
+            deps = {getattr(dataset, "input_id", None)} | set(
+                getattr(dataset, "blocking_ids", ())
+            )
+            if current in deps:
+                dataset.error = message or f"input dataset {current} failed"
+                frontier.append(dataset.id)

@@ -29,18 +29,17 @@ from repro.comm.dataserver import DataServer
 from repro.comm.rpc import RpcServer, format_address, rpc_client
 from repro.core.dataset import BaseDataset, ComputedData
 from repro.core.job import Backend, Job
-from repro.io.bucket import Bucket, FileBucket
-from repro.observability import Observability
+from repro.io.bucket import Bucket
+from repro.observability import Observability, PIGGYBACK_PHASES
+from repro.runtime import dataplane
+from repro.runtime.failures import (
+    MAX_TASK_FAILURES,
+    FailureTracker,
+    propagate_error,
+)
 from repro.runtime.scheduler import ScheduledDataset, Scheduler, TaskId
 
-#: Slave-reported span durations folded into the master's phase timer.
-PIGGYBACK_PHASES = ("map", "reduce", "serialize", "transfer")
-
 logger = logging.getLogger("repro.master")
-
-#: A task is retried on another slave this many times before the whole
-#: dataset is declared failed.
-MAX_TASK_FAILURES = 3
 
 #: Watchdog ping period (seconds).
 PING_INTERVAL = 2.0
@@ -96,7 +95,7 @@ class MasterBackend(Backend):
         self._slaves: Dict[int, SlaveRecord] = {}
         self._next_slave_id = 1
         self._datasets: Dict[str, BaseDataset] = {}
-        self._failure_counts: Dict[TaskId, int] = {}
+        self._failures = FailureTracker()
         #: Which slave produced each completed task's output buckets —
         #: the lineage needed to re-execute tasks whose data died with
         #: a slave (http data plane only).
@@ -369,7 +368,7 @@ class MasterBackend(Backend):
                         Bucket(source=task_index, split=split, url=url)
                     )
                 self._record_task_metrics(
-                    dataset_id, task_index, float(seconds), metrics
+                    slave_id, dataset_id, task_index, float(seconds), metrics
                 )
             if dataset_complete:
                 dataset.complete = True
@@ -379,6 +378,7 @@ class MasterBackend(Backend):
 
     def _record_task_metrics(
         self,
+        slave_id: int,
         dataset_id: str,
         task_index: int,
         seconds: float,
@@ -395,7 +395,7 @@ class MasterBackend(Backend):
             span.add_duration(event, phase_seconds)
             if event in PIGGYBACK_PHASES:
                 obs.phases.add(event, phase_seconds)
-        obs.merge_remote(payload["registry"])
+        obs.merge_remote(payload["registry"], source=f"slave-{slave_id}")
         span.mark("committed")
 
     def task_failed(
@@ -427,44 +427,22 @@ class MasterBackend(Backend):
             )
             if free_retry:
                 self.scheduler.task_failed(slave_id, task)
+            elif self._failures.record(task):
+                if dataset is not None and not dataset.error:
+                    dataset.error = (
+                        f"task {task_index} failed "
+                        f"{self._failures.count(task)} times; "
+                        f"last: {message}"
+                    )
+                    # Dependents can never run; fail them too so any
+                    # wait() on them returns instead of hanging, and
+                    # drop the dataset's remaining queued tasks.
+                    propagate_error(self._datasets, dataset_id)
+                    self.scheduler.cancel_dataset(dataset_id)
             else:
-                self._failure_counts[task] = (
-                    self._failure_counts.get(task, 0) + 1
-                )
-                if self._failure_counts[task] >= MAX_TASK_FAILURES:
-                    if dataset is not None and not dataset.error:
-                        dataset.error = (
-                            f"task {task_index} failed "
-                            f"{self._failure_counts[task]} times; "
-                            f"last: {message}"
-                        )
-                        # Dependents can never run; fail them too so
-                        # any wait() on them returns instead of hanging.
-                        self._propagate_error(dataset_id)
-                else:
-                    self.scheduler.task_failed(slave_id, task)
+                self.scheduler.task_failed(slave_id, task)
             self._cond.notify_all()
         self._dispatch()
-
-    def _propagate_error(self, failed_id: str) -> None:
-        """Mark every (transitive) dependent of ``failed_id`` as failed.
-
-        Caller holds the lock.
-        """
-        frontier = [failed_id]
-        while frontier:
-            current = frontier.pop()
-            for dataset in self._datasets.values():
-                if dataset.error or dataset.complete:
-                    continue
-                deps = {getattr(dataset, "input_id", None)} | set(
-                    getattr(dataset, "blocking_ids", ())
-                )
-                if current in deps:
-                    dataset.error = (
-                        f"input dataset {current} failed"
-                    )
-                    frontier.append(dataset.id)
 
     def lose_slave(self, slave_id: int, reason: str) -> None:
         with self._lock:
@@ -602,22 +580,7 @@ class MasterBackend(Backend):
     def _spill_bucket(self, dataset: BaseDataset, bucket: Bucket) -> None:
         """Write a master-resident bucket to the data plane so slaves
         can read it (LocalData pairs live only in master memory)."""
-        directory = os.path.join(self.tmpdir, dataset.id)
-        path = os.path.join(
-            directory, f"{dataset.id}_{bucket.source}_{bucket.split}.mrsb"
-        )
-        os.makedirs(directory, exist_ok=True)
-        spill = FileBucket(
-            path,
-            source=bucket.source,
-            split=bucket.split,
-            key_serializer=getattr(dataset, "key_serializer", None),
-            value_serializer=getattr(dataset, "value_serializer", None),
-        )
-        writer = spill.open_writer()
-        for pair in bucket:
-            writer.writepair(pair)
-        spill.close_writer()
+        path = dataplane.spill_bucket(dataset, bucket, self.tmpdir)
         if self.data_plane == "http" and self.dataserver is not None:
             bucket.url = self.dataserver.url_for(path)
         else:

@@ -59,7 +59,13 @@ class MockParallelBackend(Backend):
         timeout: Optional[float] = None,
     ) -> List[BaseDataset]:
         self.observability.mark_startup_complete()
+        deadline = None if timeout is None else time.monotonic() + timeout
         while self._queue and not all(d.complete or d.error for d in datasets):
+            # Tasks are not preemptible, so the deadline is checked
+            # between dataset computations: on expiry the caller gets
+            # whatever subset finished in time, like the master's wait.
+            if deadline is not None and time.monotonic() >= deadline:
+                break
             dataset = self._queue.pop(0)
             self._compute(dataset, job)
         return [d for d in datasets if d.complete or d.error]

@@ -1,0 +1,18 @@
+"""True single-node parallelism: a multiprocess worker pool.
+
+"One slave uses one core; a node contributes N cores by running N slave
+processes — processes rather than threads because of the GIL" (section
+IV-B).  This package applies that observation *without* a cluster: the
+pool backend forks (or spawns) N worker processes on the local machine,
+feeds them task descriptors over queues, and exchanges intermediate
+data through the same shared-tmpdir file buckets the cluster uses.
+
+Select it with ``--mrs multiprocess``; size it with ``--mrs-procs N``
+(0 = one worker per CPU core) and pick the start method with
+``--mrs-start-method fork|spawn|forkserver``.
+"""
+
+from repro.runtime.multiprocess.backend import MultiprocessBackend
+from repro.runtime.multiprocess.pool import WorkerHandle, WorkerPool
+
+__all__ = ["MultiprocessBackend", "WorkerHandle", "WorkerPool"]

@@ -1,0 +1,453 @@
+"""The multiprocess worker-pool backend (single-node parallelism).
+
+Structurally this is the cluster master with the network removed: the
+same affinity-aware :class:`~repro.runtime.scheduler.Scheduler`, the
+same task descriptors, the same shared-tmpdir file data plane, and the
+same per-task failure budget — but the control plane is a pair of
+``multiprocessing`` queues instead of XML-RPC, and "slaves" are local
+worker processes the pool itself forks (or spawns).
+
+Fault tolerance mirrors the cluster: a worker that dies mid-task is
+detected by the collector thread's liveness sweep, its in-flight task
+is requeued (burning one strike of the shared ``MAX_TASK_FAILURES``
+budget — a crash is evidence against the task as well as the worker),
+and a replacement process is spawned, up to a respawn cap that stops a
+crash-looping program from forking forever.
+
+Observability mirrors the slave piggyback: each ``done`` message
+carries the worker's span durations and a fresh per-task registry
+snapshot, so ``Job.metrics()`` totals cover the whole pool with every
+task counted exactly once, broken down per worker under ``sources``.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import queue as queue_mod
+import shutil
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.comm import protocol
+from repro.core.dataset import BaseDataset, ComputedData
+from repro.core.job import Backend, Job
+from repro.io.bucket import Bucket
+from repro.observability import Observability, PIGGYBACK_PHASES
+from repro.runtime import dataplane
+from repro.runtime.failures import FailureTracker, propagate_error
+from repro.runtime.multiprocess.pool import WorkerPool
+from repro.runtime.scheduler import ScheduledDataset, Scheduler, TaskId
+
+logger = logging.getLogger("repro.multiprocess")
+
+#: Collector poll period while the result queue is idle; also the
+#: worker-crash detection latency.
+IDLE_POLL = 0.2
+
+
+class MultiprocessBackend(Backend):
+    """Job backend that runs tasks on a pool of local processes."""
+
+    def __init__(self, program: Any, opts: Any, args: Optional[List[str]] = None):
+        self.program = program
+        self.opts = opts
+        self._owns_tmpdir = getattr(opts, "tmpdir", None) is None
+        self.tmpdir = getattr(opts, "tmpdir", None) or tempfile.mkdtemp(
+            prefix="mrs_mp_"
+        )
+        os.makedirs(self.tmpdir, exist_ok=True)
+        self.default_timeout = getattr(opts, "timeout", None)
+        #: --mrs-procs: pool size (0 = one worker per core).
+        self.n_procs = int(getattr(opts, "procs", 0) or 0) or (
+            os.cpu_count() or 1
+        )
+        start_method = getattr(opts, "start_method", None)
+        self.ctx = multiprocessing.get_context(start_method)
+
+        self.observability = Observability(role="multiprocess")
+
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self.scheduler = Scheduler(
+            affinity=not getattr(opts, "no_affinity", False)
+        )
+        self._failures = FailureTracker()
+        self._datasets: Dict[str, BaseDataset] = {}
+        self._task_seconds: Dict[str, List[float]] = {}
+        self._ready: set = set()
+        self._respawns = 0
+        #: Crash-loop guard: stop replacing dead workers after this many
+        #: losses (a program whose __init__ or map kills every process
+        #: would otherwise fork forever).
+        self._max_respawns = max(4, 2 * self.n_procs)
+        self._closed = False
+
+        self.result_queue = self.ctx.Queue()
+        self.pool = WorkerPool(
+            self.ctx, type(program), opts, list(args or []), self.result_queue
+        )
+        with self._lock:
+            for _ in range(self.n_procs):
+                handle = self.pool.spawn()
+                self.scheduler.add_slave(handle.worker_id)
+        self.observability.registry.gauge("workers.alive").set(self.n_procs)
+
+        self._collector = threading.Thread(
+            target=self._collector_loop, name="mrs-mp-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # Backend interface (called from the program's main thread)
+    # ------------------------------------------------------------------
+
+    @property
+    def default_splits(self) -> int:
+        requested = getattr(self.opts, "reduce_tasks", 0)
+        return requested or self.n_procs
+
+    def submit(self, dataset: ComputedData, job: Job) -> None:
+        self.observability.note_operation(dataset.id, dataset.operation.kind)
+        for task_index in dataset.task_indices():
+            self.observability.tracer.span(dataset.id, task_index).mark(
+                "queued"
+            )
+        with self._lock:
+            input_dataset = job.get_dataset(dataset.input_id)
+            self._datasets[dataset.id] = dataset
+            self._datasets.setdefault(input_dataset.id, input_dataset)
+            for blocker_id in dataset.blocking_ids:
+                self._datasets.setdefault(
+                    blocker_id, job.get_dataset(blocker_id)
+                )
+            for dep_id in [dataset.input_id, *dataset.blocking_ids]:
+                dep = self._datasets[dep_id]
+                if dep.complete and not self.scheduler.is_complete(dep_id):
+                    self.scheduler.mark_input_complete(dep_id)
+            self.scheduler.add_dataset(
+                ScheduledDataset(
+                    dataset.id,
+                    ntasks=dataset.ntasks,
+                    affinity_group=dataset.affinity_group,
+                    input_id=dataset.input_id,
+                    blocking_ids=dataset.blocking_ids,
+                )
+            )
+        self._dispatch()
+
+    def wait(
+        self,
+        datasets: Sequence[BaseDataset],
+        job: Job,
+        timeout: Optional[float] = None,
+    ) -> List[BaseDataset]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self._dispatch()
+        with self._cond:
+            while True:
+                done = [d for d in datasets if d.complete or d.error]
+                if done:
+                    return done
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return done
+                    self._cond.wait(remaining)
+                else:
+                    self._cond.wait(1.0)
+
+    def progress(self, dataset: BaseDataset) -> float:
+        if dataset.complete:
+            return 1.0
+        with self._lock:
+            return self.scheduler.progress(dataset.id)
+
+    def task_stats(self, dataset_id: str) -> Dict[str, float]:
+        """Count/total/mean/max wall seconds of a dataset's tasks."""
+        with self._lock:
+            samples = list(self._task_seconds.get(dataset_id, ()))
+        if not samples:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "count": len(samples),
+            "total": sum(samples),
+            "mean": sum(samples) / len(samples),
+            "max": max(samples),
+        }
+
+    def remove_data(self, dataset_id: str, job: Job) -> None:
+        shared_dir = os.path.join(self.tmpdir, dataset_id)
+        if os.path.isdir(shared_dir):
+            shutil.rmtree(shared_dir, ignore_errors=True)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self.pool.shutdown()
+        self._collector.join(timeout=2.0)
+        self.result_queue.close()
+        self.result_queue.cancel_join_thread()
+        if self._owns_tmpdir:
+            shutil.rmtree(self.tmpdir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Collector (runs on its own thread; the pool's "RPC handler")
+    # ------------------------------------------------------------------
+
+    def _collector_loop(self) -> None:
+        while not self._closed:
+            try:
+                message = self.result_queue.get(timeout=IDLE_POLL)
+            except queue_mod.Empty:
+                self._check_workers()
+                continue
+            except (EOFError, OSError):
+                return
+            if self._closed:
+                return
+            mtype = message.get("type")
+            if mtype == "ready":
+                self._on_ready(int(message["worker_id"]))
+            elif mtype == "done":
+                self._on_done(message)
+            elif mtype == "failed":
+                self._on_failed(message)
+            elif mtype == "init_failed":
+                # The worker exits right after sending this; the next
+                # liveness sweep reaps and (maybe) replaces it.
+                logger.error(
+                    "worker %s failed to initialize: %s",
+                    message.get("worker_id"),
+                    message.get("message"),
+                )
+
+    def _on_ready(self, worker_id: int) -> None:
+        with self._cond:
+            self._ready.add(worker_id)
+            if len(self._ready) >= self.n_procs:
+                # The pool is ready: the single-node analogue of the
+                # paper's "~2 s" cluster startup quantity.
+                self.observability.mark_startup_complete()
+            self._cond.notify_all()
+        self._dispatch()
+
+    def _on_done(self, message: Dict[str, Any]) -> None:
+        worker_id = int(message["worker_id"])
+        dataset_id = message["dataset_id"]
+        task_index = int(message["task_index"])
+        task: TaskId = (dataset_id, task_index)
+        with self._lock:
+            handle = self.pool.get(worker_id)
+            if handle is not None and handle.busy == task:
+                handle.busy = None
+            dataset = self._datasets.get(dataset_id)
+            if dataset is None:
+                return
+            # The scheduler rejects stale duplicate reports (a worker
+            # presumed dead whose task was already given away).
+            accepted, dataset_complete = self.scheduler.task_done(
+                worker_id, task
+            )
+            if accepted:
+                seconds = float(message.get("seconds", 0.0))
+                self._task_seconds.setdefault(dataset_id, []).append(seconds)
+                for split, url in message["bucket_urls"]:
+                    dataset.add_bucket(
+                        Bucket(source=task_index, split=int(split), url=url)
+                    )
+                self._record_task_metrics(
+                    worker_id,
+                    dataset_id,
+                    task_index,
+                    seconds,
+                    message.get("metrics"),
+                )
+            if dataset_complete:
+                dataset.complete = True
+                logger.info("dataset %s complete", dataset_id)
+            self._cond.notify_all()
+        self._dispatch()
+
+    def _record_task_metrics(
+        self,
+        worker_id: int,
+        dataset_id: str,
+        task_index: int,
+        seconds: float,
+        metrics: Optional[Dict[str, Any]],
+    ) -> None:
+        """Fold one accepted completion (and its piggybacked worker
+        metrics) into the whole-job view.  Caller holds the lock."""
+        obs = self.observability
+        obs.registry.counter("tasks.completed").inc()
+        obs.registry.histogram("task.seconds").observe(seconds)
+        span = obs.tracer.span(dataset_id, task_index)
+        payload = protocol.parse_task_metrics(metrics)
+        for event, phase_seconds in payload["durations"].items():
+            span.add_duration(event, phase_seconds)
+            if event in PIGGYBACK_PHASES:
+                obs.phases.add(event, phase_seconds)
+        obs.merge_remote(payload["registry"], source=f"worker-{worker_id}")
+        span.mark("committed")
+
+    def _on_failed(self, message: Dict[str, Any]) -> None:
+        worker_id = int(message["worker_id"])
+        dataset_id = message["dataset_id"]
+        task_index = int(message["task_index"])
+        text = str(message.get("message", ""))
+        task: TaskId = (dataset_id, task_index)
+        logger.warning(
+            "task %s failed on worker %d: %s", task, worker_id, text
+        )
+        self.observability.registry.counter("tasks.failed").inc()
+        with self._lock:
+            handle = self.pool.get(worker_id)
+            if handle is not None and handle.busy == task:
+                handle.busy = None
+            dataset = self._datasets.get(dataset_id)
+            if self._failures.record(task):
+                if dataset is not None and not dataset.error:
+                    dataset.error = (
+                        f"task {task_index} failed "
+                        f"{self._failures.count(task)} times; last: {text}"
+                    )
+                    # Dependents can never run; fail them too so any
+                    # wait() on them returns instead of hanging, and
+                    # drop the dataset's remaining queued tasks.
+                    propagate_error(self._datasets, dataset_id)
+                    self.scheduler.cancel_dataset(dataset_id)
+            else:
+                self.scheduler.task_failed(worker_id, task)
+            self._cond.notify_all()
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Crash detection and respawn
+    # ------------------------------------------------------------------
+
+    def _check_workers(self) -> None:
+        """Reap dead workers: requeue their in-flight task (one strike
+        against its failure budget) and spawn replacements."""
+        with self._lock:
+            if self._closed:
+                return
+            dead = self.pool.reap_dead()
+            if not dead:
+                return
+            for handle in dead:
+                logger.warning(
+                    "worker %d died unexpectedly (exitcode %s)",
+                    handle.worker_id,
+                    handle.process.exitcode,
+                )
+                self.observability.registry.counter("workers.lost").inc()
+                self._ready.discard(handle.worker_id)
+                # Requeues the worker's assigned task, like a lost slave.
+                self.scheduler.remove_slave(handle.worker_id)
+                task = handle.busy
+                if task is not None and self._failures.record(task):
+                    dataset = self._datasets.get(task[0])
+                    if dataset is not None and not dataset.error:
+                        dataset.error = (
+                            f"task {task[1]} killed its worker "
+                            f"{self._failures.count(task)} times"
+                        )
+                        propagate_error(self._datasets, task[0])
+                        self.scheduler.cancel_dataset(task[0])
+                if self._respawns < self._max_respawns:
+                    self._respawns += 1
+                    replacement = self.pool.spawn()
+                    self.scheduler.add_slave(replacement.worker_id)
+                    logger.info(
+                        "respawned worker %d to replace %d",
+                        replacement.worker_id,
+                        handle.worker_id,
+                    )
+            alive = len(self.pool.alive_handles())
+            self.observability.registry.gauge("workers.alive").set(alive)
+            if alive == 0:
+                for dataset in self._datasets.values():
+                    if not dataset.complete and not dataset.error:
+                        dataset.error = "all workers died"
+            self._cond.notify_all()
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Hand pending tasks to idle workers (queue puts happen
+        outside the lock, like the master's RPC sends)."""
+        while True:
+            to_send = []
+            with self._lock:
+                if self._closed:
+                    return
+                for handle in self.pool.alive_handles():
+                    if handle.busy is not None:
+                        continue
+                    task = self.scheduler.next_task(handle.worker_id)
+                    if task is None:
+                        continue
+                    descriptor = self._build_descriptor(task)
+                    handle.busy = task
+                    to_send.append((handle, task, descriptor))
+            if not to_send:
+                return
+            # First work handed out: the job is effectively started.
+            self.observability.mark_startup_complete()
+            for handle, task, descriptor in to_send:
+                dataset_id, task_index = task
+                self.observability.tracer.span(dataset_id, task_index).mark(
+                    "started"
+                )
+                self.observability.registry.counter("tasks.dispatched").inc()
+                handle.task_queue.put(descriptor)
+
+    def _build_descriptor(self, task: TaskId) -> Dict[str, Any]:
+        """Build the task descriptor (caller holds the lock).  Same
+        wire schema as the cluster, always on the file data plane."""
+        dataset_id, task_index = task
+        dataset = self._datasets[dataset_id]
+        assert isinstance(dataset, ComputedData)
+        input_dataset = self._datasets[dataset.input_id]
+        input_urls = []
+        for bucket in input_dataset.buckets_for_split(task_index):
+            if bucket.url is None:
+                path = dataplane.spill_bucket(
+                    input_dataset, bucket, self.tmpdir
+                )
+                bucket.url = "file:" + path
+            input_urls.append(bucket.url)
+        user_output = dataset.outdir is not None
+        if user_output:
+            outdir: Optional[str] = dataset.outdir
+            ext = dataset.format_ext or "txt"
+        else:
+            outdir = os.path.join(self.tmpdir, dataset.id)
+            ext = dataset.format_ext or "mrsb"
+        return protocol.make_task_descriptor(
+            dataset_id=dataset.id,
+            task_index=task_index,
+            op_dict=dataset.operation.to_dict(),
+            input_urls=input_urls,
+            outdir=outdir,
+            format_ext=ext,
+            user_output=user_output,
+            key_serializer=dataset.key_serializer,
+            value_serializer=dataset.value_serializer,
+            input_key_serializer=getattr(
+                input_dataset, "key_serializer", None
+            ),
+            input_value_serializer=getattr(
+                input_dataset, "value_serializer", None
+            ),
+        )

@@ -1,0 +1,158 @@
+"""Worker process of the multiprocess runtime.
+
+A worker is the single-node analogue of a cluster slave: it
+re-instantiates the user's program class locally (user code never
+crosses the process boundary — only method *names* inside task
+descriptors), then executes descriptors from its private dispatch queue
+until it receives the ``None`` sentinel.  Results, failures, and
+per-task metric snapshots ride back to the pool on a shared result
+queue instead of XML-RPC; the data plane is the cluster's shared-tmpdir
+file exchange, unchanged.
+
+Wire shape of result-queue messages (dicts of scalars, mirroring the
+control-plane discipline of :mod:`repro.comm.protocol`):
+
+==============  ========================================================
+``type``        remaining fields
+==============  ========================================================
+``ready``       ``worker_id``
+``init_failed`` ``worker_id``, ``message``
+``done``        ``worker_id``, ``dataset_id``, ``task_index``,
+                ``bucket_urls``, ``seconds``, ``metrics``
+``failed``      ``worker_id``, ``dataset_id``, ``task_index``,
+                ``message``
+==============  ========================================================
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.comm import protocol
+from repro.core.operations import Operation
+from repro.io.bucket import FileBucket
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import TaskSpan
+from repro.runtime import taskrunner
+
+logger = logging.getLogger("repro.worker")
+
+
+def run_task(
+    program: Any, descriptor: Dict[str, Any]
+) -> Tuple[List[Tuple[int, str]], float, Dict[str, Any]]:
+    """Execute one task descriptor in this process.
+
+    Returns ``(bucket_urls, seconds, metrics)`` exactly as the ``done``
+    message needs them; raises on any task error (the caller turns that
+    into a ``failed`` message).
+    """
+    dataset_id = descriptor["dataset_id"]
+    task_index = int(descriptor["task_index"])
+    started = time.perf_counter()
+    # A fresh span per execution: its phase durations ride back to the
+    # pool on the done message (input fetch lands in "started", compute
+    # in "map"/"reduce", output writing in "serialize", URL publication
+    # in "transfer").
+    span = TaskSpan(dataset_id, task_index)
+    span.mark("queued", started)
+    op = Operation.from_dict(descriptor["op"])
+    input_buckets = taskrunner.buckets_from_urls(
+        descriptor["input_urls"],
+        split=task_index,
+        key_serializer=descriptor.get("input_key_serializer"),
+        value_serializer=descriptor.get("input_value_serializer"),
+    )
+    span.mark("started")
+    factory = taskrunner.file_bucket_factory(
+        descriptor["outdir"],
+        dataset_id,
+        task_index,
+        ext=descriptor["format_ext"],
+        sidecar=bool(descriptor.get("user_output")),
+        key_serializer=descriptor.get("key_serializer"),
+        value_serializer=descriptor.get("value_serializer"),
+    )
+    out_buckets = taskrunner.run_operation(
+        program, op, input_buckets, factory, span=span
+    )
+    urls: List[Tuple[int, str]] = []
+    for bucket in out_buckets:
+        assert isinstance(bucket, FileBucket)
+        urls.append((bucket.split, "file:" + bucket.path))
+    span.mark("transfer")
+    seconds = time.perf_counter() - started
+    # Deliberately a *per-task* registry snapshot rather than the
+    # worker's cumulative state: the pool merges every payload it
+    # receives, and merging cumulative counters repeatedly would
+    # double-count (same discipline as the slave piggyback).
+    registry = MetricsRegistry()
+    registry.counter("worker.tasks.completed").inc()
+    registry.histogram("worker.task.seconds").observe(seconds)
+    metrics = protocol.make_task_metrics(
+        durations=span.durations_dict(), registry=registry.snapshot()
+    )
+    return urls, seconds, metrics
+
+
+def worker_main(
+    worker_id: int,
+    program_class: Any,
+    opts: Any,
+    args: List[str],
+    task_queue: Any,
+    result_queue: Any,
+) -> None:
+    """Worker process entry point.
+
+    Must stay a module-level function: the spawn start method pickles
+    it by reference, along with ``program_class`` (which must therefore
+    be importable, not defined in a script body or closure).
+    """
+    try:
+        program = program_class(opts, args)
+    except Exception as exc:
+        result_queue.put(
+            {
+                "type": "init_failed",
+                "worker_id": worker_id,
+                "message": repr(exc),
+            }
+        )
+        return
+    result_queue.put({"type": "ready", "worker_id": worker_id})
+    while True:
+        descriptor = task_queue.get()
+        if descriptor is None:
+            return
+        dataset_id = descriptor["dataset_id"]
+        task_index = int(descriptor["task_index"])
+        try:
+            urls, seconds, metrics = run_task(program, descriptor)
+        except Exception as exc:
+            logger.warning(
+                "task (%s, %d) failed: %r", dataset_id, task_index, exc
+            )
+            result_queue.put(
+                {
+                    "type": "failed",
+                    "worker_id": worker_id,
+                    "dataset_id": dataset_id,
+                    "task_index": task_index,
+                    "message": repr(exc),
+                }
+            )
+            continue
+        result_queue.put(
+            {
+                "type": "done",
+                "worker_id": worker_id,
+                "dataset_id": dataset_id,
+                "task_index": task_index,
+                "bucket_urls": urls,
+                "seconds": seconds,
+                "metrics": metrics,
+            }
+        )

@@ -248,6 +248,19 @@ class Scheduler:
                 count += 1
         return count
 
+    def cancel_dataset(self, dataset_id: str) -> int:
+        """Drop every pending task of a permanently failed dataset.
+
+        Once a dataset is marked failed, its remaining queued tasks can
+        only waste workers (and, for crash-inducing tasks, kill them
+        again); remove them from the pending queue.  Tasks already
+        assigned are left to finish or fail on their own.  Returns the
+        number of tasks dropped.
+        """
+        before = len(self._pending)
+        self._pending = [task for task in self._pending if task[0] != dataset_id]
+        return before - len(self._pending)
+
     def task_failed(self, slave_id: int, task: TaskId) -> None:
         """Return a failed task to the pending queue (retried elsewhere)."""
         dataset_id, task_index = task

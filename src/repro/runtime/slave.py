@@ -162,11 +162,8 @@ class Slave:
                 key_serializer=descriptor.get("key_serializer"),
                 value_serializer=descriptor.get("value_serializer"),
             )
-            # Build a synthetic ComputedData shell for execute_task's
-            # dispatch; only .operation and .id are consulted.
-            out_buckets = _run_operation(
-                self.program, op, dataset_id, task_index, input_buckets,
-                factory, span=span,
+            out_buckets = taskrunner.run_operation(
+                self.program, op, input_buckets, factory, span=span,
             )
             urls: List[Tuple[int, str]] = []
             for bucket in out_buckets:
@@ -262,30 +259,6 @@ class Slave:
             self.dataserver.shutdown()
         if self._owns_tmpdir:
             shutil.rmtree(os.path.dirname(self.localdir), ignore_errors=True)
-
-
-def _run_operation(
-    program, op, dataset_id, task_index, input_buckets, factory, span=None
-):
-    """Dispatch one operation without a full ComputedData object."""
-    from repro.core.operations import (
-        MapOperation,
-        ReduceMapOperation,
-        ReduceOperation,
-    )
-
-    if isinstance(op, MapOperation):
-        pairs = (pair for bucket in input_buckets for pair in bucket)
-        return taskrunner.run_map_task(program, op, pairs, factory, span=span)
-    if isinstance(op, ReduceMapOperation):
-        return taskrunner.run_reducemap_task(
-            program, op, input_buckets, factory, span=span
-        )
-    if isinstance(op, ReduceOperation):
-        return taskrunner.run_reduce_task(
-            program, op, input_buckets, factory, span=span
-        )
-    raise taskrunner.TaskError(f"unknown operation {type(op).__name__}")
 
 
 def run_slave(program_class: Any, opts: Any, args: List[str]) -> int:

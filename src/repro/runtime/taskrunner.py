@@ -274,6 +274,35 @@ def buckets_from_urls(
     return resolved
 
 
+def run_operation(
+    program: Any,
+    op: Operation,
+    input_buckets: Sequence[Bucket],
+    bucket_factory: BucketFactory,
+    span: Any = None,
+) -> List[Bucket]:
+    """Dispatch one operation by kind, without a full ComputedData.
+
+    This is the execution path of worker processes (cluster slaves and
+    multiprocess pool workers), which receive a bare operation dict in
+    a task descriptor rather than a dataset object.
+    """
+    if isinstance(op, MapOperation):
+        pairs: Iterable[KeyValue] = (
+            pair for bucket in input_buckets for pair in bucket
+        )
+        return run_map_task(program, op, pairs, bucket_factory, span=span)
+    if isinstance(op, ReduceMapOperation):
+        return run_reducemap_task(
+            program, op, input_buckets, bucket_factory, span=span
+        )
+    if isinstance(op, ReduceOperation):
+        return run_reduce_task(
+            program, op, input_buckets, bucket_factory, span=span
+        )
+    raise TaskError(f"unknown operation {type(op).__name__}")
+
+
 def execute_task(
     program: Any,
     dataset: ComputedData,
@@ -291,17 +320,7 @@ def execute_task(
     factory = bucket_factory or memory_bucket_factory(task_index)
     op = dataset.operation
     try:
-        if isinstance(op, MapOperation):
-            pairs: Iterable[KeyValue] = (
-                pair for bucket in input_buckets for pair in bucket
-            )
-            return run_map_task(program, op, pairs, factory, span=span)
-        if isinstance(op, ReduceMapOperation):
-            return run_reducemap_task(
-                program, op, input_buckets, factory, span=span
-            )
-        if isinstance(op, ReduceOperation):
-            return run_reduce_task(program, op, input_buckets, factory, span=span)
+        return run_operation(program, op, input_buckets, factory, span=span)
     except TaskError:
         raise
     except Exception as exc:
@@ -310,4 +329,3 @@ def execute_task(
             f"({type(op).__name__}) failed: {exc!r}",
             cause=exc,
         ) from exc
-    raise TaskError(f"unknown operation type {type(op).__name__}")

@@ -1,0 +1,72 @@
+"""Checkpoint round-trips for datasets computed by the multiprocess
+pool.
+
+Pool-computed buckets are URL-only on the coordinator side (the pairs
+live in shared-tmpdir files written by workers), so ``write_checkpoint``
+must fetch through the data plane — and the checkpoint must outlive the
+backend's tmpdir.
+"""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.options import default_options
+from repro.io.checkpoint import (
+    checkpoint_exists,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.runtime.multiprocess import MultiprocessBackend
+from repro.runtime.serial import SerialBackend
+
+from tests.runtime.programs_mp import Tally
+
+
+def make_mp_job(tmp_path, procs=2):
+    opts = default_options(procs=procs, tmpdir=str(tmp_path / "mp"))
+    program = Tally(opts, [])
+    backend = MultiprocessBackend(program, opts, [])
+    return Job(backend, program), program, backend
+
+
+class TestMultiprocessCheckpoint:
+    def test_roundtrip_of_pool_computed_dataset(self, tmp_path):
+        job, p, backend = make_mp_job(tmp_path)
+        path = str(tmp_path / "ckpt")
+        try:
+            src = job.local_data([(i, i) for i in range(10)], splits=2)
+            mapped = job.map_data(src, p.map, splits=2)
+            job.wait(mapped, timeout=60)
+            expected = sorted(mapped.data())
+            write_checkpoint(path, mapped)
+        finally:
+            backend.close()
+        assert checkpoint_exists(path)
+
+        # The pool's tmpdir is gone; the checkpoint must be
+        # self-contained.
+        program = Tally(default_options(), [])
+        job2 = Job(SerialBackend(program), program)
+        restored = load_checkpoint(path, job2)
+        assert restored.complete
+        assert sorted(restored.data()) == expected
+
+    def test_restored_dataset_feeds_a_new_pool(self, tmp_path):
+        job, p, backend = make_mp_job(tmp_path)
+        path = str(tmp_path / "ckpt")
+        try:
+            src = job.local_data([(i, i) for i in range(6)], splits=2)
+            mapped = job.map_data(src, p.map, splits=2)
+            job.wait(mapped, timeout=60)
+            write_checkpoint(path, mapped)
+        finally:
+            backend.close()
+
+        job2, p2, backend2 = make_mp_job(tmp_path / "second")
+        try:
+            restored = load_checkpoint(path, job2)
+            reduced = job2.reduce_data(restored, p2.reduce, splits=1)
+            job2.wait(reduced, timeout=60)
+            assert sorted(reduced.data()) == [(0, 2), (1, 2), (2, 2)]
+        finally:
+            backend2.close()

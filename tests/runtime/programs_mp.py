@@ -1,0 +1,64 @@
+"""Programs used by multiprocess-runtime tests.
+
+These live in an importable module (not a test body) because the spawn
+start method pickles the program class *by reference*: worker processes
+must be able to ``import tests.runtime.programs_mp`` and look the class
+up again.
+"""
+
+import os
+import signal
+
+import repro as mrs
+
+
+class Tally(mrs.MapReduce):
+    """Small deterministic two-stage program."""
+
+    def map(self, key, value):
+        yield (value % 3, 1)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+
+class Rotate(mrs.MapReduce):
+    """One iteration rotates every value to the next key.
+
+    The state after ``k`` iterations depends on ``k`` (modulo
+    ``nkeys``), so a resumed run that silently lost or repeated an
+    iteration produces a different answer — exactly what the
+    checkpoint-resumption tests need to detect.
+    """
+
+    nkeys = 4
+
+    def map(self, key, value):
+        yield ((key + 1) % self.nkeys, value)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+
+class CrashOnce(mrs.MapReduce):
+    """Map that SIGKILLs its own worker process on the first attempt.
+
+    The first positional argument is a marker-file path shared through
+    the filesystem (a class attribute cannot guard across processes):
+    the first worker to see key 0 creates the marker and dies without
+    any chance to report, exercising the pool's liveness sweep, task
+    requeue, and respawn paths.
+    """
+
+    def map(self, key, value):
+        marker = self.args[0]
+        always = len(self.args) > 1 and self.args[1] == "always"
+        if key == 0 and (always or not os.path.exists(marker)):
+            if not always:
+                with open(marker, "w"):
+                    pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        yield (key % 2, value)
+
+    def reduce(self, key, values):
+        yield sum(values)

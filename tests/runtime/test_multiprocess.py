@@ -1,0 +1,173 @@
+"""Multiprocess worker-pool backend behaviour.
+
+Covers the new-runtime acceptance bar: byte-identical output vs the
+serial implementation, both start methods, worker-crash recovery, and
+exactly-once metrics accounting across the pool.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.main import run_program
+from repro.core.options import default_options
+from repro.runtime.multiprocess import MultiprocessBackend
+
+from tests.runtime.programs_mp import CrashOnce, Tally
+
+START_METHODS = sorted(
+    set(multiprocessing.get_all_start_methods()) & {"fork", "spawn"}
+)
+
+
+def make_backend(program_cls, opts_overrides=None, args=()):
+    opts = default_options(**(opts_overrides or {}))
+    program = program_cls(opts, list(args))
+    backend = MultiprocessBackend(program, opts, list(args))
+    return Job(backend, program), program, backend
+
+
+def output_by_key(directory):
+    """Map visible output files keyed by their ``source_split.ext``
+    suffix (the dataset-id prefix differs between runs)."""
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("."):
+            continue
+        stem, ext = os.path.splitext(name)
+        key = ("_".join(stem.split("_")[-2:]), ext)
+        with open(os.path.join(directory, name), "rb") as f:
+            out[key] = f.read()
+    return out
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_wordcount_byte_identical_to_serial(
+        self, tmp_path, start_method
+    ):
+        from repro.apps.wordcount import WordCount
+
+        input_file = tmp_path / "in.txt"
+        input_file.write_text(
+            "the quick brown fox jumps over the lazy dog\n"
+            "the dog sleeps while the fox runs\n" * 10
+        )
+        serial_out = tmp_path / "serial_out"
+        mp_out = tmp_path / "mp_out"
+        run_program(
+            WordCount,
+            [str(input_file), str(serial_out)],
+            impl="serial",
+            reduce_tasks=2,
+        )
+        run_program(
+            WordCount,
+            [str(input_file), str(mp_out)],
+            impl="multiprocess",
+            reduce_tasks=2,
+            procs=4,
+            start_method=start_method,
+        )
+        serial_files = output_by_key(serial_out)
+        mp_files = output_by_key(mp_out)
+        assert serial_files, "serial run produced no output"
+        assert mp_files.keys() == serial_files.keys()
+        for key, payload in serial_files.items():
+            assert mp_files[key] == payload, f"output {key} differs"
+
+    def test_chain_results(self, tmp_path):
+        job, p, backend = make_backend(
+            Tally, {"procs": 2, "tmpdir": str(tmp_path / "mp")}
+        )
+        try:
+            src = job.local_data([(i, i) for i in range(9)], splits=3)
+            out = job.reduce_data(job.map_data(src, p.map), p.reduce, splits=2)
+            job.wait(out, timeout=60)
+            assert sorted(out.data()) == [(0, 3), (1, 3), (2, 3)]
+        finally:
+            backend.close()
+
+    def test_default_splits_is_pool_size(self):
+        job, p, backend = make_backend(Tally, {"procs": 3})
+        try:
+            assert backend.default_splits == 3
+        finally:
+            backend.close()
+
+
+class TestFaultTolerance:
+    def test_sigkilled_worker_task_is_requeued(self, tmp_path):
+        """A worker killed mid-task is reaped, its task retried on a
+        replacement, and the job still completes."""
+        marker = tmp_path / "crashed_once"
+        job, p, backend = make_backend(
+            CrashOnce,
+            {"procs": 2, "tmpdir": str(tmp_path / "mp")},
+            args=[str(marker)],
+        )
+        try:
+            src = job.local_data([(i, 1) for i in range(6)], splits=3)
+            mapped = job.map_data(src, p.map, splits=2)
+            reduced = job.reduce_data(mapped, p.reduce, splits=1)
+            job.wait(reduced, timeout=60)
+            assert marker.exists(), "the crash path never ran"
+            assert reduced.complete
+            assert sorted(reduced.data()) == [(0, 3), (1, 3)]
+            counters = backend.metrics()["metrics"]["counters"]
+            assert counters["workers.lost"] >= 1
+        finally:
+            backend.close()
+
+    def test_poison_task_fails_dataset_not_job(self, tmp_path):
+        """A task that kills every worker that touches it exhausts the
+        failure budget and errors the dataset instead of hanging."""
+        from repro.core.job import JobError
+        from repro.runtime.failures import MAX_TASK_FAILURES
+
+        job, p, backend = make_backend(
+            CrashOnce,
+            {"procs": 1, "tmpdir": str(tmp_path / "mp")},
+            # "always": the map crashes on every attempt at key 0.
+            args=[str(tmp_path / "marker"), "always"],
+        )
+        try:
+            src = job.local_data([(0, 1)], splits=1)
+            mapped = job.map_data(src, p.map, splits=1)
+            with pytest.raises(JobError):
+                job.wait(mapped, timeout=120)
+            assert mapped.error
+            counters = backend.metrics()["metrics"]["counters"]
+            assert counters["workers.lost"] >= MAX_TASK_FAILURES
+        finally:
+            backend.close()
+
+
+class TestMetrics:
+    def test_pool_metrics_count_each_task_exactly_once(self, tmp_path):
+        job, p, backend = make_backend(
+            Tally, {"procs": 2, "tmpdir": str(tmp_path / "mp")}
+        )
+        try:
+            src = job.local_data([(i, i) for i in range(8)], splits=4)
+            mapped = job.map_data(src, p.map, splits=2)
+            reduced = job.reduce_data(mapped, p.reduce, splits=2)
+            job.wait(reduced, timeout=60)
+            report = backend.metrics()
+            total_tasks = 4 + 2  # map tasks + reduce tasks
+            counters = report["metrics"]["counters"]
+            assert counters["tasks.completed"] == total_tasks
+            assert counters["worker.tasks.completed"] == total_tasks
+            # The per-worker breakdown partitions the same total.
+            per_worker = [
+                source["counters"].get("worker.tasks.completed", 0)
+                for source in report["sources"].values()
+            ]
+            assert sum(per_worker) == total_tasks
+            assert report["role"] == "multiprocess"
+            # Piggybacked phase durations made it into the phase timer.
+            assert report["phases"].get("map", 0) >= 0
+        finally:
+            backend.close()

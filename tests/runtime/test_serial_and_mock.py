@@ -129,6 +129,45 @@ class TestMockParallelBackend:
     def test_default_splits_mimics_cluster(self):
         assert MockParallelBackend.default_splits > 1
 
+    def test_wait_honors_timeout(self):
+        """wait() must stop computing at the deadline and hand back the
+        partial completion set, like the master's wait."""
+        import time
+
+        class Sleepy(MapReduce):
+            def map(self, key, value):
+                time.sleep(0.25)
+                yield (key, value)
+
+            def reduce(self, key, values):
+                yield sum(values)
+
+        program = Sleepy(default_options(), [])
+        backend = MockParallelBackend(program)
+        job = Job(backend, program)
+        src = job.local_data([(0, 0)], splits=1)
+        first = job.map_data(src, program.map, splits=1)
+        second = job.map_data(first, program.map, splits=1)
+        done = backend.wait([first, second], job, timeout=0.1)
+        # The deadline expired after the first dataset's ~0.25 s task;
+        # the second must not have been computed.
+        assert done == [first]
+        assert first.complete and not second.complete
+        # A later unbounded wait finishes the queue.
+        done = backend.wait([first, second], job, timeout=None)
+        assert sorted(d.id for d in done) == sorted(
+            [first.id, second.id]
+        )
+
+    def test_wait_expired_deadline_computes_nothing(self):
+        program = Tally(default_options(), [])
+        backend = MockParallelBackend(program)
+        job = Job(backend, program)
+        src = job.local_data([(i, i) for i in range(3)], splits=1)
+        mapped = job.map_data(src, program.map, splits=1)
+        assert backend.wait([mapped], job, timeout=0.0) == []
+        assert not mapped.complete
+
 
 class TestProfiling:
     def test_profile_dir_gets_per_task_dumps(self, tmp_path):
