@@ -58,6 +58,7 @@ def make_task_descriptor(
     value_serializer: Optional[str] = None,
     input_key_serializer: Optional[str] = None,
     input_value_serializer: Optional[str] = None,
+    input_sorted: Optional[Sequence[bool]] = None,
 ) -> Dict[str, Any]:
     return {
         "dataset_id": dataset_id,
@@ -73,6 +74,13 @@ def make_task_descriptor(
         "value_serializer": value_serializer,
         "input_key_serializer": input_key_serializer,
         "input_value_serializer": input_value_serializer,
+        # Parallel to input_urls: whether each persisted bucket is
+        # known to be in canonical key order (lets a reduce task's
+        # merge stream it with O(1) memory).  Optional: absent or
+        # short lists degrade to "unknown", never to wrong answers.
+        "input_sorted": (
+            None if input_sorted is None else [bool(flag) for flag in input_sorted]
+        ),
     }
 
 
@@ -90,7 +98,7 @@ def make_done_message(
     slave_id: int,
     dataset_id: str,
     task_index: int,
-    bucket_urls: Sequence[Tuple[int, str]],
+    bucket_urls: Sequence[Sequence[Any]],
     seconds: float = 0.0,
     metrics: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
@@ -98,7 +106,10 @@ def make_done_message(
         "slave_id": int(slave_id),
         "dataset_id": dataset_id,
         "task_index": int(task_index),
-        "bucket_urls": [[int(split), url] for split, url in bucket_urls],
+        "bucket_urls": [
+            [int(entry[0]), entry[1], bool(entry[2]) if len(entry) > 2 else False]
+            for entry in bucket_urls
+        ],
         "seconds": float(seconds),
         "metrics": metrics,
     }
@@ -143,8 +154,21 @@ def parse_task_metrics(raw: Any) -> Dict[str, Any]:
     }
 
 
-def parse_bucket_urls(raw: Any) -> List[Tuple[int, str]]:
+def parse_bucket_urls(raw: Any) -> List[Tuple[int, str, bool]]:
+    """Normalize a reported bucket-url list to (split, url, sorted).
+
+    Accepts both the current ``[split, url, sorted]`` triples and the
+    historical ``[split, url]`` pairs (sortedness then defaults to
+    False — a safe "unknown", the consumer just re-sorts).
+    """
     try:
-        return [(int(split), str(url)) for split, url in raw]
-    except (TypeError, ValueError) as exc:
+        return [
+            (
+                int(entry[0]),
+                str(entry[1]),
+                bool(entry[2]) if len(entry) > 2 else False,
+            )
+            for entry in raw
+        ]
+    except (TypeError, ValueError, IndexError) as exc:
         raise ProtocolError(f"malformed bucket url list: {raw!r}") from exc

@@ -67,6 +67,13 @@ class MapReduce:
         """Default partitioner: stable hash of the key."""
         return hash_partition(key, n_splits)
 
+    # Encode-once fast path: bound-method attribute access falls
+    # through to the function, so the emit loop can partition on the
+    # key bytes it already computed (see repro.io.partition).  A
+    # subclass that overrides ``partition`` loses the attribute and is
+    # called with the live key, as its custom logic requires.
+    partition.partition_bytes = hash_partition.partition_bytes
+
     # -- input / output defaults -----------------------------------------
 
     def input_data(self, job: Job):

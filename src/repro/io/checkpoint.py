@@ -55,16 +55,18 @@ def write_checkpoint(path: str, dataset: BaseDataset) -> str:
     try:
         for bucket in dataset.existing_buckets():
             name = f"bucket_{bucket.source}_{bucket.split}.mrsb"
+            # Spill-only batch write: no duplicate in-memory copy, one
+            # serialized buffer per flush instead of a write per pair.
             spill = FileBucket(
                 os.path.join(staging, name),
                 source=bucket.source,
                 split=bucket.split,
                 key_serializer=dataset.key_serializer,
                 value_serializer=dataset.value_serializer,
+                retain=False,
             )
-            writer = spill.open_writer()
-            for pair in bucket:
-                writer.writepair(pair)
+            spill.absorb(bucket)
+            spill.open_writer()
             spill.close_writer()
             buckets.append(
                 {"source": bucket.source, "split": bucket.split, "file": name}
@@ -133,10 +135,10 @@ def load_checkpoint(path: str, job: Optional[Any] = None) -> BaseDataset:
             key_serializer=manifest.get("key_serializer"),
             value_serializer=manifest.get("value_serializer"),
         )
-        # Load pairs into memory *without* FileBucket's write-through
-        # addpair: rewriting the checkpoint file on load would truncate
-        # it under any other process reading the same file (a worker
-        # pool consumes checkpoint buckets by URL).
+        # Load pairs into memory *without* FileBucket's spill-buffer
+        # addpair: a flush would rewrite (truncate) the checkpoint file
+        # under any other process reading the same file (a worker pool
+        # consumes checkpoint buckets by URL).
         for pair in bucket.readback():
             Bucket.addpair(bucket, pair)
         dataset.add_bucket(bucket)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import binascii
 import struct
-from typing import Any, BinaryIO, Iterator, Optional, Tuple
+from typing import Any, BinaryIO, Iterable, Iterator, List, Optional, Tuple
 
 from repro.io.serializers import Serializer, get_serializer
 
@@ -36,6 +36,16 @@ class Writer:
 
     def writepair(self, pair: KeyValue) -> None:
         raise NotImplementedError
+
+    def writepairs(self, pairs: Iterable[KeyValue]) -> None:
+        """Write a batch of pairs.
+
+        The base implementation loops :meth:`writepair`; formats with a
+        cheap batch encoding override this to serialize the whole batch
+        into one buffer and pay a single file write.
+        """
+        for pair in pairs:
+            self.writepair(pair)
 
     def finish(self) -> None:
         """Flush buffered data without closing the underlying file."""
@@ -81,6 +91,11 @@ class TextWriter(Writer):
         line = f"{key}\t{value}\n"
         self.fileobj.write(line.encode("utf-8"))
 
+    def writepairs(self, pairs: Iterable[KeyValue]) -> None:
+        self.fileobj.write(
+            "".join(f"{key}\t{value}\n" for key, value in pairs).encode("utf-8")
+        )
+
 
 class TextReader(Reader):
     """Yield ``(line_number, line_without_newline)`` for each line."""
@@ -94,6 +109,10 @@ class TextReader(Reader):
 
 _LEN_STRUCT = struct.Struct("!II")
 _BIN_MAGIC = b"MRSB\x01"
+#: Read granularity for streaming record iteration: large enough that
+#: per-record costs are slicing, small enough to keep merges O(1)-ish
+#: in memory.
+_READ_CHUNK = 1 << 20
 
 
 class BinWriter(Writer):
@@ -124,6 +143,57 @@ class BinWriter(Writer):
         self.fileobj.write(kb)
         self.fileobj.write(vb)
 
+    def writepairs(self, pairs: Iterable[KeyValue]) -> None:
+        """Serialize a whole batch into one buffer and write it once.
+
+        Byte-for-byte identical to looping :meth:`writepair`; only the
+        number of file-object calls changes (3 per pair → 1 per batch).
+        """
+        key_dumps = self.key_s.dumps
+        value_dumps = self.value_s.dumps
+        pack = _LEN_STRUCT.pack
+        chunks: List[bytes] = []
+        append = chunks.append
+        for key, value in pairs:
+            kb = key_dumps(key)
+            vb = value_dumps(value)
+            append(pack(len(kb), len(vb)))
+            append(kb)
+            append(vb)
+        self.fileobj.write(b"".join(chunks))
+
+    def writerecords(self, records: Iterable[Tuple[bytes, KeyValue]]) -> None:
+        """Batch-write decorated ``(keybytes, (key, value))`` records.
+
+        When the key serializer is canonical (its wire bytes are the
+        canonical key encoding minus the type tag), the serialized key
+        is sliced straight out of the cached key bytes — the pipeline's
+        one encode per key also covers serialization.  Non-matching
+        keys (or non-canonical serializers) go through ``dumps``, which
+        preserves the serializer's type errors.  Output is byte-for-byte
+        identical to looping :meth:`writepair`.
+        """
+        tag = getattr(self.key_s, "canonical_key_tag", None)
+        if tag is None:
+            self.writepairs([record[1] for record in records])
+            return
+        taglen = len(tag)
+        key_dumps = self.key_s.dumps
+        value_dumps = self.value_s.dumps
+        pack = _LEN_STRUCT.pack
+        chunks: List[bytes] = []
+        append = chunks.append
+        for keybytes, pair in records:
+            if keybytes.startswith(tag):
+                kb = keybytes[taglen:]
+            else:
+                kb = key_dumps(pair[0])
+            vb = value_dumps(pair[1])
+            append(pack(len(kb), len(vb)))
+            append(kb)
+            append(vb)
+        self.fileobj.write(b"".join(chunks))
+
 
 class BinReader(Reader):
     ext = "mrsb"
@@ -143,18 +213,73 @@ class BinReader(Reader):
 
     def __iter__(self) -> Iterator[KeyValue]:
         read = self.fileobj.read
+        header_size = _LEN_STRUCT.size
+        unpack = _LEN_STRUCT.unpack
+        key_loads = self.key_s.loads
+        value_loads = self.value_s.loads
         while True:
-            header = read(_LEN_STRUCT.size)
+            header = read(header_size)
             if not header:
                 return
-            if len(header) != _LEN_STRUCT.size:
+            if len(header) != header_size:
                 raise ValueError("truncated record header")
-            klen, vlen = _LEN_STRUCT.unpack(header)
+            klen, vlen = unpack(header)
             kb = read(klen)
             vb = read(vlen)
             if len(kb) != klen or len(vb) != vlen:
                 raise ValueError("truncated record body")
-            yield self.key_s.loads(kb), self.value_s.loads(vb)
+            yield key_loads(kb), value_loads(vb)
+
+    def iter_records(self) -> Iterator[Tuple[bytes, KeyValue]]:
+        """Iterate decorated ``(keybytes, (key, value))`` records.
+
+        When the key serializer's wire bytes coincide with the
+        canonical key encoding (``canonical_key_tag``), the cached key
+        bytes are rebuilt by concatenation — the encode-once pipeline's
+        key bytes survive the round-trip through the file.  Otherwise
+        each key is re-encoded once here (the minimum possible).
+
+        Records are parsed out of large read chunks rather than with
+        three ``read`` calls each, so per-record cost is a pair of
+        slices; memory stays bounded by the chunk size, preserving the
+        streaming-merge property.
+        """
+        from repro.util.hashing import key_to_bytes
+
+        read = self.fileobj.read
+        header_size = _LEN_STRUCT.size
+        unpack_from = _LEN_STRUCT.unpack_from
+        key_loads = self.key_s.loads
+        value_loads = self.value_s.loads
+        tag = getattr(self.key_s, "canonical_key_tag", None)
+        buf = b""
+        pos = 0
+        while True:
+            chunk = read(_READ_CHUNK)
+            if not chunk:
+                if pos != len(buf):
+                    raise ValueError("truncated record")
+                return
+            buf = buf[pos:] + chunk if pos or buf else chunk
+            pos = 0
+            end = len(buf)
+            while True:
+                body = pos + header_size
+                if body > end:
+                    break
+                klen, vlen = unpack_from(buf, pos)
+                vstart = body + klen
+                rec_end = vstart + vlen
+                if rec_end > end:
+                    break
+                kb = buf[body:vstart]
+                vb = buf[vstart:rec_end]
+                pos = rec_end
+                key = key_loads(kb)
+                yield (
+                    tag + kb if tag is not None else key_to_bytes(key),
+                    (key, value_loads(vb)),
+                )
 
 
 class HexWriter(Writer):

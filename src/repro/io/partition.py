@@ -1,22 +1,31 @@
 """Partition functions.
 
-A partition function maps ``(key, serialized_key, n_splits) -> split``.
-Both the plain key and its serialized form are offered because some
-partitioners (e.g. ``mod_partition``) want the numeric key while the
-default hash partitioner wants stable bytes.
+A partition function maps ``(key, n_splits) -> split`` — the same
+signature whether it is a module-level function or a program method
+(the framework resolves the operation's ``parter_name`` on the program
+instance and calls it per emitted key).
 
 The contract required by the framework:
 
 * deterministic across processes (no dependence on ``PYTHONHASHSEED``),
 * output in ``range(n_splits)`` for every key,
 * equal keys always land in the same split.
+
+Encode-once fast path: a partitioner may expose a ``partition_bytes``
+attribute, a function ``(keybytes, n_splits) -> split`` that must agree
+with the partitioner for every key, where ``keybytes`` is the key's
+canonical encoding (:func:`repro.util.hashing.key_to_bytes`).  The emit
+loop computes those bytes once per record anyway (for sort and merge),
+so a byte-level partitioner avoids a second encode per pair.  The
+default hash partitioner provides it; partitioners that need the live
+key (``mod_partition``) simply don't.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Tuple
 
-from repro.util.hashing import stable_hash
+from repro.util.hashing import _MASK, _MIX, _crc32, key_to_bytes, stable_hash
 
 
 def hash_partition(key: Any, n_splits: int) -> int:
@@ -26,6 +35,51 @@ def hash_partition(key: Any, n_splits: int) -> int:
     if n_splits == 1:
         return 0
     return stable_hash(key) % n_splits
+
+
+def hash_partition_bytes(keybytes: bytes, n_splits: int) -> int:
+    """``hash_partition`` on pre-encoded canonical key bytes.
+
+    The hash is ``stable_hash_bytes`` inlined (this runs once per
+    emitted record, so the extra call is worth shaving).
+    """
+    if n_splits <= 0:
+        raise ValueError(f"n_splits must be positive, got {n_splits}")
+    if n_splits == 1:
+        return 0
+    return ((_crc32(keybytes) * _MIX) & _MASK) % n_splits
+
+
+hash_partition.partition_bytes = hash_partition_bytes
+
+
+def route(
+    key: Any,
+    n_splits: int,
+    _crc32=_crc32,
+    _MIX=_MIX,
+    _MASK=_MASK,
+    _key_to_bytes=key_to_bytes,
+) -> Tuple[bytes, int]:
+    """Encode ``key`` once and place it: ``(keybytes, split)``.
+
+    The fused emit-loop form of :func:`repro.util.hashing.key_to_bytes`
+    followed by :func:`hash_partition` — one Python call per emitted
+    record instead of two, with the string case (the overwhelmingly
+    common key type) encoded inline.  Agrees with ``hash_partition`` /
+    ``hash_partition_bytes`` for every key by construction.  The
+    trailing defaults bind the hash constants as locals; they are not
+    part of the signature.
+    """
+    if type(key) is str:
+        keybytes = b"s:" + key.encode("utf-8")
+    else:
+        keybytes = _key_to_bytes(key)
+    if n_splits <= 1:
+        if n_splits < 1:
+            raise ValueError(f"n_splits must be positive, got {n_splits}")
+        return keybytes, 0
+    return keybytes, ((_crc32(keybytes) * _MIX) & _MASK) % n_splits
 
 
 def mod_partition(key: Any, n_splits: int) -> int:

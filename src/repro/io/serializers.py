@@ -30,10 +30,18 @@ class Serializer:
         name: str,
         dumps: Callable[[Any], bytes],
         loads: Callable[[bytes], Any],
+        canonical_key_tag: Optional[bytes] = None,
     ) -> None:
         self.name = name
         self.dumps = dumps
         self.loads = loads
+        #: When set, the serializer's wire bytes coincide with the
+        #: canonical key encoding minus its type tag:
+        #: ``key_to_bytes(loads(data)) == canonical_key_tag + data``
+        #: for every valid ``data``.  Readers use this to reconstruct
+        #: cached key bytes with a concatenation instead of re-encoding
+        #: each key on the reduce side.
+        self.canonical_key_tag = canonical_key_tag
 
     def __repr__(self) -> str:
         return f"Serializer({self.name!r})"
@@ -84,7 +92,10 @@ def _raw_loads(data: bytes) -> bytes:
     return data
 
 
-RawSerializer = register_serializer(Serializer("raw", _raw_dumps, _raw_loads))
+# Identity codec: key_to_bytes(loads(data)) == b"b:" + data.
+RawSerializer = register_serializer(
+    Serializer("raw", _raw_dumps, _raw_loads, canonical_key_tag=b"b:")
+)
 
 
 def _str_dumps(obj: Any) -> bytes:
@@ -93,24 +104,33 @@ def _str_dumps(obj: Any) -> bytes:
     return obj.encode("utf-8")
 
 
-def _str_loads(data: bytes) -> str:
-    return data.decode("utf-8")
-
-
-StrSerializer = register_serializer(Serializer("str", _str_dumps, _str_loads))
+# Pure UTF-8: key_to_bytes(loads(data)) == b"s:" + data (UTF-8
+# round-trips exactly for every valid encoding).  ``bytes.decode``
+# defaults to UTF-8; the unbound method as ``loads`` drops a Python
+# frame per record on the reduce-side decode path.
+StrSerializer = register_serializer(
+    Serializer("str", _str_dumps, bytes.decode, canonical_key_tag=b"s:")
+)
 
 _INT_STRUCT = struct.Struct("!q")
 
 
 def _int_dumps(obj: Any) -> bytes:
+    # Exact-type fast path first: this runs once per written pair.
+    if type(obj) is int:
+        try:
+            return _INT_STRUCT.pack(obj)
+        except struct.error:
+            # Fall back to a variable-length encoding for big ints,
+            # tagged by length prefix impossibility: sign-magnitude
+            # text.
+            return b"L" + str(obj).encode("ascii")
     # bool is an int subclass but almost certainly a bug as a count.
     if not isinstance(obj, int) or isinstance(obj, bool):
         raise TypeError(f"int serializer requires int, got {type(obj).__name__}")
     try:
         return _INT_STRUCT.pack(obj)
     except struct.error:
-        # Fall back to a variable-length encoding for big ints, tagged
-        # by length prefix impossibility: use sign-magnitude text.
         return b"L" + str(obj).encode("ascii")
 
 

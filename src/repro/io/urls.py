@@ -13,7 +13,7 @@ import io
 import time
 import urllib.parse
 import urllib.request
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.io import formats
 
@@ -83,6 +83,65 @@ def fetch_pairs(
     raise ValueError(f"unsupported url scheme {parsed.scheme!r} in {url}")
 
 
+def iter_pairs(
+    url: str,
+    key_serializer: Optional[str] = None,
+    value_serializer: Optional[str] = None,
+) -> Iterator[KeyValue]:
+    """Iterate the pairs behind ``url`` without materializing a list.
+
+    ``file:`` URLs stream record by record straight off the reader, so
+    a consumer that merges or filters never holds the whole bucket in
+    memory.  HTTP fetches are materialized first (the retry policy
+    needs the whole payload before any record is surfaced).
+    """
+    parsed = parse(url)
+    if parsed.scheme in ("", "file"):
+        path = path_of_file_url(url)
+        reader_cls = formats.reader_for(path)
+        with open(path, "rb") as f:
+            yield from _make_reader(reader_cls, f, key_serializer, value_serializer)
+        return
+    if parsed.scheme in ("http", "https"):
+        yield from _fetch_http(url, key_serializer, value_serializer)
+        return
+    raise ValueError(f"unsupported url scheme {parsed.scheme!r} in {url}")
+
+
+def iter_records(
+    url: str,
+    key_serializer: Optional[str] = None,
+    value_serializer: Optional[str] = None,
+) -> Iterator[Tuple[bytes, KeyValue]]:
+    """Iterate decorated ``(keybytes, pair)`` records behind ``url``.
+
+    Like :func:`iter_pairs`, but each pair arrives with its canonical
+    key bytes.  Binary readers rebuild the bytes straight from the wire
+    encoding when the key serializer is canonical (see
+    ``Serializer.canonical_key_tag``); every other source re-encodes
+    each key exactly once here.
+    """
+    parsed = parse(url)
+    if parsed.scheme in ("", "file"):
+        path = path_of_file_url(url)
+        reader_cls = formats.reader_for(path)
+        with open(path, "rb") as f:
+            reader = _make_reader(reader_cls, f, key_serializer, value_serializer)
+            records = getattr(reader, "iter_records", None)
+            if records is not None:
+                yield from records()
+                return
+            from repro.util.hashing import key_to_bytes
+
+            for pair in reader:
+                yield key_to_bytes(pair[0]), pair
+        return
+    from repro.util.hashing import key_to_bytes
+
+    for pair in iter_pairs(url, key_serializer, value_serializer):
+        yield key_to_bytes(pair[0]), pair
+
+
 def _fetch_http(
     url: str,
     key_serializer: Optional[str] = None,
@@ -107,6 +166,3 @@ def _fetch_http(
     raise FetchError(f"failed to fetch {url}: {last_error}") from last_error
 
 
-def iter_pairs(url: str) -> Iterator[KeyValue]:
-    """Iterate pairs behind ``url`` (materializes http fetches)."""
-    return iter(fetch_pairs(url))

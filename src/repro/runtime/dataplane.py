@@ -26,15 +26,21 @@ def spill_bucket(dataset: BaseDataset, bucket: Bucket, tmpdir: str) -> str:
         directory, f"{dataset.id}_{bucket.source}_{bucket.split}.mrsb"
     )
     os.makedirs(directory, exist_ok=True)
+    # Spill-only: pairs batch-serialize straight to the file, reusing
+    # the source bucket's cached key bytes and sort state; no second
+    # in-memory copy is kept.
     spill = FileBucket(
         path,
         source=bucket.source,
         split=bucket.split,
         key_serializer=getattr(dataset, "key_serializer", None),
         value_serializer=getattr(dataset, "value_serializer", None),
+        retain=False,
     )
-    writer = spill.open_writer()
-    for pair in bucket:
-        writer.writepair(pair)
+    spill.absorb(bucket)
+    spill.open_writer()
     spill.close_writer()
+    # Record the file's sort order on the coordinator's bucket so task
+    # descriptors can advertise it and reduce merges can stream it.
+    bucket.url_sorted = spill.url_sorted
     return path

@@ -348,6 +348,8 @@ class MasterBackend(Backend):
         metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         task: TaskId = (dataset_id, task_index)
+        # Accept both (split, url) pairs and (split, url, sorted) triples.
+        reported = protocol.parse_bucket_urls(bucket_urls)
         with self._lock:
             record = self._slaves.get(slave_id)
             if record is not None and record.busy == task:
@@ -363,10 +365,10 @@ class MasterBackend(Backend):
                 self._task_seconds.setdefault(dataset_id, []).append(
                     float(seconds)
                 )
-                for split, url in bucket_urls:
-                    dataset.add_bucket(
-                        Bucket(source=task_index, split=split, url=url)
-                    )
+                for split, url, url_sorted in reported:
+                    bucket = Bucket(source=task_index, split=split, url=url)
+                    bucket.url_sorted = url_sorted
+                    dataset.add_bucket(bucket)
                 self._record_task_metrics(
                     slave_id, dataset_id, task_index, float(seconds), metrics
                 )
@@ -547,10 +549,12 @@ class MasterBackend(Backend):
         assert isinstance(dataset, ComputedData)
         input_dataset = self._datasets[dataset.input_id]
         input_urls = []
+        input_sorted = []
         for bucket in input_dataset.buckets_for_split(task_index):
             if bucket.url is None:
                 self._spill_bucket(input_dataset, bucket)
             input_urls.append(bucket.url)
+            input_sorted.append(bucket.url_sorted)
         user_output = dataset.outdir is not None
         if user_output:
             outdir: Optional[str] = dataset.outdir
@@ -575,6 +579,7 @@ class MasterBackend(Backend):
             input_value_serializer=getattr(
                 input_dataset, "value_serializer", None
             ),
+            input_sorted=input_sorted,
         )
 
     def _spill_bucket(self, dataset: BaseDataset, bucket: Bucket) -> None:

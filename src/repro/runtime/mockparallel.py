@@ -114,12 +114,14 @@ class MockParallelBackend(Backend):
             for task_index in dataset.task_indices():
                 span = obs.tracer.span(dataset.id, task_index)
                 # Reduce-side input gathering is the shuffle (see the
-                # serial backend); here it re-reads spill files, so the
-                # measured shuffle includes deserialization cost.
+                # serial backend).  Buckets stay URL-only and the
+                # reduce merge streams the spill files, so the format
+                # and serializer layers are still exercised — their
+                # cost now lands in the "reduce" phase.
                 if phase == "reduce":
                     with obs.phases.measure("shuffle"):
                         input_buckets = taskrunner.materialize_input_buckets(
-                            input_dataset, task_index
+                            input_dataset, task_index, streaming=True
                         )
                 else:
                     input_buckets = taskrunner.materialize_input_buckets(

@@ -258,10 +258,12 @@ class MultiprocessBackend(Backend):
             if accepted:
                 seconds = float(message.get("seconds", 0.0))
                 self._task_seconds.setdefault(dataset_id, []).append(seconds)
-                for split, url in message["bucket_urls"]:
-                    dataset.add_bucket(
-                        Bucket(source=task_index, split=int(split), url=url)
-                    )
+                for split, url, url_sorted in protocol.parse_bucket_urls(
+                    message["bucket_urls"]
+                ):
+                    bucket = Bucket(source=task_index, split=split, url=url)
+                    bucket.url_sorted = url_sorted
+                    dataset.add_bucket(bucket)
                 self._record_task_metrics(
                     worker_id,
                     dataset_id,
@@ -420,6 +422,7 @@ class MultiprocessBackend(Backend):
         assert isinstance(dataset, ComputedData)
         input_dataset = self._datasets[dataset.input_id]
         input_urls = []
+        input_sorted = []
         for bucket in input_dataset.buckets_for_split(task_index):
             if bucket.url is None:
                 path = dataplane.spill_bucket(
@@ -427,6 +430,7 @@ class MultiprocessBackend(Backend):
                 )
                 bucket.url = "file:" + path
             input_urls.append(bucket.url)
+            input_sorted.append(bucket.url_sorted)
         user_output = dataset.outdir is not None
         if user_output:
             outdir: Optional[str] = dataset.outdir
@@ -450,4 +454,5 @@ class MultiprocessBackend(Backend):
             input_value_serializer=getattr(
                 input_dataset, "value_serializer", None
             ),
+            input_sorted=input_sorted,
         )

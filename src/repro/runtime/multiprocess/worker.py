@@ -59,11 +59,18 @@ def run_task(
     span = TaskSpan(dataset_id, task_index)
     span.mark("queued", started)
     op = Operation.from_dict(descriptor["op"])
+    # Reduce-kind tasks merge their inputs, and the merge streams
+    # straight from the bucket files — so those inputs stay URL-only
+    # (the read cost lands in "reduce" instead of "started").  Map
+    # inputs are iterated as plain pairs and are fetched here.
+    streaming = op.kind in ("reduce", "reducemap")
     input_buckets = taskrunner.buckets_from_urls(
         descriptor["input_urls"],
         split=task_index,
         key_serializer=descriptor.get("input_key_serializer"),
         value_serializer=descriptor.get("input_value_serializer"),
+        streaming=streaming,
+        sorted_flags=descriptor.get("input_sorted"),
     )
     span.mark("started")
     factory = taskrunner.file_bucket_factory(
@@ -78,10 +85,12 @@ def run_task(
     out_buckets = taskrunner.run_operation(
         program, op, input_buckets, factory, span=span
     )
-    urls: List[Tuple[int, str]] = []
+    urls: List[Tuple[int, str, bool]] = []
     for bucket in out_buckets:
         assert isinstance(bucket, FileBucket)
-        urls.append((bucket.split, "file:" + bucket.path))
+        # The sortedness flag lets the consuming reduce task stream
+        # this file through its merge without re-sorting.
+        urls.append((bucket.split, "file:" + bucket.path, bucket.url_sorted))
     span.mark("transfer")
     seconds = time.perf_counter() - started
     # Deliberately a *per-task* registry snapshot rather than the

@@ -110,11 +110,14 @@ class SerialBackend(Backend):
                 span = obs.tracer.span(dataset.id, task_index)
                 # Gathering a reduce task's input is the shuffle: map
                 # outputs were partitioned at write time, so all that
-                # remains is collecting each split's buckets.
+                # remains is collecting each split's buckets.  Any
+                # file-backed buckets stay URL-only here; the reduce
+                # merge streams them (their read cost lands in the
+                # "reduce" phase).
                 if phase == "reduce":
                     with obs.phases.measure("shuffle"):
                         input_buckets = taskrunner.materialize_input_buckets(
-                            input_dataset, task_index
+                            input_dataset, task_index, streaming=True
                         )
                 else:
                     input_buckets = taskrunner.materialize_input_buckets(

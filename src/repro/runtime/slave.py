@@ -142,11 +142,16 @@ class Slave:
         span.mark("queued", started)
         try:
             op = Operation.from_dict(descriptor["op"])
+            # Reduce-kind inputs stay URL-only so the merge can stream
+            # straight from the bucket files (see worker.run_task).
+            streaming = op.kind in ("reduce", "reducemap")
             input_buckets = taskrunner.buckets_from_urls(
                 descriptor["input_urls"],
                 split=task_index,
                 key_serializer=descriptor.get("input_key_serializer"),
                 value_serializer=descriptor.get("input_value_serializer"),
+                streaming=streaming,
+                sorted_flags=descriptor.get("input_sorted"),
             )
             span.mark("started")
             outdir = descriptor.get("outdir") or os.path.join(
@@ -165,14 +170,16 @@ class Slave:
             out_buckets = taskrunner.run_operation(
                 self.program, op, input_buckets, factory, span=span,
             )
-            urls: List[Tuple[int, str]] = []
+            urls: List[Tuple[int, str, bool]] = []
             for bucket in out_buckets:
                 assert isinstance(bucket, FileBucket)
                 if descriptor.get("outdir") is None and self.dataserver:
                     url = self.dataserver.url_for(bucket.path)
                 else:
                     url = "file:" + bucket.path
-                urls.append((bucket.split, url))
+                # Sortedness rides along so the consuming reduce task
+                # can stream this file through its merge.
+                urls.append((bucket.split, url, bucket.url_sorted))
             span.mark("transfer")
             seconds = time.perf_counter() - started
             self.observability.registry.counter("tasks.completed").inc()

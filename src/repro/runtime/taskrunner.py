@@ -20,8 +20,17 @@ from repro.core.operations import (
     ReduceMapOperation,
     ReduceOperation,
 )
-from repro.io.bucket import Bucket, FileBucket, group_sorted, merge_sorted_buckets
+from repro.io.bucket import (
+    Bucket,
+    FileBucket,
+    bucket_sorted_records,
+    group_sorted_records,
+    merge_sorted_records,
+    record_key,
+)
 from repro.io import urls as url_io
+from repro.io.partition import hash_partition
+from repro.util.hashing import _MASK, _MIX, _crc32, key_to_bytes
 
 KeyValue = Tuple[Any, Any]
 BucketFactory = Callable[[int], Bucket]
@@ -93,19 +102,84 @@ def _emit(
     parter: Callable[[Any, int], int],
     n_splits: int,
     out: List[Bucket],
+    collectors: Optional[List[Tuple[Callable, Callable]]] = None,
 ) -> None:
+    """Partition emitted pairs into ``out``, encoding each key ONCE.
+
+    The canonical key bytes computed here ride into the bucket with the
+    pair and are reused by every later hop (sort, group, merge).  When
+    the caller hoisted per-bucket ``collectors``
+    (:meth:`~repro.io.bucket.Bucket.collector`; only valid for the
+    default hash partitioner), the loop body is
+    :func:`repro.io.partition.route` unrolled — encode, place, and two
+    C-level appends per record, with the split guaranteed in range by
+    the modulo.  Other partitioners with a ``partition_bytes`` fast
+    path get the cached bytes, and custom partitioners get the live
+    key.
+    """
+    if collectors is not None:
+        for pair in pairs:
+            if not isinstance(pair, tuple) or len(pair) != 2:
+                raise TaskError(
+                    f"map function must yield (key, value) tuples, got {pair!r}"
+                )
+            key = pair[0]
+            if type(key) is str:
+                keybytes = b"s:" + key.encode("utf-8")
+            else:
+                keybytes = key_to_bytes(key)
+            add_key, add_pair = collectors[
+                ((_crc32(keybytes) * _MIX) & _MASK) % n_splits
+            ]
+            add_key(keybytes)
+            add_pair(pair)
+        return
+    bytes_parter = getattr(parter, "partition_bytes", None)
     for pair in pairs:
         if not isinstance(pair, tuple) or len(pair) != 2:
             raise TaskError(
                 f"map function must yield (key, value) tuples, got {pair!r}"
             )
-        split = parter(pair[0], n_splits)
+        keybytes = key_to_bytes(pair[0])
+        if bytes_parter is not None:
+            split = bytes_parter(keybytes, n_splits)
+        else:
+            split = parter(pair[0], n_splits)
         if not 0 <= split < n_splits:
             raise TaskError(
                 f"partitioner returned {split} for key {pair[0]!r}, "
                 f"outside range(0, {n_splits})"
             )
-        out[split].addpair(pair)
+        out[split].addpair(pair, keybytes)
+
+
+def _emit_one_key(
+    keybytes: bytes,
+    key: Any,
+    values: Iterable[Any],
+    parter: Callable[[Any, int], int],
+    bytes_parter: Optional[Callable[[bytes, int], int]],
+    n_splits: int,
+    out: List[Bucket],
+) -> None:
+    """Emit a reducer's output for one key group.
+
+    Every pair shares the group's key, so the partitioner runs once per
+    group (its contract makes the split a pure function of the key) and
+    the cached key bytes are reused for every value.
+    """
+    if bytes_parter is not None:
+        split = bytes_parter(keybytes, n_splits)
+    else:
+        split = parter(key, n_splits)
+    if not 0 <= split < n_splits:
+        raise TaskError(
+            f"partitioner returned {split} for key {key!r}, "
+            f"outside range(0, {n_splits})"
+        )
+    bucket = out[split]
+    for value in values:
+        bucket.addpair((key, value), keybytes)
 
 
 def _apply_combiner(
@@ -115,19 +189,42 @@ def _apply_combiner(
 
     Returns fresh in-memory buckets; callers persist them afterwards so
     that only combined data hits disk/network — that is the entire
-    point of a combiner (section V-A).
+    point of a combiner (section V-A).  Grouping is hash-based
+    (:meth:`~repro.io.bucket.Bucket.hash_grouped_records`): a combiner
+    needs equal keys brought together, not global order, so instead of
+    sorting every staged record we group with one dict pass and sort
+    only the combined *group list* — which keeps map spills key-sorted
+    for the reduce side's streaming merge.  The group's cached key
+    bytes flow straight into the fresh bucket, so combining re-encodes
+    nothing.
     """
     if combine_name is None:
         return buckets
     combiner = op.resolve(program, combine_name)
     combined: List[Bucket] = []
     for bucket in buckets:
+        # Sort the (much smaller) group list by cached key bytes, then
+        # stream the combiner output straight into the fresh bucket in
+        # that order — no per-record sort ever runs on either side.
+        groups = bucket.hash_grouped_records()
+        groups.sort(key=record_key)
         fresh = Bucket(source=bucket.source, split=bucket.split)
-        for key, values in bucket.grouped():
+        add_key, add_pair = fresh.collector()
+        for keybytes, key, values in groups:
             for value in combiner(key, values):
-                fresh.addpair((key, value))
+                add_key(keybytes)
+                add_pair((key, value))
         combined.append(fresh)
     return combined
+
+
+def _merged_records(input_buckets: Sequence[Bucket]):
+    """The reduce-side merge: one key-sorted decorated record stream
+    over every source bucket, streaming from persisted files where
+    their sort order is known (see :func:`bucket_sorted_records`)."""
+    return merge_sorted_records(
+        [bucket_sorted_records(bucket) for bucket in input_buckets]
+    )
 
 
 def run_map_task(
@@ -143,10 +240,17 @@ def run_map_task(
     # Map into memory first; the combiner (if any) must see the data
     # before it is persisted.
     staging = [Bucket(split=s) for s in range(n)]
+    # Hoist the per-bucket append fast path out of the per-record loop;
+    # only the default partitioner's placement is safe to unroll.
+    collectors = (
+        [bucket.collector() for bucket in staging]
+        if parter is hash_partition
+        else None
+    )
     for key, value in input_pairs:
         result = mapper(key, value)
         if result is not None:
-            _emit(result, parter, n, staging)
+            _emit(result, parter, n, staging, collectors)
     staging = _apply_combiner(program, op.combine_name, op, staging)
     if span is not None:
         span.mark("map")
@@ -165,13 +269,13 @@ def run_reduce_task(
 ) -> List[Bucket]:
     reducer = op.resolve(program, op.reduce_name)
     parter = _resolve_parter(program, op)
+    bytes_parter = getattr(parter, "partition_bytes", None)
     n = op.splits
     staging = [Bucket(split=s) for s in range(n)]
-    merged = merge_sorted_buckets(input_buckets)
-    for key, values in group_sorted(merged):
+    for keybytes, key, values in group_sorted_records(_merged_records(input_buckets)):
         result = reducer(key, values)
         if result is not None:
-            _emit(((key, v) for v in result), parter, n, staging)
+            _emit_one_key(keybytes, key, result, parter, bytes_parter, n, staging)
     if span is not None:
         span.mark("reduce")
     out = _persist(staging, bucket_factory, n)
@@ -192,15 +296,19 @@ def run_reducemap_task(
     parter = _resolve_parter(program, op)
     n = op.splits
     staging = [Bucket(split=s) for s in range(n)]
-    merged = merge_sorted_buckets(input_buckets)
-    for key, values in group_sorted(merged):
+    collectors = (
+        [bucket.collector() for bucket in staging]
+        if parter is hash_partition
+        else None
+    )
+    for _, key, values in group_sorted_records(_merged_records(input_buckets)):
         reduced = reducer(key, values)
         if reduced is None:
             continue
         for value in reduced:
             mapped = mapper(key, value)
             if mapped is not None:
-                _emit(mapped, parter, n, staging)
+                _emit(mapped, parter, n, staging, collectors)
     staging = _apply_combiner(program, op.combine_name, op, staging)
     if span is not None:
         # The fused operation's compute is reduce-dominated; attribute
@@ -215,14 +323,23 @@ def run_reducemap_task(
 def _persist(
     staging: List[Bucket], bucket_factory: BucketFactory, n_splits: int
 ) -> List[Bucket]:
-    """Move staged pairs into factory-made buckets (possibly files)."""
+    """Move staged pairs into factory-made buckets (possibly files).
+
+    ``absorb`` transfers the staging bucket's cached key bytes and its
+    already-known sort state wholesale — no per-pair sorted-flag
+    re-tracking — and file buckets batch-write the whole staged load
+    through the buffered spill path instead of one writer call per
+    pair.
+    """
     out: List[Bucket] = []
     for split in range(n_splits):
         bucket = bucket_factory(split)
-        bucket.collect(staging[split])
+        bucket.absorb(staging[split])
         if isinstance(bucket, FileBucket):
             # Open even when empty so the file (with its format header)
-            # exists for downstream readers and HTTP serving.
+            # exists for downstream readers and HTTP serving; also
+            # flushes the spill buffer and records the file's sort
+            # order for downstream streaming merges.
             bucket.open_writer()
             bucket.close_writer()
         out.append(bucket)
@@ -230,18 +347,34 @@ def _persist(
 
 
 def materialize_input_buckets(
-    dataset: Any, task_index: int
+    dataset: Any, task_index: int, streaming: bool = False
 ) -> List[Bucket]:
     """Resolve split column ``task_index`` of ``dataset`` into buckets
     with in-memory pairs (fetching any URL-only buckets), decoding with
-    the dataset's declared serializers."""
+    the dataset's declared serializers.
+
+    With ``streaming=True`` (reduce-side inputs), URL-only buckets are
+    *not* fetched: they pass through carrying the dataset's serializer
+    names, and the reduce task's merge streams them straight from their
+    files (see :func:`repro.io.bucket.bucket_sorted_records`) instead
+    of materializing every source bucket as a list up front.
+    """
     buckets = dataset.buckets_for_split(task_index)
     resolved: List[Bucket] = []
     for bucket in buckets:
         if len(bucket) == 0 and bucket.url:
+            if streaming:
+                if bucket.key_serializer is None:
+                    bucket.key_serializer = getattr(dataset, "key_serializer", None)
+                if bucket.value_serializer is None:
+                    bucket.value_serializer = getattr(
+                        dataset, "value_serializer", None
+                    )
+                resolved.append(bucket)
+                continue
             fresh = Bucket(source=bucket.source, split=bucket.split, url=bucket.url)
             fresh.collect(
-                url_io.fetch_pairs(
+                url_io.iter_pairs(
                     bucket.url,
                     key_serializer=getattr(dataset, "key_serializer", None),
                     value_serializer=getattr(dataset, "value_serializer", None),
@@ -258,18 +391,32 @@ def buckets_from_urls(
     split: int,
     key_serializer: Optional[str] = None,
     value_serializer: Optional[str] = None,
+    streaming: bool = False,
+    sorted_flags: Optional[Sequence[bool]] = None,
 ) -> List[Bucket]:
-    """Fetch input buckets by URL (slave-side task input path)."""
+    """Fetch input buckets by URL (slave-side task input path).
+
+    With ``streaming=True`` the buckets stay URL-only so a reduce
+    task's merge can stream them; ``sorted_flags`` (parallel to
+    ``urls``, from the task descriptor) marks which persisted files are
+    already in canonical key order and can merge with O(1) memory.
+    """
     resolved: List[Bucket] = []
     for source, url in enumerate(urls):
         bucket = Bucket(source=source, split=split, url=url)
-        bucket.collect(
-            url_io.fetch_pairs(
-                url,
-                key_serializer=key_serializer,
-                value_serializer=value_serializer,
+        bucket.key_serializer = key_serializer
+        bucket.value_serializer = value_serializer
+        if streaming:
+            if sorted_flags is not None and source < len(sorted_flags):
+                bucket.url_sorted = bool(sorted_flags[source])
+        else:
+            bucket.collect(
+                url_io.iter_pairs(
+                    url,
+                    key_serializer=key_serializer,
+                    value_serializer=value_serializer,
+                )
             )
-        )
         resolved.append(bucket)
     return resolved
 

@@ -43,10 +43,19 @@ class TestTaskDescriptor:
 class TestDoneMessage:
     def test_roundtrip(self):
         message = protocol.make_done_message(
+            3, "map_1", 0, [(0, "file:/x", True), (1, "http://h:1/y", False)]
+        )
+        urls = protocol.parse_bucket_urls(message["bucket_urls"])
+        assert urls == [(0, "file:/x", True), (1, "http://h:1/y", False)]
+
+    def test_legacy_pairs_accepted(self):
+        # Old slaves report (split, url) pairs; sortedness defaults to
+        # False (a safe "unknown" — the consumer just re-sorts).
+        message = protocol.make_done_message(
             3, "map_1", 0, [(0, "file:/x"), (1, "http://h:1/y")]
         )
         urls = protocol.parse_bucket_urls(message["bucket_urls"])
-        assert urls == [(0, "file:/x"), (1, "http://h:1/y")]
+        assert urls == [(0, "file:/x", False), (1, "http://h:1/y", False)]
 
     def test_malformed_urls_rejected(self):
         with pytest.raises(protocol.ProtocolError):

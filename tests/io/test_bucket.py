@@ -13,6 +13,7 @@ from repro.io.bucket import (
     merge_sorted_buckets,
     sort_key,
 )
+from repro.util.hashing import key_to_bytes
 
 
 def make_bucket(pairs, **kw):
@@ -57,6 +58,80 @@ class TestBucket:
         bucket.clean()
         assert len(bucket) == 0
         assert bucket.url == "file:/nope"
+
+
+class TestLazySortedness:
+    def test_empty_bucket_is_sorted(self):
+        assert Bucket().is_sorted
+
+    def test_appends_defer_the_check(self):
+        """addpair does no comparisons; the flag is tri-state and only
+        resolved (then cached) when ``is_sorted`` is read."""
+        bucket = make_bucket([("a", 1), ("b", 2), ("c", 3)])
+        assert bucket._sorted is None
+        assert bucket.is_sorted
+        assert bucket._sorted is True
+
+    def test_out_of_order_appends_resolve_false(self):
+        bucket = make_bucket([("b", 1), ("a", 2)])
+        assert bucket._sorted is None
+        assert not bucket.is_sorted
+        assert bucket._sorted is False
+
+    def test_sort_restores_the_flag(self):
+        bucket = make_bucket([("b", 1), ("a", 2)])
+        bucket.sort()
+        assert bucket.is_sorted
+        assert list(bucket) == [("a", 2), ("b", 1)]
+
+    def test_collector_appends_in_lockstep(self):
+        bucket = Bucket()
+        add_key, add_pair = bucket.collector()
+        for pair in [("a", 1), ("b", 2)]:
+            add_key(key_to_bytes(pair[0]))
+            add_pair(pair)
+        assert list(bucket) == [("a", 1), ("b", 2)]
+        assert bucket.is_sorted
+        assert bucket.sorted_pairs() == [("a", 1), ("b", 2)]
+
+    def test_collector_marks_sort_state_unknown(self):
+        bucket = make_bucket([("a", 1), ("b", 2)])
+        assert bucket.is_sorted
+        add_key, add_pair = bucket.collector()
+        add_key(key_to_bytes("a"))
+        add_pair(("a", 3))
+        assert not bucket.is_sorted
+
+    def test_extend_records_matches_addpair_loop(self):
+        pairs = [("b", 1), ("a", 2), ("c", 3)]
+        records = [(key_to_bytes(k), (k, v)) for k, v in pairs]
+        bulk = Bucket()
+        bulk.extend_records(records)
+        loop = make_bucket(pairs)
+        assert list(bulk) == list(loop)
+        assert bulk.sorted_pairs() == loop.sorted_pairs()
+
+
+class TestHashGroupedRecords:
+    def test_empty(self):
+        assert Bucket().hash_grouped_records() == []
+
+    def test_groups_in_first_encounter_order(self):
+        bucket = make_bucket([("b", 1), ("a", 2), ("b", 3)])
+        groups = bucket.hash_grouped_records()
+        assert groups == [
+            (key_to_bytes("b"), "b", [1, 3]),
+            (key_to_bytes("a"), "a", [2]),
+        ]
+
+    def test_partitions_same_groups_as_sorted_grouping(self):
+        pairs = [("b", 1), (1, "x"), ("a", 2), ("b", 3), (1, "y")]
+        bucket = make_bucket(pairs)
+        hashed = {kb: values for kb, _, values in bucket.hash_grouped_records()}
+        by_sort = {
+            key_to_bytes(key): list(values) for key, values in bucket.grouped()
+        }
+        assert hashed == by_sort
 
 
 class TestGroupSorted:
@@ -116,6 +191,81 @@ class TestFileBucket:
         bucket.addpair(("hello", 2))
         bucket.close_writer()
         assert open(path).read() == "hello\t2\n"
+
+
+class TestFileBucketSpill:
+    def test_url_sorted_tracks_insertion_order(self, tmp_path):
+        sorted_bucket = FileBucket(str(tmp_path / "sorted.mrsb"))
+        for pair in [("a", 1), ("b", 2)]:
+            sorted_bucket.addpair(pair)
+        sorted_bucket.close_writer()
+        assert sorted_bucket.url_sorted
+
+        unsorted_bucket = FileBucket(str(tmp_path / "unsorted.mrsb"))
+        for pair in [("b", 1), ("a", 2)]:
+            unsorted_bucket.addpair(pair)
+        unsorted_bucket.close_writer()
+        assert not unsorted_bucket.url_sorted
+
+    def test_retain_false_keeps_no_pairs_in_memory(self, tmp_path):
+        bucket = FileBucket(str(tmp_path / "spill.mrsb"), retain=False)
+        bucket.addpair(("a", 1))
+        bucket.close_writer()
+        assert len(bucket) == 0
+        assert bucket.readback() == [("a", 1)]
+
+    def test_flush_threshold_writes_before_close(self, tmp_path):
+        path = str(tmp_path / "thresh.mrsb")
+        bucket = FileBucket(path, retain=False, spill_buffer_pairs=2)
+        bucket.addpair(("a", 1))
+        bucket.addpair(("b", 2))  # hits the threshold, batch hits disk
+        bucket.flush()
+        size_after_two = os.path.getsize(path)
+        assert size_after_two > 0
+        bucket.addpair(("c", 3))
+        bucket.close_writer()
+        assert os.path.getsize(path) > size_after_two
+        assert bucket.readback() == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_collector_still_tracks_spill_order(self, tmp_path):
+        bucket = FileBucket(str(tmp_path / "collected.mrsb"))
+        add_key, add_pair = bucket.collector()
+        for pair in [("b", 1), ("a", 2)]:
+            add_key(key_to_bytes(pair[0]))
+            add_pair(pair)
+        bucket.close_writer()
+        assert not bucket.url_sorted
+        assert bucket.readback() == [("b", 1), ("a", 2)]
+
+    def test_extend_records_scans_batch_order(self, tmp_path):
+        in_order = [(key_to_bytes(k), (k, v)) for k, v in [("a", 1), ("b", 2)]]
+        bucket = FileBucket(str(tmp_path / "batch.mrsb"))
+        bucket.extend_records(in_order)
+        bucket.close_writer()
+        assert bucket.url_sorted
+
+        shuffled = [(key_to_bytes(k), (k, v)) for k, v in [("b", 1), ("a", 2)]]
+        other = FileBucket(str(tmp_path / "batch2.mrsb"))
+        other.extend_records(shuffled)
+        other.close_writer()
+        assert not other.url_sorted
+
+    def test_extend_records_checks_batch_boundary(self, tmp_path):
+        """A sorted batch that starts before the previous batch's last
+        key makes the stream unsorted."""
+        bucket = FileBucket(str(tmp_path / "boundary.mrsb"))
+        bucket.extend_records([(key_to_bytes("m"), ("m", 1))])
+        bucket.extend_records([(key_to_bytes("a"), ("a", 2))])
+        bucket.close_writer()
+        assert not bucket.url_sorted
+
+    def test_absorb_marks_unsorted_other_unsorted(self, tmp_path):
+        staged = make_bucket([("b", 1), ("a", 2)])
+        bucket = FileBucket(str(tmp_path / "absorbed.mrsb"), retain=False)
+        bucket.absorb(staged)
+        bucket.close_writer()
+        assert not bucket.url_sorted
+        assert bucket.readback() == [("b", 1), ("a", 2)]
 
 
 class TestSidecarFileBucket:

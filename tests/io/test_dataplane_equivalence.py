@@ -1,0 +1,218 @@
+"""Data-plane equivalence: the encode-once shuffle must be invisible.
+
+The cached-key-bytes pipeline (emit -> combine -> spill -> streaming
+merge) is a pure optimization; these tests pin that down three ways:
+byte-identical job output across the local runtimes, byte-identical
+``.mrsb`` files against a pre-PR-style reference writer loop, and
+sort/group correctness on mixed-type key sets.
+"""
+
+import enum
+import itertools
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.wordcount import WordCountCombined
+from repro.core.main import run_program
+from repro.io import formats
+from repro.io.bucket import Bucket, FileBucket, group_sorted_records
+from repro.io.serializers import get_serializer
+from repro.util.hashing import key_to_bytes
+
+
+def all_output_files(directory):
+    """Every output file (hidden ``.mrsb`` sidecars included) keyed by
+    its ``source_split.ext`` suffix — the dataset-id prefix differs
+    between runs."""
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        stem, ext = os.path.splitext(name)
+        key = ("_".join(stem.split("_")[-2:]), ext, name.startswith("."))
+        with open(os.path.join(directory, name), "rb") as f:
+            out[key] = f.read()
+    return out
+
+
+class MrsbWordCount(WordCountCombined):
+    """WordCount writing lossless ``.mrsb`` output, so runtime
+    equivalence can be asserted on the binary format itself."""
+
+    output_format = "mrsb"
+
+
+class TestRuntimeByteIdentity:
+    def test_outputs_and_task_counts_agree(self, tmp_path):
+        input_file = tmp_path / "in.txt"
+        input_file.write_text(
+            "the quick brown fox jumps over the lazy dog\n"
+            "the dog sleeps while the fox runs\n" * 8
+        )
+        files = {}
+        task_counts = {}
+        for impl in ("serial", "mockparallel", "multiprocess"):
+            outdir = tmp_path / impl
+            overrides = {"reduce_tasks": 2}
+            if impl == "multiprocess":
+                overrides["procs"] = 2
+            program = run_program(
+                MrsbWordCount,
+                [str(input_file), str(outdir)],
+                impl=impl,
+                **overrides,
+            )
+            files[impl] = all_output_files(outdir)
+            task_counts[impl] = program.metrics_report["summary"]["task_count"]
+        assert files["serial"], "serial run produced no output"
+        assert any(
+            key[1] == ".mrsb" for key in files["serial"]
+        ), "no lossless .mrsb output to compare"
+        assert files["mockparallel"] == files["serial"]
+        assert files["multiprocess"] == files["serial"]
+        assert (
+            task_counts["serial"]
+            == task_counts["mockparallel"]
+            == task_counts["multiprocess"]
+        )
+
+
+SORTED_PAIRS = sorted(
+    [("apple", 3), ("banana", 1), ("cherry", 2), ("apple", 9), ("date", 4)],
+    key=lambda pair: key_to_bytes(pair[0]),
+)
+
+
+def reference_mrsb(path, pairs, key_serializer, value_serializer):
+    """The pre-PR write loop: one ``writepair`` per pair, no cached key
+    bytes anywhere."""
+    with open(path, "wb") as f:
+        writer = formats.BinWriter(
+            f,
+            key_serializer=get_serializer(key_serializer),
+            value_serializer=get_serializer(value_serializer),
+        )
+        for pair in pairs:
+            writer.writepair(pair)
+        writer.finish()
+    with open(path, "rb") as f:
+        return f.read()
+
+
+class TestReferenceWriterIdentity:
+    @pytest.mark.parametrize(
+        "key_serializer,value_serializer",
+        [("str", "int"), (None, None), ("pickle", "pickle")],
+    )
+    def test_spill_bytes_match_pre_pr_writer(
+        self, tmp_path, key_serializer, value_serializer
+    ):
+        """The buffered batch spill (cached-key slicing and all) writes
+        the exact bytes the pre-PR per-pair loop wrote."""
+        expected = reference_mrsb(
+            str(tmp_path / "reference.mrsb"),
+            SORTED_PAIRS,
+            key_serializer,
+            value_serializer,
+        )
+        path = str(tmp_path / "bucket.mrsb")
+        bucket = FileBucket(
+            path,
+            key_serializer=key_serializer,
+            value_serializer=value_serializer,
+            retain=False,
+        )
+        for pair in SORTED_PAIRS:
+            bucket.addpair(pair)
+        bucket.close_writer()
+        with open(path, "rb") as f:
+            assert f.read() == expected
+
+    def test_absorb_path_matches_pre_pr_writer(self, tmp_path):
+        """The bulk ``absorb`` spill (batched or direct-streamed) is
+        also byte-identical to the reference loop."""
+        expected = reference_mrsb(
+            str(tmp_path / "reference.mrsb"), SORTED_PAIRS, "str", "int"
+        )
+        staged = Bucket()
+        for pair in SORTED_PAIRS:
+            staged.addpair(pair)
+        for buffer_pairs in (2, 1000):  # direct-stream and buffered
+            path = str(tmp_path / f"absorb_{buffer_pairs}.mrsb")
+            out = FileBucket(
+                path,
+                key_serializer="str",
+                value_serializer="int",
+                retain=False,
+                spill_buffer_pairs=buffer_pairs,
+            )
+            out.absorb(staged)
+            out.close_writer()
+            with open(path, "rb") as f:
+                assert f.read() == expected
+
+
+class Color(enum.IntEnum):
+    RED = 1
+    GREEN = 2
+    BLUE = 3
+
+
+MIXED_KEYS = st.one_of(
+    st.integers(),
+    st.booleans(),
+    st.text(max_size=8),
+    st.sampled_from(list(Color)),
+    st.tuples(st.integers(), st.text(max_size=4)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(MIXED_KEYS, st.integers()), max_size=80))
+def test_mixed_type_sort_and_group(pairs):
+    """Sorting and grouping run on canonical key bytes, so key sets
+    mixing int/str/tuple/bool/IntEnum stay well-defined: the order is
+    the stable byte order and every pair lands in exactly one group."""
+    bucket = Bucket()
+    for pair in pairs:
+        bucket.addpair(pair)
+    bucket.sort()
+    expected = sorted(pairs, key=lambda pair: key_to_bytes(pair[0]))
+    assert list(bucket) == expected
+
+    grouped = [
+        (keybytes, key, list(values))
+        for keybytes, key, values in group_sorted_records(
+            bucket.sorted_records()
+        )
+    ]
+    assert sum(len(values) for _, _, values in grouped) == len(pairs)
+    for keybytes, key, _ in grouped:
+        assert keybytes == key_to_bytes(key)
+    group_keys = [keybytes for keybytes, _, _ in grouped]
+    assert group_keys == sorted(group_keys)
+    assert len(group_keys) == len(set(group_keys))
+
+    # Hash grouping (the combiner's grouping) partitions the same pairs
+    # into the same groups, just in first-encounter order.
+    hashed = {
+        keybytes: (key, values)
+        for keybytes, key, values in bucket.hash_grouped_records()
+    }
+    assert set(hashed) == set(group_keys)
+    for keybytes, key, values in grouped:
+        assert hashed[keybytes][0] == key
+        assert sorted(map(repr, hashed[keybytes][1])) == sorted(
+            map(repr, values)
+        )
+
+
+def test_bool_and_int_keys_do_not_collide():
+    """``True`` and ``1`` are distinct keys on the canonical data plane
+    even though they compare equal as Python ints."""
+    bucket = Bucket()
+    bucket.addpair((True, "bool"))
+    bucket.addpair((1, "int"))
+    bucket.addpair((Color.RED, "enum"))
+    groups = list(group_sorted_records(bucket.sorted_records()))
+    assert len(groups) == 3
