@@ -13,7 +13,10 @@ Run:
 
 Pass ``--mrs-metrics-json out.json`` to dump the serial run's metrics
 report — startup time, per-phase (map/shuffle/reduce) breakdown, and
-one span per task — as JSON.
+one span per task — as JSON.  Pass ``--mrs-event-log events.jsonl``
+and/or ``--mrs-trace trace.json`` to record the serial run's structured
+event stream and a Chrome/Perfetto timeline (open the trace at
+https://ui.perfetto.dev).
 """
 
 import argparse
@@ -36,6 +39,20 @@ def main() -> int:
         default=None,
         help="dump the serial run's metrics report as JSON to PATH",
     )
+    parser.add_argument(
+        "--mrs-event-log",
+        dest="event_log",
+        metavar="PATH",
+        default=None,
+        help="append the serial run's structured events to PATH (JSONL)",
+    )
+    parser.add_argument(
+        "--mrs-trace",
+        dest="trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome/Perfetto trace of the serial run to PATH",
+    )
     cli = parser.parse_args()
 
     workdir = tempfile.mkdtemp(prefix="mrs_quickstart_")
@@ -52,9 +69,15 @@ def main() -> int:
         [corpus_root, os.path.join(workdir, "out_serial")],
         impl="serial",
         metrics_json=cli.metrics_json,
+        event_log=cli.event_log,
+        trace=cli.trace,
     )
     counts = output_counts(serial)
     print(f"serial:       {len(counts)} distinct words")
+    if cli.event_log:
+        print(f"event log:    {cli.event_log}")
+    if cli.trace:
+        print(f"trace:        {cli.trace} (open at https://ui.perfetto.dev)")
     if cli.metrics_json:
         from repro.observability import export
 

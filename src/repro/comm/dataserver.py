@@ -1,4 +1,4 @@
-"""Built-in HTTP data server for direct slave-to-slave transfer.
+"""Built-in HTTP servers: the bucket data plane and the status plane.
 
 Section IV-B: "For data communicated directly, the writer opens and
 writes a file on a local filesystem, and requests from readers are
@@ -7,15 +7,23 @@ never leave the kernel's page cache.
 
 A :class:`DataServer` serves one directory read-only.  Bucket URLs are
 ``http://host:port/<path relative to root>``.
+
+:class:`StatusServer` reuses the same threading-server machinery to
+expose a *read-only JSON view of a running job* (``--mrs-status-http
+PORT``): ``GET /status`` returns ``Job.status()``, ``GET /metrics`` the
+aggregate metrics report, and ``GET /events?since=N`` the event ring
+tail — enough for ``curl``/dashboards to watch a long fan-out job in
+flight without touching the XML-RPC control plane.
 """
 
 from __future__ import annotations
 
 import http.server
+import json
 import os
 import threading
 import urllib.parse
-from typing import Optional
+from typing import Any, Callable, Dict, Optional
 
 
 class _BucketRequestHandler(http.server.BaseHTTPRequestHandler):
@@ -91,6 +99,98 @@ class DataServer:
         self._server.server_close()
 
     def __enter__(self) -> "DataServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class _StatusRequestHandler(http.server.BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "MrsStatus/1.0"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:
+        parsed = urllib.parse.urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/status"
+        views = self.server.views  # type: ignore[attr-defined]
+        view = views.get(route)
+        if view is None:
+            self._send_json(
+                404, {"error": f"no such view {route!r}",
+                      "views": sorted(views)}
+            )
+            return
+        query = urllib.parse.parse_qs(parsed.query)
+        try:
+            payload = view(query)
+        except Exception as exc:
+            self._send_json(500, {"error": repr(exc)})
+            return
+        self._send_json(200, payload)
+
+    def _send_json(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class StatusServer:
+    """Read-only JSON status endpoint over a running backend.
+
+    Routes:
+
+    * ``/status``  — the backend's live :meth:`status` snapshot
+    * ``/metrics`` — the aggregate metrics report (``Job.metrics()``)
+    * ``/events``  — event ring tail; ``?since=N`` skips seq <= N
+    """
+
+    def __init__(self, backend: Any, host: str = "127.0.0.1", port: int = 0):
+        self.backend = backend
+        views: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+            "/status": lambda query: backend.status(),
+            "/metrics": lambda query: backend.metrics(),
+            "/events": self._events_view,
+        }
+        self._server = _ThreadingHTTPServer((host, port), _StatusRequestHandler)
+        self._server.views = views  # type: ignore[attr-defined]
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"status-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _events_view(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        observability = getattr(self.backend, "observability", None)
+        events = getattr(observability, "events", None)
+        if events is None:
+            return {"enabled": False, "events": []}
+        try:
+            since = int(query.get("since", ["0"])[0])
+        except (TypeError, ValueError):
+            since = 0
+        return {
+            "enabled": True,
+            "last_seq": events.last_seq,
+            "events": events.snapshot(since_seq=since),
+        }
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> "StatusServer":
         return self
 
     def __exit__(self, *exc) -> None:

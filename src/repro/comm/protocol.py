@@ -118,27 +118,36 @@ def make_done_message(
 def make_task_metrics(
     durations: Optional[Dict[str, float]] = None,
     registry: Optional[Dict[str, Any]] = None,
+    events: Optional[Sequence[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """The per-task metrics payload piggybacked on ``done``.
 
     ``durations`` maps span event names to seconds measured on the
     slave; ``registry`` is a
-    :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`.
+    :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`;
+    ``events`` is the slave's per-task event batch — dicts of scalars
+    with an ``offset`` (seconds from the slave's task start) instead of
+    an absolute timestamp, so the coordinator can re-anchor them on its
+    own clock.  All three ride the existing completion message: no
+    extra round trips, and old coordinators ignore unknown fields.
     """
-    return {
+    payload: Dict[str, Any] = {
         "durations": {
             str(name): float(value)
             for name, value in (durations or {}).items()
         },
         "registry": dict(registry or {}),
     }
+    if events:
+        payload["events"] = [dict(event) for event in events]
+    return payload
 
 
 def parse_task_metrics(raw: Any) -> Dict[str, Any]:
     """Validate a piggybacked metrics payload; tolerates None/garbage
     (metrics must never fail a task completion)."""
     if not isinstance(raw, dict):
-        return {"durations": {}, "registry": {}}
+        return {"durations": {}, "registry": {}, "events": []}
     durations: Dict[str, float] = {}
     raw_durations = raw.get("durations")
     if isinstance(raw_durations, dict):
@@ -148,9 +157,21 @@ def parse_task_metrics(raw: Any) -> Dict[str, Any]:
             except (TypeError, ValueError):
                 continue
     registry = raw.get("registry")
+    events: List[Dict[str, Any]] = []
+    raw_events = raw.get("events")
+    if isinstance(raw_events, (list, tuple)):
+        for entry in raw_events:
+            if not isinstance(entry, dict) or "name" not in entry:
+                continue
+            try:
+                float(entry.get("offset", 0.0))
+            except (TypeError, ValueError):
+                continue
+            events.append(entry)
     return {
         "durations": durations,
         "registry": registry if isinstance(registry, dict) else {},
+        "events": events,
     }
 
 

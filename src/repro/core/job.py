@@ -66,6 +66,14 @@ class Backend:
             return {}
         return self.observability.report()
 
+    def status(self) -> Dict[str, Any]:
+        """A cheap live snapshot of the running job: tasks done/total,
+        ETA, overhead fraction.  Backends with richer state (slaves,
+        workers, a scheduler) extend this view."""
+        if self.observability is None:
+            return {}
+        return self.observability.status_view()
+
     def close(self) -> None:
         """Shut down any runtime resources."""
 
@@ -255,6 +263,14 @@ class Job:
         per-task spans, and per-operation overhead.  Distributed runs
         include slave-side numbers aggregated by the master."""
         return self.backend.metrics()
+
+    def status(self) -> Dict[str, Any]:
+        """A live snapshot of the job: tasks done/total/running, an ETA
+        from the task-duration histogram, the overhead fraction so far,
+        and backend-specific state (slaves/workers, datasets).  This is
+        the same view ``--mrs-progress`` renders and
+        ``--mrs-status-http`` serves."""
+        return self.backend.status()
 
     def remove_data(self, dataset: ds.BaseDataset) -> None:
         """Free a dataset that no further operation will read.

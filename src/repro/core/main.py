@@ -57,12 +57,18 @@ def main(program_class: Any, argv: Optional[Sequence[str]] = None) -> int:
         return run_bypass(program)
 
     backend = _make_backend(impl, program, opts, args)
+    ticker = _maybe_start_ticker(backend, opts)
+    status_server = _maybe_start_status_server(backend, opts)
     try:
         job = Job(backend, program)
         status = int(program.run(job) or 0)
-        _maybe_dump_metrics(backend, opts)
+        _finalize_run(backend, opts)
         return status
     finally:
+        if ticker is not None:
+            ticker.stop()
+        if status_server is not None:
+            status_server.shutdown()
         backend.close()
 
 
@@ -79,6 +85,52 @@ def _maybe_dump_metrics(backend: Any, opts: Any) -> Optional[str]:
     return path
 
 
+def _finalize_run(backend: Any, opts: Any) -> None:
+    """End-of-job observability outputs: the metrics report
+    (--mrs-metrics-json), the Perfetto timeline (--mrs-trace), and the
+    event-log flush (--mrs-event-log)."""
+    _maybe_dump_metrics(backend, opts)
+    events = getattr(
+        getattr(backend, "observability", None), "events", None
+    )
+    if events is None:
+        return
+    trace_path = getattr(opts, "trace", None)
+    if trace_path:
+        from repro.observability import timeline
+
+        timeline.write_trace(
+            timeline.trace_from_events(events.snapshot()), trace_path
+        )
+        logger.info("timeline trace written to %s", trace_path)
+    events.close()
+
+
+def _maybe_start_ticker(backend: Any, opts: Any) -> Optional[Any]:
+    """Start the --mrs-progress stderr ticker, if requested."""
+    if not getattr(opts, "progress", False):
+        return None
+    from repro.observability.progress import ProgressTicker
+
+    ticker = ProgressTicker(backend)
+    ticker.start()
+    return ticker
+
+
+def _maybe_start_status_server(backend: Any, opts: Any) -> Optional[Any]:
+    """Start the --mrs-status-http JSON endpoint, if requested."""
+    port = getattr(opts, "status_http", None)
+    if port is None:
+        return None
+    from repro.comm.dataserver import StatusServer
+
+    server = StatusServer(
+        backend, host=getattr(opts, "host", None) or "127.0.0.1", port=port
+    )
+    logger.info("status endpoint at %s", server.url)
+    return server
+
+
 def _make_backend(impl: str, program: Any, opts, args: Sequence[str] = ()) -> Any:
     if impl == "serial":
         from repro.runtime.serial import SerialBackend
@@ -87,7 +139,9 @@ def _make_backend(impl: str, program: Any, opts, args: Sequence[str] = ()) -> An
     if impl == "mockparallel":
         from repro.runtime.mockparallel import MockParallelBackend
 
-        return MockParallelBackend(program, tmpdir=getattr(opts, "tmpdir", None))
+        return MockParallelBackend(
+            program, tmpdir=getattr(opts, "tmpdir", None), opts=opts
+        )
     if impl == "multiprocess":
         from repro.runtime.multiprocess import MultiprocessBackend
 
@@ -135,7 +189,7 @@ def run_program(
             raise RuntimeError(
                 f"{program_class.__name__} exited with status {status}"
             )
-        _maybe_dump_metrics(backend, opts)
+        _finalize_run(backend, opts)
         # Expose the metrics report on the returned instance so tests
         # and benchmarks can read it after the backend is closed.
         program.metrics_report = backend.metrics()

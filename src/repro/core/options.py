@@ -153,6 +153,51 @@ def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
         "as JSON to PATH on job exit",
     )
     group.add_argument(
+        "--mrs-event-log",
+        dest="event_log",
+        default=None,
+        metavar="PATH",
+        help="append every runtime event (task/dataset lifecycle, "
+        "scheduler decisions, failures, heartbeats) to PATH as "
+        "crash-safe JSONL; several processes may share one file "
+        "(lines carry pid/role/sequence fields)",
+    )
+    group.add_argument(
+        "--mrs-trace",
+        dest="trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome/Perfetto trace_event JSON timeline of the "
+        "job to PATH on exit (open in ui.perfetto.dev); one track per "
+        "worker/slave, spans per task phase",
+    )
+    group.add_argument(
+        "--mrs-progress",
+        dest="progress",
+        action="store_true",
+        help="live stderr ticker: tasks done/total, ETA from the "
+        "task-duration histogram, live overhead fraction",
+    )
+    group.add_argument(
+        "--mrs-status-http",
+        dest="status_http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a read-only JSON status endpoint on PORT "
+        "(GET /status, /metrics, /events) while the job runs",
+    )
+    group.add_argument(
+        "--mrs-profile-tasks",
+        dest="profile_tasks",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run tasks under cProfile and keep the .pstats dumps of "
+        "the N slowest tasks per process (paths attached to their "
+        "spans and announced as task.profiled events)",
+    )
+    group.add_argument(
         "--mrs-timeout",
         dest="timeout",
         type=float,

@@ -28,6 +28,7 @@ from repro.observability.metrics import (
     MetricsRegistry,
 )
 from repro.observability.tracing import EVENTS, TaskSpan, Tracer
+from repro.observability.events import EventLog
 from repro.observability import export
 from repro.util.timing import PhaseTimer
 
@@ -37,6 +38,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "EVENTS",
+    "EventLog",
     "TaskSpan",
     "Tracer",
     "Observability",
@@ -51,19 +53,33 @@ _COMPUTE_EVENTS = ("map", "reduce")
 #: backend's phase timer (slave->master and worker->pool piggybacks).
 PIGGYBACK_PHASES = ("map", "reduce", "serialize", "transfer")
 
+#: Roles whose startup means "boot to first task" rather than
+#: "coordinator ready" (they do not own a job; they serve one).
+_EXECUTOR_ROLES = frozenset({"slave", "worker"})
+
 
 class Observability:
-    """Per-backend bundle of registry + tracer + phase timer."""
+    """Per-backend bundle of registry + tracer + phase timer + events."""
 
     def __init__(self, role: str = "serial"):
         self.role = role
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
         self.phases = PhaseTimer()
+        #: Structured event log; None until a consumer asks for events
+        #: (so the hot emit path ``events = obs.events; if events is
+        #: not None: ...`` costs one attribute check when disabled).
+        self.events: Optional[EventLog] = None
         self._created_at = time.perf_counter()
         #: Seconds from backend construction to ready-to-run, set once
         #: by :meth:`mark_startup_complete` (the paper's "~2 s" number).
         self.startup_seconds: Optional[float] = None
+        #: What the startup number measures for this role: coordinators
+        #: report construction→ready; slaves/workers report their own
+        #: boot→first-task latency.
+        self.startup_kind = (
+            "boot_to_first_task" if role in _EXECUTOR_ROLES else "ready"
+        )
         #: dataset id -> operation kind ("map"/"reduce"/"reducemap").
         self._operation_kinds: Dict[str, str] = {}
         #: Per-source registries accumulated by :meth:`merge_remote`
@@ -74,11 +90,55 @@ class Observability:
 
     # -- lifecycle ------------------------------------------------------
 
+    def enable_events(
+        self,
+        path: Optional[str] = None,
+        unbounded: bool = False,
+    ) -> EventLog:
+        """Turn on the structured event log (idempotent).
+
+        ``path`` adds the crash-safe JSONL sink (``--mrs-event-log``);
+        ``unbounded=True`` keeps the full stream in memory instead of a
+        bounded ring (needed when a trace will be built from it at job
+        end).
+        """
+        if self.events is None:
+            from repro.observability.events import DEFAULT_RING_SIZE
+
+            self.events = EventLog(
+                self.role,
+                path=path,
+                ring_size=None if unbounded else DEFAULT_RING_SIZE,
+            )
+        return self.events
+
+    def configure_from_opts(self, opts: Any) -> None:
+        """Wire the observability CLI flags into this bundle.
+
+        Called by every backend constructor; a missing/None ``opts``
+        (programmatic construction) leaves everything disabled.
+        """
+        if opts is None:
+            return
+        event_log = getattr(opts, "event_log", None)
+        trace = getattr(opts, "trace", None)
+        if event_log or trace:
+            # A requested trace is built from memory at job end, so the
+            # ring must keep the whole stream.
+            self.enable_events(path=event_log, unbounded=bool(trace))
+
     def mark_startup_complete(self) -> float:
         """Record startup as complete (idempotent); returns the time."""
         if self.startup_seconds is None:
             self.startup_seconds = time.perf_counter() - self._created_at
             self.registry.gauge("startup.seconds").set(self.startup_seconds)
+            events = self.events
+            if events is not None:
+                events.emit(
+                    "job.startup",
+                    seconds=self.startup_seconds,
+                    kind=self.startup_kind,
+                )
         return self.startup_seconds
 
     def note_operation(self, dataset_id: str, kind: str) -> None:
@@ -133,6 +193,50 @@ class Observability:
             )
         return rows
 
+    def status_view(self) -> Dict[str, Any]:
+        """A cheap live snapshot for tickers and status endpoints.
+
+        Derived from the tracer and registry only (no remote calls):
+        tasks done/total, an ETA extrapolated from the task-duration
+        histogram, and the live overhead fraction — the in-flight
+        version of the report's summary numbers.
+        """
+        spans = self.tracer.spans()
+        total = len(spans)
+        done = 0
+        running = 0
+        wall = 0.0
+        compute = 0.0
+        for span in spans:
+            durations = span.durations_dict()
+            if "committed" in durations or span.has_event("committed"):
+                done += 1
+                wall += span.total_seconds
+                compute += sum(
+                    durations.get(e, 0.0) for e in _COMPUTE_EVENTS
+                )
+            elif span.has_event("started"):
+                running += 1
+        mean = self.registry.histogram("task.seconds").mean
+        remaining = max(0, total - done)
+        status: Dict[str, Any] = {
+            "role": self.role,
+            "startup_seconds": self.startup_seconds,
+            "tasks": {"total": total, "done": done, "running": running},
+            "eta_seconds": (remaining * mean) if (mean and remaining) else None,
+            "overhead_fraction": (
+                max(0.0, wall - compute) / wall if wall > 0 else None
+            ),
+            "phases": dict(self.phases.breakdown()),
+        }
+        events = self.events
+        if events is not None:
+            status["events"] = {
+                "last_seq": events.last_seq,
+                "log_path": events.path,
+            }
+        return status
+
     def report(self) -> Dict[str, Any]:
         """The aggregate whole-job view (see export module docstring)."""
         operations = self.operations_breakdown()
@@ -141,7 +245,10 @@ class Observability:
         return {
             "version": export.REPORT_VERSION,
             "role": self.role,
-            "startup": {"seconds": self.startup_seconds},
+            "startup": {
+                "seconds": self.startup_seconds,
+                "kind": self.startup_kind,
+            },
             "phases": dict(self.phases.breakdown()),
             "metrics": self.registry.snapshot(),
             "sources": {

@@ -1,0 +1,291 @@
+"""Structured runtime event log: the live counterpart of the report.
+
+The one-shot ``--mrs-metrics-json`` report answers "what did the job
+cost" *after* it finishes; the event log answers "what is the job doing
+*right now*" and "in what order did things happen".  Every backend
+emits typed, monotonic-timestamped events — job/dataset/task lifecycle,
+scheduler decisions, spills, worker/slave death and requeue, heartbeats
+— into an :class:`EventLog`:
+
+* an in-memory ring buffer feeds the live status plane
+  (``Job.status()``, ``--mrs-progress``, ``--mrs-status-http``) and the
+  end-of-job timeline conversion (:mod:`repro.observability.timeline`),
+* with ``--mrs-event-log PATH``, every event is also appended to a
+  crash-safe JSONL stream: one complete line per event, written with a
+  single ``write`` call and flushed, so a crash can at worst truncate
+  the final line (which :func:`read_jsonl` tolerates).  Lines carry a
+  per-process sequence number plus ``pid``/``role`` fields, so several
+  processes may append to the *same* file and readers can still
+  reconstruct each process's exact emission order.
+
+Cost discipline: when no consumer asked for events, a backend's
+``observability.events`` is ``None`` and every emission site is a
+single attribute check — no allocation, no locking, no clock read.
+
+Event envelope (one JSON object per line)::
+
+    {"seq": 17, "t": 3.4183, "name": "task.started",
+     "pid": 4242, "role": "master", "fields": {"dataset_id": "...",
+     "task_index": 0, "worker": 2}}
+
+``t`` is ``time.perf_counter()`` of the *emitting* process — monotonic
+but process-local.  Cross-process merging therefore never compares raw
+stamps: a slave/worker ships its per-task events as *offsets* from its
+own task start (:func:`piggyback_events_from_span`), and the
+coordinator re-anchors them at its local dispatch timestamp for the
+same task (:meth:`EventLog.emit_anchored`) — the same skew-tolerant
+model ``TaskSpan.add_duration`` uses for durations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "EventLog",
+    "read_jsonl",
+    "piggyback_events_from_span",
+    "span_phase_marks",
+    "PHASE_MARKS",
+]
+
+#: Default ring-buffer capacity when the full stream need not be kept.
+DEFAULT_RING_SIZE = 4096
+
+#: Span marks that delimit task phases, in lifecycle order.  The phase
+#: *ending* at mark ``m`` spans from the previous mark to ``m``; the
+#: pair ending at "started" is the input fetch.
+PHASE_MARKS = ("started", "map", "reduce", "serialize", "transfer")
+
+#: Display name for the phase that ends at each mark ("started" means
+#: "inputs became ready", so the phase before it is the fetch).
+PHASE_LABELS = {"started": "fetch"}
+
+
+class EventLog:
+    """Ring buffer + optional append-only JSONL sink for typed events.
+
+    Thread-safe; emission is a lock, a counter bump, a deque append,
+    and (with a sink) one buffered line write + flush.
+    """
+
+    def __init__(
+        self,
+        role: str,
+        path: Optional[str] = None,
+        ring_size: Optional[int] = DEFAULT_RING_SIZE,
+        pid: Optional[int] = None,
+    ):
+        self.role = role
+        self.pid = int(pid if pid is not None else os.getpid())
+        self.path = path
+        self._seq = 0
+        self._lock = threading.Lock()
+        #: ring_size=None keeps the full stream (needed when a trace
+        #: will be built from memory at job end).
+        self._ring: deque = deque(maxlen=ring_size)
+        self._file = None
+        if path:
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            # Append mode: several processes (slaves sharing a tmpdir,
+            # pool workers) may target one file; each line is written
+            # with a single write() on an O_APPEND descriptor.
+            self._file = open(path, "a", encoding="utf-8")
+
+    # -- emission -------------------------------------------------------
+
+    def emit(
+        self, name: str, t: Optional[float] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """Record one event; returns the event dict.
+
+        ``t`` overrides the timestamp (still on this process's
+        monotonic clock) for events whose true time is already known —
+        e.g. a phase boundary derived from a span mark.
+        """
+        stamp = time.perf_counter() if t is None else float(t)
+        event: Dict[str, Any] = {
+            "seq": 0,  # patched under the lock
+            "t": stamp,
+            "name": name,
+            "pid": self.pid,
+            "role": self.role,
+        }
+        if fields:
+            event["fields"] = fields
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            self._ring.append(event)
+            if self._file is not None:
+                # One complete line per write call: a crash mid-job
+                # leaves at most one truncated trailing line behind.
+                self._file.write(
+                    json.dumps(event, separators=(",", ":"), sort_keys=True)
+                    + "\n"
+                )
+                self._file.flush()
+        return event
+
+    def emit_anchored(
+        self,
+        remote_events: Iterable[Dict[str, Any]],
+        anchor_t: float,
+        role: str,
+        pid: Optional[int] = None,
+        **extra_fields: Any,
+    ) -> int:
+        """Merge another process's piggybacked events into this log.
+
+        ``remote_events`` carry ``offset`` seconds relative to the
+        remote task start; each is re-stamped at ``anchor_t + offset``
+        on *this* process's clock (``anchor_t`` is normally the local
+        span's "started" mark for the same task, so clock skew between
+        processes never leaks into the merged stream).  Returns the
+        number of events merged.
+        """
+        count = 0
+        for remote in remote_events:
+            name = remote.get("name")
+            if not name:
+                continue
+            try:
+                offset = float(remote.get("offset", 0.0))
+            except (TypeError, ValueError):
+                continue
+            fields = dict(remote.get("fields") or {})
+            fields.update(extra_fields)
+            event: Dict[str, Any] = {
+                "seq": 0,
+                "t": anchor_t + offset,
+                "name": str(name),
+                # Default to *this* process's pid: merged events then
+                # share a trace lane with the coordinator's own
+                # task.started/committed markers for the same worker.
+                "pid": int(remote.get("pid", pid if pid is not None else self.pid)),
+                "role": str(remote.get("role", role)),
+            }
+            if fields:
+                event["fields"] = fields
+            with self._lock:
+                self._seq += 1
+                event["seq"] = self._seq
+                self._ring.append(event)
+                if self._file is not None:
+                    self._file.write(
+                        json.dumps(event, separators=(",", ":"), sort_keys=True)
+                        + "\n"
+                    )
+                    self._file.flush()
+            count += 1
+        return count
+
+    # -- reading --------------------------------------------------------
+
+    def snapshot(self, since_seq: int = 0) -> List[Dict[str, Any]]:
+        """Events currently in the ring with ``seq > since_seq``."""
+        with self._lock:
+            return [e for e in self._ring if e["seq"] > since_seq]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.flush()
+                    self._file.close()
+                finally:
+                    self._file = None
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse an event-log JSONL file back into event dicts.
+
+    A crash mid-write can truncate the *final* line; that line is
+    silently dropped.  A malformed line anywhere else means the file
+    was not produced by :class:`EventLog` (or was corrupted in place)
+    and raises ``ValueError``.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().split("\n")
+    # A well-formed file ends with "\n", so the final split element is
+    # empty; anything non-empty there is a truncated trailing write.
+    complete, trailing = lines[:-1], lines[-1]
+    for lineno, line in enumerate(complete, start=1):
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(complete) and not trailing:
+                # Truncated final line without a newline elsewhere in
+                # the file (crash between the bytes and the "\n").
+                break
+            raise ValueError(
+                f"{path}:{lineno}: malformed event line: {line[:80]!r}"
+            ) from exc
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+def span_phase_marks(span: Any, include_fetch: bool) -> List[Dict[str, Any]]:
+    """Phase boundaries from a span's recorded marks.
+
+    Returns ``[{"phase": name, "offset": end_offset, "seconds": dur}]``
+    where offsets are relative to the span's first mark.  Consecutive
+    marks delimit phases; the pair ending at "started" (everything
+    between task receipt and inputs-ready) is the input *fetch* and is
+    only meaningful on the executing process — coordinators pass
+    ``include_fetch=False`` because their queued→started gap is
+    scheduler wait, not work.
+    """
+    marks = span.to_dict()["events"]
+    phases: List[Dict[str, Any]] = []
+    for previous, current in zip(marks, marks[1:]):
+        name = current["event"]
+        if name not in PHASE_MARKS:
+            continue
+        if name == "started" and not include_fetch:
+            continue
+        phases.append(
+            {
+                "phase": PHASE_LABELS.get(name, name),
+                "offset": current["offset"],
+                "seconds": max(0.0, current["offset"] - previous["offset"]),
+            }
+        )
+    return phases
+
+
+def piggyback_events_from_span(span: Any) -> List[Dict[str, Any]]:
+    """The per-task event batch a slave/worker ships on its done RPC.
+
+    Offsets are relative to the remote task start (the span's first
+    mark), so the coordinator can re-anchor them on its own clock with
+    :meth:`EventLog.emit_anchored`.  Kept deliberately tiny — a handful
+    of dicts of scalars per task — because it rides the existing
+    task-completion message.
+    """
+    return [
+        {
+            "name": "task.phase",
+            "offset": phase["offset"],
+            "fields": {"phase": phase["phase"], "seconds": phase["seconds"]},
+        }
+        for phase in span_phase_marks(span, include_fetch=True)
+    ]

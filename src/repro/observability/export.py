@@ -44,6 +44,18 @@ def parse_json(text: str) -> Dict[str, Any]:
     report = json.loads(text)
     if not isinstance(report, dict):
         raise ValueError("metrics report must be a JSON object")
+    version = report.get("version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ValueError(
+            f"metrics report has no integer 'version' field (got "
+            f"{version!r}); not a report this reader understands"
+        )
+    if version > REPORT_VERSION:
+        raise ValueError(
+            f"metrics report version {version} is newer than this "
+            f"reader (understands <= {REPORT_VERSION}); upgrade the "
+            f"reader or re-run the job with this version"
+        )
     return report
 
 

@@ -46,6 +46,9 @@ class TaskSpan:
         #: Phase durations in seconds, either derived locally from
         #: consecutive events or attached from another process.
         self.durations: Dict[str, float] = {}
+        #: Path of a retained ``--mrs-profile-tasks`` .pstats dump for
+        #: this task, when it ranked among the slowest.
+        self.profile_path: Optional[str] = None
         self._lock = threading.Lock()
 
     def mark(self, event: str, timestamp: Optional[float] = None) -> None:
@@ -71,6 +74,15 @@ class TaskSpan:
         with self._lock:
             return any(name == event for name, _ in self.events)
 
+    def event_time(self, event: str) -> Optional[float]:
+        """Timestamp of the first ``event`` mark (local monotonic
+        clock), or None; the anchor cross-process event merging uses."""
+        with self._lock:
+            for name, timestamp in self.events:
+                if name == event:
+                    return timestamp
+            return None
+
     @property
     def total_seconds(self) -> float:
         with self._lock:
@@ -81,7 +93,7 @@ class TaskSpan:
     def to_dict(self) -> Dict[str, Any]:
         with self._lock:
             first = self.events[0][1] if self.events else 0.0
-            return {
+            span = {
                 "dataset_id": self.dataset_id,
                 "task_index": self.task_index,
                 "events": [
@@ -93,6 +105,9 @@ class TaskSpan:
                     self.events[-1][1] - first if len(self.events) >= 2 else 0.0
                 ),
             }
+            if self.profile_path is not None:
+                span["profile"] = self.profile_path
+            return span
 
     def durations_dict(self) -> Dict[str, float]:
         with self._lock:

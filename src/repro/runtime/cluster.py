@@ -158,6 +158,12 @@ class LocalCluster:
             raise ClusterError(
                 f"{self.program_class.__name__} exited with {status}"
             )
+        # Same end-of-job observability outputs as main()/run_program:
+        # metrics report, timeline trace, event-log flush.
+        from repro.core.main import _finalize_run
+
+        _finalize_run(self.backend, self.backend.opts)
+        self.program.metrics_report = self.backend.metrics()
         return self.program
 
     def kill_slave(self, index: int) -> None:

@@ -86,6 +86,7 @@ class MasterBackend(Backend):
         self.default_timeout = getattr(opts, "timeout", None)
 
         self.observability = Observability(role="master")
+        self.observability.configure_from_opts(opts)
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -148,10 +149,22 @@ class MasterBackend(Backend):
 
     def submit(self, dataset: ComputedData, job: Job) -> None:
         self.observability.note_operation(dataset.id, dataset.operation.kind)
+        events = self.observability.events
+        if events is not None:
+            events.emit(
+                "dataset.submitted",
+                dataset_id=dataset.id,
+                kind=dataset.operation.kind,
+                tasks=dataset.ntasks,
+            )
         for task_index in dataset.task_indices():
             self.observability.tracer.span(dataset.id, task_index).mark(
                 "queued"
             )
+            if events is not None:
+                events.emit(
+                    "task.queued", dataset_id=dataset.id, task_index=task_index
+                )
         with self._lock:
             input_dataset = job.get_dataset(dataset.input_id)
             self._datasets[dataset.id] = dataset
@@ -269,6 +282,9 @@ class MasterBackend(Backend):
             self._cond.notify_all()
         self.observability.registry.counter("slaves.signins").inc()
         self.observability.registry.gauge("slaves.alive").set(alive)
+        events = self.observability.events
+        if events is not None:
+            events.emit("slave.signin", slave=slave_id, address=address)
         logger.info("slave %d signed in from %s", slave_id, address)
         self._dispatch()
         return slave_id
@@ -317,13 +333,17 @@ class MasterBackend(Backend):
                 }
                 for dataset in self._datasets.values()
             ]
-            return {
-                "address": self.rpc.address,
-                "data_plane": self.data_plane,
-                "outstanding_tasks": self.scheduler.outstanding(),
-                "slaves": slaves,
-                "datasets": datasets,
-            }
+            status = self.observability.status_view()
+            status.update(
+                {
+                    "address": self.rpc.address,
+                    "data_plane": self.data_plane,
+                    "outstanding_tasks": self.scheduler.outstanding(),
+                    "slaves": slaves,
+                    "datasets": datasets,
+                }
+            )
+            return status
 
     def task_stats(self, dataset_id: str) -> Dict[str, float]:
         """Count/total/mean/max wall seconds of a dataset's tasks."""
@@ -375,6 +395,9 @@ class MasterBackend(Backend):
             if dataset_complete:
                 dataset.complete = True
                 logger.info("dataset %s complete", dataset_id)
+                events = self.observability.events
+                if events is not None:
+                    events.emit("dataset.complete", dataset_id=dataset_id)
             self._cond.notify_all()
         self._dispatch()
 
@@ -399,6 +422,28 @@ class MasterBackend(Backend):
                 obs.phases.add(event, phase_seconds)
         obs.merge_remote(payload["registry"], source=f"slave-{slave_id}")
         span.mark("committed")
+        events = obs.events
+        if events is not None:
+            # Re-anchor the slave's per-task event batch (offsets from
+            # its own task start) at this master's dispatch timestamp —
+            # the same skew-tolerant model as span.add_duration.
+            anchor = span.event_time("started")
+            if anchor is not None and payload["events"]:
+                events.emit_anchored(
+                    payload["events"],
+                    anchor,
+                    role="slave",
+                    dataset_id=dataset_id,
+                    task_index=task_index,
+                    slave=slave_id,
+                )
+            events.emit(
+                "task.committed",
+                dataset_id=dataset_id,
+                task_index=task_index,
+                slave=slave_id,
+                seconds=seconds,
+            )
 
     def task_failed(
         self, slave_id: int, dataset_id: str, task_index: int, message: str
@@ -427,6 +472,16 @@ class MasterBackend(Backend):
                 and not input_dataset.complete
                 and not input_dataset.error
             )
+            events = self.observability.events
+            if events is not None:
+                events.emit(
+                    "task.failed",
+                    dataset_id=dataset_id,
+                    task_index=task_index,
+                    slave=slave_id,
+                    error=message,
+                    free_retry=free_retry,
+                )
             if free_retry:
                 self.scheduler.task_failed(slave_id, task)
             elif self._failures.record(task):
@@ -441,8 +496,24 @@ class MasterBackend(Backend):
                     # drop the dataset's remaining queued tasks.
                     propagate_error(self._datasets, dataset_id)
                     self.scheduler.cancel_dataset(dataset_id)
+                    if events is not None:
+                        events.emit(
+                            "dataset.failed",
+                            dataset_id=dataset_id,
+                            error=dataset.error,
+                        )
             else:
                 self.scheduler.task_failed(slave_id, task)
+            if events is not None and (
+                free_retry or (dataset is not None and not dataset.error)
+            ):
+                events.emit(
+                    "task.requeued",
+                    dataset_id=dataset_id,
+                    task_index=task_index,
+                    failures=self._failures.count(task),
+                    free_retry=free_retry,
+                )
             self._cond.notify_all()
         self._dispatch()
 
@@ -461,6 +532,15 @@ class MasterBackend(Backend):
             self._cond.notify_all()
         self.observability.registry.counter("slaves.lost").inc()
         self.observability.registry.gauge("slaves.alive").set(alive)
+        events = self.observability.events
+        if events is not None:
+            events.emit(
+                "slave.lost",
+                slave=slave_id,
+                reason=reason,
+                reassigned=len(reassigned),
+                recomputed=recomputed,
+            )
         if reassigned or recomputed:
             logger.warning(
                 "slave %d lost (%s); reassigning %d tasks, "
@@ -531,12 +611,20 @@ class MasterBackend(Backend):
             # First work handed out: the job is effectively started even
             # if the caller never blocked in wait_for_slaves.
             self.observability.mark_startup_complete()
+            events = self.observability.events
             for record, task, descriptor in to_send:
                 dataset_id, task_index = task
                 self.observability.tracer.span(dataset_id, task_index).mark(
                     "started"
                 )
                 self.observability.registry.counter("tasks.dispatched").inc()
+                if events is not None:
+                    events.emit(
+                        "task.started",
+                        dataset_id=dataset_id,
+                        task_index=task_index,
+                        slave=record.id,
+                    )
                 try:
                     record.client().start_task(descriptor)
                 except Exception as exc:
@@ -590,6 +678,14 @@ class MasterBackend(Backend):
             bucket.url = self.dataserver.url_for(path)
         else:
             bucket.url = "file:" + path
+        events = self.observability.events
+        if events is not None:
+            events.emit(
+                "spill.bucket",
+                dataset_id=dataset.id,
+                split=bucket.split,
+                url=bucket.url,
+            )
 
     # ------------------------------------------------------------------
     # Watchdog
@@ -602,6 +698,9 @@ class MasterBackend(Backend):
                 return
             with self._lock:
                 records = [s for s in self._slaves.values() if s.alive]
+            events = self.observability.events
+            if events is not None:
+                events.emit("heartbeat", alive=len(records))
             for record in records:
                 if self._closed:
                     return

@@ -19,8 +19,9 @@ from typing import List, Optional, Sequence
 from repro.core.dataset import BaseDataset, ComputedData
 from repro.core.job import Backend, Job
 from repro.observability import Observability
+from repro.observability.profiling import profiler_from_opts
 from repro.runtime import taskrunner
-from repro.runtime.serial import PHASE_FOR_KIND
+from repro.runtime.serial import PHASE_FOR_KIND, _emit_task_events
 
 
 class MockParallelBackend(Backend):
@@ -32,12 +33,18 @@ class MockParallelBackend(Backend):
         program=None,
         tmpdir: Optional[str] = None,
         default_splits: Optional[int] = None,
+        opts=None,
     ):
         self.program = program
+        if opts is None:
+            opts = getattr(program, "opts", None)
         self.tmpdir = tmpdir or tempfile.mkdtemp(prefix="mrs_mockp_")
         if default_splits:
             self.default_splits = default_splits
         self.observability = Observability(role="mockparallel")
+        self.observability.configure_from_opts(opts)
+        #: --mrs-profile-tasks N: keep the N slowest tasks' profiles.
+        self.profiler = profiler_from_opts(opts)
         self._queue: List[ComputedData] = []
         self._completed_tasks = {}
         #: Wall seconds per completed task, per dataset (same
@@ -47,10 +54,22 @@ class MockParallelBackend(Backend):
     def submit(self, dataset: ComputedData, job: Job) -> None:
         self._queue.append(dataset)
         self.observability.note_operation(dataset.id, dataset.operation.kind)
+        events = self.observability.events
+        if events is not None:
+            events.emit(
+                "dataset.submitted",
+                dataset_id=dataset.id,
+                kind=dataset.operation.kind,
+                tasks=len(list(dataset.task_indices())),
+            )
         for task_index in dataset.task_indices():
             self.observability.tracer.span(dataset.id, task_index).mark(
                 "queued"
             )
+            if events is not None:
+                events.emit(
+                    "task.queued", dataset_id=dataset.id, task_index=task_index
+                )
 
     def wait(
         self,
@@ -109,6 +128,7 @@ class MockParallelBackend(Backend):
         outdir = dataset.outdir or os.path.join(self.tmpdir, dataset.id)
         ext = dataset.format_ext or "mrsb"
         obs = self.observability
+        events = obs.events
         phase = PHASE_FOR_KIND.get(dataset.operation.kind, "map")
         try:
             for task_index in dataset.task_indices():
@@ -134,10 +154,16 @@ class MockParallelBackend(Backend):
                 )
                 started = time.perf_counter()
                 span.mark("started", started)
+                if events is not None:
+                    events.emit(
+                        "task.started",
+                        t=started,
+                        dataset_id=dataset.id,
+                        task_index=task_index,
+                    )
                 with obs.phases.measure(phase):
-                    out_buckets = taskrunner.execute_task(
-                        self.program, dataset, task_index, input_buckets,
-                        factory, span=span,
+                    out_buckets = self._execute(
+                        dataset, task_index, input_buckets, factory, span
                     )
                 seconds = time.perf_counter() - started
                 self._task_seconds.setdefault(dataset.id, []).append(seconds)
@@ -156,10 +182,42 @@ class MockParallelBackend(Backend):
                 self._completed_tasks[dataset.id] = (
                     self._completed_tasks.get(dataset.id, 0) + 1
                 )
+                if events is not None:
+                    _emit_task_events(events, span, dataset.id, task_index)
             dataset.complete = True
+            if events is not None:
+                events.emit("dataset.complete", dataset_id=dataset.id)
         except taskrunner.TaskError as exc:
             obs.registry.counter("tasks.failed").inc()
             dataset.error = str(exc)
+            if events is not None:
+                events.emit(
+                    "task.failed", dataset_id=dataset.id, error=str(exc)
+                )
+                events.emit(
+                    "dataset.failed", dataset_id=dataset.id, error=str(exc)
+                )
+
+    def _execute(self, dataset, task_index, input_buckets, factory, span):
+        """Run one task, under cProfile when --mrs-profile-tasks is on."""
+        if self.profiler is None:
+            return taskrunner.execute_task(
+                self.program, dataset, task_index, input_buckets, factory,
+                span=span,
+            )
+        return self.profiler.run(
+            taskrunner.execute_task,
+            self.program,
+            dataset,
+            task_index,
+            input_buckets,
+            factory,
+            span=span,
+            profile_dataset_id=dataset.id,
+            profile_task_index=task_index,
+            profile_span=span,
+            profile_events=self.observability.events,
+        )
 
     def remove_data(self, dataset_id: str, job: Job) -> None:
         dataset_dir = os.path.join(self.tmpdir, dataset_id)

@@ -69,6 +69,10 @@ class MultiprocessBackend(Backend):
         self.ctx = multiprocessing.get_context(start_method)
 
         self.observability = Observability(role="multiprocess")
+        self.observability.configure_from_opts(opts)
+        #: Throttle for heartbeat events (the liveness sweep itself runs
+        #: every IDLE_POLL seconds, far too often to log).
+        self._last_heartbeat = 0.0
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -90,10 +94,13 @@ class MultiprocessBackend(Backend):
         self.pool = WorkerPool(
             self.ctx, type(program), opts, list(args or []), self.result_queue
         )
+        events = self.observability.events
         with self._lock:
             for _ in range(self.n_procs):
                 handle = self.pool.spawn()
                 self.scheduler.add_slave(handle.worker_id)
+                if events is not None:
+                    events.emit("worker.spawned", worker=handle.worker_id)
         self.observability.registry.gauge("workers.alive").set(self.n_procs)
 
         self._collector = threading.Thread(
@@ -112,10 +119,22 @@ class MultiprocessBackend(Backend):
 
     def submit(self, dataset: ComputedData, job: Job) -> None:
         self.observability.note_operation(dataset.id, dataset.operation.kind)
+        events = self.observability.events
+        if events is not None:
+            events.emit(
+                "dataset.submitted",
+                dataset_id=dataset.id,
+                kind=dataset.operation.kind,
+                tasks=dataset.ntasks,
+            )
         for task_index in dataset.task_indices():
             self.observability.tracer.span(dataset.id, task_index).mark(
                 "queued"
             )
+            if events is not None:
+                events.emit(
+                    "task.queued", dataset_id=dataset.id, task_index=task_index
+                )
         with self._lock:
             input_dataset = job.get_dataset(dataset.input_id)
             self._datasets[dataset.id] = dataset
@@ -165,6 +184,28 @@ class MultiprocessBackend(Backend):
             return 1.0
         with self._lock:
             return self.scheduler.progress(dataset.id)
+
+    def status(self) -> Dict[str, Any]:
+        """Live snapshot: the observability view plus pool state."""
+        status = self.observability.status_view()
+        with self._lock:
+            alive = self.pool.alive_handles()
+            status["workers"] = {
+                "alive": len(alive),
+                "ready": len(self._ready),
+                "busy": sum(1 for h in alive if h.busy is not None),
+                "respawns": self._respawns,
+            }
+            status["outstanding"] = self.scheduler.outstanding()
+            status["datasets"] = {
+                dataset_id: (
+                    "error"
+                    if d.error
+                    else "complete" if d.complete else "running"
+                )
+                for dataset_id, d in self._datasets.items()
+            }
+        return status
 
     def task_stats(self, dataset_id: str) -> Dict[str, float]:
         """Count/total/mean/max wall seconds of a dataset's tasks."""
@@ -274,6 +315,9 @@ class MultiprocessBackend(Backend):
             if dataset_complete:
                 dataset.complete = True
                 logger.info("dataset %s complete", dataset_id)
+                events = self.observability.events
+                if events is not None:
+                    events.emit("dataset.complete", dataset_id=dataset_id)
             self._cond.notify_all()
         self._dispatch()
 
@@ -298,6 +342,28 @@ class MultiprocessBackend(Backend):
                 obs.phases.add(event, phase_seconds)
         obs.merge_remote(payload["registry"], source=f"worker-{worker_id}")
         span.mark("committed")
+        events = obs.events
+        if events is not None:
+            # Re-anchor the worker's per-task event batch (offsets from
+            # its own task start) at this process's dispatch timestamp —
+            # the same skew-tolerant model as span.add_duration.
+            anchor = span.event_time("started")
+            if anchor is not None and payload["events"]:
+                events.emit_anchored(
+                    payload["events"],
+                    anchor,
+                    role="worker",
+                    dataset_id=dataset_id,
+                    task_index=task_index,
+                    worker=worker_id,
+                )
+            events.emit(
+                "task.committed",
+                dataset_id=dataset_id,
+                task_index=task_index,
+                worker=worker_id,
+                seconds=seconds,
+            )
 
     def _on_failed(self, message: Dict[str, Any]) -> None:
         worker_id = int(message["worker_id"])
@@ -314,6 +380,15 @@ class MultiprocessBackend(Backend):
             if handle is not None and handle.busy == task:
                 handle.busy = None
             dataset = self._datasets.get(dataset_id)
+            events = self.observability.events
+            if events is not None:
+                events.emit(
+                    "task.failed",
+                    dataset_id=dataset_id,
+                    task_index=task_index,
+                    worker=worker_id,
+                    error=text,
+                )
             if self._failures.record(task):
                 if dataset is not None and not dataset.error:
                     dataset.error = (
@@ -325,8 +400,21 @@ class MultiprocessBackend(Backend):
                     # drop the dataset's remaining queued tasks.
                     propagate_error(self._datasets, dataset_id)
                     self.scheduler.cancel_dataset(dataset_id)
+                    if events is not None:
+                        events.emit(
+                            "dataset.failed",
+                            dataset_id=dataset_id,
+                            error=dataset.error,
+                        )
             else:
                 self.scheduler.task_failed(worker_id, task)
+                if events is not None:
+                    events.emit(
+                        "task.requeued",
+                        dataset_id=dataset_id,
+                        task_index=task_index,
+                        failures=self._failures.count(task),
+                    )
             self._cond.notify_all()
         self._dispatch()
 
@@ -340,6 +428,16 @@ class MultiprocessBackend(Backend):
         with self._lock:
             if self._closed:
                 return
+            events = self.observability.events
+            if events is not None:
+                now = time.monotonic()
+                if now - self._last_heartbeat >= 5.0:
+                    self._last_heartbeat = now
+                    events.emit(
+                        "heartbeat",
+                        alive=len(self.pool.alive_handles()),
+                        outstanding=self.scheduler.outstanding(),
+                    )
             dead = self.pool.reap_dead()
             if not dead:
                 return
@@ -350,6 +448,13 @@ class MultiprocessBackend(Backend):
                     handle.process.exitcode,
                 )
                 self.observability.registry.counter("workers.lost").inc()
+                if events is not None:
+                    events.emit(
+                        "worker.lost",
+                        worker=handle.worker_id,
+                        exitcode=handle.process.exitcode,
+                        busy_task=list(handle.busy) if handle.busy else None,
+                    )
                 self._ready.discard(handle.worker_id)
                 # Requeues the worker's assigned task, like a lost slave.
                 self.scheduler.remove_slave(handle.worker_id)
@@ -363,10 +468,23 @@ class MultiprocessBackend(Backend):
                         )
                         propagate_error(self._datasets, task[0])
                         self.scheduler.cancel_dataset(task[0])
+                elif task is not None and events is not None:
+                    events.emit(
+                        "task.requeued",
+                        dataset_id=task[0],
+                        task_index=task[1],
+                        failures=self._failures.count(task),
+                    )
                 if self._respawns < self._max_respawns:
                     self._respawns += 1
                     replacement = self.pool.spawn()
                     self.scheduler.add_slave(replacement.worker_id)
+                    if events is not None:
+                        events.emit(
+                            "worker.spawned",
+                            worker=replacement.worker_id,
+                            replaces=handle.worker_id,
+                        )
                     logger.info(
                         "respawned worker %d to replace %d",
                         replacement.worker_id,
@@ -406,12 +524,20 @@ class MultiprocessBackend(Backend):
                 return
             # First work handed out: the job is effectively started.
             self.observability.mark_startup_complete()
+            events = self.observability.events
             for handle, task, descriptor in to_send:
                 dataset_id, task_index = task
                 self.observability.tracer.span(dataset_id, task_index).mark(
                     "started"
                 )
                 self.observability.registry.counter("tasks.dispatched").inc()
+                if events is not None:
+                    events.emit(
+                        "task.started",
+                        dataset_id=dataset_id,
+                        task_index=task_index,
+                        worker=handle.worker_id,
+                    )
                 handle.task_queue.put(descriptor)
 
     def _build_descriptor(self, task: TaskId) -> Dict[str, Any]:
@@ -423,12 +549,20 @@ class MultiprocessBackend(Backend):
         input_dataset = self._datasets[dataset.input_id]
         input_urls = []
         input_sorted = []
+        events = self.observability.events
         for bucket in input_dataset.buckets_for_split(task_index):
             if bucket.url is None:
                 path = dataplane.spill_bucket(
                     input_dataset, bucket, self.tmpdir
                 )
                 bucket.url = "file:" + path
+                if events is not None:
+                    events.emit(
+                        "spill.bucket",
+                        dataset_id=input_dataset.id,
+                        split=bucket.split,
+                        path=path,
+                    )
             input_urls.append(bucket.url)
             input_sorted.append(bucket.url_sorted)
         user_output = dataset.outdir is not None

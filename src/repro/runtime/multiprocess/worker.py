@@ -33,7 +33,9 @@ from typing import Any, Dict, List, Tuple
 from repro.comm import protocol
 from repro.core.operations import Operation
 from repro.io.bucket import FileBucket
+from repro.observability.events import piggyback_events_from_span
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiling import profiler_from_opts
 from repro.observability.tracing import TaskSpan
 from repro.runtime import taskrunner
 
@@ -41,7 +43,10 @@ logger = logging.getLogger("repro.worker")
 
 
 def run_task(
-    program: Any, descriptor: Dict[str, Any]
+    program: Any,
+    descriptor: Dict[str, Any],
+    profiler: Any = None,
+    boot_seconds: Any = None,
 ) -> Tuple[List[Tuple[int, str]], float, Dict[str, Any]]:
     """Execute one task descriptor in this process.
 
@@ -82,9 +87,22 @@ def run_task(
         key_serializer=descriptor.get("key_serializer"),
         value_serializer=descriptor.get("value_serializer"),
     )
-    out_buckets = taskrunner.run_operation(
-        program, op, input_buckets, factory, span=span
-    )
+    if profiler is None:
+        out_buckets = taskrunner.run_operation(
+            program, op, input_buckets, factory, span=span
+        )
+    else:
+        out_buckets = profiler.run(
+            taskrunner.run_operation,
+            program,
+            op,
+            input_buckets,
+            factory,
+            span=span,
+            profile_dataset_id=dataset_id,
+            profile_task_index=task_index,
+            profile_span=span,
+        )
     urls: List[Tuple[int, str, bool]] = []
     for bucket in out_buckets:
         assert isinstance(bucket, FileBucket)
@@ -100,8 +118,25 @@ def run_task(
     registry = MetricsRegistry()
     registry.counter("worker.tasks.completed").inc()
     registry.histogram("worker.task.seconds").observe(seconds)
+    if boot_seconds is not None:
+        # First task only: the executing process's boot-to-first-task
+        # latency, the role-appropriate startup number for a worker.
+        registry.gauge("worker.boot_to_first_task.seconds").set(boot_seconds)
+    # Per-task event batch (phase boundaries as offsets from task
+    # start); the pool re-anchors them on its own clock.
+    events = piggyback_events_from_span(span)
+    if span.profile_path:
+        events.append(
+            {
+                "name": "task.profiled",
+                "offset": span.total_seconds,
+                "fields": {"path": span.profile_path, "seconds": seconds},
+            }
+        )
     metrics = protocol.make_task_metrics(
-        durations=span.durations_dict(), registry=registry.snapshot()
+        durations=span.durations_dict(),
+        registry=registry.snapshot(),
+        events=events,
     )
     return urls, seconds, metrics
 
@@ -120,6 +155,7 @@ def worker_main(
     it by reference, along with ``program_class`` (which must therefore
     be importable, not defined in a script body or closure).
     """
+    boot = time.perf_counter()
     try:
         program = program_class(opts, args)
     except Exception as exc:
@@ -131,15 +167,27 @@ def worker_main(
             }
         )
         return
+    profiler = profiler_from_opts(opts)
     result_queue.put({"type": "ready", "worker_id": worker_id})
+    boot_seconds: Any = None
+    first_task = True
     while True:
         descriptor = task_queue.get()
         if descriptor is None:
             return
+        if first_task:
+            first_task = False
+            boot_seconds = time.perf_counter() - boot
         dataset_id = descriptor["dataset_id"]
         task_index = int(descriptor["task_index"])
         try:
-            urls, seconds, metrics = run_task(program, descriptor)
+            urls, seconds, metrics = run_task(
+                program,
+                descriptor,
+                profiler=profiler,
+                boot_seconds=boot_seconds,
+            )
+            boot_seconds = None
         except Exception as exc:
             logger.warning(
                 "task (%s, %d) failed: %r", dataset_id, task_index, exc

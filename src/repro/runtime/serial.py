@@ -15,10 +15,40 @@ from typing import List, Optional, Sequence
 from repro.core.dataset import BaseDataset, ComputedData
 from repro.core.job import Backend, Job
 from repro.observability import Observability
+from repro.observability.events import span_phase_marks
+from repro.observability.profiling import profiler_from_opts
 from repro.runtime import taskrunner
 
 #: Phase name each operation kind's compute is attributed to.
 PHASE_FOR_KIND = {"map": "map", "reduce": "reduce", "reducemap": "reduce"}
+
+
+def _emit_task_events(events, span, dataset_id, task_index):
+    """Emit phase + committed events for a locally executed task.
+
+    Phase boundaries are re-stamped at the span's recorded mark times
+    (anchored at its first mark) so the timeline places them where they
+    actually happened, not when they were derived.
+    """
+    anchor = span.event_time("queued")
+    if anchor is None:
+        anchor = span.event_time("started")
+    if anchor is not None:
+        for boundary in span_phase_marks(span, include_fetch=False):
+            events.emit(
+                "task.phase",
+                t=anchor + boundary["offset"],
+                dataset_id=dataset_id,
+                task_index=task_index,
+                phase=boundary["phase"],
+                seconds=boundary["seconds"],
+            )
+    events.emit(
+        "task.committed",
+        t=span.event_time("committed"),
+        dataset_id=dataset_id,
+        task_index=task_index,
+    )
 
 
 class SerialBackend(Backend):
@@ -26,11 +56,13 @@ class SerialBackend(Backend):
 
     def __init__(self, program=None, outdir_default: Optional[str] = None):
         self.program = program
+        opts = getattr(program, "opts", None)
         #: --mrs-profile DIR: cProfile each task into DIR.
-        self.profile_dir = getattr(
-            getattr(program, "opts", None), "profile_dir", None
-        )
+        self.profile_dir = getattr(opts, "profile_dir", None)
         self.observability = Observability(role="serial")
+        self.observability.configure_from_opts(opts)
+        #: --mrs-profile-tasks N: keep the N slowest tasks' profiles.
+        self.profiler = profiler_from_opts(opts)
         self._queue: List[ComputedData] = []
         self._completed_tasks = {}
         #: Wall seconds per completed task, per dataset (same
@@ -40,10 +72,22 @@ class SerialBackend(Backend):
     def submit(self, dataset: ComputedData, job: Job) -> None:
         self._queue.append(dataset)
         self.observability.note_operation(dataset.id, dataset.operation.kind)
+        events = self.observability.events
+        if events is not None:
+            events.emit(
+                "dataset.submitted",
+                dataset_id=dataset.id,
+                kind=dataset.operation.kind,
+                tasks=len(list(dataset.task_indices())),
+            )
         for task_index in dataset.task_indices():
             self.observability.tracer.span(dataset.id, task_index).mark(
                 "queued"
             )
+            if events is not None:
+                events.emit(
+                    "task.queued", dataset_id=dataset.id, task_index=task_index
+                )
 
     def wait(
         self,
@@ -104,6 +148,7 @@ class SerialBackend(Backend):
                 f"{input_dataset.id} completed; submission order violated"
             )
         obs = self.observability
+        events = obs.events
         phase = PHASE_FOR_KIND.get(dataset.operation.kind, "map")
         try:
             for task_index in dataset.task_indices():
@@ -136,6 +181,13 @@ class SerialBackend(Backend):
                     factory = taskrunner.memory_bucket_factory(task_index)
                 started = time.perf_counter()
                 span.mark("started", started)
+                if events is not None:
+                    events.emit(
+                        "task.started",
+                        t=started,
+                        dataset_id=dataset.id,
+                        task_index=task_index,
+                    )
                 with obs.phases.measure(phase):
                     out_buckets = self._execute(
                         dataset, task_index, input_buckets, factory, span
@@ -150,13 +202,40 @@ class SerialBackend(Backend):
                 self._completed_tasks[dataset.id] = (
                     self._completed_tasks.get(dataset.id, 0) + 1
                 )
+                if events is not None:
+                    _emit_task_events(events, span, dataset.id, task_index)
             dataset.complete = True
+            if events is not None:
+                events.emit("dataset.complete", dataset_id=dataset.id)
         except taskrunner.TaskError as exc:
             obs.registry.counter("tasks.failed").inc()
             dataset.error = str(exc)
+            if events is not None:
+                events.emit(
+                    "task.failed", dataset_id=dataset.id, error=str(exc)
+                )
+                events.emit(
+                    "dataset.failed", dataset_id=dataset.id, error=str(exc)
+                )
 
     def _execute(self, dataset, task_index, input_buckets, factory, span=None):
-        """Run one task, optionally under cProfile (--mrs-profile)."""
+        """Run one task, optionally under cProfile (--mrs-profile or
+        --mrs-profile-tasks)."""
+        if self.profiler is not None and not self.profile_dir:
+            # Targeted profiling: keep only the N slowest tasks' dumps.
+            return self.profiler.run(
+                taskrunner.execute_task,
+                self.program,
+                dataset,
+                task_index,
+                input_buckets,
+                factory,
+                span=span,
+                profile_dataset_id=dataset.id,
+                profile_task_index=task_index,
+                profile_span=span,
+                profile_events=self.observability.events,
+            )
         if not self.profile_dir:
             return taskrunner.execute_task(
                 self.program, dataset, task_index, input_buckets, factory,

@@ -32,6 +32,8 @@ from repro.comm.rpc import RpcServer, rpc_client
 from repro.core.operations import Operation
 from repro.io.bucket import FileBucket
 from repro.observability import Observability
+from repro.observability.events import piggyback_events_from_span
+from repro.observability.profiling import profiler_from_opts
 from repro.observability.tracing import TaskSpan
 from repro.runtime import taskrunner
 
@@ -87,6 +89,10 @@ class Slave:
         self.quit_event = threading.Event()
         self.data_plane = getattr(opts, "data_plane", "file") or "file"
         self.observability = Observability(role="slave")
+        #: --mrs-profile-tasks N: keep the N slowest tasks' profiles.
+        self.profiler = profiler_from_opts(opts)
+        #: First completion ships the boot-to-first-task gauge once.
+        self._reported_startup = False
 
         self._owns_tmpdir = opts.tmpdir is None
         base_tmp = opts.tmpdir or tempfile.mkdtemp(prefix="mrs_slave_")
@@ -133,6 +139,9 @@ class Slave:
     def execute(self, descriptor: Dict[str, Any]) -> None:
         dataset_id = descriptor["dataset_id"]
         task_index = int(descriptor["task_index"])
+        # Slave startup is role-appropriately "boot to first task":
+        # seconds from process construction to the first task arriving.
+        self.observability.mark_startup_complete()
         started = time.perf_counter()
         # A fresh span per execution: its phase durations ride back to
         # the master on the done RPC (input fetch lands in "started",
@@ -167,9 +176,22 @@ class Slave:
                 key_serializer=descriptor.get("key_serializer"),
                 value_serializer=descriptor.get("value_serializer"),
             )
-            out_buckets = taskrunner.run_operation(
-                self.program, op, input_buckets, factory, span=span,
-            )
+            if self.profiler is None:
+                out_buckets = taskrunner.run_operation(
+                    self.program, op, input_buckets, factory, span=span,
+                )
+            else:
+                out_buckets = self.profiler.run(
+                    taskrunner.run_operation,
+                    self.program,
+                    op,
+                    input_buckets,
+                    factory,
+                    span=span,
+                    profile_dataset_id=dataset_id,
+                    profile_task_index=task_index,
+                    profile_span=span,
+                )
             urls: List[Tuple[int, str, bool]] = []
             for bucket in out_buckets:
                 assert isinstance(bucket, FileBucket)
@@ -186,9 +208,24 @@ class Slave:
             self.observability.registry.histogram("task.seconds").observe(
                 seconds
             )
+            # Per-task event batch (phase boundaries as offsets from
+            # task start); the master re-anchors them on its own clock.
+            event_batch = piggyback_events_from_span(span)
+            if span.profile_path:
+                event_batch.append(
+                    {
+                        "name": "task.profiled",
+                        "offset": span.total_seconds,
+                        "fields": {
+                            "path": span.profile_path,
+                            "seconds": seconds,
+                        },
+                    }
+                )
             metrics = protocol.make_task_metrics(
                 durations=span.durations_dict(),
                 registry=self._task_registry_snapshot(seconds),
+                events=event_batch,
             )
             self._master().done(
                 self.slave_id, dataset_id, task_index, urls, seconds, metrics
@@ -207,8 +244,7 @@ class Slave:
                 # will notice and exit.
                 pass
 
-    @staticmethod
-    def _task_registry_snapshot(seconds: float) -> Dict[str, Any]:
+    def _task_registry_snapshot(self, seconds: float) -> Dict[str, Any]:
         """A *per-task* registry snapshot for piggybacking.
 
         Deliberately built fresh for each completion rather than
@@ -221,6 +257,14 @@ class Slave:
         registry = MetricsRegistry()
         registry.counter("slave.tasks.completed").inc()
         registry.histogram("slave.task.seconds").observe(seconds)
+        if not self._reported_startup:
+            self._reported_startup = True
+            # Role-appropriate startup for a slave: boot-to-first-task
+            # latency, shipped once so the master's report can break
+            # down cluster spin-up per slave under ``sources``.
+            registry.gauge("slave.boot_to_first_task.seconds").set(
+                self.observability.startup_seconds or 0.0
+            )
         return registry.snapshot()
 
     def remove_data(self, dataset_id: str) -> None:

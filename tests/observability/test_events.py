@@ -1,0 +1,353 @@
+"""EventLog: ring buffer, crash-safe JSONL, and skew-tolerant merge."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.observability import Observability
+from repro.observability.events import (
+    DEFAULT_RING_SIZE,
+    EventLog,
+    piggyback_events_from_span,
+    read_jsonl,
+    span_phase_marks,
+)
+from repro.observability.tracing import TaskSpan
+
+
+class TestEmit:
+    def test_envelope_fields(self):
+        log = EventLog("master")
+        event = log.emit("task.started", dataset_id="ds1", task_index=3)
+        assert event["seq"] == 1
+        assert event["name"] == "task.started"
+        assert event["pid"] == os.getpid()
+        assert event["role"] == "master"
+        assert event["fields"] == {"dataset_id": "ds1", "task_index": 3}
+        assert isinstance(event["t"], float)
+
+    def test_no_fields_key_when_empty(self):
+        assert "fields" not in EventLog("serial").emit("heartbeat")
+
+    def test_seq_strictly_increasing(self):
+        log = EventLog("serial")
+        seqs = [log.emit("e")["seq"] for _ in range(10)]
+        assert seqs == list(range(1, 11))
+        assert log.last_seq == 10
+
+    def test_explicit_timestamp_override(self):
+        log = EventLog("serial")
+        assert log.emit("task.phase", t=12.5)["t"] == 12.5
+
+    def test_timestamps_monotonic(self):
+        log = EventLog("serial")
+        stamps = [log.emit("e")["t"] for _ in range(5)]
+        assert stamps == sorted(stamps)
+
+
+class TestRing:
+    def test_bounded_ring_drops_oldest(self):
+        log = EventLog("serial", ring_size=3)
+        for i in range(5):
+            log.emit("e", i=i)
+        snapshot = log.snapshot()
+        assert [e["seq"] for e in snapshot] == [3, 4, 5]
+        # Sequence numbers keep counting past evicted entries.
+        assert log.last_seq == 5
+
+    def test_unbounded_ring_keeps_everything(self):
+        log = EventLog("serial", ring_size=None)
+        for _ in range(2 * DEFAULT_RING_SIZE):
+            log.emit("e")
+        assert len(log) == 2 * DEFAULT_RING_SIZE
+
+    def test_snapshot_since_seq(self):
+        log = EventLog("serial")
+        for _ in range(6):
+            log.emit("e")
+        assert [e["seq"] for e in log.snapshot(since_seq=4)] == [5, 6]
+        assert log.snapshot(since_seq=99) == []
+
+
+class TestJsonlSink:
+    def test_round_trip_exactly_what_was_emitted(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog("master", path=path, ring_size=None)
+        emitted = [
+            log.emit("dataset.submitted", dataset_id="ds1"),
+            log.emit("task.started", dataset_id="ds1", task_index=0),
+            log.emit("task.committed", dataset_id="ds1", task_index=0),
+        ]
+        log.close()
+        assert read_jsonl(path) == emitted
+
+    def test_each_event_is_one_complete_line(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog("serial", path=path)
+        log.emit("a")
+        log.emit("b")
+        log.close()
+        with open(path) as f:
+            lines = f.read().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # every line parses on its own
+
+    def test_flushed_without_close(self, tmp_path):
+        """A crash (no close) loses nothing already emitted."""
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog("serial", path=path)
+        log.emit("survives")
+        # Deliberately no close(): the line must already be on disk.
+        assert [e["name"] for e in read_jsonl(path)] == ["survives"]
+        log.close()
+
+    def test_truncated_final_line_dropped(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog("serial", path=path)
+        log.emit("kept", i=1)
+        log.emit("kept", i=2)
+        log.close()
+        with open(path, "a") as f:
+            f.write('{"seq": 3, "t": 1.0, "name": "torn')  # crash mid-write
+        events = read_jsonl(path)
+        assert [e["fields"]["i"] for e in events] == [1, 2]
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as f:
+            f.write('{"seq": 1, "name": "ok", "t": 0.0}\n')
+            f.write("not json\n")
+            f.write('{"seq": 2, "name": "ok", "t": 1.0}\n')
+        with pytest.raises(ValueError, match="malformed event line"):
+            read_jsonl(path)
+
+    def test_empty_file_reads_empty(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        open(path, "w").close()
+        assert read_jsonl(path) == []
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "events.jsonl")
+        log = EventLog("serial", path=path)
+        log.emit("e")
+        log.close()
+        assert os.path.exists(path)
+
+    def test_two_processes_share_one_file(self, tmp_path):
+        """Appended interleaved writes from two logs (as slaves sharing
+        a tmpdir do): per-pid sequence order is still reconstructable."""
+        path = str(tmp_path / "events.jsonl")
+        a = EventLog("slave", path=path, pid=111)
+        b = EventLog("slave", path=path, pid=222)
+        a.emit("e")
+        b.emit("e")
+        a.emit("e")
+        b.emit("e")
+        a.close()
+        b.close()
+        events = read_jsonl(path)
+        assert len(events) == 4
+        for pid in (111, 222):
+            seqs = [e["seq"] for e in events if e["pid"] == pid]
+            assert seqs == sorted(seqs) == [1, 2]
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLog("serial", path=str(tmp_path / "e.jsonl"))
+        log.close()
+        log.close()
+
+
+class TestDisabledPath:
+    """With no consumer, the hot path is one attribute check."""
+
+    def test_events_none_by_default(self):
+        assert Observability().events is None
+
+    def test_configure_without_flags_stays_disabled(self):
+        class Opts:
+            event_log = None
+            trace = None
+
+        obs = Observability()
+        obs.configure_from_opts(Opts())
+        assert obs.events is None
+        obs.configure_from_opts(None)
+        assert obs.events is None
+
+    def test_configure_enables_on_either_flag(self, tmp_path):
+        class Opts:
+            event_log = str(tmp_path / "e.jsonl")
+            trace = None
+
+        obs = Observability()
+        obs.configure_from_opts(Opts())
+        assert obs.events is not None
+        obs.events.close()
+
+    def test_trace_flag_requests_unbounded_ring(self):
+        class Opts:
+            event_log = None
+            trace = "trace.json"
+
+        obs = Observability()
+        obs.configure_from_opts(Opts())
+        assert obs.events._ring.maxlen is None
+
+    def test_enable_events_idempotent(self):
+        obs = Observability()
+        assert obs.enable_events() is obs.enable_events()
+
+
+class TestEmitAnchored:
+    def make_batch(self):
+        return [
+            {"name": "task.phase", "offset": 0.1,
+             "fields": {"phase": "fetch", "seconds": 0.1}},
+            {"name": "task.phase", "offset": 0.5,
+             "fields": {"phase": "map", "seconds": 0.4}},
+        ]
+
+    def test_offsets_reanchored_on_local_clock(self):
+        log = EventLog("master")
+        merged = log.emit_anchored(self.make_batch(), anchor_t=100.0,
+                                   role="slave")
+        assert merged == 2
+        events = log.snapshot()
+        assert [e["t"] for e in events] == [100.1, 100.5]
+        assert [e["seq"] for e in events] == [1, 2]
+
+    def test_default_pid_is_local_log_pid(self):
+        """Merged events land on the coordinator's trace lane: the
+        local pid, not the remote one (remote clocks are skewed; remote
+        pids would split one worker's task across two lanes)."""
+        log = EventLog("master", pid=777)
+        log.emit_anchored(self.make_batch(), anchor_t=0.0, role="slave")
+        assert all(e["pid"] == 777 for e in log.snapshot())
+
+    def test_explicit_pid_honored(self):
+        log = EventLog("master", pid=777)
+        log.emit_anchored(self.make_batch(), anchor_t=0.0, role="slave",
+                          pid=555)
+        assert all(e["pid"] == 555 for e in log.snapshot())
+
+    def test_extra_fields_attached(self):
+        log = EventLog("master")
+        log.emit_anchored(self.make_batch(), anchor_t=0.0, role="slave",
+                          dataset_id="ds1", task_index=2, slave=1)
+        for event in log.snapshot():
+            assert event["fields"]["dataset_id"] == "ds1"
+            assert event["fields"]["task_index"] == 2
+            assert event["fields"]["slave"] == 1
+            assert event["role"] == "slave"
+
+    def test_garbage_entries_skipped(self):
+        log = EventLog("master")
+        batch = [
+            {"offset": 0.1},  # no name
+            {"name": "ok", "offset": "not-a-number"},
+            {"name": "ok", "offset": 0.2},
+        ]
+        assert log.emit_anchored(batch, anchor_t=0.0, role="slave") == 1
+
+    def test_merged_events_reach_the_jsonl_sink(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog("master", path=path)
+        log.emit_anchored(self.make_batch(), anchor_t=5.0, role="worker")
+        log.close()
+        assert [e["t"] for e in read_jsonl(path)] == [5.1, 5.5]
+
+
+class TestConcurrentEmission:
+    def test_parallel_emitters_never_lose_or_duplicate_seq(self):
+        log = EventLog("serial", ring_size=None)
+        n_threads, per_thread = 8, 250
+
+        def hammer():
+            for _ in range(per_thread):
+                log.emit("e")
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = sorted(e["seq"] for e in log.snapshot())
+        assert seqs == list(range(1, n_threads * per_thread + 1))
+
+    def test_parallel_emitters_with_jsonl_sink(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog("serial", path=path, ring_size=None)
+
+        def hammer():
+            for _ in range(100):
+                log.emit("e")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        events = read_jsonl(path)
+        assert sorted(e["seq"] for e in events) == list(range(1, 401))
+
+
+def make_span(include_all_marks=True):
+    span = TaskSpan("ds1", 0)
+    span.mark("queued", timestamp=10.0)
+    span.mark("started", timestamp=10.2)
+    if include_all_marks:
+        span.mark("map", timestamp=10.7)
+        span.mark("serialize", timestamp=10.8)
+        span.mark("transfer", timestamp=10.9)
+    span.mark("committed", timestamp=11.0)
+    return span
+
+
+class TestSpanPhaseMarks:
+    def test_executor_view_includes_fetch(self):
+        phases = span_phase_marks(make_span(), include_fetch=True)
+        assert [p["phase"] for p in phases] == [
+            "fetch", "map", "serialize", "transfer",
+        ]
+        fetch = phases[0]
+        assert fetch["offset"] == pytest.approx(0.2)
+        assert fetch["seconds"] == pytest.approx(0.2)
+
+    def test_coordinator_view_skips_fetch(self):
+        """queued->started on a coordinator is scheduler wait, not work."""
+        phases = span_phase_marks(make_span(), include_fetch=False)
+        assert [p["phase"] for p in phases] == ["map", "serialize", "transfer"]
+        assert phases[0]["seconds"] == pytest.approx(0.5)
+
+    def test_offsets_relative_to_first_mark(self):
+        phases = span_phase_marks(make_span(), include_fetch=True)
+        assert phases[-1]["offset"] == pytest.approx(0.9)
+
+    def test_span_without_phase_marks_yields_fetch_only(self):
+        phases = span_phase_marks(
+            make_span(include_all_marks=False), include_fetch=True
+        )
+        assert [p["phase"] for p in phases] == ["fetch"]
+
+
+class TestPiggyback:
+    def test_batch_shape(self):
+        batch = piggyback_events_from_span(make_span())
+        assert all(e["name"] == "task.phase" for e in batch)
+        assert [e["fields"]["phase"] for e in batch] == [
+            "fetch", "map", "serialize", "transfer",
+        ]
+
+    def test_round_trip_through_emit_anchored(self):
+        """The slave->master path end to end: offsets from the remote
+        span re-anchor at the master's own dispatch timestamp."""
+        batch = piggyback_events_from_span(make_span())
+        master = EventLog("master")
+        master.emit_anchored(batch, anchor_t=500.0, role="slave",
+                             dataset_id="ds1", task_index=0)
+        times = [e["t"] for e in master.snapshot()]
+        assert times == pytest.approx([500.2, 500.7, 500.8, 500.9])

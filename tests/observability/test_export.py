@@ -54,6 +54,32 @@ class TestRoundTrip:
             export.parse_json("[1, 2, 3]")
 
 
+class TestVersionValidation:
+    def test_current_version_accepted(self):
+        report = sample_report()
+        assert report["version"] == export.REPORT_VERSION
+        assert export.parse_json(export.render_json(report)) == report
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            export.parse_json('{"role": "serial"}')
+
+    @pytest.mark.parametrize("version", ['"1"', "1.5", "null", "true"])
+    def test_non_integer_version_rejected(self, version):
+        with pytest.raises(ValueError, match="version"):
+            export.parse_json('{"version": %s}' % version)
+
+    def test_future_version_rejected_with_clear_error(self):
+        future = export.REPORT_VERSION + 1
+        with pytest.raises(ValueError, match=f"version {future} is newer"):
+            export.parse_json('{"version": %d}' % future)
+
+    def test_older_version_still_parses(self):
+        """Version 0 never shipped, but the reader's contract is
+        'reject only *newer*': old reports must stay readable."""
+        assert export.parse_json('{"version": 0}')["version"] == 0
+
+
 class TestReaderHelpers:
     def test_startup_seconds(self):
         report = sample_report()

@@ -1,0 +1,124 @@
+"""The overhead budget gate (benchmarks/bench_overhead.py).
+
+The gate's job is to fail CI when startup or per-operation overhead
+regresses past the checked-in budget; these tests prove it actually
+fails — on a deliberately-injected regression and on a tightened
+budget — and passes the real measurements on this machine.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+BENCHMARKS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks"
+)
+sys.path.insert(0, BENCHMARKS_DIR)
+
+import bench_overhead  # noqa: E402
+
+
+class TestCheckBudget:
+    BUDGET = {
+        "startup_seconds": 2.0,
+        "overhead_seconds_per_operation": 0.3,
+        "event_overhead_fraction": 0.75,
+    }
+
+    def ok_measurement(self):
+        return {
+            "startup_seconds": 0.01,
+            "overhead_seconds_per_operation": 0.02,
+            "event_overhead_fraction": 0.05,
+        }
+
+    def test_within_budget_passes(self):
+        assert bench_overhead.check_budget(self.ok_measurement(),
+                                           self.BUDGET) == []
+
+    @pytest.mark.parametrize("metric,regressed", [
+        ("startup_seconds", 30.0),          # a Hadoop-shaped startup
+        ("overhead_seconds_per_operation", 5.0),  # accidental sleep
+        ("event_overhead_fraction", 3.0),   # hot-path event emission
+    ])
+    def test_injected_regression_fails(self, metric, regressed):
+        measured = self.ok_measurement()
+        measured[metric] = regressed
+        violations = bench_overhead.check_budget(measured, self.BUDGET)
+        assert len(violations) == 1
+        assert violations[0].startswith(metric + ":")
+
+    def test_missing_budget_key_is_not_gated(self):
+        measured = self.ok_measurement()
+        measured["startup_seconds"] = 999.0
+        budget = dict(self.BUDGET)
+        del budget["startup_seconds"]
+        assert bench_overhead.check_budget(measured, budget) == []
+
+    def test_every_gated_metric_has_a_checked_in_budget(self):
+        budget = bench_overhead.load_budget(bench_overhead.DEFAULT_BUDGET)
+        for key in bench_overhead.GATED:
+            assert key in budget, f"{key} missing from overhead_budget.json"
+            assert budget[key] > 0
+
+    def test_load_budget_rejects_shapeless_file(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        with open(path, "w") as f:
+            json.dump({"no": "budgets"}, f)
+        with pytest.raises(ValueError):
+            bench_overhead.load_budget(path)
+
+
+class TestGateEndToEnd:
+    """main() on a real (tiny) job: exit 0 in budget, exit 1 past it."""
+
+    def run_gate(self, tmp_path, budget):
+        budget_path = str(tmp_path / "budget.json")
+        with open(budget_path, "w") as f:
+            json.dump({"version": 1, "budgets": budget}, f)
+        out_path = str(tmp_path / "BENCH_overhead.json")
+        argv = [
+            "--smoke", "--repeat", "1",
+            "--budget", budget_path, "--out", out_path,
+        ]
+        status = bench_overhead.main(argv)
+        with open(out_path) as f:
+            report = json.load(f)
+        return status, report
+
+    def test_passes_checked_in_style_budget(self, tmp_path, capsys):
+        status, report = self.run_gate(tmp_path, {
+            "startup_seconds": 2.0,
+            "overhead_seconds_per_operation": 0.3,
+        })
+        assert status == 0
+        rows = {row["metric"]: row for row in report["rows"]}
+        assert rows["startup_seconds"]["within"] == "yes"
+        assert rows["overhead_seconds_per_operation"]["within"] == "yes"
+
+    def test_fails_on_regression_past_budget(self, tmp_path, capsys):
+        """An impossible budget stands in for a deliberate regression:
+        any measurable per-operation overhead now exceeds it."""
+        status, report = self.run_gate(tmp_path, {
+            "overhead_seconds_per_operation": 1e-9,
+        })
+        assert status == 1
+        rows = {row["metric"]: row for row in report["rows"]}
+        assert rows["overhead_seconds_per_operation"]["within"] == "no"
+        assert any("BUDGET VIOLATION" in note for note in report["notes"])
+        assert "FAIL:" in capsys.readouterr().err
+
+    def test_no_gate_reports_but_never_fails(self, tmp_path):
+        # --no-gate: same impossible budget, exit 0.
+        budget_path = str(tmp_path / "budget.json")
+        with open(budget_path, "w") as f:
+            json.dump({"version": 1, "budgets":
+                       {"overhead_seconds_per_operation": 1e-9}}, f)
+        out_path = str(tmp_path / "BENCH_overhead.json")
+        status = bench_overhead.main([
+            "--smoke", "--repeat", "1", "--no-gate",
+            "--budget", budget_path, "--out", out_path,
+        ])
+        assert status == 0
