@@ -1,0 +1,325 @@
+"""Shuffle transfer-plane microbenchmark: seed fetch path vs pooled
+prefetch vs compressed.
+
+A reduce task's remote-input fetch is exercised end to end against a
+live :class:`~repro.comm.dataserver.DataServer` whose ``latency_seconds``
+knob emulates cross-node RTT on loopback: N key-sorted ``.mrsb`` map
+spills are served over HTTP, merged, grouped, summed, and written to a
+reduce output file.
+
+Three fetch paths run over the same buckets:
+
+* ``seed`` — a frozen copy of the pre-optimization path: one
+  ``urllib.request`` connection per bucket, sequential, whole payload
+  materialized, every key *re-encoded* for the merge, then
+  materialize-and-sort.
+* ``pooled`` — the live transfer plane: keep-alive pooled connections,
+  parallel prefetch threads bounded by a byte budget, records streamed
+  straight off the socket with canonical key bytes sliced from the wire.
+* ``compressed`` — the pooled path with gzip negotiated (chunked
+  streaming responses, decompressed on the fly).
+
+The run verifies the reduce output file is byte-identical across all
+three paths, then reports wall seconds, records/second, speedup over
+the seed path, and the transfer plane's own counters (wire bytes,
+connection reuse, prefetch stall).  The stall fraction is gated against
+the ``fetch_stall_fraction`` budget in ``overhead_budget.json``.
+Results land in ``BENCH_transfer.json`` (see ``--out``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_transfer.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.comm import transfer
+from repro.comm.dataserver import DataServer
+from repro.io import formats
+from repro.io.bucket import (
+    Bucket,
+    FileBucket,
+    group_sorted_records,
+    merge_sorted_records,
+)
+from repro.io.serializers import get_serializer
+from reporting import fmt_count, fmt_seconds, print_table, write_json_table
+
+KeyValue = Tuple[Any, Any]
+
+KEY_SERIALIZER = "str"
+VALUE_SERIALIZER = "int"
+
+
+# ----------------------------------------------------------------------
+# Seed fetch path — a frozen copy of the pre-optimization HTTP fetch.
+# Deliberately duplicated here (not imported) so the baseline stays
+# fixed as the live code evolves.
+# ----------------------------------------------------------------------
+
+
+def _seed_fetch_http(url: str) -> List[KeyValue]:
+    """Verbatim pre-PR ``_fetch_http``: one fresh connection, the whole
+    body materialized, then decoded from an in-memory buffer."""
+    reader_cls = formats.reader_for(url)
+    last_error: Optional[Exception] = None
+    for attempt in range(3):
+        if attempt:
+            time.sleep(0.2 * attempt)
+        try:
+            with urllib.request.urlopen(url, timeout=30.0) as response:
+                payload = response.read()
+            reader = reader_cls(
+                io.BytesIO(payload),
+                key_serializer=get_serializer(KEY_SERIALIZER),
+                value_serializer=get_serializer(VALUE_SERIALIZER),
+            )
+            return list(reader)
+        except Exception as exc:
+            last_error = exc
+    raise RuntimeError(f"failed to fetch {url}: {last_error}")
+
+
+def _seed_key_to_bytes(key: str) -> bytes:
+    # The pre-PR reduce merge re-encoded every fetched key.
+    return b"s:" + key.encode("utf-8")
+
+
+def seed_reduce(urls: List[str], out_path: str) -> str:
+    """Sequential whole-payload fetches, re-encode, sort, merge, reduce."""
+    streams = []
+    for url in urls:
+        records = [
+            (_seed_key_to_bytes(key), (key, value))
+            for key, value in _seed_fetch_http(url)
+        ]
+        records.sort(key=lambda record: record[0])
+        streams.append(iter(records))
+    return _write_reduce_output(merge_sorted_records(streams), out_path)
+
+
+# ----------------------------------------------------------------------
+# Live transfer plane
+# ----------------------------------------------------------------------
+
+
+def plane_reduce(urls: List[str], out_path: str, compression: str) -> str:
+    """The live path: pooled connections + parallel prefetch + streaming."""
+    opts_like = type(
+        "Opts",
+        (),
+        {
+            "fetch_threads": 4,
+            "fetch_buffer_mb": 32,
+            "fetch_compression": compression,
+        },
+    )()
+    transfer.configure(opts_like)
+    buckets = []
+    for source, url in enumerate(urls):
+        bucket = Bucket(source=source, split=0, url=url)
+        bucket.key_serializer = KEY_SERIALIZER
+        bucket.value_serializer = VALUE_SERIALIZER
+        bucket.url_sorted = True
+        buckets.append(bucket)
+    streams, prefetcher = transfer.bucket_record_streams(buckets)
+    try:
+        return _write_reduce_output(merge_sorted_records(streams), out_path)
+    finally:
+        if prefetcher is not None:
+            prefetcher.close()
+
+
+def _write_reduce_output(merged, out_path: str) -> str:
+    out = FileBucket(
+        out_path,
+        split=0,
+        key_serializer=KEY_SERIALIZER,
+        value_serializer=VALUE_SERIALIZER,
+        retain=False,
+    )
+    for keybytes, key, values in group_sorted_records(merged):
+        out.addpair((key, sum(values)), keybytes)
+    out.close_writer()
+    return out_path
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def make_buckets(
+    tmpdir: str, n_buckets: int, rows: int
+) -> List[str]:
+    """Write N key-sorted map-spill files sharing one key space, so the
+    reduce merge genuinely interleaves streams."""
+    paths = []
+    for b in range(n_buckets):
+        path = os.path.join(tmpdir, f"spill_{b}.mrsb")
+        bucket = FileBucket(
+            path,
+            source=b,
+            split=0,
+            key_serializer=KEY_SERIALIZER,
+            value_serializer=VALUE_SERIALIZER,
+            retain=False,
+        )
+        for i in range(rows):
+            bucket.addpair((f"w{i * n_buckets + b:08d}", 1))
+        bucket.open_writer()
+        bucket.close_writer()
+        if not bucket.url_sorted:
+            raise SystemExit(f"spill {path} unexpectedly unsorted")
+        paths.append(path)
+    return paths
+
+
+def load_stall_budget() -> float:
+    path = os.path.join(os.path.dirname(__file__), "overhead_budget.json")
+    with open(path, "r", encoding="utf-8") as f:
+        return float(json.load(f)["budgets"]["fetch_stall_fraction"])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--buckets", type=int, default=12)
+    parser.add_argument("--rows", type=int, default=6000)
+    parser.add_argument(
+        "--latency-ms",
+        type=float,
+        default=15.0,
+        help="emulated per-request RTT on the data server",
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: verifies output identity and report "
+        "plumbing, not a meaningful timing",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_transfer.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.buckets, args.rows, args.repeat = 4, 400, 1
+        args.latency_ms = 5.0
+
+    tmpdir = tempfile.mkdtemp(prefix="bench_transfer_")
+    outdir = tempfile.mkdtemp(prefix="bench_transfer_out_")
+    n_records = args.buckets * args.rows
+    stall_budget = load_stall_budget()
+    try:
+        paths = make_buckets(tmpdir, args.buckets, args.rows)
+        with DataServer(
+            tmpdir, latency_seconds=args.latency_ms / 1000.0
+        ) as server:
+            urls = [server.url_for(path) for path in paths]
+            modes: List[Tuple[str, Callable[[str], str]]] = [
+                ("seed", lambda out: seed_reduce(urls, out)),
+                ("pooled", lambda out: plane_reduce(urls, out, "off")),
+                ("compressed", lambda out: plane_reduce(urls, out, "gzip")),
+            ]
+            # Verification pass: the reduce output must be byte-identical
+            # whichever fetch path produced it.
+            digests = {}
+            for name, fn in modes:
+                out_path = fn(os.path.join(outdir, f"verify_{name}.mrsb"))
+                with open(out_path, "rb") as f:
+                    digests[name] = f.read()
+            if len({digest for digest in digests.values()}) != 1:
+                raise SystemExit(
+                    "OUTPUT MISMATCH: reduce outputs differ across "
+                    f"fetch modes {sorted(digests)}"
+                )
+
+            # Timing: interleaved best-of-N so load drift hits every
+            # mode equally; transfer counters snapshot around the
+            # pooled mode's best round.
+            best = {name: float("inf") for name, _ in modes}
+            counters: Dict[str, float] = {}
+            for round_index in range(args.repeat):
+                for name, fn in modes:
+                    before = transfer.STATS.totals()
+                    started = time.perf_counter()
+                    fn(os.path.join(outdir, f"run_{name}.mrsb"))
+                    elapsed = time.perf_counter() - started
+                    if name == "pooled" and elapsed < best[name]:
+                        counters = transfer.STATS.delta(before)
+                    best[name] = min(best[name], elapsed)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+        shutil.rmtree(outdir, ignore_errors=True)
+
+    speedup = best["seed"] / best["pooled"]
+    stall_fraction = counters.get("fetch.stall.seconds", 0.0) / best["pooled"]
+    headers = ["fetch path", "records", "seconds", "records_per_s", "speedup"]
+    rows = [
+        [
+            name,
+            n_records,
+            round(best[name], 4),
+            round(n_records / best[name]),
+            round(best["seed"] / best[name], 2),
+        ]
+        for name, _ in modes
+    ]
+    notes = [
+        f"workload: {args.buckets} remote buckets x {args.rows} records, "
+        f"{args.latency_ms:g} ms emulated RTT, best of {args.repeat}",
+        "reduce output verified byte-identical across all three paths",
+        "pooled-path counters (best round): "
+        + ", ".join(
+            f"{name}={value:g}" for name, value in sorted(counters.items())
+        ),
+        f"prefetch stall fraction {stall_fraction:.3f} "
+        f"(budget {stall_budget:g})",
+    ]
+    if args.smoke:
+        notes.append("smoke run: workload too small for a meaningful timing")
+    print_table(
+        "Shuffle transfer plane: seed vs pooled vs compressed",
+        headers,
+        [
+            [r[0], fmt_count(r[1]), fmt_seconds(r[2]), fmt_count(r[3]), r[4]]
+            for r in rows
+        ],
+        notes,
+    )
+    write_json_table(
+        os.path.abspath(args.out),
+        "Shuffle transfer plane: seed vs pooled vs compressed",
+        headers,
+        rows,
+        notes,
+    )
+    print(f"wrote {os.path.abspath(args.out)}")
+    if stall_fraction > stall_budget:
+        print(
+            f"FAIL: prefetch stall fraction {stall_fraction:.3f} exceeds "
+            f"budget {stall_budget:g}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,10 +7,21 @@ shared filesystem (``file:`` URLs) or direct slave-to-slave transfer
 served by a built-in HTTP server (:mod:`repro.comm.dataserver`).
 Event wakeups use pipes (:mod:`repro.comm.wakeup`), mirroring the
 paper's "writing a single byte to a pipe wakes up poll".
+
+Bucket *fetches* ride the transfer plane (:mod:`repro.comm.transfer`):
+pooled keep-alive connections, parallel prefetch, and streaming,
+optionally compressed responses.
 """
 
 from repro.comm.rpc import RpcServer, rpc_client, parse_address, format_address
 from repro.comm.dataserver import DataServer
+from repro.comm.transfer import (
+    ConnectionPool,
+    FetchError,
+    FetchPolicy,
+    Prefetcher,
+    TransferConfig,
+)
 from repro.comm.wakeup import Wakeup
 
 __all__ = [
@@ -19,5 +30,10 @@ __all__ = [
     "parse_address",
     "format_address",
     "DataServer",
+    "ConnectionPool",
+    "FetchError",
+    "FetchPolicy",
+    "Prefetcher",
+    "TransferConfig",
     "Wakeup",
 ]

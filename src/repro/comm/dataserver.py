@@ -22,8 +22,17 @@ import http.server
 import json
 import os
 import threading
+import time
 import urllib.parse
+import zlib
 from typing import Any, Callable, Dict, Optional
+
+#: Streaming read/compress granularity for bucket responses.
+_STREAM_CHUNK = 256 * 1024
+
+#: Responses below this size skip compression even when the client
+#: negotiated gzip: header overhead would eat the saving.
+GZIP_MIN_BYTES = 1024
 
 
 class _BucketRequestHandler(http.server.BaseHTTPRequestHandler):
@@ -33,33 +42,102 @@ class _BucketRequestHandler(http.server.BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
 
-    def do_GET(self) -> None:
+    def _resolve(self) -> Optional[str]:
+        """Map the request path to a served file; sends the error
+        response (403 escape / 404 missing) and returns None on
+        failure.  Quoting is undone *before* the realpath containment
+        check, so encoded traversals (``%2e%2e``) cannot escape."""
         root = self.server.root_dir  # type: ignore[attr-defined]
         path = urllib.parse.unquote(urllib.parse.urlparse(self.path).path)
         full = os.path.realpath(os.path.join(root, path.lstrip("/")))
         # Never serve anything outside the export root.
         if not (full == root or full.startswith(root + os.sep)):
             self.send_error(403, "path escapes export root")
-            return
+            return None
         if not os.path.isfile(full):
             self.send_error(404, "no such bucket file")
+            return None
+        return full
+
+    def _client_accepts_gzip(self) -> bool:
+        accept = self.headers.get("Accept-Encoding", "")
+        return any(
+            token.split(";")[0].strip().lower() == "gzip"
+            for token in accept.split(",")
+        )
+
+    def do_GET(self) -> None:
+        full = self._resolve()
+        if full is None:
             return
+        latency = getattr(self.server, "latency_seconds", 0.0)
+        if latency:
+            time.sleep(latency)
         try:
-            with open(full, "rb") as f:
-                payload = f.read()
+            size = os.stat(full).st_size
+            f = open(full, "rb")
         except OSError as exc:
             self.send_error(500, f"read failed: {exc}")
             return
-        self.send_response(200)
-        self.send_header("Content-Type", "application/octet-stream")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+        with f:
+            compress = (
+                getattr(self.server, "compression", True)
+                and size >= GZIP_MIN_BYTES
+                and self._client_accepts_gzip()
+            )
+            self.send_response(200)
+            self.send_header("Content-Type", "application/octet-stream")
+            if compress:
+                # Compressed length is unknowable up front without
+                # buffering the whole body, so stream chunked instead
+                # (HTTP/1.1 keep-alive survives either framing).
+                self.send_header("Content-Encoding", "gzip")
+                self.send_header("Transfer-Encoding", "chunked")
+                self.end_headers()
+                compressor = zlib.compressobj(wbits=16 + zlib.MAX_WBITS)
+                while True:
+                    chunk = f.read(_STREAM_CHUNK)
+                    if not chunk:
+                        break
+                    data = compressor.compress(chunk)
+                    if data:
+                        self._write_chunk(data)
+                tail = compressor.flush()
+                if tail:
+                    self._write_chunk(tail)
+                self.wfile.write(b"0\r\n\r\n")
+            else:
+                # Identity: stream in bounded chunks with the length
+                # from stat — the file never lands in memory whole.
+                self.send_header("Content-Length", str(size))
+                self.end_headers()
+                remaining = size
+                while remaining > 0:
+                    chunk = f.read(min(_STREAM_CHUNK, remaining))
+                    if not chunk:
+                        break
+                    self.wfile.write(chunk)
+                    remaining -= len(chunk)
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
 
     def do_HEAD(self) -> None:
-        # Used by health checks.
+        # Reports real existence and identity length for the concrete
+        # path, so readers can probe a bucket before fetching it.
+        full = self._resolve()
+        if full is None:
+            return
+        try:
+            size = os.stat(full).st_size
+        except OSError as exc:
+            self.send_error(500, f"stat failed: {exc}")
+            return
         self.send_response(200)
-        self.send_header("Content-Length", "0")
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(size))
         self.end_headers()
 
 
@@ -69,12 +147,29 @@ class _ThreadingHTTPServer(http.server.ThreadingHTTPServer):
 
 
 class DataServer:
-    """Serve bucket files under ``root_dir`` over HTTP."""
+    """Serve bucket files under ``root_dir`` over HTTP.
 
-    def __init__(self, root_dir: str, host: str = "127.0.0.1", port: int = 0):
+    Responses stream in bounded chunks (identity with ``Content-Length``
+    from ``stat``, or chunked gzip when the client negotiates it via
+    ``Accept-Encoding`` and ``compression`` is enabled).
+    ``latency_seconds`` injects a per-request delay before the body —
+    an emulation knob for benchmarks/tests exercising cross-node RTT
+    on a loopback server; production servers leave it at 0.
+    """
+
+    def __init__(
+        self,
+        root_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        compression: bool = True,
+        latency_seconds: float = 0.0,
+    ):
         self.root_dir = os.path.realpath(root_dir)
         self._server = _ThreadingHTTPServer((host, port), _BucketRequestHandler)
         self._server.root_dir = self.root_dir  # type: ignore[attr-defined]
+        self._server.compression = compression  # type: ignore[attr-defined]
+        self._server.latency_seconds = latency_seconds  # type: ignore[attr-defined]
         self.host, self.port = self._server.server_address[:2]
         self._thread = threading.Thread(
             target=self._server.serve_forever,

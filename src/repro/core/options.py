@@ -198,6 +198,49 @@ def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
         "spans and announced as task.profiled events)",
     )
     group.add_argument(
+        "--mrs-fetch-threads",
+        dest="fetch_threads",
+        type=int,
+        default=4,
+        metavar="N",
+        help="parallel bucket-fetch threads per reduce task "
+        "(0 = sequential fetches, no prefetch pipeline)",
+    )
+    group.add_argument(
+        "--mrs-fetch-buffer-mb",
+        dest="fetch_buffer_mb",
+        type=int,
+        default=32,
+        metavar="MB",
+        help="byte budget shared by in-flight prefetched bucket data "
+        "(bounds reduce-side fetch memory)",
+    )
+    group.add_argument(
+        "--mrs-fetch-timeout",
+        dest="fetch_timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="socket timeout for each bucket-fetch attempt",
+    )
+    group.add_argument(
+        "--mrs-fetch-retries",
+        dest="fetch_retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per bucket fetch before the task fails "
+        "(mid-stream failures resume at the last delivered record)",
+    )
+    group.add_argument(
+        "--mrs-fetch-compression",
+        dest="fetch_compression",
+        choices=("auto", "gzip", "off"),
+        default="auto",
+        help="negotiate gzip bucket transfers: 'auto' compresses "
+        "except over loopback, 'gzip' always asks, 'off' never does",
+    )
+    group.add_argument(
         "--mrs-timeout",
         dest="timeout",
         type=float,

@@ -535,13 +535,31 @@ def bucket_sorted_records(
     """
     if len(bucket) or not bucket.url:
         return bucket.sorted_records()
-    from repro.io import urls as url_io
-
     ks = key_serializer if key_serializer is not None else bucket.key_serializer
     vs = value_serializer if value_serializer is not None else bucket.value_serializer
-    if bucket.url_sorted:
-        return url_io.iter_records(bucket.url, ks, vs)
-    records = list(url_io.iter_records(bucket.url, ks, vs))
+    return sorted_records_from_url(bucket.url, bucket.url_sorted, ks, vs)
+
+
+def sorted_records_from_url(
+    url: str,
+    url_sorted: bool,
+    key_serializer: Optional[str] = None,
+    value_serializer: Optional[str] = None,
+) -> Iterator[Record]:
+    """Key-sorted decorated records behind a bucket URL.
+
+    The streaming core of :func:`bucket_sorted_records`, also used by
+    the transfer plane's prefetch threads
+    (:class:`repro.comm.transfer.Prefetcher`): a persisted copy known
+    to be key-sorted streams straight off the file/socket with O(1)
+    memory; otherwise the records are materialized and sorted once,
+    with each key encoded exactly once by the format layer.
+    """
+    from repro.io import urls as url_io
+
+    if url_sorted:
+        return url_io.iter_records(url, key_serializer, value_serializer)
+    records = list(url_io.iter_records(url, key_serializer, value_serializer))
     records.sort(key=record_key)
     return iter(records)
 

@@ -5,30 +5,35 @@ at any mounted filesystem (NFS, Lustre, local disk); ``http://`` URLs
 point at a slave's built-in data server for direct peer transfer.  A
 reduce task resolves each input URL with :func:`fetch_pairs` without
 caring which transport backs it.
+
+HTTP fetches ride the transfer plane (:mod:`repro.comm.transfer`):
+pooled keep-alive connections, one configurable retry/timeout policy,
+negotiated compression, and response bodies streamed straight into the
+format readers — so remote buckets take the same canonical-key-bytes
+fast path as local files instead of being materialized and re-encoded.
 """
 
 from __future__ import annotations
 
-import io
-import time
 import urllib.parse
 import urllib.request
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.comm.transfer import (  # noqa: F401  (FetchError re-exported)
+    FetchError,
+    FetchPolicy,
+    fetch_pair_stream,
+    fetch_record_stream,
+)
 from repro.io import formats
 
 KeyValue = Tuple[Any, Any]
 
-# Transient-fetch retry policy.  A slave may momentarily be unable to
-# serve (restarting its data server, file still being renamed into
-# place); total failure is escalated to the master, which reruns the
-# producing task.
-FETCH_RETRIES = 3
-FETCH_RETRY_DELAY = 0.2
-
-
-class FetchError(Exception):
-    """A bucket URL could not be fetched after retries."""
+#: Legacy names for the default transient-fetch retry policy; the live
+#: policy object is :class:`repro.comm.transfer.FetchPolicy` (env/
+#: ``--mrs-fetch-*`` configurable) and is shared by every HTTP fetch.
+FETCH_RETRIES = FetchPolicy().retries
+FETCH_RETRY_DELAY = FetchPolicy().retry_delay
 
 
 def parse(url: str) -> urllib.parse.ParseResult:
@@ -79,7 +84,7 @@ def fetch_pairs(
         with open(path, "rb") as f:
             return list(_make_reader(reader_cls, f, key_serializer, value_serializer))
     if parsed.scheme in ("http", "https"):
-        return _fetch_http(url, key_serializer, value_serializer)
+        return list(fetch_pair_stream(url, key_serializer, value_serializer))
     raise ValueError(f"unsupported url scheme {parsed.scheme!r} in {url}")
 
 
@@ -90,10 +95,11 @@ def iter_pairs(
 ) -> Iterator[KeyValue]:
     """Iterate the pairs behind ``url`` without materializing a list.
 
-    ``file:`` URLs stream record by record straight off the reader, so
-    a consumer that merges or filters never holds the whole bucket in
-    memory.  HTTP fetches are materialized first (the retry policy
-    needs the whole payload before any record is surfaced).
+    ``file:`` URLs stream record by record straight off the reader;
+    HTTP URLs stream straight off the socket through the transfer
+    plane, which resumes a mid-stream failure by refetching and
+    skipping already-delivered records — so a consumer that merges or
+    filters never holds the whole bucket in memory on either transport.
     """
     parsed = parse(url)
     if parsed.scheme in ("", "file"):
@@ -103,7 +109,7 @@ def iter_pairs(
             yield from _make_reader(reader_cls, f, key_serializer, value_serializer)
         return
     if parsed.scheme in ("http", "https"):
-        yield from _fetch_http(url, key_serializer, value_serializer)
+        yield from fetch_pair_stream(url, key_serializer, value_serializer)
         return
     raise ValueError(f"unsupported url scheme {parsed.scheme!r} in {url}")
 
@@ -118,8 +124,11 @@ def iter_records(
     Like :func:`iter_pairs`, but each pair arrives with its canonical
     key bytes.  Binary readers rebuild the bytes straight from the wire
     encoding when the key serializer is canonical (see
-    ``Serializer.canonical_key_tag``); every other source re-encodes
-    each key exactly once here.
+    ``Serializer.canonical_key_tag``) — over *both* transports: remote
+    buckets feed ``BinReader.iter_records`` directly off the socket, so
+    canonical bytes are sliced from the wire without a detour through a
+    materialized pair list.  Every other source re-encodes each key
+    exactly once here.
     """
     parsed = parse(url)
     if parsed.scheme in ("", "file"):
@@ -136,33 +145,7 @@ def iter_records(
             for pair in reader:
                 yield key_to_bytes(pair[0]), pair
         return
-    from repro.util.hashing import key_to_bytes
-
-    for pair in iter_pairs(url, key_serializer, value_serializer):
-        yield key_to_bytes(pair[0]), pair
-
-
-def _fetch_http(
-    url: str,
-    key_serializer: Optional[str] = None,
-    value_serializer: Optional[str] = None,
-) -> List[KeyValue]:
-    last_error: Exception = FetchError(url)
-    for attempt in range(FETCH_RETRIES):
-        try:
-            with urllib.request.urlopen(url, timeout=30) as response:
-                payload = response.read()
-            reader_cls = formats.reader_for(parse(url).path)
-            return list(
-                _make_reader(
-                    reader_cls, io.BytesIO(payload),
-                    key_serializer, value_serializer,
-                )
-            )
-        except Exception as exc:  # urllib raises a zoo of error types
-            last_error = exc
-            if attempt + 1 < FETCH_RETRIES:
-                time.sleep(FETCH_RETRY_DELAY * (attempt + 1))
-    raise FetchError(f"failed to fetch {url}: {last_error}") from last_error
-
-
+    if parsed.scheme in ("http", "https"):
+        yield from fetch_record_stream(url, key_serializer, value_serializer)
+        return
+    raise ValueError(f"unsupported url scheme {parsed.scheme!r} in {url}")

@@ -281,7 +281,7 @@ def piggyback_events_from_span(span: Any) -> List[Dict[str, Any]]:
     of dicts of scalars per task — because it rides the existing
     task-completion message.
     """
-    return [
+    batch: List[Dict[str, Any]] = [
         {
             "name": "task.phase",
             "offset": phase["offset"],
@@ -289,3 +289,19 @@ def piggyback_events_from_span(span: Any) -> List[Dict[str, Any]]:
         }
         for phase in span_phase_marks(span, include_fetch=True)
     ]
+    # Transfer-plane fetch sub-spans (reduce-side prefetcher), shipped
+    # as end-offset + duration like task.phase so the coordinator's
+    # timeline can draw them overlapping the merge.
+    for fetch in span.to_dict().get("fetches", ()):
+        batch.append(
+            {
+                "name": "fetch.span",
+                "offset": fetch["offset"] + fetch["seconds"],
+                "fields": {
+                    "seconds": fetch["seconds"],
+                    "thread": fetch.get("thread", 0),
+                    "source": fetch.get("source"),
+                },
+            }
+        )
+    return batch

@@ -4,9 +4,11 @@
 ``chrome://tracing`` and https://ui.perfetto.dev open directly: one
 track per executing worker/slave (serial backends get a single track),
 a ``B``/``E`` span per task with nested spans for its phases
-(fetch/map/reduce/serialize/transfer), and instant events for failures,
-requeues, and worker/slave deaths — so a 1000-task job is inspectable
-as a flame-style timeline instead of a 1000-row table.
+(fetch/map/reduce/serialize/transfer), per-prefetch-thread sub-lanes
+showing transfer-plane bucket fetches overlapping the reduce merge, and
+instant events for failures, requeues, and worker/slave deaths — so a
+1000-task job is inspectable as a flame-style timeline instead of a
+1000-row table.
 
 Input is either a live :class:`~repro.observability.events.EventLog`
 snapshot, a JSONL file written with ``--mrs-event-log``
@@ -128,6 +130,7 @@ def trace_from_events(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     # task renders as one properly nested B/E group on its lane.
     started: Dict[Tuple[str, int], Dict[str, Any]] = {}
     phases: Dict[Tuple[str, int], List[Dict[str, Any]]] = {}
+    fetches: Dict[Tuple[str, int], List[Dict[str, Any]]] = {}
     committed: Dict[Tuple[str, int], Dict[str, Any]] = {}
     for event in events:
         name = event.get("name")
@@ -140,8 +143,11 @@ def trace_from_events(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             # (earlier attempts end in task.failed/requeued instants).
             started[key] = event
             phases[key] = []
+            fetches[key] = []
         elif name == "task.phase":
             phases.setdefault(key, []).append(event)
+        elif name == "fetch.span":
+            fetches.setdefault(key, []).append(event)
         elif name == "task.committed":
             committed[key] = event
 
@@ -195,6 +201,48 @@ def trace_from_events(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         trace.append(
             {"ph": "E", "pid": lane.pid, "tid": lane.tid, "ts": end_ts}
         )
+        # Transfer-plane fetches: each prefetch thread gets its own
+        # sub-lane under the worker's track (tid offset keeps the main
+        # lane's B/E nesting intact), so fetch spans visibly overlap
+        # the task's merge/reduce phases.
+        for fetch_event in sorted(
+            fetches.get(key, ()), key=lambda e: float(e["t"])
+        ):
+            ff = fetch_event.get("fields") or {}
+            seconds = float(ff.get("seconds", 0.0))
+            thread = int(ff.get("thread", 0))
+            fetch_end = max(ts(fetch_event["t"]), begin_ts)
+            fetch_begin = max(begin_ts, fetch_end - seconds * _MICROS)
+            fetch_tid = (thread + 1) * 10000 + lane.tid
+            track_key = (lane.pid, fetch_tid)
+            if track_key not in tracks:
+                tracks[track_key] = _Track(
+                    lane.pid, fetch_tid, lane.process,
+                    f"{lane.thread} fetch#{thread}",
+                )
+            trace.append(
+                {
+                    "ph": "B",
+                    "pid": lane.pid,
+                    "tid": fetch_tid,
+                    "ts": fetch_begin,
+                    "name": f"fetch source {ff.get('source')}",
+                    "cat": "fetch",
+                    "args": {
+                        "dataset_id": dataset_id,
+                        "task_index": task_index,
+                        "source": ff.get("source"),
+                    },
+                }
+            )
+            trace.append(
+                {
+                    "ph": "E",
+                    "pid": lane.pid,
+                    "tid": fetch_tid,
+                    "ts": max(fetch_begin, fetch_end),
+                }
+            )
 
     # Pass 2: instants (failures, requeues, deaths, spills, markers).
     for event in events:

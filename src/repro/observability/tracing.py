@@ -49,6 +49,10 @@ class TaskSpan:
         #: Path of a retained ``--mrs-profile-tasks`` .pstats dump for
         #: this task, when it ranked among the slowest.
         self.profile_path: Optional[str] = None
+        #: Transfer-plane fetch sub-spans: ``(start, end, fields)`` on
+        #: this process's monotonic clock, recorded by the reduce-side
+        #: prefetcher (one per fetched remote bucket).
+        self.fetch_spans: List[Tuple[float, float, Dict[str, Any]]] = []
         self._lock = threading.Lock()
 
     def mark(self, event: str, timestamp: Optional[float] = None) -> None:
@@ -68,6 +72,18 @@ class TaskSpan:
         with self._lock:
             self.durations[event] = self.durations.get(event, 0.0) + float(
                 seconds
+            )
+
+    def add_fetch_span(self, start: float, end: float, **fields: Any) -> None:
+        """Record one remote-bucket fetch (local monotonic stamps).
+
+        Called from prefetcher threads while the task runs; rendered as
+        sub-lanes under the task's trace track so fetch/merge overlap
+        is visible (see :mod:`repro.observability.timeline`).
+        """
+        with self._lock:
+            self.fetch_spans.append(
+                (float(start), max(float(start), float(end)), dict(fields))
             )
 
     def has_event(self, event: str) -> bool:
@@ -107,6 +123,15 @@ class TaskSpan:
             }
             if self.profile_path is not None:
                 span["profile"] = self.profile_path
+            if self.fetch_spans:
+                span["fetches"] = [
+                    {
+                        "offset": start - first,
+                        "seconds": end - start,
+                        **{k: v for k, v in fields.items() if v is not None},
+                    }
+                    for start, end, fields in self.fetch_spans
+                ]
             return span
 
     def durations_dict(self) -> Dict[str, float]:

@@ -54,9 +54,12 @@ def run_task(
     message needs them; raises on any task error (the caller turns that
     into a ``failed`` message).
     """
+    from repro.comm import transfer
+
     dataset_id = descriptor["dataset_id"]
     task_index = int(descriptor["task_index"])
     started = time.perf_counter()
+    fetch_before = transfer.STATS.totals()
     # A fresh span per execution: its phase durations ride back to the
     # pool on the done message (input fetch lands in "started", compute
     # in "map"/"reduce", output writing in "serialize", URL publication
@@ -122,6 +125,10 @@ def run_task(
         # First task only: the executing process's boot-to-first-task
         # latency, the role-appropriate startup number for a worker.
         registry.gauge("worker.boot_to_first_task.seconds").set(boot_seconds)
+    # What the transfer plane moved *for this task* (delta against the
+    # process-wide stats, same no-double-count discipline as above).
+    for name, amount in transfer.STATS.delta(fetch_before).items():
+        registry.counter(name).inc(amount)
     # Per-task event batch (phase boundaries as offsets from task
     # start); the pool re-anchors them on its own clock.
     events = piggyback_events_from_span(span)
@@ -156,6 +163,11 @@ def worker_main(
     be importable, not defined in a script body or closure).
     """
     boot = time.perf_counter()
+    # Apply --mrs-fetch-* knobs to this worker process's transfer plane
+    # (module state does not cross the spawn boundary).
+    from repro.comm import transfer
+
+    transfer.configure(opts)
     try:
         program = program_class(opts, args)
     except Exception as exc:

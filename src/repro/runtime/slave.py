@@ -26,7 +26,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.comm import protocol
+from repro.comm import protocol, transfer
 from repro.comm.dataserver import DataServer
 from repro.comm.rpc import RpcServer, rpc_client
 from repro.core.operations import Operation
@@ -89,6 +89,10 @@ class Slave:
         self.quit_event = threading.Event()
         self.data_plane = getattr(opts, "data_plane", "file") or "file"
         self.observability = Observability(role="slave")
+        # Apply --mrs-fetch-* knobs to this process's transfer plane
+        # and mirror its counters into the slave's live registry.
+        transfer.configure(opts)
+        transfer.install_registry(self.observability.registry)
         #: --mrs-profile-tasks N: keep the N slowest tasks' profiles.
         self.profiler = profiler_from_opts(opts)
         #: First completion ships the boot-to-first-task gauge once.
@@ -149,6 +153,7 @@ class Slave:
         # URL publication in "transfer").
         span = TaskSpan(dataset_id, task_index)
         span.mark("queued", started)
+        fetch_before = transfer.STATS.totals()
         try:
             op = Operation.from_dict(descriptor["op"])
             # Reduce-kind inputs stay URL-only so the merge can stream
@@ -224,7 +229,7 @@ class Slave:
                 )
             metrics = protocol.make_task_metrics(
                 durations=span.durations_dict(),
-                registry=self._task_registry_snapshot(seconds),
+                registry=self._task_registry_snapshot(seconds, fetch_before),
                 events=event_batch,
             )
             self._master().done(
@@ -244,7 +249,9 @@ class Slave:
                 # will notice and exit.
                 pass
 
-    def _task_registry_snapshot(self, seconds: float) -> Dict[str, Any]:
+    def _task_registry_snapshot(
+        self, seconds: float, fetch_before: Optional[Dict[str, float]] = None
+    ) -> Dict[str, Any]:
         """A *per-task* registry snapshot for piggybacking.
 
         Deliberately built fresh for each completion rather than
@@ -265,6 +272,10 @@ class Slave:
             registry.gauge("slave.boot_to_first_task.seconds").set(
                 self.observability.startup_seconds or 0.0
             )
+        if fetch_before is not None:
+            # What the transfer plane moved for *this* task.
+            for name, amount in transfer.STATS.delta(fetch_before).items():
+                registry.counter(name).inc(amount)
         return registry.snapshot()
 
     def remove_data(self, dataset_id: str) -> None:

@@ -218,13 +218,34 @@ def _apply_combiner(
     return combined
 
 
-def _merged_records(input_buckets: Sequence[Bucket]):
+def _merged_records(input_buckets: Sequence[Bucket], span: Any = None):
     """The reduce-side merge: one key-sorted decorated record stream
-    over every source bucket, streaming from persisted files where
-    their sort order is known (see :func:`bucket_sorted_records`)."""
-    return merge_sorted_records(
-        [bucket_sorted_records(bucket) for bucket in input_buckets]
-    )
+    over every source bucket.
+
+    Local files stream where their sort order is known (see
+    :func:`bucket_sorted_records`); buckets behind HTTP URLs are routed
+    through the transfer plane's prefetch pipeline
+    (:func:`repro.comm.transfer.bucket_record_streams`), so network
+    transfer overlaps the merge instead of serializing ahead of it.
+    Stream order matches bucket order, keeping the merged stream — and
+    therefore the reduce output — identical to a sequential fetch.
+    """
+    from repro.comm.transfer import bucket_record_streams
+
+    streams, prefetcher = bucket_record_streams(input_buckets, span=span)
+    merged = merge_sorted_records(streams)
+    if prefetcher is None:
+        return merged
+    return _closing_stream(merged, prefetcher)
+
+
+def _closing_stream(merged, prefetcher):
+    """Drive a prefetched merge, releasing the fetch pipeline however
+    the consumer finishes (exhaustion, reducer error, abandonment)."""
+    try:
+        yield from merged
+    finally:
+        prefetcher.close()
 
 
 def run_map_task(
@@ -272,7 +293,9 @@ def run_reduce_task(
     bytes_parter = getattr(parter, "partition_bytes", None)
     n = op.splits
     staging = [Bucket(split=s) for s in range(n)]
-    for keybytes, key, values in group_sorted_records(_merged_records(input_buckets)):
+    for keybytes, key, values in group_sorted_records(
+        _merged_records(input_buckets, span=span)
+    ):
         result = reducer(key, values)
         if result is not None:
             _emit_one_key(keybytes, key, result, parter, bytes_parter, n, staging)
@@ -301,7 +324,9 @@ def run_reducemap_task(
         if parter is hash_partition
         else None
     )
-    for _, key, values in group_sorted_records(_merged_records(input_buckets)):
+    for _, key, values in group_sorted_records(
+        _merged_records(input_buckets, span=span)
+    ):
         reduced = reducer(key, values)
         if reduced is None:
             continue
@@ -360,30 +385,33 @@ def materialize_input_buckets(
     of materializing every source bucket as a list up front.
     """
     buckets = dataset.buckets_for_split(task_index)
-    resolved: List[Bucket] = []
+    key_ser = getattr(dataset, "key_serializer", None)
+    value_ser = getattr(dataset, "value_serializer", None)
+    resolved: List[Optional[Bucket]] = []
+    fetches: List[Tuple[int, Bucket]] = []
     for bucket in buckets:
         if len(bucket) == 0 and bucket.url:
             if streaming:
                 if bucket.key_serializer is None:
-                    bucket.key_serializer = getattr(dataset, "key_serializer", None)
+                    bucket.key_serializer = key_ser
                 if bucket.value_serializer is None:
-                    bucket.value_serializer = getattr(
-                        dataset, "value_serializer", None
-                    )
+                    bucket.value_serializer = value_ser
                 resolved.append(bucket)
                 continue
-            fresh = Bucket(source=bucket.source, split=bucket.split, url=bucket.url)
-            fresh.collect(
-                url_io.iter_pairs(
-                    bucket.url,
-                    key_serializer=getattr(dataset, "key_serializer", None),
-                    value_serializer=getattr(dataset, "value_serializer", None),
-                )
-            )
-            resolved.append(fresh)
+            fetches.append((len(resolved), bucket))
+            resolved.append(None)
         else:
             resolved.append(bucket)
-    return resolved
+    for (index, source), pairs in zip(
+        fetches,
+        _fetch_all(
+            [bucket.url for _, bucket in fetches], key_ser, value_ser
+        ),
+    ):
+        fresh = Bucket(source=source.source, split=source.split, url=source.url)
+        fresh.collect(pairs)
+        resolved[index] = fresh
+    return resolved  # type: ignore[return-value]
 
 
 def buckets_from_urls(
@@ -406,19 +434,50 @@ def buckets_from_urls(
         bucket = Bucket(source=source, split=split, url=url)
         bucket.key_serializer = key_serializer
         bucket.value_serializer = value_serializer
-        if streaming:
-            if sorted_flags is not None and source < len(sorted_flags):
-                bucket.url_sorted = bool(sorted_flags[source])
-        else:
-            bucket.collect(
-                url_io.iter_pairs(
-                    url,
-                    key_serializer=key_serializer,
-                    value_serializer=value_serializer,
-                )
-            )
+        if streaming and sorted_flags is not None and source < len(sorted_flags):
+            bucket.url_sorted = bool(sorted_flags[source])
         resolved.append(bucket)
+    if not streaming:
+        for bucket, pairs in zip(
+            resolved, _fetch_all(list(urls), key_serializer, value_serializer)
+        ):
+            bucket.collect(pairs)
     return resolved
+
+
+def _fetch_all(
+    urls: Sequence[str],
+    key_serializer: Optional[str],
+    value_serializer: Optional[str],
+) -> List[Iterable[KeyValue]]:
+    """Materialize the pairs behind each URL, in order.
+
+    Multiple HTTP URLs fetch concurrently over the transfer plane's
+    pooled connections (:func:`repro.comm.transfer.fetch_pairs_parallel`
+    — the map-input analogue of the reduce side's prefetched merge);
+    file URLs and single fetches take the plain sequential path.
+    """
+    remote = [
+        i for i, url in enumerate(urls)
+        if url.startswith(("http://", "https://"))
+    ]
+    results: List[Any] = [None] * len(urls)
+    if len(remote) > 1:
+        from repro.comm.transfer import fetch_pairs_parallel
+
+        fetched = fetch_pairs_parallel(
+            [(urls[i], key_serializer, value_serializer) for i in remote]
+        )
+        for i, pairs in zip(remote, fetched):
+            results[i] = pairs
+    for i, url in enumerate(urls):
+        if results[i] is None:
+            results[i] = url_io.fetch_pairs(
+                url,
+                key_serializer=key_serializer,
+                value_serializer=value_serializer,
+            )
+    return results
 
 
 def run_operation(

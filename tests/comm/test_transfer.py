@@ -1,0 +1,354 @@
+"""The shuffle transfer plane: pooling, prefetch, compression, resume."""
+
+import http.server
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.comm import transfer
+from repro.comm.dataserver import DataServer
+from repro.comm.transfer import (
+    ConnectionPool,
+    FetchError,
+    FetchPolicy,
+    Prefetcher,
+    bucket_record_streams,
+    fetch_pair_stream,
+)
+from repro.io.bucket import Bucket, FileBucket, merge_sorted_records, record_key
+
+
+#: A fast policy so failure tests don't sleep through real backoff.
+FAST = FetchPolicy(timeout=5.0, retries=2, retry_delay=0.01)
+
+
+@pytest.fixture
+def fresh_config():
+    """Isolate the process-global transfer config across tests."""
+    with transfer._config_lock:
+        saved = transfer._config
+    yield
+    with transfer._config_lock:
+        transfer._config = saved
+
+
+def write_bucket(tmp_path, name, pairs):
+    path = str(tmp_path / name)
+    bucket = FileBucket(path)
+    for pair in pairs:
+        bucket.addpair(pair)
+    bucket.close_writer()
+    return path
+
+
+class TestConnectionReuse:
+    def test_sequential_fetches_reuse_one_connection(self, tmp_path):
+        path = write_bucket(tmp_path, "a.mrsb", [("k", 1), ("l", 2)])
+        pool = ConnectionPool()
+        with DataServer(str(tmp_path)) as server:
+            url = server.url_for(path)
+            before = transfer.STATS.totals()
+            for _ in range(5):
+                assert list(fetch_pair_stream(url, pool=pool)) == [
+                    ("k", 1),
+                    ("l", 2),
+                ]
+            delta = transfer.STATS.delta(before)
+        assert delta["fetch.connections.created"] == 1
+        assert delta["fetch.connections.reused"] == 4
+        assert delta["fetch.requests"] == 5
+
+    def test_pool_caps_idle_connections(self, tmp_path):
+        pool = ConnectionPool(max_idle_per_host=1)
+        c1, reused1 = pool.acquire("127.0.0.1", 1234, timeout=1.0)
+        c2, reused2 = pool.acquire("127.0.0.1", 1234, timeout=1.0)
+        assert not reused1 and not reused2
+        pool.release("127.0.0.1", 1234, c1, reusable=True)
+        pool.release("127.0.0.1", 1234, c2, reusable=True)
+        assert pool.idle_count("127.0.0.1", 1234) == 1
+        _, reused3 = pool.acquire("127.0.0.1", 1234, timeout=1.0)
+        assert reused3
+        pool.close()
+
+    def test_counters_visible_in_metrics_names(self, tmp_path):
+        path = write_bucket(tmp_path, "a.mrsb", [("k", 1)])
+        with DataServer(str(tmp_path)) as server:
+            before = transfer.STATS.totals()
+            list(fetch_pair_stream(server.url_for(path)))
+            delta = transfer.STATS.delta(before)
+        assert delta["fetch.bytes"] > 0
+        assert delta["fetch.wire_bytes"] > 0
+        assert delta["fetch.seconds"] > 0
+
+
+class TestCompression:
+    def payload(self):
+        # Highly compressible values so gzip visibly shrinks the wire.
+        return [(f"key{i:04d}", "x" * 200) for i in range(200)]
+
+    def test_gzip_round_trips_and_shrinks_wire(self, tmp_path):
+        pairs = self.payload()
+        path = write_bucket(tmp_path, "big.mrsb", pairs)
+        with DataServer(str(tmp_path)) as server:
+            url = server.url_for(path)
+            before = transfer.STATS.totals()
+            plain = list(fetch_pair_stream(url, compression="off"))
+            mid = transfer.STATS.totals()
+            zipped = list(fetch_pair_stream(url, compression="gzip"))
+            after = transfer.STATS.totals()
+        assert plain == pairs
+        assert zipped == pairs
+        identity_wire = mid["fetch.wire_bytes"] - before["fetch.wire_bytes"]
+        gzip_wire = after["fetch.wire_bytes"] - mid["fetch.wire_bytes"]
+        assert gzip_wire < identity_wire / 2
+        # Decoded payload bytes are identical either way.
+        assert (mid["fetch.bytes"] - before["fetch.bytes"]) == (
+            after["fetch.bytes"] - mid["fetch.bytes"]
+        )
+
+    def test_auto_skips_gzip_on_loopback(self, tmp_path):
+        pairs = self.payload()
+        path = write_bucket(tmp_path, "big.mrsb", pairs)
+        with DataServer(str(tmp_path)) as server:
+            url = server.url_for(path)
+            before = transfer.STATS.totals()
+            assert list(fetch_pair_stream(url, compression="auto")) == pairs
+            delta = transfer.STATS.delta(before)
+        # Identity transfer: wire bytes ~= decoded bytes.
+        assert delta["fetch.wire_bytes"] >= delta["fetch.bytes"]
+
+    def test_server_compression_off_serves_identity(self, tmp_path):
+        pairs = self.payload()
+        path = write_bucket(tmp_path, "big.mrsb", pairs)
+        with DataServer(str(tmp_path), compression=False) as server:
+            url = server.url_for(path)
+            assert list(fetch_pair_stream(url, compression="gzip")) == pairs
+
+
+class TestPrefetchMerge:
+    def make_remote_buckets(self, tmp_path, server, n=4, rows=50):
+        buckets = []
+        for b in range(n):
+            pairs = [(f"k{i:03d}b{b}", i * b) for i in range(rows)]
+            path = write_bucket(tmp_path, f"bucket{b}.mrsb", pairs)
+            bucket = Bucket(source=b, split=0, url=server.url_for(path))
+            buckets.append(bucket)
+        return buckets
+
+    def merged(self, buckets, threads):
+        opts_like = type("O", (), {"fetch_threads": threads})()
+        transfer.configure(opts_like)
+        streams, prefetcher = bucket_record_streams(buckets)
+        try:
+            return list(merge_sorted_records(streams))
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
+
+    def test_prefetched_merge_matches_sequential(
+        self, tmp_path, fresh_config
+    ):
+        with DataServer(str(tmp_path)) as server:
+            buckets = self.make_remote_buckets(tmp_path, server)
+            sequential = self.merged(buckets, threads=0)
+            prefetched = self.merged(buckets, threads=4)
+        assert prefetched == sequential
+        assert sequential == sorted(sequential, key=record_key)
+        assert len(sequential) == 4 * 50
+
+    def test_prefetch_records_fetch_spans(self, tmp_path, fresh_config):
+        from repro.observability.tracing import TaskSpan
+
+        with DataServer(str(tmp_path)) as server:
+            buckets = self.make_remote_buckets(tmp_path, server)
+            span = TaskSpan("ds", 0)
+            span.mark("started")
+            opts_like = type("O", (), {"fetch_threads": 2})()
+            transfer.configure(opts_like)
+            streams, prefetcher = bucket_record_streams(buckets, span=span)
+            try:
+                list(merge_sorted_records(streams))
+            finally:
+                prefetcher.close()
+        fetches = span.to_dict()["fetches"]
+        assert len(fetches) == len(buckets)
+        assert {f["source"] for f in fetches} == {0, 1, 2, 3}
+        assert all(f["seconds"] >= 0 for f in fetches)
+
+    def test_single_remote_bucket_skips_prefetcher(
+        self, tmp_path, fresh_config
+    ):
+        with DataServer(str(tmp_path)) as server:
+            buckets = self.make_remote_buckets(tmp_path, server, n=1)
+            opts_like = type("O", (), {"fetch_threads": 4})()
+            transfer.configure(opts_like)
+            streams, prefetcher = bucket_record_streams(buckets)
+            assert prefetcher is None
+            assert len(list(streams[0])) == 50
+
+    def test_tiny_byte_budget_still_completes(self, tmp_path, fresh_config):
+        # A budget smaller than one block must not deadlock: a block is
+        # admitted whenever nothing else is in flight.
+        with DataServer(str(tmp_path)) as server:
+            buckets = self.make_remote_buckets(tmp_path, server, n=3)
+            prefetcher = Prefetcher(threads=2, buffer_bytes=128)
+            streams = [iter(prefetcher.add(b)) for b in buckets]
+            prefetcher.start()
+            try:
+                merged = list(merge_sorted_records(streams))
+            finally:
+                prefetcher.close()
+        assert len(merged) == 3 * 50
+
+
+class _TruncatingHandler(http.server.BaseHTTPRequestHandler):
+    """Serves a bucket file but cuts the first N responses short."""
+
+    payload = b""
+    failures = 0
+    lock = threading.Lock()
+
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    def do_GET(self):
+        cls = type(self)
+        with cls.lock:
+            fail = cls.failures > 0
+            if fail:
+                cls.failures -= 1
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(cls.payload)))
+        self.end_headers()
+        if fail:
+            # Stop mid-record (an odd prefix of the body), then drop
+            # the connection, emulating a dying peer.
+            self.wfile.write(cls.payload[: max(1, len(cls.payload) // 2 - 3)])
+            self.wfile.flush()
+            self.connection.close()
+        else:
+            self.wfile.write(cls.payload)
+
+
+@pytest.fixture
+def truncating_server(tmp_path):
+    pairs = [(f"key{i:03d}", i) for i in range(100)]
+    path = write_bucket(tmp_path, "flaky.mrsb", pairs)
+    with open(path, "rb") as f:
+        payload = f.read()
+
+    class Handler(_TruncatingHandler):
+        pass
+
+    Handler.payload = payload
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}/flaky.mrsb"
+    try:
+        yield Handler, url, pairs
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestFailureHandling:
+    def test_mid_transfer_death_resumes_without_duplicates(
+        self, truncating_server
+    ):
+        handler, url, pairs = truncating_server
+        handler.failures = 1
+        policy = FetchPolicy(timeout=5.0, retries=3, retry_delay=0.01)
+        before = transfer.STATS.totals()
+        got = list(fetch_pair_stream(url, policy=policy, pool=ConnectionPool()))
+        delta = transfer.STATS.delta(before)
+        assert got == pairs  # each record exactly once, in order
+        assert delta["fetch.retries"] >= 1
+
+    def test_server_dead_after_retries_raises(self, truncating_server):
+        handler, url, _ = truncating_server
+        handler.failures = 99  # never recovers within the retry budget
+        with pytest.raises(FetchError):
+            list(fetch_pair_stream(url, policy=FAST, pool=ConnectionPool()))
+
+    def test_connect_refused_raises_fetch_error(self):
+        with pytest.raises(FetchError):
+            list(
+                fetch_pair_stream(
+                    "http://127.0.0.1:1/never.mrsb",
+                    policy=FetchPolicy(timeout=0.5, retries=2, retry_delay=0.01),
+                    pool=ConnectionPool(),
+                )
+            )
+
+
+class TestDataServerHardening:
+    def test_quoted_traversal_is_rejected(self, tmp_path):
+        secret = tmp_path.parent / "secret.txt"
+        secret.write_text("password")
+        served = tmp_path / "served"
+        served.mkdir()
+        with DataServer(str(served)) as server:
+            url = f"http://{server.host}:{server.port}/%2e%2e/secret.txt"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(url)
+            assert err.value.code in (403, 404)
+
+    def test_head_reports_real_length(self, tmp_path):
+        path = write_bucket(tmp_path, "a.mrsb", [("k", 1)])
+        size = len(open(path, "rb").read())
+        with DataServer(str(tmp_path)) as server:
+            request = urllib.request.Request(
+                server.url_for(path), method="HEAD"
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 200
+                assert int(response.headers["Content-Length"]) == size
+
+    def test_head_missing_file_404(self, tmp_path):
+        with DataServer(str(tmp_path)) as server:
+            request = urllib.request.Request(
+                f"http://{server.host}:{server.port}/no.mrsb", method="HEAD"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request)
+            assert err.value.code == 404
+
+
+class TestPolicyConfiguration:
+    def test_configure_from_opts(self, fresh_config):
+        opts_like = type(
+            "O",
+            (),
+            {
+                "fetch_timeout": 7.5,
+                "fetch_retries": 9,
+                "fetch_threads": 2,
+                "fetch_buffer_mb": 1,
+                "fetch_compression": "gzip",
+            },
+        )()
+        config = transfer.configure(opts_like)
+        assert config.policy.timeout == 7.5
+        assert config.policy.retries == 9
+        assert config.fetch_threads == 2
+        assert config.fetch_buffer_bytes == 1024 * 1024
+        assert config.compression == "gzip"
+        assert transfer.get_config() is config
+
+    def test_env_overrides(self, fresh_config, monkeypatch):
+        monkeypatch.setenv("MRS_FETCH_TIMEOUT", "3")
+        monkeypatch.setenv("MRS_FETCH_RETRIES", "5")
+        monkeypatch.setenv("MRS_FETCH_COMPRESSION", "off")
+        config = transfer.TransferConfig.from_env()
+        assert config.policy.timeout == 3.0
+        assert config.policy.retries == 5
+        assert config.compression == "off"
+
+    def test_partial_opts_keep_defaults(self, fresh_config):
+        config = transfer.configure(type("O", (), {})())
+        assert config.policy.timeout == FetchPolicy().timeout
+        assert config.fetch_threads == 4

@@ -52,6 +52,25 @@ class TestWordCountDistributed:
         assert visible and all(f.endswith(".txt") for f in visible)
 
 
+class TestTransferPlaneDistributed:
+    def test_fetch_counters_reach_master_metrics(self, small_corpus, tmp_path):
+        """With the http data plane, reduce inputs are fetched through
+        the transfer plane; the slaves' per-task fetch counters must
+        ride the piggyback snapshots into the master's merged report."""
+        root, _ = small_corpus
+        with LocalCluster(
+            WordCountCombined,
+            [root, str(tmp_path / "out")],
+            n_slaves=2,
+            data_plane="http",
+        ) as cluster:
+            program = cluster.run()
+        counters = program.metrics_report["metrics"]["counters"]
+        assert counters.get("fetch.requests", 0) > 0
+        assert counters.get("fetch.bytes", 0) > 0
+        assert "fetch.connections.created" in counters
+
+
 class TestPiDistributed:
     def test_matches_serial_exactly(self, tmp_path):
         flags = ["--pi-samples", "40000", "--pi-tasks", "6"]
