@@ -295,6 +295,10 @@ class ConnectionPool:
             conn = idle.popleft() if idle else None
         if conn is not None:
             conn.timeout = timeout
+            # HTTPConnection only applies .timeout when creating the
+            # socket; a live pooled socket must be retimed directly.
+            if conn.sock is not None:
+                conn.sock.settimeout(timeout)
             self.stats.add("fetch.connections.reused")
             return conn, True
         conn = http.client.HTTPConnection(host, port, timeout=timeout)
@@ -675,6 +679,14 @@ class _ByteBudget:
     A producer blocks while the budget is exhausted *and* something is
     in flight — a single block larger than the whole budget still
     proceeds when nothing else holds bytes, so no workload deadlocks.
+
+    ``acquire`` additionally takes a ``bypass`` predicate re-checked on
+    every wakeup: a producer whose target stream has nothing queued must
+    always be admitted, because the merge may be blocked waiting on
+    exactly that stream while the whole budget is held by blocks queued
+    for streams the merge is *not* consuming (skewed key ranges).
+    Bypassed admissions bound memory at the budget plus one in-flight
+    block per stream instead of deadlocking.
     """
 
     def __init__(self, limit: int):
@@ -683,18 +695,36 @@ class _ByteBudget:
         self._used = 0
         self._cancelled = False
 
-    def acquire(self, n: int) -> bool:
+    def acquire(
+        self, n: int, bypass: Optional[Callable[[], bool]] = None
+    ) -> bool:
         with self._cond:
             while (
                 not self._cancelled
                 and self._used > 0
                 and self._used + n > self.limit
+                and not (bypass is not None and bypass())
             ):
                 self._cond.wait(0.05)
             if self._cancelled:
                 return False
             self._used += n
             return True
+
+    def charge(self, n: int) -> None:
+        """Account ``n`` bytes unconditionally (never blocks).
+
+        Used for memory the plane holds regardless of the budget — a
+        materialized unsorted bucket — so that budgeted producers back
+        off while it is resident.
+        """
+        with self._cond:
+            self._used += n
+
+    @property
+    def cancelled(self) -> bool:
+        with self._cond:
+            return self._cancelled
 
     def release(self, n: int) -> None:
         with self._cond:
@@ -722,8 +752,17 @@ class _PrefetchStream:
 
     # -- producer side --------------------------------------------------
 
-    def put_block(self, block: List[Record], nbytes: int) -> bool:
-        if not self._budget.acquire(nbytes):
+    def put_block(
+        self, block: List[Record], nbytes: int, precharged: bool = False
+    ) -> bool:
+        # The empty-queue bypass guarantees per-stream progress: if the
+        # merge is blocked on this stream, its queue is (or is about to
+        # be) empty, so the producer is admitted even when blocks queued
+        # for other streams hold the whole budget.
+        if precharged:
+            if self._budget.cancelled:
+                return False
+        elif not self._budget.acquire(nbytes, bypass=self._queue.empty):
             return False
         self._queue.put((block, nbytes))
         return True
@@ -773,7 +812,8 @@ class Prefetcher:
     stream the merge should consume for it; :meth:`start` launches the
     fetch threads.  Buckets whose persisted copy is key-sorted stream
     block by block; unsorted buckets are materialized and sorted inside
-    the fetch thread (still off the merge's critical path).  Each
+    the fetch thread (still off the merge's critical path), one bucket
+    at a time with the resident bytes charged to the budget.  Each
     bucket's fetch window is recorded on ``span`` (when given) so the
     timeline can draw fetch spans overlapping merge compute.
     """
@@ -793,6 +833,10 @@ class Prefetcher:
         self._threads: List[threading.Thread] = []
         self._next = 0
         self._lock = threading.Lock()
+        #: Serializes unsorted-bucket materialization: at most one full
+        #: bucket is resident per prefetcher (matching the sequential
+        #: path's peak), instead of one per fetch thread.
+        self._sort_gate = threading.Lock()
 
     def add(self, bucket: Any) -> _PrefetchStream:
         stream = _PrefetchStream(self._budget, self.stats)
@@ -849,14 +893,22 @@ class Prefetcher:
                     )
 
     def _fetch_bucket(self, bucket: Any, stream: _PrefetchStream) -> None:
-        # Known-sorted files stream; unknown order materializes and
-        # sorts in this thread, keeping the sort itself off the merge's
-        # critical path.
+        # Known-sorted files stream block by block; unknown order
+        # materializes and sorts in this thread, keeping the sort itself
+        # off the merge's critical path.
+        if not getattr(bucket, "url_sorted", False):
+            # One materialized bucket at a time, its bytes charged to
+            # the budget while resident — without the gate and charge,
+            # ``fetch_threads`` full buckets could be in memory at once,
+            # all invisible to the budget.
+            with self._sort_gate:
+                self._fetch_unsorted(bucket, stream)
+            return
         from repro.io.bucket import sorted_records_from_url
 
         records = sorted_records_from_url(
             bucket.url,
-            getattr(bucket, "url_sorted", False),
+            True,
             bucket.key_serializer,
             bucket.value_serializer,
         )
@@ -871,6 +923,40 @@ class Prefetcher:
                 block, nbytes = [], 0
         if block and not stream.put_block(block, nbytes):
             return
+
+    def _fetch_unsorted(self, bucket: Any, stream: _PrefetchStream) -> None:
+        """Materialize, sort, and hand over an unsorted remote bucket.
+
+        Every materialized byte is charged to the budget as it arrives
+        (non-blocking — blocking here could deadlock the merge against
+        the sort gate), so budgeted producers pause while the bucket is
+        resident.  The charge is transferred to the queued blocks, which
+        release it as the merge consumes them.
+        """
+        from repro.io import urls as url_io
+        from repro.io.bucket import record_key
+
+        records: List[Record] = []
+        charged = 0
+        budget = self._budget
+        try:
+            for record in url_io.iter_records(
+                bucket.url, bucket.key_serializer, bucket.value_serializer
+            ):
+                records.append(record)
+                n = len(record[0]) + _RECORD_OVERHEAD
+                budget.charge(n)
+                charged += n
+            records.sort(key=record_key)
+        except BaseException:
+            budget.release(charged)
+            raise
+        for start in range(0, len(records), _BLOCK_RECORDS):
+            block = records[start : start + _BLOCK_RECORDS]
+            nbytes = sum(len(record[0]) for record in block)
+            nbytes += _RECORD_OVERHEAD * len(block)
+            if not stream.put_block(block, nbytes, precharged=True):
+                return
 
 
 def bucket_record_streams(

@@ -24,16 +24,23 @@ from repro.comm.transfer import (  # noqa: F401  (FetchError re-exported)
     FetchPolicy,
     fetch_pair_stream,
     fetch_record_stream,
+    get_config as _get_transfer_config,
 )
 from repro.io import formats
 
 KeyValue = Tuple[Any, Any]
 
-#: Legacy names for the default transient-fetch retry policy; the live
-#: policy object is :class:`repro.comm.transfer.FetchPolicy` (env/
-#: ``--mrs-fetch-*`` configurable) and is shared by every HTTP fetch.
-FETCH_RETRIES = FetchPolicy().retries
-FETCH_RETRY_DELAY = FetchPolicy().retry_delay
+
+def __getattr__(name: str) -> Any:
+    # Legacy aliases for the live fetch policy.  Resolved per access so
+    # they track MRS_FETCH_* env vars and --mrs-fetch-* options instead
+    # of freezing the class defaults at import time; new code should
+    # read ``repro.comm.transfer.get_config().policy`` directly.
+    if name == "FETCH_RETRIES":
+        return _get_transfer_config().policy.retries
+    if name == "FETCH_RETRY_DELAY":
+        return _get_transfer_config().policy.retry_delay
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def parse(url: str) -> urllib.parse.ParseResult:

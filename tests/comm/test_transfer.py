@@ -72,6 +72,24 @@ class TestConnectionReuse:
         assert reused3
         pool.close()
 
+    def test_reused_connection_gets_callers_timeout(self, tmp_path):
+        # HTTPConnection.timeout only applies at socket creation, so the
+        # pool must retime the live socket when handing out a reused
+        # connection.
+        path = write_bucket(tmp_path, "a.mrsb", [("k", 1)])
+        pool = ConnectionPool()
+        with DataServer(str(tmp_path)) as server:
+            url = server.url_for(path)
+            list(fetch_pair_stream(url, pool=pool))
+            conn, reused = pool.acquire(server.host, server.port, timeout=1.25)
+            try:
+                assert reused
+                assert conn.sock is not None
+                assert conn.sock.gettimeout() == 1.25
+            finally:
+                pool.release(server.host, server.port, conn, reusable=True)
+        pool.close()
+
     def test_counters_visible_in_metrics_names(self, tmp_path):
         path = write_bucket(tmp_path, "a.mrsb", [("k", 1)])
         with DataServer(str(tmp_path)) as server:
@@ -201,6 +219,59 @@ class TestPrefetchMerge:
             finally:
                 prefetcher.close()
         assert len(merged) == 3 * 50
+
+    def test_disjoint_key_ranges_small_budget_no_deadlock(
+        self, tmp_path, monkeypatch, fresh_config
+    ):
+        # Regression: with range-disjoint buckets the merge drains one
+        # stream completely while the others' queued blocks hold the
+        # whole budget; the drained stream's producer must still be
+        # admitted (empty-queue bypass) or the pipeline deadlocks.
+        monkeypatch.setattr(transfer, "_BLOCK_RECORDS", 8)
+        with DataServer(str(tmp_path)) as server:
+            buckets = []
+            expected = []
+            for b, prefix in enumerate("ab"):
+                pairs = [(f"{prefix}{i:04d}", i) for i in range(200)]
+                expected.extend(pairs)
+                path = write_bucket(tmp_path, f"range{b}.mrsb", pairs)
+                bucket = Bucket(source=b, split=0, url=server.url_for(path))
+                bucket.url_sorted = True  # stream block by block
+                buckets.append(bucket)
+            prefetcher = Prefetcher(threads=2, buffer_bytes=64)
+            streams = [iter(prefetcher.add(b)) for b in buckets]
+            prefetcher.start()
+            merged = []
+            consumer = threading.Thread(
+                target=lambda: merged.extend(merge_sorted_records(streams)),
+                daemon=True,
+            )
+            consumer.start()
+            consumer.join(timeout=30)
+            hung = consumer.is_alive()
+            prefetcher.close()
+            assert not hung, "merge deadlocked under a skewed byte budget"
+        assert [pair for _, pair in merged] == expected
+
+    def test_unsorted_buckets_release_budget_when_consumed(
+        self, tmp_path, fresh_config
+    ):
+        # Unsorted buckets are materialized in the fetch threads; their
+        # bytes are charged to the budget while resident and released
+        # block by block as the merge consumes them — fully drained, the
+        # accounting must return to zero.
+        with DataServer(str(tmp_path)) as server:
+            buckets = self.make_remote_buckets(tmp_path, server, n=3)
+            assert not any(b.url_sorted for b in buckets)
+            prefetcher = Prefetcher(threads=3, buffer_bytes=256)
+            streams = [iter(prefetcher.add(b)) for b in buckets]
+            prefetcher.start()
+            try:
+                merged = list(merge_sorted_records(streams))
+            finally:
+                prefetcher.close()
+        assert len(merged) == 3 * 50
+        assert prefetcher._budget._used == 0
 
 
 class _TruncatingHandler(http.server.BaseHTTPRequestHandler):
@@ -352,3 +423,11 @@ class TestPolicyConfiguration:
         config = transfer.configure(type("O", (), {})())
         assert config.policy.timeout == FetchPolicy().timeout
         assert config.fetch_threads == 4
+
+    def test_legacy_url_constants_track_live_policy(self, fresh_config):
+        from repro.io import urls as url_io
+
+        opts_like = type("O", (), {"fetch_retries": 9})()
+        transfer.configure(opts_like)
+        assert url_io.FETCH_RETRIES == 9
+        assert url_io.FETCH_RETRY_DELAY == FetchPolicy().retry_delay
