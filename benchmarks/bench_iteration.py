@@ -1,0 +1,356 @@
+"""Iteration pipelining bench: barrier vs bucket-granular scheduling.
+
+The pipelined scheduler dissolves the reduce->map barrier between
+iterations of identity-routed programs: iteration N+1's map task i
+becomes dispatchable the moment iteration N's reduce task i commits,
+while sibling reduces are still running.  This bench measures what
+that buys on a real multiprocess pool:
+
+* unfused Apiary PSO (``--pso-no-fuse``) — the identity-routing shape,
+  several iterations in flight (``--pso-qmax``): per-iteration
+  framework overhead (wall minus the serial compute proxy, divided by
+  outer iterations) for ``--mrs-pipeline off`` vs ``buckets``;
+* k-means — driver-synchronized control: the driver waits on every
+  iteration to recompute centroids, so pipelining can't help and the
+  two modes must tie (a regression tripwire for the off path).
+
+Outputs must be byte-identical everywhere: pipelining changes *when*
+tasks run, never what they compute.  The bench asserts the PSO
+convergence log agrees across serial, mockparallel, and both
+multiprocess modes, and that k-means converges identically in both
+modes; it writes ``BENCH_iteration.json`` and exits 1 when the gate
+fails (full mode: pipelined overhead at least ``--min-speedup`` times
+lower; smoke mode: pipelined no slower than barrier plus jitter).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_iteration.py [--smoke]
+        [--procs N] [--outer N] [--repeat N] [--no-gate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.apps.kmeans import KMeans
+from repro.apps.pso.mrpso import ApiaryPSO
+from repro.core.job import Job
+from repro.core.main import run_program
+from repro.core.options import parse_options
+from repro.runtime.multiprocess import MultiprocessBackend
+from reporting import fmt_seconds, print_table, write_json_table
+
+
+def pso_flags(outer: int, procs: int) -> List[str]:
+    """Unfused PSO with a stable partitioner and split count across
+    every iteration's reduce — the identity-routing shape — and enough
+    queued iterations for the scheduler to overlap.  ``sphere-slow``
+    simulates an expensive objective (the paper's real workload), so
+    map tasks parallelize even on machines with fewer cores than pool
+    workers.  One subswarm per worker makes the benefit sharp: the
+    worker that commits reduce bucket j is exactly the one freed to
+    start map task j of the next iteration, so barrier mode's wait for
+    the full reduce stage is pure lost time."""
+    return [
+        "--mrs-seed", "7", "--pso-function", "sphere-slow", "--pso-dims",
+        "8", "--pso-subswarms", str(procs), "--pso-particles", "4",
+        "--pso-inner", "2", "--pso-outer", str(outer), "--pso-no-fuse",
+        "--pso-qmax", "3",
+    ]
+
+
+def km_flags(iters: int) -> List[str]:
+    return [
+        "--mrs-seed", "7", "--km-points", "600", "--km-clusters", "4",
+        "--km-dims", "4", "--km-iters", str(iters), "--km-tol", "0",
+    ]
+
+
+def pso_log(program) -> List[Tuple[int, int, float]]:
+    return [(r.iteration, r.evals, r.best) for r in program.convergence]
+
+
+def km_log(program) -> List[float]:
+    return [program.iterations_run, program.inertia] + list(
+        program.shift_history
+    )
+
+
+def timed_run(
+    program_class, flags: List[str], impl: str, **overrides
+) -> Tuple[Any, float]:
+    started = time.perf_counter()
+    program = run_program(program_class, flags, impl=impl, **overrides)
+    return program, time.perf_counter() - started
+
+
+def run_pso_pool(
+    flags: List[str], procs: int, mode: str, tmpdir: str
+) -> Tuple[Any, float, float, int]:
+    """One multiprocess PSO run with an in-memory event log; returns
+    (program, wall, barrier-crossing seconds per iteration, pipelined
+    dispatch count).
+
+    The crossing metric is the per-iteration scheduling overhead this
+    PR targets: for every identity edge reduce_k -> map_{k+1}, the
+    latency from ``task.committed`` of reduce task j to
+    ``task.started`` of map task j (both stamped by the coordinator on
+    one clock).  Under the barrier scheduler that latency contains the
+    whole reduce tail plus the dataset-completion handoff; under
+    bucket-granular scheduling it is a single dispatch.  Unlike wall
+    clock it is insensitive to how many cores the bench machine has.
+    """
+    opts, positional = parse_options(ApiaryPSO, list(flags))
+    opts.procs = procs
+    opts.pipeline = mode
+    opts.tmpdir = tmpdir
+    program = ApiaryPSO(opts, positional)
+    backend = MultiprocessBackend(program, opts, positional)
+    events = backend.observability.enable_events(unbounded=True)
+    try:
+        job = Job(backend, program)
+        started = time.perf_counter()
+        status = program.run(job)
+        wall = time.perf_counter() - started
+        if status not in (None, 0):
+            raise RuntimeError(f"PSO exited with {status}")
+        snapshot = events.snapshot()
+        pipelined = backend.scheduler.pipelined_dispatches
+    finally:
+        backend.close()
+
+    committed = {}
+    started_at = {}
+    datasets = set()
+    for event in snapshot:
+        fields = event.get("fields") or {}
+        key = (fields.get("dataset_id"), fields.get("task_index"))
+        if event["name"] == "task.committed":
+            committed.setdefault(key, event["t"])
+        elif event["name"] == "task.started":
+            started_at.setdefault(key, event["t"])
+            datasets.add(key[0])
+
+    # Unfused PSO's computed datasets form one map/reduce chain; ids
+    # are "<kind>_<global counter>", so suffix order is chain order.
+    chain = sorted(
+        (ds for ds in datasets if ds.partition("_")[0] in ("map", "reduce")),
+        key=lambda ds: int(ds.rpartition("_")[2]),
+    )
+    crossings = []
+    for producer, consumer in zip(chain, chain[1:]):
+        if not (
+            producer.startswith("reduce") and consumer.startswith("map")
+        ):
+            continue
+        edge = [
+            started_at[key] - committed[(producer, key[1])]
+            for key in started_at
+            if key[0] == consumer and (producer, key[1]) in committed
+        ]
+        if edge:
+            crossings.append(sum(edge) / len(edge))
+    per_iteration = sum(crossings) / len(crossings) if crossings else 0.0
+    return program, wall, per_iteration, pipelined
+
+
+def measure_pso(
+    outer: int, procs: int, repeat: int, workdir: str
+) -> Tuple[Dict[str, float], List[str]]:
+    """Off/buckets interleaved round by round (machine drift hits both
+    modes equally): best-of-``repeat`` walls, median-of-``repeat``
+    crossing overheads."""
+    flags = pso_flags(outer, procs)
+    failures: List[str] = []
+    serial_best = float("inf")
+    reference = None
+    for index in range(repeat):
+        program, seconds = timed_run(ApiaryPSO, flags, impl="serial")
+        serial_best = min(serial_best, seconds)
+        reference = pso_log(program)
+    if not reference:
+        failures.append("PSO produced no convergence log")
+        reference = []
+
+    mock, _ = timed_run(ApiaryPSO, flags, impl="mockparallel")
+    if pso_log(mock) != reference:
+        failures.append("PSO mockparallel log diverged from serial")
+
+    walls = {"off": float("inf"), "buckets": float("inf")}
+    crossings: Dict[str, List[float]] = {"off": [], "buckets": []}
+    for index in range(repeat):
+        for mode in ("off", "buckets"):
+            program, wall, crossing, pipelined = run_pso_pool(
+                flags, procs, mode, os.path.join(workdir, f"pso_{mode}_{index}")
+            )
+            walls[mode] = min(walls[mode], wall)
+            crossings[mode].append(crossing)
+            if pso_log(program) != reference:
+                failures.append(
+                    f"PSO multiprocess/{mode} log diverged from serial"
+                )
+            if mode == "off" and pipelined:
+                failures.append(
+                    f"--mrs-pipeline off crossed the barrier {pipelined}x"
+                )
+            if mode == "buckets" and not pipelined:
+                failures.append("buckets mode never dispatched early")
+
+    def median(values: List[float]) -> float:
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    overhead = {mode: median(crossings[mode]) for mode in crossings}
+    measured = {
+        "pso_serial_seconds": serial_best,
+        "pso_barrier_seconds": walls["off"],
+        "pso_pipelined_seconds": walls["buckets"],
+        "pso_barrier_overhead_per_iteration": overhead["off"],
+        "pso_pipelined_overhead_per_iteration": overhead["buckets"],
+        "pso_overhead_speedup": (
+            overhead["off"] / overhead["buckets"]
+            if overhead["buckets"] > 0
+            else float("inf")
+        ),
+    }
+    return measured, failures
+
+
+def measure_kmeans(
+    iters: int, procs: int, workdir: str
+) -> Tuple[Dict[str, float], List[str]]:
+    """Driver-synchronized control: per-iteration wall must tie across
+    modes (the driver's wait *is* the barrier), outputs identical."""
+    flags = km_flags(iters)
+    failures: List[str] = []
+    walls = {}
+    logs = {}
+    for mode in ("off", "buckets"):
+        program, seconds = timed_run(
+            KMeans,
+            flags,
+            impl="multiprocess",
+            procs=procs,
+            pipeline=mode,
+            tmpdir=os.path.join(workdir, f"km_{mode}"),
+        )
+        walls[mode] = seconds
+        logs[mode] = km_log(program)
+    if logs["off"] != logs["buckets"]:
+        failures.append("k-means outputs diverged between pipeline modes")
+    iterations = max(1, iters)
+    return {
+        "kmeans_barrier_seconds_per_iteration": walls["off"] / iterations,
+        "kmeans_pipelined_seconds_per_iteration": walls["buckets"] / iterations,
+    }, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--procs", type=int, default=4,
+                        help="pool workers (acceptance floor is 4)")
+    parser.add_argument("--outer", type=int, default=30,
+                        help="PSO outer iterations")
+    parser.add_argument("--km-iters", type=int, default=8)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="full-mode gate: barrier/pipelined "
+                        "per-iteration overhead ratio floor")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload for CI; gate relaxes to 'pipelined no "
+        "slower than barrier' (absolute times are too noisy on "
+        "shared runners to gate a ratio)",
+    )
+    parser.add_argument("--no-gate", action="store_true",
+                        help="report only; never fail")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_iteration.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.outer, args.km_iters, args.repeat = 10, 4, 2
+
+    workdir = tempfile.mkdtemp(prefix="bench_iteration_")
+    try:
+        pso, failures = measure_pso(
+            args.outer, args.procs, args.repeat, workdir
+        )
+        kmeans, km_failures = measure_kmeans(
+            args.km_iters, args.procs, workdir
+        )
+        failures += km_failures
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    measured = dict(pso)
+    measured.update(kmeans)
+
+    # Smoke relaxes the ratio floor to "pipelined no worse than
+    # barrier": loaded CI runners compress the barrier-mode reduce
+    # tail, which shrinks the numerator, never the sign.
+    floor = 1.0 if args.smoke else args.min_speedup
+    speedup = pso["pso_overhead_speedup"]
+    if speedup < floor:
+        failures.append(
+            f"per-iteration overhead speedup {speedup:.2f}x below the "
+            f"{floor:.2f}x floor"
+        )
+
+    rows = [
+        ["PSO serial (compute proxy)", fmt_seconds(pso["pso_serial_seconds"]),
+         "-"],
+        ["PSO barrier (--mrs-pipeline off)",
+         fmt_seconds(pso["pso_barrier_seconds"]),
+         fmt_seconds(pso["pso_barrier_overhead_per_iteration"])],
+        ["PSO pipelined (buckets)",
+         fmt_seconds(pso["pso_pipelined_seconds"]),
+         fmt_seconds(pso["pso_pipelined_overhead_per_iteration"])],
+        ["k-means barrier", "-",
+         fmt_seconds(kmeans["kmeans_barrier_seconds_per_iteration"])],
+        ["k-means pipelined", "-",
+         fmt_seconds(kmeans["kmeans_pipelined_seconds_per_iteration"])],
+    ]
+    title = (
+        f"Iteration pipelining ({args.procs} workers, "
+        f"{args.outer} PSO outer iters): overhead speedup "
+        f"{speedup:.2f}x"
+    )
+    print_table(title, ["configuration", "wall", "overhead/iter"], rows)
+    measured.update(
+        procs=float(args.procs),
+        outer_iterations=float(args.outer),
+        smoke=float(bool(args.smoke)),
+    )
+    write_json_table(
+        args.out,
+        title,
+        ["metric", "value"],
+        [[key, value] for key, value in sorted(measured.items())],
+        notes=[f"gate: {failure}" for failure in failures] or None,
+    )
+    if failures:
+        for failure in failures:
+            print(f"GATE: {failure}", file=sys.stderr)
+        return 0 if args.no_gate else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

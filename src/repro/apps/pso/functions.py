@@ -9,6 +9,7 @@ minimization problems with optimum value 0.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Tuple, Type
 
 import numpy as np
@@ -127,8 +128,28 @@ class Ackley(Benchmark):
         )
 
 
+class SlowSphere(Sphere):
+    """Sphere with a fixed per-evaluation delay.
+
+    Stands in for the paper's real workload — objective functions that
+    call out to an expensive simulation — so scheduler benchmarks can
+    measure overlap and idle time without needing more cores than the
+    machine has: a sleeping evaluation parallelizes even when compute
+    would not.
+    """
+
+    name = "sphere-slow"
+    #: Seconds of simulated computation per evaluation.
+    delay = 0.002
+
+    def evaluate(self, x: np.ndarray) -> float:
+        time.sleep(self.delay)
+        return super().evaluate(x)
+
+
 FUNCTIONS: Dict[str, Type[Benchmark]] = {
-    cls.name: cls for cls in (Sphere, Rosenbrock, Rastrigin, Griewank, Ackley)
+    cls.name: cls
+    for cls in (Sphere, Rosenbrock, Rastrigin, Griewank, Ackley, SlowSphere)
 }
 
 

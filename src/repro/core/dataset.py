@@ -57,8 +57,8 @@ class BaseDataset:
         key_serializer: Optional[str] = None,
         value_serializer: Optional[str] = None,
     ):
-        if splits <= 0:
-            raise ValueError(f"splits must be positive, got {splits}")
+        if splits < 0:
+            raise ValueError(f"splits must be non-negative, got {splits}")
         self.id = dataset_id or _next_dataset_id(prefix)
         self.splits = splits
         #: Scheduler hint: tasks of datasets sharing an affinity group
@@ -188,6 +188,8 @@ class LocalData(BaseDataset):
     ):
         super().__init__(dataset_id, splits, affinity_group, prefix="local")
         pairs = list(pairs)
+        if pairs and splits == 0:
+            raise ValueError("local_data with pairs requires splits >= 1")
         for index, pair in enumerate(pairs):
             if not isinstance(pair, tuple) or len(pair) != 2:
                 raise TypeError(

@@ -111,7 +111,8 @@ class Job:
         affinity_group: Optional[str] = None,
     ) -> ds.LocalData:
         """Create a dataset from literal key-value pairs."""
-        splits = splits or self.backend.default_splits
+        if splits is None:
+            splits = self.backend.default_splits
         data = ds.LocalData(
             pairs, splits=splits, parter=parter, affinity_group=affinity_group
         )

@@ -91,8 +91,13 @@ class MasterBackend(Backend):
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
         self.scheduler = Scheduler(
-            affinity=not getattr(opts, "no_affinity", False)
+            affinity=not getattr(opts, "no_affinity", False),
+            pipeline=getattr(opts, "pipeline", "buckets") != "off",
         )
+        #: Mirror of the scheduler's pipelined-dispatch count already
+        #: folded into the metrics registry.
+        self._pipelined_seen = 0
+        self.observability.registry.counter("scheduler.pipelined_dispatches")
         self._slaves: Dict[int, SlaveRecord] = {}
         self._next_slave_id = 1
         self._datasets: Dict[str, BaseDataset] = {}
@@ -184,9 +189,38 @@ class MasterBackend(Backend):
                     affinity_group=dataset.affinity_group,
                     input_id=dataset.input_id,
                     blocking_ids=dataset.blocking_ids,
+                    routing=dataplane.derive_routing(dataset, input_dataset),
                 )
             )
+            self._drain_scheduler()
         self._dispatch()
+
+    def _drain_scheduler(self) -> None:
+        """Publish scheduler-side transitions (caller holds the lock):
+        zero-task datasets that completed without any task report, and
+        pipelined tasks whose input buckets just committed."""
+        events = self.observability.events
+        for dataset_id in self.scheduler.take_completed_datasets():
+            dataset = self._datasets.get(dataset_id)
+            if dataset is not None and not dataset.complete:
+                dataset.complete = True
+                logger.info("dataset %s complete (no tasks)", dataset_id)
+                if events is not None:
+                    events.emit(
+                        "dataset.complete", dataset_id=dataset_id, tasks=0
+                    )
+        for entry in self.scheduler.take_unblocked():
+            dataset_id, task_index = entry["task"]
+            if events is not None:
+                events.emit(
+                    "task.unblocked",
+                    dataset_id=dataset_id,
+                    task_index=task_index,
+                    input_id=entry["input_id"],
+                    source=entry["source"],
+                    split=entry["split"],
+                )
+        self._cond.notify_all()
 
     def wait(
         self,
@@ -398,6 +432,7 @@ class MasterBackend(Backend):
                 events = self.observability.events
                 if events is not None:
                     events.emit("dataset.complete", dataset_id=dataset_id)
+            self._drain_scheduler()
             self._cond.notify_all()
         self._dispatch()
 
@@ -495,7 +530,11 @@ class MasterBackend(Backend):
                     # wait() on them returns instead of hanging, and
                     # drop the dataset's remaining queued tasks.
                     propagate_error(self._datasets, dataset_id)
-                    self.scheduler.cancel_dataset(dataset_id)
+                    # Dependents may hold pre-queued pipelined tasks;
+                    # drop those too, they can only waste slaves.
+                    for errored_id, errored in self._datasets.items():
+                        if errored.error:
+                            self.scheduler.cancel_dataset(errored_id)
                     if events is not None:
                         events.emit(
                             "dataset.failed",
@@ -606,6 +645,12 @@ class MasterBackend(Backend):
                     descriptor = self._build_descriptor(task)
                     record.busy = task
                     to_send.append((record, task, descriptor))
+                pipelined = self.scheduler.pipelined_dispatches
+                if pipelined > self._pipelined_seen:
+                    self.observability.registry.counter(
+                        "scheduler.pipelined_dispatches"
+                    ).inc(pipelined - self._pipelined_seen)
+                    self._pipelined_seen = pipelined
             if not to_send:
                 return
             # First work handed out: the job is effectively started even

@@ -18,6 +18,26 @@ Model
   ``(affinity_group, task_index) -> slave``.  Future tasks with the
   same key prefer that slave.  Iterative programs get this for free
   because every iteration's datasets share an affinity group.
+
+Bucket-granular pipelining
+--------------------------
+Dependencies are tracked at *bucket* granularity, not just dataset
+granularity.  Every completed task of a scheduled dataset records a
+**source commit**: source ``i``'s output buckets are durable and their
+URLs published.  When a producer has *identity routing* (its task ``i``
+writes only split ``i`` — true for a reduce that re-partitions with the
+same partition function and split count as its input, because a reduce
+emits each group's key unchanged), a consumer task ``j`` reads exactly
+the producer's source-``j`` bucket plus structurally empty ones.  Such
+consumer tasks are queued as soon as the consumer is submitted and
+become *eligible* the moment source ``j`` commits — even while sibling
+producer tasks are still running.  Dense (all-to-all) edges keep the
+classic dataset barrier.
+
+Lineage recovery revokes commits with the same precision:
+``reset_tasks`` removes exactly the reset sources' commits, so a
+revoked producer re-blocks exactly its consumers' corresponding tasks
+and nothing else.
 """
 
 from __future__ import annotations
@@ -25,6 +45,10 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 TaskId = Tuple[str, int]
+
+#: Producer task ``i`` writes only split ``i`` (diagonal bucket grid);
+#: consumer task ``j`` depends on source ``j`` alone.
+ROUTING_IDENTITY = "identity"
 
 
 class TaskState:
@@ -43,14 +67,25 @@ class ScheduledDataset:
         affinity_group: str,
         input_id: str,
         blocking_ids: Sequence[str] = (),
+        routing: Optional[str] = None,
     ):
         self.id = dataset_id
         self.ntasks = ntasks
         self.affinity_group = affinity_group
         self.input_id = input_id
         self.blocking_ids = set(blocking_ids)
+        #: How this dataset's output buckets route to consumers:
+        #: ``None`` (dense — any consumer task may read any source) or
+        #: :data:`ROUTING_IDENTITY`.
+        self.routing = routing
         self.task_state: Dict[int, str] = {}
         self.runnable = False
+        #: Tasks were queued ahead of activation (pipelined consumer).
+        self.prequeued = False
+        #: Source indices whose output buckets are durable.  A source
+        #: commits when its task completes and is revoked when lineage
+        #: recovery resets that task.
+        self.committed: Set[int] = set()
 
     @property
     def done_count(self) -> int:
@@ -66,12 +101,17 @@ class ScheduledDataset:
 class Scheduler:
     """Affinity-aware FIFO task scheduler."""
 
-    def __init__(self, affinity: bool = True):
+    def __init__(self, affinity: bool = True, pipeline: bool = True):
         self.affinity_enabled = affinity
+        #: Bucket-granular pipelining: dispatch a consumer task as soon
+        #: as its specific input buckets are committed, instead of
+        #: waiting for the whole input dataset (``--mrs-pipeline``).
+        self.pipeline_enabled = pipeline
         self._datasets: Dict[str, ScheduledDataset] = {}
         #: Insertion order of datasets — FIFO across datasets keeps
         #: early operations flowing first.
         self._order: List[str] = []
+        self._order_rank: Dict[str, int] = {}
         self._pending: List[TaskId] = []
         self._assigned: Dict[TaskId, int] = {}
         self._slave_tasks: Dict[int, Set[TaskId]] = {}
@@ -79,6 +119,15 @@ class Scheduler:
         #: Completed input datasets (including non-computed ones the
         #: master marks complete directly).
         self._complete_ids: Set[str] = set()
+        #: dataset id -> scheduled datasets that read it as input.
+        self._consumers: Dict[str, List[str]] = {}
+        #: Tasks dispatched before their input dataset completed.
+        self.pipelined_dispatches = 0
+        #: Drain queues for the driving backend (under its lock):
+        #: datasets that completed without any task running (ntasks=0)
+        #: and tasks whose eligibility just flipped on a bucket commit.
+        self._completed_datasets: List[str] = []
+        self._unblocked: List[Dict[str, Any]] = []
 
     # -- dataset lifecycle ------------------------------------------------
 
@@ -86,8 +135,23 @@ class Scheduler:
         if sched.id in self._datasets:
             raise ValueError(f"dataset {sched.id} already scheduled")
         self._datasets[sched.id] = sched
+        self._order_rank[sched.id] = len(self._order)
         self._order.append(sched.id)
-        self._maybe_activate(sched)
+        self._consumers.setdefault(sched.input_id, []).append(sched.id)
+        if not self._maybe_activate(sched) and self._pipelinable(sched):
+            # The input is an identity-routing producer: queue every
+            # task now so each becomes dispatchable the moment its own
+            # source bucket commits.
+            sched.prequeued = True
+            for task_index in range(sched.ntasks):
+                sched.task_state[task_index] = TaskState.PENDING
+                self._insert_pending((sched.id, task_index))
+
+    def _pipelinable(self, sched: ScheduledDataset) -> bool:
+        if not self.pipeline_enabled:
+            return False
+        producer = self._datasets.get(sched.input_id)
+        return producer is not None and producer.routing == ROUTING_IDENTITY
 
     def mark_input_complete(self, dataset_id: str) -> List[str]:
         """Record that ``dataset_id`` is complete; activate dependents.
@@ -96,7 +160,7 @@ class Scheduler:
         """
         self._complete_ids.add(dataset_id)
         activated = []
-        for ds_id in self._order:
+        for ds_id in list(self._order):
             sched = self._datasets[ds_id]
             if not sched.runnable and self._maybe_activate(sched):
                 activated.append(ds_id)
@@ -109,9 +173,16 @@ class Scheduler:
         if not deps <= self._complete_ids:
             return False
         sched.runnable = True
-        for task_index in range(sched.ntasks):
-            sched.task_state[task_index] = TaskState.PENDING
-            self._pending.append((sched.id, task_index))
+        if not sched.prequeued:
+            for task_index in range(sched.ntasks):
+                sched.task_state[task_index] = TaskState.PENDING
+                self._insert_pending((sched.id, task_index))
+        if sched.ntasks == 0:
+            # A zero-task dataset is complete the instant it activates;
+            # nothing will ever call task_done for it, so completion
+            # must propagate here or its dependents stall forever.
+            self._completed_datasets.append(sched.id)
+            self.mark_input_complete(sched.id)
         return True
 
     def is_complete(self, dataset_id: str) -> bool:
@@ -122,6 +193,21 @@ class Scheduler:
         consumers' pending tasks become ineligible until the data is
         re-executed and the dataset completes again."""
         self._complete_ids.discard(dataset_id)
+
+    def take_completed_datasets(self) -> List[str]:
+        """Drain datasets that completed without running any task
+        (``ntasks == 0``) so the backend can mark them complete and
+        wake waiters."""
+        drained = self._completed_datasets
+        self._completed_datasets = []
+        return drained
+
+    def take_unblocked(self) -> List[Dict[str, Any]]:
+        """Drain pipelined eligibility flips: each entry names the task
+        that just became dispatchable and the bucket that enabled it."""
+        drained = self._unblocked
+        self._unblocked = []
+        return drained
 
     # -- slaves ------------------------------------------------------------
 
@@ -142,7 +228,7 @@ class Scheduler:
                 TaskState.ASSIGNED
             ):
                 sched.task_state[task_index] = TaskState.PENDING
-                self._pending.append(task)
+                self._insert_pending(task)
         # Affinity entries pointing at the dead slave are stale.
         self._affinity = {
             key: slave
@@ -156,17 +242,52 @@ class Scheduler:
 
     # -- assignment ----------------------------------------------------------
 
-    def _task_eligible(self, task: TaskId) -> bool:
-        """A task may only run while its input data is complete.
+    def _insert_pending(self, task: TaskId) -> None:
+        """Queue a task at its FIFO position.
 
-        Normally true by construction (a dataset activates when its
-        input completes), but lineage recovery can *revoke* an input's
-        completeness while consumers are already queued — dispatching
-        one then would silently compute over partial input.
+        ``_pending`` is kept sorted by (dataset insertion order, task
+        index) so requeued tasks — slave loss, failure retry, lineage
+        re-execution — rejoin *ahead* of later iterations' work instead
+        of starving the dependency frontier at the tail of the queue.
+        """
+        rank = (self._order_rank.get(task[0], len(self._order)), task[1])
+        lo, hi = 0, len(self._pending)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            queued = self._pending[mid]
+            queued_rank = (
+                self._order_rank.get(queued[0], len(self._order)),
+                queued[1],
+            )
+            if queued_rank <= rank:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._pending.insert(lo, task)
+
+    def _task_eligible(self, task: TaskId) -> bool:
+        """A task may run once the buckets it reads are durable.
+
+        Dataset granularity: the input (and any blockers) are complete.
+        Bucket granularity: with pipelining on and an identity-routing
+        producer, task ``j`` needs only producer source ``j`` committed.
+        Lineage recovery can *revoke* either level while consumers are
+        already queued — dispatching one then would silently compute
+        over partial input.
         """
         sched = self._datasets[task[0]]
-        deps = {sched.input_id} | sched.blocking_ids
-        return deps <= self._complete_ids
+        if not sched.blocking_ids <= self._complete_ids:
+            return False
+        if sched.input_id in self._complete_ids:
+            return True
+        if not self.pipeline_enabled:
+            return False
+        producer = self._datasets.get(sched.input_id)
+        return (
+            producer is not None
+            and producer.routing == ROUTING_IDENTITY
+            and task[1] in producer.committed
+        )
 
     def next_task(self, slave_id: int) -> Optional[TaskId]:
         """Pick a pending *eligible* task for ``slave_id`` (affinity
@@ -193,6 +314,10 @@ class Scheduler:
         self._datasets[dataset_id].task_state[task_index] = TaskState.ASSIGNED
         self._assigned[task] = slave_id
         self._slave_tasks[slave_id].add(task)
+        if dataset_id in self._datasets and (
+            self._datasets[dataset_id].input_id not in self._complete_ids
+        ):
+            self.pipelined_dispatches += 1
         return task
 
     def has_pending(self) -> bool:
@@ -224,10 +349,34 @@ class Scheduler:
         self._slave_tasks[slave_id].discard(task)
         if self.affinity_enabled:
             self._affinity[(sched.affinity_group, task_index)] = slave_id
+        # The producing task is known and its bucket bytes are durable
+        # by the time the backend reports done: commit the source.
+        sched.committed.add(task_index)
         if sched.complete:
             self.mark_input_complete(dataset_id)
             return True, True
+        self._note_unblocked(sched, task_index)
         return True, False
+
+    def _note_unblocked(self, sched: ScheduledDataset, source: int) -> None:
+        """Record consumer tasks whose eligibility just flipped because
+        ``sched`` committed ``source`` (the dataset itself is still
+        incomplete, so this is a genuinely pipelined unblock)."""
+        if not self.pipeline_enabled or sched.routing != ROUTING_IDENTITY:
+            return
+        for consumer_id in self._consumers.get(sched.id, ()):
+            consumer = self._datasets[consumer_id]
+            if consumer.task_state.get(source) != TaskState.PENDING:
+                continue
+            if self._task_eligible((consumer_id, source)):
+                self._unblocked.append(
+                    {
+                        "task": (consumer_id, source),
+                        "input_id": sched.id,
+                        "source": source,
+                        "split": source,
+                    }
+                )
 
     def reset_tasks(self, dataset_id: str, task_indices) -> int:
         """Return completed tasks to the pending queue (lineage
@@ -235,16 +384,20 @@ class Scheduler:
 
         Tasks currently assigned are left alone — if they were assigned
         to the dead slave, :meth:`remove_slave` already requeued them.
-        Returns the number of tasks reset.
+        Revokes the reset sources' bucket commits, so pipelined
+        consumers of exactly those sources re-block until the data is
+        recomputed.  Returns the number of tasks reset.
         """
         sched = self._datasets.get(dataset_id)
-        if sched is None or not sched.runnable:
+        if sched is None:
             return 0
         count = 0
         for task_index in task_indices:
+            # The bucket is gone whether or not the task re-runs here.
+            sched.committed.discard(task_index)
             if sched.task_state.get(task_index) == TaskState.DONE:
                 sched.task_state[task_index] = TaskState.PENDING
-                self._pending.append((dataset_id, task_index))
+                self._insert_pending((dataset_id, task_index))
                 count += 1
         return count
 
@@ -272,7 +425,12 @@ class Scheduler:
         del self._assigned[task]
         self._slave_tasks[slave_id].discard(task)
         sched.task_state[task_index] = TaskState.PENDING
-        self._pending.append(task)
+        self._insert_pending(task)
+        # Affinity must not steer the retry straight back to the slave
+        # the task just failed on.
+        key = (sched.affinity_group, task_index)
+        if self._affinity.get(key) == slave_id:
+            del self._affinity[key]
 
     # -- introspection ------------------------------------------------------------
 
@@ -280,10 +438,8 @@ class Scheduler:
         sched = self._datasets.get(dataset_id)
         if sched is None:
             return 1.0 if dataset_id in self._complete_ids else 0.0
-        if not sched.runnable:
-            return 0.0
         if sched.ntasks == 0:
-            return 1.0
+            return 1.0 if sched.runnable else 0.0
         return sched.done_count / sched.ntasks
 
     def affinity_slave(self, group: str, task_index: int) -> Optional[int]:

@@ -27,9 +27,17 @@ class TestBaseDataset:
         ds.bucket(0, 1)
         assert [b.source for b in ds.buckets_for_split(0)] == [0, 1]
 
-    def test_rejects_nonpositive_splits(self):
+    def test_rejects_negative_splits(self):
         with pytest.raises(ValueError):
-            BaseDataset(splits=0)
+            BaseDataset(splits=-1)
+
+    def test_zero_splits_allowed_but_not_with_pairs(self):
+        # splits=0 is a legal empty dataset (its dependents have no
+        # tasks); partitioning actual pairs into it is not.
+        assert BaseDataset(splits=0).splits == 0
+        assert LocalData([], splits=0).complete
+        with pytest.raises(ValueError):
+            LocalData([("k", 1)], splits=0)
 
     def test_unique_ids(self):
         assert BaseDataset().id != BaseDataset().id

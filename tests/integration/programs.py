@@ -60,6 +60,22 @@ class SummingProgram(mrs.MapReduce):
         yield sum(values)
 
 
+class ModSumProgram(mrs.MapReduce):
+    """Iterative-shaped program whose reduce keeps its input's
+    partitioner and split count — the identity-routing shape the
+    pipelined scheduler overlaps across iterations.  ``map`` increments
+    every value so each pass is observable in the output."""
+
+    def mod4(self, key, n):
+        return int(key) % n
+
+    def map(self, key, value):
+        yield (key, value + 1)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+
 class TypedWordCount(mrs.MapReduce):
     """WordCount whose datasets declare str/int typed serializers —
     slaves must honour the codec names from task descriptors."""

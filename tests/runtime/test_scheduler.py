@@ -2,16 +2,24 @@
 
 import pytest
 
-from repro.runtime.scheduler import ScheduledDataset, Scheduler, TaskState
+from repro.runtime.scheduler import (
+    ROUTING_IDENTITY,
+    ScheduledDataset,
+    Scheduler,
+    TaskState,
+)
 
 
-def sched_ds(ds_id, ntasks=2, group=None, input_id="input", blocking=()):
+def sched_ds(
+    ds_id, ntasks=2, group=None, input_id="input", blocking=(), routing=None
+):
     return ScheduledDataset(
         ds_id,
         ntasks=ntasks,
         affinity_group=group or ds_id,
         input_id=input_id,
         blocking_ids=blocking,
+        routing=routing,
     )
 
 
@@ -189,6 +197,257 @@ class TestLineageRecovery:
 
     def test_reset_unknown_dataset_is_noop(self, scheduler):
         assert scheduler.reset_tasks("ghost", [0]) == 0
+
+
+class TestEmptyDatasets:
+    def test_empty_dataset_completes_on_activation(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("empty", ntasks=0))
+        assert scheduler.is_complete("empty")
+        assert scheduler.progress("empty") == 1.0
+        assert scheduler.take_completed_datasets() == ["empty"]
+
+    def test_dependent_of_empty_dataset_activates(self, scheduler):
+        """The verified repro: a zero-task dataset used to satisfy
+        ``complete`` without ever entering ``_complete_ids`` (that only
+        happened in ``task_done``, which never fires for it), so its
+        dependents stalled forever."""
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("empty", ntasks=0))
+        scheduler.add_dataset(sched_ds("d2", ntasks=1, input_id="empty"))
+        assert scheduler.next_task(1) == ("d2", 0)
+
+    def test_chain_of_empty_datasets_propagates(self, scheduler):
+        scheduler.add_dataset(sched_ds("e1", ntasks=0))
+        scheduler.add_dataset(sched_ds("e2", ntasks=0, input_id="e1"))
+        scheduler.add_dataset(sched_ds("d", ntasks=1, input_id="e2"))
+        assert scheduler.next_task(1) is None
+        scheduler.mark_input_complete("input")
+        assert scheduler.is_complete("e1")
+        assert scheduler.is_complete("e2")
+        assert set(scheduler.take_completed_datasets()) == {"e1", "e2"}
+        assert scheduler.next_task(1) == ("d", 0)
+
+    def test_empty_dataset_not_complete_before_activation(self, scheduler):
+        scheduler.add_dataset(sched_ds("empty", ntasks=0))
+        assert not scheduler.is_complete("empty")
+        assert scheduler.progress("empty") == 0.0
+        assert scheduler.take_completed_datasets() == []
+
+
+class TestFailureAffinity:
+    def test_failed_task_drops_affinity_entry(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("it1", ntasks=1, group="iter"))
+        task = scheduler.next_task(1)
+        scheduler.task_done(1, task)
+        assert scheduler.affinity_slave("iter", 0) == 1
+        scheduler.add_dataset(sched_ds("it2", ntasks=1, group="iter"))
+        task = scheduler.next_task(1)
+        scheduler.task_failed(1, task)
+        assert scheduler.affinity_slave("iter", 0) is None
+
+    def test_failing_slave_no_longer_prefers_its_failed_task(self, scheduler):
+        """Without the fix the stale affinity entry steered the retry
+        straight back to the slave it just failed on, ping-ponging
+        until the failure budget burned."""
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("it1", ntasks=2, group="iter"))
+        assert scheduler.next_task(2) == ("it1", 0)
+        assert scheduler.next_task(1) == ("it1", 1)
+        scheduler.task_done(2, ("it1", 0))
+        scheduler.task_done(1, ("it1", 1))
+        # Affinity now: task 0 -> slave 2, task 1 -> slave 1.
+        scheduler.add_dataset(sched_ds("it2", ntasks=2, group="iter"))
+        assert scheduler.next_task(1) == ("it2", 1)  # affinity match
+        scheduler.task_failed(1, ("it2", 1))
+        # The retry is no longer steered to slave 1; FIFO applies.
+        assert scheduler.next_task(1) == ("it2", 0)
+
+    def test_other_slaves_affinity_untouched_by_failure(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("it1", ntasks=1, group="iter"))
+        task = scheduler.next_task(1)
+        scheduler.task_done(1, task)
+        scheduler.add_dataset(sched_ds("it2", ntasks=1, group="iter"))
+        task = scheduler.next_task(1)
+        # Slave 2 reports the failure (stale/foreign): entry survives.
+        scheduler.task_failed(2, task)
+        assert scheduler.affinity_slave("iter", 0) == 1
+
+
+class TestRequeueOrdering:
+    def _two_active_datasets(self):
+        s = Scheduler(affinity=False)
+        s.add_slave(1)
+        s.add_slave(2)
+        s.mark_input_complete("input")
+        s.add_dataset(sched_ds("d1", ntasks=1))
+        s.add_dataset(sched_ds("d2", ntasks=2))
+        return s
+
+    def test_failed_task_requeues_ahead_of_later_datasets(self):
+        s = self._two_active_datasets()
+        assert s.next_task(1) == ("d1", 0)
+        assert s.next_task(2) == ("d2", 0)
+        s.task_failed(1, ("d1", 0))
+        # FIFO across datasets: the d1 retry outranks d2's queued work.
+        assert s.next_task(2) == ("d1", 0)
+
+    def test_remove_slave_requeues_in_dataset_order(self):
+        s = self._two_active_datasets()
+        assert s.next_task(1) == ("d1", 0)
+        s.remove_slave(1)
+        assert s.next_task(2) == ("d1", 0)
+
+    def test_reset_tasks_requeues_in_dataset_order(self):
+        s = self._two_active_datasets()
+        assert s.next_task(1) == ("d1", 0)
+        s.task_done(1, ("d1", 0))
+        s.reset_tasks("d1", [0])
+        assert s.next_task(2) == ("d1", 0)
+
+
+def identity_pair(scheduler, ntasks=2):
+    """A producer with identity routing and its pipelined consumer."""
+    scheduler.mark_input_complete("input")
+    scheduler.add_dataset(
+        sched_ds("red", ntasks=ntasks, routing=ROUTING_IDENTITY)
+    )
+    scheduler.add_dataset(sched_ds("map2", ntasks=ntasks, input_id="red"))
+
+
+class TestPipelining:
+    def test_consumer_task_unblocks_on_its_source_commit(self, scheduler):
+        identity_pair(scheduler)
+        assert scheduler.next_task(1) == ("red", 0)
+        assert scheduler.next_task(2) == ("red", 1)
+        # Nothing from map2 is eligible yet: all of red is in flight.
+        assert scheduler.next_task(1) is None
+        scheduler.task_done(1, ("red", 0))
+        # Source 0 committed: map2 task 0 dispatches while red is
+        # still incomplete — that is a pipelined dispatch.
+        assert scheduler.next_task(1) == ("map2", 0)
+        assert scheduler.pipelined_dispatches == 1
+        assert not scheduler.is_complete("red")
+        scheduler.task_done(2, ("red", 1))
+        assert scheduler.is_complete("red")
+        assert scheduler.next_task(2) == ("map2", 1)
+        # The second dispatch happened after red completed: not counted.
+        assert scheduler.pipelined_dispatches == 1
+
+    def test_commit_unblocks_only_matching_index(self, scheduler):
+        identity_pair(scheduler)
+        assert scheduler.next_task(1) == ("red", 0)
+        assert scheduler.next_task(2) == ("red", 1)
+        scheduler.task_done(2, ("red", 1))
+        # Only map2 task 1 may run; task 0's bucket is uncommitted.
+        assert scheduler.next_task(2) == ("map2", 1)
+        assert scheduler.next_task(2) is None
+
+    def test_unblocked_drain_names_enabling_bucket(self, scheduler):
+        identity_pair(scheduler)
+        scheduler.next_task(1)
+        scheduler.next_task(2)
+        assert scheduler.take_unblocked() == []
+        scheduler.task_done(1, ("red", 0))
+        assert scheduler.take_unblocked() == [
+            {"task": ("map2", 0), "input_id": "red", "source": 0, "split": 0}
+        ]
+        # Drained once; no duplicates.
+        assert scheduler.take_unblocked() == []
+
+    def test_pipeline_off_keeps_dataset_barrier(self):
+        s = Scheduler(pipeline=False)
+        s.add_slave(1)
+        s.add_slave(2)
+        s.mark_input_complete("input")
+        s.add_dataset(sched_ds("red", ntasks=2, routing=ROUTING_IDENTITY))
+        s.add_dataset(sched_ds("map2", ntasks=2, input_id="red"))
+        assert s.next_task(1) == ("red", 0)
+        assert s.next_task(2) == ("red", 1)
+        s.task_done(1, ("red", 0))
+        assert s.next_task(1) is None  # barrier: wait for all of red
+        s.task_done(2, ("red", 1))
+        assert s.next_task(1) == ("map2", 0)
+        assert s.pipelined_dispatches == 0
+
+    def test_dense_routing_keeps_dataset_barrier(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("m", ntasks=2))  # dense routing
+        scheduler.add_dataset(sched_ds("r", ntasks=2, input_id="m"))
+        scheduler.next_task(1)
+        scheduler.next_task(2)
+        scheduler.task_done(1, ("m", 0))
+        assert scheduler.next_task(1) is None
+        assert scheduler.take_unblocked() == []
+
+    def test_blockers_still_gate_pipelined_tasks(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(
+            sched_ds("red", ntasks=1, routing=ROUTING_IDENTITY)
+        )
+        scheduler.add_dataset(
+            sched_ds("map2", ntasks=1, input_id="red", blocking=["gate"])
+        )
+        scheduler.next_task(1)
+        scheduler.task_done(1, ("red", 0))
+        assert scheduler.next_task(1) is None  # blocker incomplete
+        scheduler.mark_input_complete("gate")
+        assert scheduler.next_task(1) == ("map2", 0)
+
+    def test_reset_reblocks_exactly_revoked_consumers(self, scheduler):
+        """Bucket-level lineage revocation: resetting producer task 0
+        re-blocks only consumer task 0; the sibling committed source
+        keeps its consumer eligible."""
+        identity_pair(scheduler)
+        scheduler.next_task(1)
+        scheduler.next_task(2)
+        scheduler.task_done(1, ("red", 0))
+        scheduler.task_done(2, ("red", 1))
+        assert scheduler.is_complete("red")
+        # Slave 1's data died: revoke source 0 at both granularities.
+        scheduler.unmark_complete("red")
+        reset = scheduler.reset_tasks("red", [0])
+        assert reset == 1
+        # The producer's re-execution outranks (FIFO) the still-valid
+        # consumer task 1; consumer task 0 is blocked again.
+        assert scheduler.next_task(2) == ("red", 0)
+        assert scheduler.next_task(2) == ("map2", 1)
+        assert scheduler.next_task(2) is None
+        # Recommitting source 0 unblocks consumer task 0 again.
+        scheduler.task_done(2, ("red", 0))
+        assert scheduler.next_task(2) == ("map2", 0)
+
+    def test_no_duplicate_tasks_when_prequeued_dataset_activates(
+        self, scheduler
+    ):
+        identity_pair(scheduler)
+        scheduler.next_task(1)
+        scheduler.next_task(2)
+        scheduler.task_done(1, ("red", 0))
+        scheduler.task_done(2, ("red", 1))  # activates map2 for real
+        seen = []
+        while True:
+            task = scheduler.next_task(1)
+            if task is None:
+                break
+            seen.append(task)
+        assert seen == [("map2", 0), ("map2", 1)]
+
+    def test_pipelined_consumer_completes_dataset(self, scheduler):
+        identity_pair(scheduler)
+        for slave, task in ((1, ("red", 0)), (2, ("red", 1))):
+            assert scheduler.next_task(slave) == task
+        scheduler.task_done(1, ("red", 0))
+        assert scheduler.next_task(1) == ("map2", 0)
+        accepted, complete = scheduler.task_done(1, ("map2", 0))
+        assert accepted and not complete
+        scheduler.task_done(2, ("red", 1))
+        assert scheduler.next_task(2) == ("map2", 1)
+        accepted, complete = scheduler.task_done(2, ("map2", 1))
+        assert accepted and complete
+        assert scheduler.is_complete("map2")
 
 
 class TestSlaveFailure:
