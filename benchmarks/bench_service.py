@@ -1,0 +1,280 @@
+"""Service mode vs per-process jobs: throughput and latency.
+
+The per-process baseline pays the classic cost for every job: spawn a
+master, spawn slaves, wait for sign-in, run, tear down.  The warm
+:class:`~repro.service.server.JobServer` pays it once, then multiplexes
+jobs over the shared pool.  This bench measures per-job latency (p50 /
+p99) and jobs/minute at 1, 8, and 32 concurrent submitters against the
+warm server, next to the per-process baseline — and verifies every
+warm job's output byte-identical to a serial run.
+
+Results land in ``BENCH_service.json`` (see ``--out``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+"""
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+sys.path.insert(0, _SRC)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+# Slave subprocesses must also find the package.
+os.environ["PYTHONPATH"] = os.pathsep.join(
+    p for p in [_SRC, os.environ.get("PYTHONPATH")] if p
+)
+
+from repro.apps.wordcount import WordCountCombined
+from repro.core import options as options_mod
+from repro.core.main import run_program
+from repro.runtime.cluster import run_on_cluster
+from repro.service import submit as submit_mod
+from repro.service.registry import ProgramRegistry
+from repro.service.server import JobServer
+from reporting import fmt_count, fmt_seconds, print_table, write_json_table
+
+N_SLAVES = 2
+
+
+def make_input(workdir: str, lines: int) -> str:
+    path = os.path.join(workdir, "input.txt")
+    with open(path, "w") as f:
+        for i in range(lines):
+            f.write(f"alpha beta gamma delta word{i % 97} epsilon\n")
+    return path
+
+
+def output_lines(outdir: str) -> List[bytes]:
+    collected = []
+    for name in sorted(os.listdir(outdir)):
+        if name.startswith("."):
+            continue
+        with open(os.path.join(outdir, name), "rb") as f:
+            collected += f.read().splitlines()
+    return sorted(collected)
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    ranked = sorted(values)
+    index = min(len(ranked) - 1, int(round(fraction * (len(ranked) - 1))))
+    return ranked[index]
+
+
+def bench_per_process(
+    infile: str, workdir: str, repeats: int
+) -> List[float]:
+    """Cold master + slaves per job: the pre-service cost of one job."""
+    latencies = []
+    for i in range(repeats):
+        outdir = os.path.join(workdir, f"baseline_{i}")
+        started = time.perf_counter()
+        run_on_cluster(
+            WordCountCombined,
+            [infile, outdir],
+            n_slaves=N_SLAVES,
+            tmpdir=os.path.join(workdir, f"baseline_tmp_{i}"),
+        )
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+def bench_warm_level(
+    server: JobServer,
+    infile: str,
+    workdir: str,
+    n_submitters: int,
+    jobs_each: int,
+    expected: List[bytes],
+) -> Dict[str, float]:
+    """``n_submitters`` threads each submit ``jobs_each`` jobs to the
+    warm server and wait for completion; every output is verified."""
+    url = server.control_url
+    latencies: List[float] = []
+    problems: List[str] = []
+    lock = threading.Lock()
+
+    def submit_and_wait(tag: str) -> None:
+        outdir = os.path.join(workdir, f"warm_{tag}")
+        started = time.perf_counter()
+        view = submit_mod._request(
+            "POST",
+            f"{url}/jobs",
+            payload={"program": "wordcount", "args": [infile, outdir]},
+        )
+        job_id = view["id"]
+        while True:
+            view = submit_mod._request("GET", f"{url}/jobs/{job_id}")
+            if view["state"] in ("done", "failed", "canceled"):
+                break
+            time.sleep(0.05)
+        elapsed = time.perf_counter() - started
+        with lock:
+            latencies.append(elapsed)
+            if view["state"] != "done":
+                problems.append(f"{job_id}: {view['state']} {view['error']}")
+            elif output_lines(outdir) != expected:
+                problems.append(f"{job_id}: output diverged from serial run")
+
+    def submitter(index: int) -> None:
+        for j in range(jobs_each):
+            submit_and_wait(f"{n_submitters}x_{index}_{j}")
+
+    threads = [
+        threading.Thread(target=submitter, args=(i,))
+        for i in range(n_submitters)
+    ]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_started
+    if problems:
+        raise RuntimeError("warm jobs misbehaved: " + "; ".join(problems))
+    return {
+        "jobs": len(latencies),
+        "wall": wall,
+        "jobs_per_minute": 60.0 * len(latencies) / wall,
+        "p50": percentile(latencies, 0.50),
+        "p99": percentile(latencies, 0.99),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lines", type=int, default=2000)
+    parser.add_argument("--baseline-repeats", type=int, default=3)
+    parser.add_argument(
+        "--levels", type=int, nargs="+", default=[1, 8, 32],
+        help="concurrent-submitter counts to measure",
+    )
+    parser.add_argument(
+        "--jobs-per-level", type=int, default=32,
+        help="total jobs at each concurrency level (>= the level)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: verifies plumbing and byte-identity, "
+        "not a meaningful timing",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_service.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.lines = 120
+        args.baseline_repeats = 1
+        args.levels = [1, 4]
+        args.jobs_per_level = 4
+
+    workdir = tempfile.mkdtemp(prefix="bench_service_")
+    try:
+        infile = make_input(workdir, args.lines)
+
+        serial_out = os.path.join(workdir, "serial_out")
+        run_program(WordCountCombined, [infile, serial_out], impl="serial")
+        expected = output_lines(serial_out)
+        assert expected, "serial reference run produced no output"
+
+        baseline = bench_per_process(
+            infile, workdir, repeats=args.baseline_repeats
+        )
+        baseline_p50 = percentile(baseline, 0.50)
+
+        opts, _ = options_mod.parse_options(
+            None,
+            ["--mrs", "serve", "--mrs-tmpdir", os.path.join(workdir, "run")],
+        )
+        registry = ProgramRegistry()
+        registry.register("wordcount", WordCountCombined)
+        server = JobServer(registry, opts)
+        levels = {}
+        try:
+            assert server.spawn_slaves(N_SLAVES) >= N_SLAVES
+            for n_submitters in args.levels:
+                jobs_each = max(1, args.jobs_per_level // n_submitters)
+                levels[n_submitters] = bench_warm_level(
+                    server,
+                    infile,
+                    workdir,
+                    n_submitters,
+                    jobs_each,
+                    expected,
+                )
+        finally:
+            server.shutdown(drain=True)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    headers = [
+        "mode", "submitters", "jobs", "jobs_per_minute", "p50_s", "p99_s",
+    ]
+    rows = [
+        [
+            "per-process",
+            1,
+            len(baseline),
+            round(60.0 / baseline_p50, 2),
+            round(baseline_p50, 4),
+            round(percentile(baseline, 0.99), 4),
+        ]
+    ]
+    for n_submitters in args.levels:
+        result = levels[n_submitters]
+        rows.append(
+            [
+                "warm server",
+                n_submitters,
+                result["jobs"],
+                round(result["jobs_per_minute"], 2),
+                round(result["p50"], 4),
+                round(result["p99"], 4),
+            ]
+        )
+    warm1 = levels[args.levels[0]]
+    notes = [
+        f"workload: wordcount over {args.lines} lines, {N_SLAVES} slaves; "
+        "per-process = cold master+slaves per job, warm = one shared "
+        "JobServer pool",
+        "every warm job's output verified byte-identical to a serial run",
+        f"warm 1-submitter p50 {warm1['p50']:.3f}s vs per-process p50 "
+        f"{baseline_p50:.3f}s "
+        f"({baseline_p50 / max(warm1['p50'], 1e-9):.1f}x faster warm)",
+    ]
+    if args.smoke:
+        notes.append("smoke run: workload too small for a meaningful timing")
+    title = "Service mode: warm job server vs per-process jobs"
+    print_table(
+        title,
+        headers,
+        [
+            [r[0], r[1], fmt_count(r[2]), fmt_count(r[3]),
+             fmt_seconds(r[4]), fmt_seconds(r[5])]
+            for r in rows
+        ],
+        notes,
+    )
+    write_json_table(os.path.abspath(args.out), title, headers, rows, notes)
+    print(f"wrote {os.path.abspath(args.out)}")
+
+    if warm1["p50"] >= baseline_p50:
+        print(
+            "WARNING: warm p50 did not beat the per-process baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

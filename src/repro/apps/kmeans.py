@@ -17,6 +17,7 @@ reduce(index, partials)            -> (sum_vector, count)
 
 from __future__ import annotations
 
+import os
 from typing import Any, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -177,6 +178,35 @@ class KMeans(mrs.MapReduce):
                 break
         self.inertia = inertia(points, self.centroids)
         return 0
+
+
+class KMeansFile(KMeans):
+    """KMeans that also writes its final model to the output directory
+    (last positional arg) — gives CLI/service runs a file artifact that
+    can be byte-compared across implementations."""
+
+    def _write_model(self) -> None:
+        outdir = self.output_dir
+        if not outdir or self.centroids is None:
+            return
+        os.makedirs(outdir, exist_ok=True)
+        with open(os.path.join(outdir, "centroids.txt"), "w") as f:
+            for row in self.centroids:
+                f.write(" ".join(f"{x:.6f}" for x in row) + "\n")
+            f.write(f"iterations\t{self.iterations_run}\n")
+            f.write(f"inertia\t{self.inertia:.6f}\n")
+
+    def run(self, job: mrs.Job) -> int:
+        status = super().run(job)
+        if status in (None, 0):
+            self._write_model()
+        return status
+
+    def bypass(self) -> int:
+        status = super().bypass()
+        if status in (None, 0):
+            self._write_model()
+        return status
 
 
 def inertia(points: np.ndarray, centroids: np.ndarray) -> float:

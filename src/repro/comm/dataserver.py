@@ -144,6 +144,10 @@ class _BucketRequestHandler(http.server.BaseHTTPRequestHandler):
 class _ThreadingHTTPServer(http.server.ThreadingHTTPServer):
     allow_reuse_address = True
     daemon_threads = True
+    # The stdlib default backlog (5) drops connections under submitter
+    # bursts — the control surface must absorb dozens of simultaneous
+    # connects without resets.
+    request_queue_size = 128
 
 
 class DataServer:
@@ -204,12 +208,52 @@ class _StatusRequestHandler(http.server.BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "MrsStatus/1.0"
 
+    #: Mutating control methods require the bearer token (when set).
+    _MUTATING = frozenset({"POST", "DELETE", "PUT", "PATCH"})
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
 
-    def do_GET(self) -> None:
+    def _authorized(self) -> bool:
+        token = getattr(self.server, "auth_token", None)
+        if not token:
+            return True
+        header = self.headers.get("Authorization", "")
+        if header.startswith("Bearer ") and header[7:].strip() == token:
+            return True
+        return self.headers.get("X-Mrs-Token", "") == token
+
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except (TypeError, ValueError):
+            length = 0
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _dispatch(self, method: str) -> None:
         parsed = urllib.parse.urlparse(self.path)
         route = parsed.path.rstrip("/") or "/status"
+        query = urllib.parse.parse_qs(parsed.query)
+        body = self._read_body()
+        control = getattr(self.server, "control", None)
+        if control is not None and (
+            route == "/jobs" or route.startswith("/jobs/")
+        ):
+            if method in self._MUTATING and not self._authorized():
+                self._send_json(401, {"error": "missing or bad auth token"})
+                return
+            try:
+                code, payload = control.handle(method, route, body, query)
+            except Exception as exc:
+                self._send_json(500, {"error": repr(exc)})
+                return
+            self._send_json(code, payload)
+            return
+        if method != "GET":
+            self._send_json(
+                405, {"error": f"{method} not allowed on {route!r}"}
+            )
+            return
         views = self.server.views  # type: ignore[attr-defined]
         view = views.get(route)
         if view is None:
@@ -218,13 +262,21 @@ class _StatusRequestHandler(http.server.BaseHTTPRequestHandler):
                       "views": sorted(views)}
             )
             return
-        query = urllib.parse.parse_qs(parsed.query)
         try:
             payload = view(query)
         except Exception as exc:
             self._send_json(500, {"error": repr(exc)})
             return
         self._send_json(200, payload)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
 
     def _send_json(self, code: int, payload: Any) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
@@ -236,16 +288,36 @@ class _StatusRequestHandler(http.server.BaseHTTPRequestHandler):
 
 
 class StatusServer:
-    """Read-only JSON status endpoint over a running backend.
+    """JSON status endpoint over a running backend — and, with a
+    ``control`` object attached, the job-server control surface.
 
-    Routes:
+    Read-only routes (always):
 
     * ``/status``  — the backend's live :meth:`status` snapshot
     * ``/metrics`` — the aggregate metrics report (``Job.metrics()``)
     * ``/events``  — event ring tail; ``?since=N`` skips seq <= N
+
+    Control routes (``control`` given — a
+    :class:`repro.service.server.JobServer`):
+
+    * ``POST /jobs``         — submit a registered program + args
+    * ``GET /jobs``          — list jobs
+    * ``GET /jobs/<id>``     — one job's state/progress/metrics
+    * ``GET /jobs/<id>/events`` — the job's slice of the event ring
+    * ``DELETE /jobs/<id>``  — cancel
+
+    Mutating control requests require ``auth_token`` (when set) via
+    ``Authorization: Bearer <token>`` or ``X-Mrs-Token``.
     """
 
-    def __init__(self, backend: Any, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        backend: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        control: Any = None,
+        auth_token: Optional[str] = None,
+    ):
         self.backend = backend
         views: Dict[str, Callable[[Dict[str, Any]], Any]] = {
             "/status": lambda query: backend.status(),
@@ -254,6 +326,8 @@ class StatusServer:
         }
         self._server = _ThreadingHTTPServer((host, port), _StatusRequestHandler)
         self._server.views = views  # type: ignore[attr-defined]
+        self._server.control = control  # type: ignore[attr-defined]
+        self._server.auth_token = auth_token  # type: ignore[attr-defined]
         self.host, self.port = self._server.server_address[:2]
         self._thread = threading.Thread(
             target=self._server.serve_forever,

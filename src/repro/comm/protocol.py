@@ -59,8 +59,18 @@ def make_task_descriptor(
     input_key_serializer: Optional[str] = None,
     input_value_serializer: Optional[str] = None,
     input_sorted: Optional[Sequence[bool]] = None,
+    program_spec: Optional[str] = None,
+    program_args: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     return {
+        # Multi-program slave pools (service mode): the slave resolves
+        # ``module:Class`` + args into a cached program instance for
+        # this task instead of using its boot-time program.  Absent or
+        # None keeps the classic one-program-per-slave behaviour.
+        "program_spec": program_spec,
+        "program_args": (
+            None if program_args is None else [str(a) for a in program_args]
+        ),
         "dataset_id": dataset_id,
         "task_index": int(task_index),
         "op": dict(op_dict),

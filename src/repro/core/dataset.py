@@ -40,9 +40,20 @@ _dataset_counter = itertools.count()
 _counter_lock = threading.Lock()
 
 
-def _next_dataset_id(prefix: str) -> str:
+def _next_dataset_id(prefix: str, namespace: Optional[str] = None) -> str:
+    """Allocate a process-unique dataset id.
+
+    ``namespace`` (a job id in service mode) becomes a ``.``-separated
+    prefix — ``job-1.map_3``.  A dot rather than a slash because the id
+    also appears verbatim in flat bucket filenames
+    (``{dataset_id}_{source}_{split}.{ext}``) and as a single directory
+    level in the run dir.
+    """
     with _counter_lock:
-        return f"{prefix}_{next(_dataset_counter)}"
+        serial = next(_dataset_counter)
+    if namespace:
+        return f"{namespace}.{prefix}_{serial}"
+    return f"{prefix}_{serial}"
 
 
 class BaseDataset:
@@ -56,10 +67,13 @@ class BaseDataset:
         prefix: str = "ds",
         key_serializer: Optional[str] = None,
         value_serializer: Optional[str] = None,
+        namespace: Optional[str] = None,
     ):
         if splits < 0:
             raise ValueError(f"splits must be non-negative, got {splits}")
-        self.id = dataset_id or _next_dataset_id(prefix)
+        self.id = dataset_id or _next_dataset_id(prefix, namespace)
+        #: Job namespace this dataset belongs to (service mode), if any.
+        self.namespace = namespace
         self.splits = splits
         #: Scheduler hint: tasks of datasets sharing an affinity group
         #: and task index prefer the same slave across iterations.
@@ -185,8 +199,12 @@ class LocalData(BaseDataset):
         parter: Optional[Callable[[Any, int], int]] = None,
         dataset_id: Optional[str] = None,
         affinity_group: Optional[str] = None,
+        namespace: Optional[str] = None,
     ):
-        super().__init__(dataset_id, splits, affinity_group, prefix="local")
+        super().__init__(
+            dataset_id, splits, affinity_group, prefix="local",
+            namespace=namespace,
+        )
         pairs = list(pairs)
         if pairs and splits == 0:
             raise ValueError("local_data with pairs requires splits >= 1")
@@ -227,13 +245,14 @@ class FileData(BaseDataset):
         file_urls: Sequence[str],
         dataset_id: Optional[str] = None,
         affinity_group: Optional[str] = None,
+        namespace: Optional[str] = None,
     ):
         file_urls = list(file_urls)
         if not file_urls:
             raise ValueError("file_data requires at least one input file")
         super().__init__(
             dataset_id, splits=len(file_urls), affinity_group=affinity_group,
-            prefix="file",
+            prefix="file", namespace=namespace,
         )
         for split, url in enumerate(file_urls):
             if "://" not in url and not url.startswith("file:"):
@@ -261,6 +280,7 @@ class ComputedData(BaseDataset):
         blocking_ids: Sequence[str] = (),
         key_serializer: Optional[str] = None,
         value_serializer: Optional[str] = None,
+        namespace: Optional[str] = None,
     ):
         super().__init__(
             dataset_id,
@@ -269,6 +289,7 @@ class ComputedData(BaseDataset):
             prefix=operation.kind,
             key_serializer=key_serializer,
             value_serializer=value_serializer,
+            namespace=namespace,
         )
         #: Dataset id this operation consumes.
         self.input_id = input_id

@@ -85,10 +85,26 @@ class JobError(Exception):
 class Job:
     """Dataset factory and synchronization point for a running program."""
 
-    def __init__(self, backend: Backend, program: Any = None):
+    def __init__(
+        self,
+        backend: Backend,
+        program: Any = None,
+        namespace: Optional[str] = None,
+    ):
         self.backend = backend
         self.program = program
+        #: Job namespace (service mode): every dataset id and affinity
+        #: group this job creates is prefixed ``<namespace>.`` so many
+        #: jobs can share one backend without colliding.
+        self.namespace = namespace
         self._datasets: Dict[str, ds.BaseDataset] = {}
+
+    def _group(self, group: Optional[str]) -> Optional[str]:
+        """Namespace an affinity group so concurrent jobs never share
+        scheduler affinity state."""
+        if group and self.namespace:
+            return f"{self.namespace}.{group}"
+        return group
 
     # -- dataset registry ---------------------------------------------
 
@@ -114,7 +130,11 @@ class Job:
         if splits is None:
             splits = self.backend.default_splits
         data = ds.LocalData(
-            pairs, splits=splits, parter=parter, affinity_group=affinity_group
+            pairs,
+            splits=splits,
+            parter=parter,
+            affinity_group=self._group(affinity_group),
+            namespace=self.namespace,
         )
         return self._register(data)
 
@@ -124,7 +144,11 @@ class Job:
         affinity_group: Optional[str] = None,
     ) -> ds.FileData:
         """Create a dataset over existing files; one task per file."""
-        data = ds.FileData(list(file_urls), affinity_group=affinity_group)
+        data = ds.FileData(
+            list(file_urls),
+            affinity_group=self._group(affinity_group),
+            namespace=self.namespace,
+        )
         return self._register(data)
 
     # -- computed datasets ----------------------------------------------
@@ -153,10 +177,13 @@ class Job:
             combiner=combiner,
             outdir=outdir,
             format_ext=format,
-            affinity_group=affinity_group or f"map:{ds.callable_name(mapper)}",
+            affinity_group=self._group(
+                affinity_group or f"map:{ds.callable_name(mapper)}"
+            ),
             blocking_ids=[b.id for b in blocking],
             key_serializer=key_serializer,
             value_serializer=value_serializer,
+            namespace=self.namespace,
         )
         self._register(data)
         self.backend.submit(data, self)
@@ -184,10 +211,13 @@ class Job:
             parter=parter,
             outdir=outdir,
             format_ext=format,
-            affinity_group=affinity_group or f"reduce:{ds.callable_name(reducer)}",
+            affinity_group=self._group(
+                affinity_group or f"reduce:{ds.callable_name(reducer)}"
+            ),
             blocking_ids=[b.id for b in blocking],
             key_serializer=key_serializer,
             value_serializer=value_serializer,
+            namespace=self.namespace,
         )
         self._register(data)
         self.backend.submit(data, self)
@@ -219,11 +249,15 @@ class Job:
             combiner=combiner,
             outdir=outdir,
             format_ext=format,
-            affinity_group=affinity_group
-            or f"reducemap:{ds.callable_name(reducer)}+{ds.callable_name(mapper)}",
+            affinity_group=self._group(
+                affinity_group
+                or f"reducemap:{ds.callable_name(reducer)}"
+                f"+{ds.callable_name(mapper)}"
+            ),
             blocking_ids=[b.id for b in blocking],
             key_serializer=key_serializer,
             value_serializer=value_serializer,
+            namespace=self.namespace,
         )
         self._register(data)
         self.backend.submit(data, self)

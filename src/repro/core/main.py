@@ -49,6 +49,13 @@ def main(program_class: Any, argv: Optional[Sequence[str]] = None) -> int:
 
         return run_slave(program_class, opts, args)
 
+    if impl == "serve":
+        # Persistent job server: the program class is registered as a
+        # submittable program; run() is driven per submission.
+        from repro.service.server import run_serve
+
+        return run_serve(program_class, opts, args)
+
     program = program_class(opts, args)
 
     if impl == "bypass":
@@ -56,20 +63,48 @@ def main(program_class: Any, argv: Optional[Sequence[str]] = None) -> int:
 
         return run_bypass(program)
 
+    from repro.util.signals import GracefulExit, install_graceful_exit
+
     backend = _make_backend(impl, program, opts, args)
     ticker = _maybe_start_ticker(backend, opts)
     status_server = _maybe_start_status_server(backend, opts)
+    previous_signals = install_graceful_exit()
     try:
         job = Job(backend, program)
-        status = int(program.run(job) or 0)
+        try:
+            status = int(program.run(job) or 0)
+        except GracefulExit as exc:
+            # First SIGTERM/SIGINT: flush observability outputs and
+            # shut the cluster down cleanly (the finally below), then
+            # report success — the operator asked us to stop.
+            logger.warning(
+                "received signal %d; shutting down gracefully", exc.signum
+            )
+            _finalize_run(backend, opts)
+            return 0
         _finalize_run(backend, opts)
         return status
     finally:
+        from repro.util.signals import restore
+
+        restore(previous_signals)
         if ticker is not None:
             ticker.stop()
         if status_server is not None:
             status_server.shutdown()
         backend.close()
+        _close_transfer_pool()
+
+
+def _close_transfer_pool() -> None:
+    """Close the process-global pooled transfer connections (graceful
+    shutdown: no half-open keep-alive sockets left behind)."""
+    from repro.comm import transfer
+
+    try:
+        transfer.get_pool().close()
+    except Exception:  # pragma: no cover - best-effort cleanup
+        pass
 
 
 def _maybe_dump_metrics(backend: Any, opts: Any) -> Optional[str]:

@@ -19,6 +19,7 @@ IMPLEMENTATIONS = (
     "multiprocess",
     "master",
     "slave",
+    "serve",
 )
 
 
@@ -257,6 +258,42 @@ def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="overall job timeout (master/serial implementations)",
+    )
+    group.add_argument(
+        "--mrs-slave-wait-timeout",
+        dest="slave_wait_timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="master: how long wait_for_slaves blocks for sign-ins "
+        "(default: MRS_SLAVE_WAIT_TIMEOUT or 30)",
+    )
+    group.add_argument(
+        "--mrs-max-concurrent-jobs",
+        dest="max_concurrent_jobs",
+        type=int,
+        default=8,
+        metavar="N",
+        help="serve: jobs admitted into the shared slave pool at once "
+        "(further submissions queue FIFO)",
+    )
+    group.add_argument(
+        "--mrs-auth-token",
+        dest="auth_token",
+        default=None,
+        metavar="TOKEN",
+        help="serve: bearer token required by mutating control-surface "
+        "requests (POST/DELETE /jobs); default MRS_AUTH_TOKEN or none",
+    )
+    group.add_argument(
+        "--mrs-register",
+        dest="register",
+        action="append",
+        default=[],
+        metavar="NAME=MODULE:CLASS",
+        help="serve: register a submittable program under NAME "
+        "(repeatable); the program class passed to main() is always "
+        "registered under its lowercased class name",
     )
     if program_class is not None and hasattr(program_class, "update_parser"):
         program_class.update_parser(parser)

@@ -200,15 +200,27 @@ class Observability:
             )
         return rows
 
-    def status_view(self) -> Dict[str, Any]:
+    def status_view(
+        self, dataset_prefix: Optional[str] = None
+    ) -> Dict[str, Any]:
         """A cheap live snapshot for tickers and status endpoints.
 
         Derived from the tracer and registry only (no remote calls):
         tasks done/total, an ETA extrapolated from the task-duration
         histogram, and the live overhead fraction — the in-flight
         version of the report's summary numbers.
+
+        ``dataset_prefix`` restricts the span scan to datasets whose id
+        starts with it — the per-job view a multi-job server exposes at
+        ``GET /jobs/<id>`` (job namespaces prefix every dataset id).
         """
         spans = self.tracer.spans()
+        if dataset_prefix is not None:
+            spans = [
+                span
+                for span in spans
+                if span.dataset_id.startswith(dataset_prefix)
+            ]
         total = len(spans)
         done = 0
         running = 0

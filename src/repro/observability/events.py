@@ -188,10 +188,35 @@ class EventLog:
 
     # -- reading --------------------------------------------------------
 
-    def snapshot(self, since_seq: int = 0) -> List[Dict[str, Any]]:
-        """Events currently in the ring with ``seq > since_seq``."""
+    def snapshot(
+        self,
+        since_seq: int = 0,
+        dataset_prefix: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Events currently in the ring with ``seq > since_seq``.
+
+        ``dataset_prefix`` keeps only events whose ``dataset_id`` or
+        ``job_id`` field falls under the prefix — the per-job event
+        slice a multi-job server serves at ``GET /jobs/<id>/events``
+        (job namespaces prefix every dataset id, so ``"job-3."``
+        matches exactly job 3's task/dataset lifecycle).
+        """
         with self._lock:
-            return [e for e in self._ring if e["seq"] > since_seq]
+            events = [e for e in self._ring if e["seq"] > since_seq]
+        if dataset_prefix is None:
+            return events
+        job_id = dataset_prefix.rstrip(".")
+        matched = []
+        for event in events:
+            fields = event.get("fields") or {}
+            dataset_id = fields.get("dataset_id")
+            if isinstance(dataset_id, str) and dataset_id.startswith(
+                dataset_prefix
+            ):
+                matched.append(event)
+            elif fields.get("job_id") == job_id:
+                matched.append(event)
+        return matched
 
     def __len__(self) -> int:
         with self._lock:

@@ -37,6 +37,15 @@ class FailureTracker:
     def count(self, task: TaskId) -> int:
         return self._counts.get(task, 0)
 
+    def forget_dataset(self, dataset_id: str) -> None:
+        """Drop all strike state for one dataset (a long-lived server
+        releases finished jobs; their counts must not accumulate)."""
+        self._counts = {
+            task: count
+            for task, count in self._counts.items()
+            if task[0] != dataset_id
+        }
+
 
 def propagate_error(
     datasets: Dict[str, object], failed_id: str, message: Optional[str] = None

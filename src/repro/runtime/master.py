@@ -30,7 +30,11 @@ from repro.comm.rpc import RpcServer, format_address, rpc_client
 from repro.core.dataset import BaseDataset, ComputedData
 from repro.core.job import Backend, Job
 from repro.io.bucket import Bucket
-from repro.observability import Observability, PIGGYBACK_PHASES
+from repro.observability import (
+    MetricsRegistry,
+    Observability,
+    PIGGYBACK_PHASES,
+)
 from repro.runtime import dataplane
 from repro.runtime.failures import (
     MAX_TASK_FAILURES,
@@ -46,6 +50,27 @@ PING_INTERVAL = 2.0
 
 #: RPC timeout for master->slave calls.
 SLAVE_RPC_TIMEOUT = 10.0
+
+#: Fallback slave sign-in wait when neither --mrs-slave-wait-timeout
+#: nor MRS_SLAVE_WAIT_TIMEOUT is set.
+DEFAULT_SLAVE_WAIT_TIMEOUT = 30.0
+
+
+def resolve_slave_wait_timeout(opts: Any = None) -> float:
+    """The sign-in wait budget: option, then environment, then 30 s."""
+    value = getattr(opts, "slave_wait_timeout", None)
+    if value is None:
+        raw = os.environ.get("MRS_SLAVE_WAIT_TIMEOUT")
+        if raw:
+            try:
+                value = float(raw)
+            except ValueError:
+                logger.warning(
+                    "ignoring malformed MRS_SLAVE_WAIT_TIMEOUT=%r", raw
+                )
+    if value is None:
+        return DEFAULT_SLAVE_WAIT_TIMEOUT
+    return float(value)
 
 
 class SlaveRecord:
@@ -110,6 +135,13 @@ class MasterBackend(Backend):
         #: "Profiling has helped to identify real bottlenecks",
         #: section IV-B).
         self._task_seconds: Dict[str, List[float]] = {}
+        #: Service mode: job namespace -> (program_spec, program_args)
+        #: attached to that job's task descriptors so a shared slave
+        #: pool can execute tasks from many programs.
+        self._job_programs: Dict[str, Tuple[Optional[str], List[str]]] = {}
+        #: Per-job metrics registries (isolated from the server-wide
+        #: registry; fed alongside it on every accepted completion).
+        self._job_registries: Dict[str, MetricsRegistry] = {}
         self._closed = False
 
         # Control-plane server (instrumented: every handled RPC is
@@ -190,6 +222,7 @@ class MasterBackend(Backend):
                     input_id=dataset.input_id,
                     blocking_ids=dataset.blocking_ids,
                     routing=dataplane.derive_routing(dataset, input_dataset),
+                    job_id=getattr(job, "namespace", None),
                 )
             )
             self._drain_scheduler()
@@ -253,11 +286,15 @@ class MasterBackend(Backend):
         with self._lock:
             return self.scheduler.progress(dataset.id)
 
-    def remove_data(self, dataset_id: str, job: Job) -> None:
-        shared_dir = os.path.join(self.tmpdir, dataset_id)
-        if os.path.isdir(shared_dir):
-            shutil.rmtree(shared_dir, ignore_errors=True)
+    def remove_data(self, dataset_id: str, job: Optional[Job] = None) -> None:
+        # Ordering matters for spill-file hygiene: first stop any more
+        # of this dataset's tasks from running (drop pending work and
+        # lineage), then release slave-local copies, and only *then*
+        # delete the master-side run directory — deleting it first left
+        # a window where an in-flight task re-created the directory
+        # with fresh spill files that nothing would ever clean up.
         with self._lock:
+            self.scheduler.cancel_dataset(dataset_id)
             # Released datasets are exempt from lineage recovery: their
             # data is gone on purpose and nothing will read it again.
             self._producers = {
@@ -271,6 +308,29 @@ class MasterBackend(Backend):
                 record.client().remove_data(dataset_id)
             except Exception:
                 pass  # best-effort cleanup
+        shared_dir = os.path.join(self.tmpdir, dataset_id)
+        if os.path.isdir(shared_dir):
+            shutil.rmtree(shared_dir, ignore_errors=True)
+
+    def _sweep_errored_dirs(self) -> None:
+        """Delete run directories of failed/canceled datasets.
+
+        Their contents are unreadable by definition (the dataset will
+        never complete), and canceled tasks that were already in flight
+        may have spilled buckets after the cancel — without this sweep
+        those files outlive the job even in a caller-owned tmpdir.
+        User-facing outdirs are never touched.
+        """
+        with self._lock:
+            doomed = [
+                ds_id
+                for ds_id, dataset in self._datasets.items()
+                if dataset.error and not getattr(dataset, "outdir", None)
+            ]
+        for ds_id in doomed:
+            path = os.path.join(self.tmpdir, ds_id)
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
 
     def close(self) -> None:
         with self._lock:
@@ -294,6 +354,8 @@ class MasterBackend(Backend):
                 pass
         if self._owns_tmpdir:
             shutil.rmtree(self.tmpdir, ignore_errors=True)
+        else:
+            self._sweep_errored_dirs()
 
     # ------------------------------------------------------------------
     # Slave management (called from RPC handler threads)
@@ -323,8 +385,16 @@ class MasterBackend(Backend):
         self._dispatch()
         return slave_id
 
-    def wait_for_slaves(self, count: int, timeout: float = 30.0) -> int:
-        """Block until ``count`` slaves have signed in (startup helper)."""
+    def wait_for_slaves(
+        self, count: int, timeout: Optional[float] = None
+    ) -> int:
+        """Block until ``count`` slaves have signed in (startup helper).
+
+        ``timeout=None`` resolves --mrs-slave-wait-timeout, then the
+        MRS_SLAVE_WAIT_TIMEOUT environment variable, then 30 s.
+        """
+        if timeout is None:
+            timeout = resolve_slave_wait_timeout(self.opts)
         deadline = time.monotonic() + timeout
         with self._cond:
             while True:
@@ -342,6 +412,132 @@ class MasterBackend(Backend):
     def alive_slaves(self) -> List[SlaveRecord]:
         with self._lock:
             return [s for s in self._slaves.values() if s.alive]
+
+    # ------------------------------------------------------------------
+    # Job scoping (service mode)
+    # ------------------------------------------------------------------
+
+    def _namespace_of(self, dataset_id: str) -> Optional[str]:
+        """The registered job namespace of a dataset id, if any
+        (caller holds the lock)."""
+        namespace, sep, _ = dataset_id.partition(".")
+        if sep and namespace in self._job_programs:
+            return namespace
+        return None
+
+    def register_job(
+        self,
+        namespace: str,
+        program_spec: Optional[str] = None,
+        program_args: Sequence[str] = (),
+    ) -> MetricsRegistry:
+        """Declare a job namespace on this backend.
+
+        The program spec rides on every task descriptor of datasets
+        under the namespace, so a shared slave pool can execute many
+        programs; metrics of those tasks are additionally folded into
+        an isolated per-job registry (returned here).
+        """
+        with self._lock:
+            self._job_programs[namespace] = (
+                program_spec,
+                [str(a) for a in program_args],
+            )
+            registry = self._job_registries.setdefault(
+                namespace, MetricsRegistry()
+            )
+        events = self.observability.events
+        if events is not None:
+            events.emit(
+                "job.registered", job_id=namespace, program=program_spec
+            )
+        return registry
+
+    def job_registry(self, namespace: str) -> Optional[MetricsRegistry]:
+        with self._lock:
+            return self._job_registries.get(namespace)
+
+    def cancel_namespace(
+        self, namespace: str, reason: str = "job canceled"
+    ) -> List[str]:
+        """Fail every incomplete dataset of one job and drop its queued
+        tasks — without touching any other job's state.  Waiters on the
+        canceled datasets wake with ``dataset.error`` set, so the job's
+        driver thread unwinds via the normal error path.  Returns the
+        canceled dataset ids.
+        """
+        prefix = namespace + "."
+        with self._lock:
+            canceled = []
+            for ds_id, dataset in self._datasets.items():
+                if not ds_id.startswith(prefix):
+                    continue
+                if dataset.complete or dataset.error:
+                    continue
+                dataset.error = reason
+                self.scheduler.cancel_dataset(ds_id)
+                canceled.append(ds_id)
+            self._cond.notify_all()
+        events = self.observability.events
+        if events is not None:
+            events.emit(
+                "job.cancel", job_id=namespace, datasets=len(canceled)
+            )
+        return canceled
+
+    def release_namespace(self, namespace: str) -> int:
+        """Release a finished job's intermediate data and bookkeeping.
+
+        Run directories and slave-local copies of every dataset under
+        the namespace are removed (user outdirs are untouched), and the
+        scheduler/dataset maps forget them so a long-lived server's
+        memory does not grow with every job ever run.  The per-job
+        metrics registry is kept so the job's final numbers remain
+        queryable.  Returns the number of datasets released.
+        """
+        prefix = namespace + "."
+        with self._lock:
+            ds_ids = [i for i in self._datasets if i.startswith(prefix)]
+        for ds_id in ds_ids:
+            self.remove_data(ds_id)
+        with self._lock:
+            for ds_id in ds_ids:
+                self._datasets.pop(ds_id, None)
+                self._task_seconds.pop(ds_id, None)
+                self._failures.forget_dataset(ds_id)
+                self.scheduler.forget_dataset(ds_id)
+            self._job_programs.pop(namespace, None)
+            self.scheduler.job_dispatches.pop(namespace, None)
+        return len(ds_ids)
+
+    def job_status(self, namespace: str) -> Dict[str, Any]:
+        """A per-job slice of :meth:`status`: only this job's datasets,
+        spans, and (isolated) metrics registry."""
+        prefix = namespace + "."
+        with self._lock:
+            datasets = [
+                {
+                    "id": dataset.id,
+                    "complete": bool(dataset.complete),
+                    "error": dataset.error,
+                    "progress": self.scheduler.progress(dataset.id),
+                }
+                for ds_id, dataset in self._datasets.items()
+                if ds_id.startswith(prefix)
+            ]
+            registry = self._job_registries.get(namespace)
+            snapshot = registry.snapshot() if registry is not None else {}
+            dispatched = self.scheduler.job_dispatches.get(namespace, 0)
+        view = self.observability.status_view(dataset_prefix=prefix)
+        view.update(
+            {
+                "job_id": namespace,
+                "datasets": datasets,
+                "metrics": snapshot,
+                "dispatched_tasks": dispatched,
+            }
+        )
+        return view
 
     def status(self) -> Dict[str, Any]:
         """A snapshot of the job for monitoring: slaves, datasets,
@@ -404,37 +600,65 @@ class MasterBackend(Backend):
         task: TaskId = (dataset_id, task_index)
         # Accept both (split, url) pairs and (split, url, sorted) triples.
         reported = protocol.parse_bucket_urls(bucket_urls)
+        cleanup_dir: Optional[str] = None
         with self._lock:
             record = self._slaves.get(slave_id)
             if record is not None and record.busy == task:
                 record.busy = None
             dataset = self._datasets.get(dataset_id)
-            if dataset is None:
-                return
-            # The scheduler rejects stale duplicate reports (e.g. from a
-            # slave presumed dead whose tasks were reassigned).
-            accepted, dataset_complete = self.scheduler.task_done(slave_id, task)
-            if accepted:
-                self._producers[task] = slave_id
-                self._task_seconds.setdefault(dataset_id, []).append(
-                    float(seconds)
+            if dataset is None or dataset.error:
+                # Released or canceled dataset: clear the assignment,
+                # but the output is unwanted — a straggler finishing
+                # after a cancel/remove_data would otherwise leave
+                # fresh spill files in the run dir forever.  User
+                # outdirs are never swept.
+                self.scheduler.task_done(slave_id, task)
+                if dataset is None or not getattr(dataset, "outdir", None):
+                    cleanup_dir = os.path.join(self.tmpdir, dataset_id)
+                self._cond.notify_all()
+            else:
+                self._accept_task_done(
+                    slave_id, dataset, task, reported, seconds, metrics
                 )
-                for split, url, url_sorted in reported:
-                    bucket = Bucket(source=task_index, split=split, url=url)
-                    bucket.url_sorted = url_sorted
-                    dataset.add_bucket(bucket)
-                self._record_task_metrics(
-                    slave_id, dataset_id, task_index, float(seconds), metrics
-                )
-            if dataset_complete:
-                dataset.complete = True
-                logger.info("dataset %s complete", dataset_id)
-                events = self.observability.events
-                if events is not None:
-                    events.emit("dataset.complete", dataset_id=dataset_id)
-            self._drain_scheduler()
-            self._cond.notify_all()
+        if cleanup_dir is not None and os.path.isdir(cleanup_dir):
+            shutil.rmtree(cleanup_dir, ignore_errors=True)
         self._dispatch()
+
+    def _accept_task_done(
+        self,
+        slave_id: int,
+        dataset: BaseDataset,
+        task: TaskId,
+        reported: List[Tuple[int, str, bool]],
+        seconds: float,
+        metrics: Optional[Dict[str, Any]],
+    ) -> None:
+        """Record a live dataset's task completion (caller holds the
+        lock)."""
+        dataset_id, task_index = task
+        # The scheduler rejects stale duplicate reports (e.g. from a
+        # slave presumed dead whose tasks were reassigned).
+        accepted, dataset_complete = self.scheduler.task_done(slave_id, task)
+        if accepted:
+            self._producers[task] = slave_id
+            self._task_seconds.setdefault(dataset_id, []).append(
+                float(seconds)
+            )
+            for split, url, url_sorted in reported:
+                bucket = Bucket(source=task_index, split=split, url=url)
+                bucket.url_sorted = url_sorted
+                dataset.add_bucket(bucket)
+            self._record_task_metrics(
+                slave_id, dataset_id, task_index, float(seconds), metrics
+            )
+        if dataset_complete:
+            dataset.complete = True
+            logger.info("dataset %s complete", dataset_id)
+            events = self.observability.events
+            if events is not None:
+                events.emit("dataset.complete", dataset_id=dataset_id)
+        self._drain_scheduler()
+        self._cond.notify_all()
 
     def _record_task_metrics(
         self,
@@ -451,6 +675,13 @@ class MasterBackend(Backend):
         obs.registry.histogram("task.seconds").observe(seconds)
         span = obs.tracer.span(dataset_id, task_index)
         payload = protocol.parse_task_metrics(metrics)
+        namespace = self._namespace_of(dataset_id)
+        if namespace is not None:
+            job_registry = self._job_registries.get(namespace)
+            if job_registry is not None:
+                job_registry.counter("tasks.completed").inc()
+                job_registry.histogram("task.seconds").observe(seconds)
+                job_registry.merge_snapshot(payload["registry"])
         for event, phase_seconds in payload["durations"].items():
             span.add_duration(event, phase_seconds)
             if event in PIGGYBACK_PHASES:
@@ -489,6 +720,11 @@ class MasterBackend(Backend):
         )
         self.observability.registry.counter("tasks.failed").inc()
         with self._lock:
+            namespace = self._namespace_of(dataset_id)
+            if namespace is not None:
+                job_registry = self._job_registries.get(namespace)
+                if job_registry is not None:
+                    job_registry.counter("tasks.failed").inc()
             record = self._slaves.get(slave_id)
             if record is not None and record.busy == task:
                 record.busy = None
@@ -698,7 +934,14 @@ class MasterBackend(Backend):
         else:
             outdir = None  # slave-local + HTTP
             ext = dataset.format_ext or "mrsb"
+        program_spec: Optional[str] = None
+        program_args: Optional[List[str]] = None
+        namespace = self._namespace_of(dataset.id)
+        if namespace is not None:
+            program_spec, program_args = self._job_programs[namespace]
         return protocol.make_task_descriptor(
+            program_spec=program_spec,
+            program_args=program_args,
             dataset_id=dataset.id,
             task_index=task_index,
             op_dict=dataset.operation.to_dict(),

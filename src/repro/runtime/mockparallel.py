@@ -11,7 +11,9 @@ saved to files which can be helpful for debugging").
 
 from __future__ import annotations
 
+import atexit
 import os
+import shutil
 import tempfile
 import time
 from typing import List, Optional, Sequence
@@ -38,7 +40,14 @@ class MockParallelBackend(Backend):
         self.program = program
         if opts is None:
             opts = getattr(program, "opts", None)
-        self.tmpdir = tmpdir or tempfile.mkdtemp(prefix="mrs_mockp_")
+        if tmpdir:
+            self.tmpdir = tmpdir
+        else:
+            # Callers read bucket files after the run (run_program's
+            # contract), so a backend-owned tmpdir must outlive close();
+            # reclaim it at interpreter exit instead.
+            self.tmpdir = tempfile.mkdtemp(prefix="mrs_mockp_")
+            atexit.register(shutil.rmtree, self.tmpdir, ignore_errors=True)
         if default_splits:
             self.default_splits = default_splits
         self.observability = Observability(role="mockparallel")

@@ -68,12 +68,18 @@ class ScheduledDataset:
         input_id: str,
         blocking_ids: Sequence[str] = (),
         routing: Optional[str] = None,
+        job_id: Optional[str] = None,
     ):
         self.id = dataset_id
         self.ntasks = ntasks
         self.affinity_group = affinity_group
         self.input_id = input_id
         self.blocking_ids = set(blocking_ids)
+        #: Job this dataset belongs to (service mode).  ``next_task``
+        #: round-robins across distinct job ids so one large job cannot
+        #: starve the others; ``None`` (the single-job case) is its own
+        #: bucket and degenerates to the classic FIFO behaviour.
+        self.job_id = job_id
         #: How this dataset's output buckets route to consumers:
         #: ``None`` (dense — any consumer task may read any source) or
         #: :data:`ROUTING_IDENTITY`.
@@ -123,6 +129,11 @@ class Scheduler:
         self._consumers: Dict[str, List[str]] = {}
         #: Tasks dispatched before their input dataset completed.
         self.pipelined_dispatches = 0
+        #: Fair-share rotation pointer: the job id served by the most
+        #: recent ``next_task`` pick.
+        self._last_job: Optional[str] = None
+        #: Dispatch counts per job id (fairness introspection).
+        self.job_dispatches: Dict[Optional[str], int] = {}
         #: Drain queues for the driving backend (under its lock):
         #: datasets that completed without any task running (ntasks=0)
         #: and tasks whose eligibility just flipped on a bucket commit.
@@ -290,27 +301,45 @@ class Scheduler:
         )
 
     def next_task(self, slave_id: int) -> Optional[TaskId]:
-        """Pick a pending *eligible* task for ``slave_id`` (affinity
-        first)."""
+        """Pick a pending *eligible* task for ``slave_id``.
+
+        Two policies compose here:
+
+        * **Fair share across jobs** — one scan collects, per job id,
+          the first eligible task (FIFO within the job) and the first
+          affinity-matching eligible task; the job to serve is then
+          chosen round-robin after the last-served job.  With a single
+          job (all ``job_id`` equal) this is exactly the classic scan.
+        * **Affinity within the chosen job** — the affinity hit wins
+          over plain FIFO position, as before.
+        """
         if slave_id not in self._slave_tasks:
             raise KeyError(f"unknown slave {slave_id}")
-        choice_index: Optional[int] = None
+        first_eligible: Dict[Optional[str], int] = {}
+        affinity_hits: Dict[Optional[str], int] = {}
         for index, (dataset_id, task_index) in enumerate(self._pending):
+            sched = self._datasets[dataset_id]
+            job = sched.job_id
+            if job in first_eligible and (
+                not self.affinity_enabled or job in affinity_hits
+            ):
+                continue  # nothing more to learn about this job
             if not self._task_eligible((dataset_id, task_index)):
                 continue
-            if choice_index is None:
-                choice_index = index
-                if not self.affinity_enabled:
-                    break
-            if self.affinity_enabled:
-                group = self._datasets[dataset_id].affinity_group
-                if self._affinity.get((group, task_index)) == slave_id:
-                    choice_index = index
-                    break
-        if choice_index is None:
+            if job not in first_eligible:
+                first_eligible[job] = index
+            if self.affinity_enabled and job not in affinity_hits:
+                key = (sched.affinity_group, task_index)
+                if self._affinity.get(key) == slave_id:
+                    affinity_hits[job] = index
+        if not first_eligible:
             return None
+        job = self._pick_job(first_eligible)
+        choice_index = affinity_hits.get(job, first_eligible[job])
         task = self._pending.pop(choice_index)
         dataset_id, task_index = task
+        self._last_job = job
+        self.job_dispatches[job] = self.job_dispatches.get(job, 0) + 1
         self._datasets[dataset_id].task_state[task_index] = TaskState.ASSIGNED
         self._assigned[task] = slave_id
         self._slave_tasks[slave_id].add(task)
@@ -319,6 +348,19 @@ class Scheduler:
         ):
             self.pipelined_dispatches += 1
         return task
+
+    def _pick_job(self, candidates: Dict[Optional[str], Any]) -> Optional[str]:
+        """Round-robin job choice: the first candidate strictly after
+        the last-served job in a deterministic cyclic order (``None``
+        sorts first)."""
+        jobs = sorted(candidates, key=lambda j: (j is not None, j or ""))
+        if len(jobs) == 1 or self._last_job is None:
+            return jobs[0]
+        last_key = (self._last_job is not None, self._last_job or "")
+        for job in jobs:
+            if (job is not None, job or "") > last_key:
+                return job
+        return jobs[0]
 
     def has_pending(self) -> bool:
         return bool(self._pending)
@@ -413,6 +455,38 @@ class Scheduler:
         before = len(self._pending)
         self._pending = [task for task in self._pending if task[0] != dataset_id]
         return before - len(self._pending)
+
+    def forget_dataset(self, dataset_id: str) -> None:
+        """Drop every trace of a dataset (service mode: a finished
+        job's datasets are released so a long-lived scheduler's state
+        does not grow with every job ever run).  Any still-assigned
+        task is abandoned — a late completion report for it is then
+        rejected as stale by :meth:`task_done`.
+        """
+        sched = self._datasets.pop(dataset_id, None)
+        if sched is None:
+            return
+        # _order keeps its other entries' ranks stable: the rank map is
+        # per-id, not positional, so removal never renumbers.
+        if dataset_id in self._order:
+            self._order.remove(dataset_id)
+        self._order_rank.pop(dataset_id, None)
+        self._pending = [t for t in self._pending if t[0] != dataset_id]
+        for task in [t for t in self._assigned if t[0] == dataset_id]:
+            slave = self._assigned.pop(task)
+            self._slave_tasks.get(slave, set()).discard(task)
+        self._complete_ids.discard(dataset_id)
+        self._consumers.pop(dataset_id, None)
+        consumers = self._consumers.get(sched.input_id)
+        if consumers and dataset_id in consumers:
+            consumers.remove(dataset_id)
+        # Affinity hints keyed by this dataset's group are only shared
+        # within its own job; releasing the whole job drops them all.
+        self._affinity = {
+            key: slave
+            for key, slave in self._affinity.items()
+            if key[0] != sched.affinity_group
+        }
 
     def task_failed(self, slave_id: int, task: TaskId) -> None:
         """Return a failed task to the pending queue (retried elsewhere)."""

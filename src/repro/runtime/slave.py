@@ -21,6 +21,7 @@ import logging
 import os
 import queue
 import shutil
+import signal as signal_mod
 import tempfile
 import threading
 import time
@@ -117,6 +118,11 @@ class Slave:
             self.dataserver = DataServer(self.localdir, host="127.0.0.1")
 
         self.slave_id: Optional[int] = None
+        #: Programs resolved from task descriptors, keyed by
+        #: (program_spec, args tuple).  Service mode multiplexes many
+        #: programs over one slave pool; the boot-time ``self.program``
+        #: stays the default for descriptors without a spec.
+        self._programs: Dict[Tuple[str, Tuple[str, ...]], Any] = {}
 
     # -- master communication -------------------------------------------
 
@@ -140,6 +146,32 @@ class Slave:
 
     # -- task execution ------------------------------------------------------
 
+    def _program_for(self, descriptor: Dict[str, Any]) -> Any:
+        """The program instance a task runs against.
+
+        Descriptors carrying a ``program_spec`` (``module:Class``, from
+        a job server) are resolved and instantiated locally — user code
+        still never crosses the wire, only names — and cached per
+        (spec, args) so each job pays the import once per slave.
+        """
+        spec = descriptor.get("program_spec")
+        if not spec:
+            return self.program
+        args = tuple(str(a) for a in (descriptor.get("program_args") or ()))
+        program = self._programs.get((spec, args))
+        if program is None:
+            from repro.core import options as options_mod
+            from repro.runtime.slave_boot import resolve_program
+
+            program_class = resolve_program(spec)
+            opts, positional = options_mod.parse_options(
+                program_class, list(args)
+            )
+            program = program_class(opts, positional)
+            self._programs[(spec, args)] = program
+            logger.info("slave resolved program %s%r", spec, args)
+        return program
+
     def execute(self, descriptor: Dict[str, Any]) -> None:
         dataset_id = descriptor["dataset_id"]
         task_index = int(descriptor["task_index"])
@@ -155,6 +187,7 @@ class Slave:
         span.mark("queued", started)
         fetch_before = transfer.STATS.totals()
         try:
+            program = self._program_for(descriptor)
             op = Operation.from_dict(descriptor["op"])
             # Reduce-kind inputs stay URL-only so the merge can stream
             # straight from the bucket files (see worker.run_task).
@@ -183,12 +216,12 @@ class Slave:
             )
             if self.profiler is None:
                 out_buckets = taskrunner.run_operation(
-                    self.program, op, input_buckets, factory, span=span,
+                    program, op, input_buckets, factory, span=span,
                 )
             else:
                 out_buckets = self.profiler.run(
                     taskrunner.run_operation,
-                    self.program,
+                    program,
                     op,
                     input_buckets,
                     factory,
@@ -285,7 +318,33 @@ class Slave:
 
     # -- main loop ------------------------------------------------------------
 
+    def install_signal_handlers(self) -> None:
+        """Graceful SIGTERM/SIGINT: finish the in-flight task (the
+        handler only sets the quit event, so user code is never
+        interrupted mid-record), report it, then exit 0.  A second
+        signal falls back to the default disposition and kills the
+        process.  Main-thread only; a no-op elsewhere.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return
+
+        def handler(signum, frame):
+            signal_mod.signal(signum, previous.get(signum, signal_mod.SIG_DFL))
+            logger.warning(
+                "slave received signal %d; draining and exiting", signum
+            )
+            self.quit_event.set()
+            self.task_queue.put(None)
+
+        previous = {}
+        for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
+            try:
+                previous[signum] = signal_mod.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                return
+
     def run(self) -> int:
+        self.install_signal_handlers()
         self.signin()
         ping_failures = 0
         last_ping = time.monotonic()
@@ -319,8 +378,18 @@ class Slave:
         self.rpc.shutdown()
         if self.dataserver is not None:
             self.dataserver.shutdown()
+        # Pooled keep-alive transfer connections are process-global;
+        # close them so a graceful exit leaves no half-open sockets.
+        try:
+            transfer.get_pool().close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
         if self._owns_tmpdir:
             shutil.rmtree(os.path.dirname(self.localdir), ignore_errors=True)
+        else:
+            # The per-pid localdir is ours even inside a caller-owned
+            # shared tmpdir; leave the shared dir itself alone.
+            shutil.rmtree(self.localdir, ignore_errors=True)
 
 
 def run_slave(program_class: Any, opts: Any, args: List[str]) -> int:

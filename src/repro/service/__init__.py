@@ -1,0 +1,28 @@
+"""Multi-job service mode: a persistent job server over a shared pool.
+
+The paper's core argument against Hadoop is per-job overhead — a Mrs
+job starts in seconds because there is almost nothing to start.  This
+package removes even that: a :class:`~repro.service.server.JobServer`
+wraps one long-lived :class:`~repro.runtime.master.MasterBackend` (and
+its slave pool) and multiplexes many *jobs* over it, so job N+1 pays
+zero slave-signin or process-spawn cost.
+
+* Submissions arrive over the grown ``--mrs-status-http`` control
+  surface (``POST /jobs`` / ``GET /jobs/<id>`` / ``DELETE /jobs/<id>``),
+* a :class:`~repro.service.jobqueue.JobQueue` admits up to
+  ``--mrs-max-concurrent-jobs`` jobs at once (FIFO beyond that),
+* the scheduler round-robins across admitted jobs at ``next_task``
+  granularity, so a big job cannot starve a small one,
+* every dataset id, metric, event, and run directory is namespaced by
+  job id, so jobs are isolated: one erroring or being canceled leaves
+  the others (and the server) untouched.
+
+Entry points: ``--mrs serve`` on any program's command line, and the
+thin client ``python -m repro.service.submit``.
+"""
+
+from repro.service.jobqueue import JobQueue
+from repro.service.jobs import JobRecord, ServiceJob
+from repro.service.registry import ProgramRegistry
+
+__all__ = ["JobQueue", "JobRecord", "ServiceJob", "ProgramRegistry"]

@@ -1,0 +1,87 @@
+"""Admission control for the shared slave pool.
+
+A :class:`JobQueue` is a pure data structure (no threads, no I/O — the
+:class:`~repro.service.server.JobServer` drives it under its own lock,
+the same discipline the task scheduler follows): at most
+``max_concurrent`` jobs run at once, further submissions wait FIFO.
+
+Fairness *between admitted jobs* is the scheduler's round-robin
+``next_task``; fairness *into admission* is this queue's strict FIFO —
+no job can jump the line, and a finishing job always admits the oldest
+waiter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class JobQueue:
+    """FIFO admission queue with a concurrent-jobs cap."""
+
+    def __init__(self, max_concurrent: int = 8):
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        self.max_concurrent = max_concurrent
+        self._queued: List[str] = []
+        self._running: List[str] = []
+
+    # -- mutation ------------------------------------------------------
+
+    def submit(self, job_id: str) -> None:
+        """Enqueue a job for admission."""
+        if job_id in self._queued or job_id in self._running:
+            raise ValueError(f"job {job_id!r} already queued or running")
+        self._queued.append(job_id)
+
+    def admit(self) -> List[str]:
+        """Move waiting jobs into the running set while capacity
+        remains; returns the newly admitted job ids in FIFO order."""
+        admitted: List[str] = []
+        while self._queued and len(self._running) < self.max_concurrent:
+            job_id = self._queued.pop(0)
+            self._running.append(job_id)
+            admitted.append(job_id)
+        return admitted
+
+    def finish(self, job_id: str) -> bool:
+        """Remove a job from the running set (done/failed/canceled);
+        returns False for unknown ids (idempotent)."""
+        try:
+            self._running.remove(job_id)
+        except ValueError:
+            return False
+        return True
+
+    def withdraw(self, job_id: str) -> bool:
+        """Remove a still-waiting job (canceled before admission);
+        returns False if it was not queued."""
+        try:
+            self._queued.remove(job_id)
+        except ValueError:
+            return False
+        return True
+
+    # -- introspection -------------------------------------------------
+
+    def running(self) -> List[str]:
+        return list(self._running)
+
+    def queued(self) -> List[str]:
+        return list(self._queued)
+
+    @property
+    def active(self) -> int:
+        return len(self._running)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._queued)
+
+    def __repr__(self) -> str:
+        return (
+            f"JobQueue(running={self._running}, queued={self._queued}, "
+            f"cap={self.max_concurrent})"
+        )

@@ -1,0 +1,112 @@
+"""Job records and the namespaced Job facade used by the server.
+
+A :class:`JobRecord` is the server-side state machine of one submitted
+job (queued -> running -> done/failed/canceled); a :class:`ServiceJob`
+is the :class:`~repro.core.job.Job` the job's program actually runs
+against — identical to the classic facade except that every dataset it
+creates is namespaced by the job id and that a set cancel event makes
+further dataset creation and waits raise immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core import dataset as ds
+from repro.core.job import Backend, Job, JobError
+
+#: Job states, in lifecycle order.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELED = "canceled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELED})
+
+
+class JobRecord:
+    """Server-side bookkeeping for one submitted job.
+
+    The record's ``id`` doubles as the dataset/metric namespace: every
+    dataset the job creates has an id like ``job-3.map_17``, so
+    isolation falls out of plain string prefixes everywhere (run dirs,
+    events, registries, the scheduler's fair share).
+    """
+
+    def __init__(self, job_id: str, program: str, args: List[str]):
+        self.id = job_id
+        self.program = program
+        self.args = list(args)
+        self.state = QUEUED
+        self.error: Optional[str] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.cancel_event = threading.Event()
+        #: The thread running the job's program, once admitted.
+        self.thread: Optional[threading.Thread] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def view(self) -> Dict[str, Any]:
+        """The JSON shape served at ``GET /jobs/<id>`` (sans the live
+        backend slice the server merges in)."""
+        return {
+            "id": self.id,
+            "program": self.program,
+            "args": list(self.args),
+            "state": self.state,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "latency_seconds": self.latency_seconds,
+        }
+
+
+class ServiceJob(Job):
+    """A namespaced Job that honours a cancel event.
+
+    Cancellation has two edges: datasets already queued are failed by
+    ``MasterBackend.cancel_namespace`` (waiters wake with the error),
+    and *future* dataset creation/waits raise here — so a canceled
+    program unwinds promptly wherever it happens to be.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        program: Any,
+        namespace: str,
+        cancel_event: Optional[threading.Event] = None,
+    ):
+        super().__init__(backend, program, namespace=namespace)
+        self._cancel_event = cancel_event
+
+    def _check_canceled(self) -> None:
+        if self._cancel_event is not None and self._cancel_event.is_set():
+            raise JobError(f"job {self.namespace} canceled")
+
+    def _register(self, dataset: ds.BaseDataset) -> ds.BaseDataset:
+        self._check_canceled()
+        return super()._register(dataset)
+
+    def wait(
+        self,
+        *datasets: ds.BaseDataset,
+        timeout: Optional[float] = None,
+    ) -> List[ds.BaseDataset]:
+        self._check_canceled()
+        return super().wait(*datasets, timeout=timeout)

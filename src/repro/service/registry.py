@@ -1,0 +1,128 @@
+"""Submittable-program registry for the job server.
+
+A job submission names a program, not code: the server resolves the
+name to a ``module:Class`` spec it was configured with, and that spec
+(never the code) travels to slaves inside task descriptors — the same
+"only names cross the wire" rule the classic master/slave protocol
+follows.
+"""
+
+from __future__ import annotations
+
+import importlib
+import logging
+import sys
+from typing import Any, Dict, List, Optional, Union
+
+from repro.runtime.slave_boot import resolve_program
+
+
+class RegistryError(Exception):
+    """Unknown program name or malformed registration."""
+
+
+def _real_main_module(target: type) -> Optional[str]:
+    """The importable name behind ``__main__``, when there is one.
+
+    ``python -m pkg.mod`` executes ``pkg.mod`` *as* ``__main__`` but
+    records the real name in ``__main__.__spec__`` — good enough for
+    slaves to re-import the class, provided the class really is an
+    attribute of that module (guards against unrelated ``__main__``
+    specs such as test runners).  A plain ``python script.py`` run has
+    no such name and stays unresolvable.
+    """
+    spec = getattr(sys.modules.get("__main__"), "__spec__", None)
+    name = getattr(spec, "name", None)
+    if not name or name == "__main__":
+        return None
+    try:
+        module = importlib.import_module(name)
+    except ImportError:
+        return None
+    found = getattr(module, target.__qualname__, None)
+    if found is None or found.__qualname__ != target.__qualname__:
+        return None
+    return name
+
+
+def spec_for(target: Union[str, type]) -> str:
+    """Normalize a registration target to a ``module:Class`` spec."""
+    if isinstance(target, str):
+        if ":" not in target:
+            raise RegistryError(
+                f"program spec must be module:Class, got {target!r}"
+            )
+        return target
+    module = target.__module__
+    if module == "__main__":
+        module = _real_main_module(target)
+    if module in (None, "__main__", "builtins"):
+        raise RegistryError(
+            f"{target.__name__} must live in an importable module to be "
+            "served (slaves re-import it by name)"
+        )
+    return f"{module}:{target.__qualname__}"
+
+
+class ProgramRegistry:
+    """Name -> ``module:Class`` map of programs a server will run."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, str] = {}
+
+    def register(self, name: str, target: Union[str, type]) -> None:
+        self._specs[name] = spec_for(target)
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def spec(self, name: str) -> str:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown program {name!r}; registered: {self.names()}"
+            ) from None
+
+    def resolve(self, name: str) -> Any:
+        """Import and return the program class for ``name``."""
+        return resolve_program(self.spec(name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @classmethod
+    def from_opts(
+        cls, program_class: Optional[type], opts: Any
+    ) -> "ProgramRegistry":
+        """Build the server's registry from the CLI.
+
+        The class handed to ``main()`` registers under its lowercased
+        class name; each ``--mrs-register NAME=MODULE:CLASS`` adds one
+        more.
+        """
+        registry = cls()
+        if program_class is not None:
+            try:
+                registry.register(
+                    program_class.__name__.lower(), program_class
+                )
+            except RegistryError as exc:
+                # A plain `python script.py` run has no importable name
+                # for its own class; the server can still serve every
+                # --mrs-register program.
+                logging.getLogger("repro.service").warning(
+                    "not auto-registering %s: %s",
+                    program_class.__name__, exc,
+                )
+        for entry in getattr(opts, "register", None) or []:
+            name, sep, spec = entry.partition("=")
+            if not sep or not name or not spec:
+                raise RegistryError(
+                    f"--mrs-register expects NAME=MODULE:CLASS, got {entry!r}"
+                )
+            registry.register(name.strip(), spec.strip())
+        return registry

@@ -1,0 +1,231 @@
+"""Thin submission client for a running job server.
+
+Usage::
+
+    python -m repro.service.submit --server http://HOST:PORT \
+        wordcount in.txt out/
+    python -m repro.service.submit --server ... --status job-3
+    python -m repro.service.submit --server ... --cancel job-3
+    python -m repro.service.submit --server ... --list
+
+A submission POSTs the program name and its argument list to
+``/jobs``, then polls ``GET /jobs/<id>`` and streams progress lines to
+stderr until the job is terminal.  Exit status: 0 done, 1 failed,
+3 canceled, 2 usage/transport error.
+
+The server address can also come from ``MRS_SERVER``; the auth token
+(for submit/cancel against a token-protected server) from ``--token``
+or ``MRS_AUTH_TOKEN``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class SubmitError(Exception):
+    """Transport or protocol failure talking to the server."""
+
+
+def _request(
+    method: str,
+    url: str,
+    payload: Optional[Dict[str, Any]] = None,
+    token: Optional[str] = None,
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
+    request = urllib.request.Request(
+        url, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = response.read()
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        try:
+            detail = json.loads(body.decode("utf-8")).get("error", "")
+        except Exception:
+            detail = body.decode("utf-8", "replace")[:200]
+        raise SubmitError(f"{method} {url}: HTTP {exc.code}: {detail}")
+    except (urllib.error.URLError, OSError) as exc:
+        raise SubmitError(f"{method} {url}: {exc}")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except ValueError as exc:
+        raise SubmitError(f"{method} {url}: bad JSON response: {exc}")
+
+
+def _progress_line(view: Dict[str, Any]) -> str:
+    state = view.get("state", "?")
+    parts = [f"{view.get('id', '?')} {state}"]
+    datasets = view.get("datasets") or []
+    if datasets:
+        done = sum(1 for d in datasets if d.get("complete"))
+        parts.append(f"datasets {done}/{len(datasets)}")
+        active = [
+            d for d in datasets if not d.get("complete") and not d.get("error")
+        ]
+        if active:
+            current = active[0]
+            parts.append(
+                f"{current['id']} {current.get('progress', 0.0) * 100:.0f}%"
+            )
+    dispatched = view.get("dispatched_tasks")
+    if dispatched:
+        parts.append(f"tasks {dispatched}")
+    if view.get("error"):
+        parts.append(f"error: {view['error']}")
+    return "  ".join(parts)
+
+
+def watch(
+    server: str,
+    job_id: str,
+    token: Optional[str] = None,
+    poll_interval: float = 0.5,
+    out=sys.stderr,
+) -> Dict[str, Any]:
+    """Poll one job until terminal, streaming progress; returns the
+    final view."""
+    last_line = None
+    while True:
+        view = _request("GET", f"{server}/jobs/{job_id}", token=token)
+        line = _progress_line(view)
+        if line != last_line:
+            print(line, file=out, flush=True)
+            last_line = line
+        if view.get("state") in ("done", "failed", "canceled"):
+            return view
+        time.sleep(poll_interval)
+
+
+def _exit_code(state: str) -> int:
+    return {"done": 0, "failed": 1, "canceled": 3}.get(state, 2)
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="mrs-submit",
+        description="Submit a job to a running Mrs job server.",
+    )
+    parser.add_argument(
+        "--server",
+        default=os.environ.get("MRS_SERVER"),
+        help="control URL, e.g. http://127.0.0.1:8123 (or $MRS_SERVER)",
+    )
+    parser.add_argument(
+        "--token",
+        default=os.environ.get("MRS_AUTH_TOKEN"),
+        help="auth token for submit/cancel (or $MRS_AUTH_TOKEN)",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between progress polls (default 0.5)",
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="submit and print the job id without waiting",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list jobs and exit"
+    )
+    parser.add_argument(
+        "--status", metavar="JOB_ID", help="print one job's view and exit"
+    )
+    parser.add_argument(
+        "--cancel", metavar="JOB_ID", help="cancel one job and exit"
+    )
+    parser.add_argument(
+        "program",
+        nargs="?",
+        help="registered program name (e.g. wordcount)",
+    )
+    parser.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="arguments passed to the program (inputs, output dir, flags)",
+    )
+    return parser.parse_args(argv)
+
+
+def _run(ns: argparse.Namespace) -> int:
+    if not ns.server:
+        print(
+            "error: no server (use --server or $MRS_SERVER)",
+            file=sys.stderr,
+        )
+        return 2
+    server = ns.server.rstrip("/")
+    if ns.list:
+        view = _request("GET", f"{server}/jobs", token=ns.token)
+        print(json.dumps(view, indent=2))
+        return 0
+    if ns.status:
+        view = _request("GET", f"{server}/jobs/{ns.status}", token=ns.token)
+        print(json.dumps(view, indent=2))
+        return _exit_code(view.get("state", "?")) if view.get(
+            "state"
+        ) in ("done", "failed", "canceled") else 0
+    if ns.cancel:
+        view = _request(
+            "DELETE", f"{server}/jobs/{ns.cancel}", token=ns.token
+        )
+        print(json.dumps(view, indent=2))
+        return 0
+    if not ns.program:
+        print(
+            "error: a program name is required (or --list/--status/--cancel)",
+            file=sys.stderr,
+        )
+        return 2
+    view = _request(
+        "POST",
+        f"{server}/jobs",
+        payload={"program": ns.program, "args": list(ns.args)},
+        token=ns.token,
+    )
+    job_id = view.get("id")
+    if not job_id:
+        print(f"error: submission returned no job id: {view}", file=sys.stderr)
+        return 2
+    print(job_id, flush=True)
+    if ns.no_wait:
+        return 0
+    final = watch(
+        server, job_id, token=ns.token, poll_interval=ns.poll_interval
+    )
+    return _exit_code(final.get("state", "?"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ns = parse_args(argv)
+    try:
+        return _run(ns)
+    except SubmitError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted (job keeps running; --cancel to stop it)",
+              file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

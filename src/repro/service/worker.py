@@ -1,0 +1,41 @@
+"""The program-agnostic program a service slave boots with.
+
+A classic slave binds one program class at boot; a service-pool slave
+must run whatever jobs arrive, so it boots with this empty placeholder
+and resolves the *real* program per task from the descriptor's
+``program_spec`` (see ``Slave._program_for``).  Spawn one with::
+
+    python -m repro.runtime.slave_boot repro.service.worker:ServiceWorker \
+        --mrs slave --mrs-master HOST:PORT --mrs-tmpdir DIR
+"""
+
+from __future__ import annotations
+
+from repro.core.program import MapReduce
+
+
+class ServiceWorker(MapReduce):
+    """Placeholder program for service-pool slaves.
+
+    Its map/reduce are never called: every task descriptor a job
+    server builds carries a ``program_spec``, and the slave resolves
+    and runs that program instead.
+    """
+
+    def map(self, key, value):  # pragma: no cover - never dispatched
+        raise RuntimeError(
+            "ServiceWorker received a task without a program_spec; "
+            "only a job server should drive this slave"
+        )
+
+    def reduce(self, key, values):  # pragma: no cover - never dispatched
+        raise RuntimeError(
+            "ServiceWorker received a task without a program_spec; "
+            "only a job server should drive this slave"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual slave launch
+    from repro.core.main import exit_main
+
+    exit_main(ServiceWorker)

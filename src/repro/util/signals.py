@@ -1,0 +1,72 @@
+"""Graceful SIGTERM/SIGINT handling for coordinator processes.
+
+A master (or job server) interrupted mid-job should not leave orphaned
+slaves, truncated ``--mrs-event-log`` files, or half-open pooled
+transfer connections behind.  :func:`install_graceful_exit` converts
+the *first* SIGTERM/SIGINT into a :class:`GracefulExit` raised in the
+main thread, so the normal ``finally`` path runs — flush observability
+outputs, quit slaves, close servers — and the process exits 0.  The
+handler restores the previous disposition before raising, so a second
+signal kills the process immediately (an operator's escape hatch from
+a stuck drain).
+
+Slaves use a different shape (an event flag, see
+``Slave.install_signal_handlers``) because their main loop must finish
+the in-flight task rather than unwind through it.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Dict, Iterable, Optional
+
+
+class GracefulExit(BaseException):
+    """Raised in the main thread by the first SIGTERM/SIGINT.
+
+    Derives from ``BaseException`` so a user program's blanket
+    ``except Exception`` cannot swallow the shutdown request.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"signal {signum}")
+        self.signum = signum
+
+
+def install_graceful_exit(
+    signums: Iterable[int] = (signal.SIGTERM, signal.SIGINT),
+) -> Optional[Dict[int, object]]:
+    """Install first-signal-graceful handlers; returns the previous
+    dispositions, or None when not on the main thread (signal handlers
+    can only be installed there — callers on other threads simply keep
+    the default behaviour)."""
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    previous: Dict[int, object] = {}
+
+    def handler(signum, frame):
+        for restored, disposition in previous.items():
+            try:
+                signal.signal(restored, disposition)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        raise GracefulExit(signum)
+
+    for signum in signums:
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            return None
+    return previous
+
+
+def restore(previous: Optional[Dict[int, object]]) -> None:
+    """Undo :func:`install_graceful_exit` (tests / nested runs)."""
+    if not previous:
+        return
+    for signum, disposition in previous.items():
+        try:
+            signal.signal(signum, disposition)
+        except (ValueError, OSError):  # pragma: no cover
+            pass

@@ -68,3 +68,43 @@ class TestKMeansRun:
         a = run_program(KMeans, FLAGS, impl="serial")
         b = run_program(KMeans, other, impl="serial")
         assert not np.array_equal(a.centroids, b.centroids)
+
+
+class TestKMeansFile:
+    """The file-writing variant used by service/CLI runs."""
+
+    def test_writes_model_file(self, tmp_path):
+        from repro.apps.kmeans import KMeansFile
+
+        outdir = tmp_path / "out"
+        prog = run_program(KMeansFile, FLAGS + [str(outdir)], impl="serial")
+        text = (outdir / "centroids.txt").read_text()
+        lines = text.splitlines()
+        assert len(lines) == prog.n_clusters + 2
+        assert lines[-2].startswith("iterations\t")
+        assert lines[-1].startswith("inertia\t")
+
+    def test_file_identical_across_implementations(self, tmp_path):
+        from repro.apps.kmeans import KMeansFile
+
+        texts = {}
+        for impl in ("serial", "mockparallel", "bypass"):
+            outdir = tmp_path / impl
+            run_program(KMeansFile, FLAGS + [str(outdir)], impl=impl)
+            texts[impl] = (outdir / "centroids.txt").read_text()
+        assert texts["serial"] == texts["mockparallel"]
+        # bypass sums in a different order; compare numerically
+        def rows(text):
+            return [
+                [float(x) for x in line.split()]
+                for line in text.splitlines()
+                if "\t" not in line
+            ]
+        assert np.allclose(rows(texts["serial"]), rows(texts["bypass"]),
+                           atol=1e-5)
+
+    def test_no_outdir_is_fine(self):
+        from repro.apps.kmeans import KMeansFile
+
+        prog = run_program(KMeansFile, FLAGS, impl="serial")
+        assert np.isfinite(prog.inertia)

@@ -1,5 +1,7 @@
 """Programs used by integration tests (importable by slave_boot)."""
 
+import time
+
 import repro as mrs
 
 
@@ -74,6 +76,35 @@ class ModSumProgram(mrs.MapReduce):
 
     def reduce(self, key, values):
         yield sum(values)
+
+
+class SlowCount(mrs.MapReduce):
+    """Word count whose map dawdles — gives cancel/fairness tests a
+    window while the job is genuinely running."""
+
+    #: Seconds each map task sleeps before emitting.
+    delay = 0.3
+
+    def map(self, key, value):
+        time.sleep(self.delay)
+        for word in str(value).split():
+            yield (word, 1)
+
+    def reduce(self, key, values):
+        yield sum(values)
+
+    def run(self, job):
+        source = job.local_data(
+            [(i, "tick tock") for i in range(16)], splits=8
+        )
+        mapped = job.map_data(source, self.map, splits=2)
+        reduced = job.reduce_data(
+            mapped, self.reduce, splits=1,
+            outdir=self.output_dir, format="txt",
+        )
+        job.wait(reduced, timeout=120)
+        self.output_data = reduced
+        return 0
 
 
 class TypedWordCount(mrs.MapReduce):

@@ -1,0 +1,135 @@
+"""Fair-share scheduling across job namespaces (service mode).
+
+The scheduler round-robins between job ids at ``next_task``
+granularity; within the chosen job the classic policies (FIFO order,
+affinity preference) are unchanged, and with a single job the fair
+path must degenerate to exactly the classic scan.
+"""
+
+import pytest
+
+from repro.runtime.scheduler import ScheduledDataset, Scheduler
+
+
+def sched_ds(ds_id, ntasks=2, group=None, input_id="input", job=None):
+    return ScheduledDataset(
+        ds_id,
+        ntasks=ntasks,
+        affinity_group=group or ds_id,
+        input_id=input_id,
+        job_id=job,
+    )
+
+
+@pytest.fixture
+def scheduler():
+    s = Scheduler()
+    s.add_slave(1)
+    s.add_slave(2)
+    return s
+
+
+class TestFairShare:
+    def test_round_robin_across_two_jobs(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("job-a.map_1", ntasks=3, job="job-a"))
+        scheduler.add_dataset(sched_ds("job-b.map_1", ntasks=3, job="job-b"))
+        order = [scheduler.next_task(1)[0] for _ in range(6)]
+        assert order == [
+            "job-a.map_1",
+            "job-b.map_1",
+            "job-a.map_1",
+            "job-b.map_1",
+            "job-a.map_1",
+            "job-b.map_1",
+        ]
+
+    def test_big_job_cannot_starve_late_small_job(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("job-a.map_1", ntasks=10, job="job-a"))
+        assert scheduler.next_task(1)[0] == "job-a.map_1"
+        # A small job arriving mid-burst is served on the very next pick.
+        scheduler.add_dataset(sched_ds("job-b.map_1", ntasks=1, job="job-b"))
+        assert scheduler.next_task(2)[0] == "job-b.map_1"
+        assert scheduler.next_task(1)[0] == "job-a.map_1"
+
+    def test_single_job_matches_classic_fifo(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1", ntasks=3))
+        scheduler.add_dataset(sched_ds("d2", ntasks=1))
+        assert scheduler.next_task(1) == ("d1", 0)
+        assert scheduler.next_task(2) == ("d1", 1)
+        assert scheduler.next_task(1) == ("d1", 2)
+        assert scheduler.next_task(2) == ("d2", 0)
+        assert scheduler.next_task(1) is None
+
+    def test_exhausted_job_yields_to_the_other(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("job-a.map_1", ntasks=1, job="job-a"))
+        scheduler.add_dataset(sched_ds("job-b.map_1", ntasks=3, job="job-b"))
+        assert scheduler.next_task(1)[0] == "job-a.map_1"
+        # job-a has nothing left; every further pick is job-b.
+        assert scheduler.next_task(1)[0] == "job-b.map_1"
+        assert scheduler.next_task(2)[0] == "job-b.map_1"
+
+    def test_dispatch_counts_per_job(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("job-a.map_1", ntasks=2, job="job-a"))
+        scheduler.add_dataset(sched_ds("job-b.map_1", ntasks=2, job="job-b"))
+        for _ in range(4):
+            scheduler.next_task(1)
+        assert scheduler.job_dispatches == {"job-a": 2, "job-b": 2}
+
+    def test_affinity_respected_within_chosen_job(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(
+            sched_ds("job-a.r_1", ntasks=2, group="job-a.iter", job="job-a")
+        )
+        # Establish affinity: slave 1 does split 0, slave 2 split 1.
+        t0 = scheduler.next_task(1)
+        t1 = scheduler.next_task(2)
+        scheduler.task_done(1, t0)
+        scheduler.task_done(2, t1)
+        # Next iteration of the same (namespaced) affinity group: each
+        # slave is steered to the split it already holds data for.
+        scheduler.add_dataset(
+            sched_ds(
+                "job-a.r_2",
+                ntasks=2,
+                group="job-a.iter",
+                input_id="job-a.r_1",
+                job="job-a",
+            )
+        )
+        assert scheduler.next_task(2) == ("job-a.r_2", 1)
+        assert scheduler.next_task(1) == ("job-a.r_2", 0)
+
+
+class TestForgetDataset:
+    def test_forgotten_dataset_stops_dispatching(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("job-a.map_1", ntasks=3, job="job-a"))
+        task = scheduler.next_task(1)
+        scheduler.forget_dataset("job-a.map_1")
+        assert scheduler.next_task(2) is None
+        # A late completion for the abandoned assignment is stale.
+        accepted, _ = scheduler.task_done(1, task)
+        assert not accepted
+
+    def test_forget_allows_reregistration(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("d1"))
+        scheduler.forget_dataset("d1")
+        scheduler.add_dataset(sched_ds("d1"))  # no duplicate error
+        assert scheduler.next_task(1) == ("d1", 0)
+
+    def test_forget_leaves_other_jobs_untouched(self, scheduler):
+        scheduler.mark_input_complete("input")
+        scheduler.add_dataset(sched_ds("job-a.map_1", ntasks=2, job="job-a"))
+        scheduler.add_dataset(sched_ds("job-b.map_1", ntasks=2, job="job-b"))
+        scheduler.forget_dataset("job-a.map_1")
+        picks = {scheduler.next_task(1)[0], scheduler.next_task(2)[0]}
+        assert picks == {"job-b.map_1"}
+
+    def test_forget_unknown_is_noop(self, scheduler):
+        scheduler.forget_dataset("ghost")

@@ -1,0 +1,66 @@
+"""Resolution of the slave sign-in wait budget.
+
+Priority: ``--mrs-slave-wait-timeout`` option, then the
+``MRS_SLAVE_WAIT_TIMEOUT`` environment variable, then the 30 s default
+that used to be hard-coded in ``wait_for_slaves``.
+"""
+
+from repro.core import options as options_mod
+from repro.runtime.master import (
+    DEFAULT_SLAVE_WAIT_TIMEOUT,
+    resolve_slave_wait_timeout,
+)
+
+
+class Opts:
+    def __init__(self, value=None):
+        self.slave_wait_timeout = value
+
+
+class TestResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("MRS_SLAVE_WAIT_TIMEOUT", raising=False)
+        assert resolve_slave_wait_timeout(Opts()) == DEFAULT_SLAVE_WAIT_TIMEOUT
+        assert resolve_slave_wait_timeout(None) == DEFAULT_SLAVE_WAIT_TIMEOUT
+
+    def test_option_wins(self, monkeypatch):
+        monkeypatch.setenv("MRS_SLAVE_WAIT_TIMEOUT", "99")
+        assert resolve_slave_wait_timeout(Opts(5.0)) == 5.0
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv("MRS_SLAVE_WAIT_TIMEOUT", "12.5")
+        assert resolve_slave_wait_timeout(Opts()) == 12.5
+
+    def test_malformed_environment_ignored(self, monkeypatch):
+        monkeypatch.setenv("MRS_SLAVE_WAIT_TIMEOUT", "soon")
+        assert resolve_slave_wait_timeout(Opts()) == DEFAULT_SLAVE_WAIT_TIMEOUT
+
+    def test_flag_parses(self):
+        opts, _ = options_mod.parse_options(
+            None, ["--mrs", "master", "--mrs-slave-wait-timeout", "7"]
+        )
+        assert opts.slave_wait_timeout == 7.0
+        assert resolve_slave_wait_timeout(opts) == 7.0
+
+
+class TestWaitForSlaves:
+    def test_short_timeout_returns_promptly(self, monkeypatch, tmp_path):
+        from repro.runtime.master import MasterBackend
+
+        opts, _ = options_mod.parse_options(
+            None,
+            [
+                "--mrs",
+                "master",
+                "--mrs-tmpdir",
+                str(tmp_path),
+                "--mrs-slave-wait-timeout",
+                "0.05",
+            ],
+        )
+        backend = MasterBackend(None, opts)
+        try:
+            # timeout=None resolves the option: no 30 s hang here.
+            assert backend.wait_for_slaves(1) == 0
+        finally:
+            backend.close()

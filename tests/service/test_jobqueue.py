@@ -1,0 +1,76 @@
+"""JobQueue admission: cap, FIFO order, cancel/finish bookkeeping."""
+
+import pytest
+
+from repro.service.jobqueue import JobQueue
+
+
+class TestAdmission:
+    def test_admits_up_to_cap_in_fifo_order(self):
+        q = JobQueue(max_concurrent=2)
+        for job in ("a", "b", "c"):
+            q.submit(job)
+        assert q.admit() == ["a", "b"]
+        assert q.running() == ["a", "b"]
+        assert q.queued() == ["c"]
+
+    def test_finish_admits_oldest_waiter(self):
+        q = JobQueue(max_concurrent=1)
+        for job in ("a", "b", "c"):
+            q.submit(job)
+        assert q.admit() == ["a"]
+        assert q.finish("a")
+        assert q.admit() == ["b"]
+        assert q.queued() == ["c"]
+
+    def test_admit_is_idempotent_at_cap(self):
+        q = JobQueue(max_concurrent=1)
+        q.submit("a")
+        q.submit("b")
+        assert q.admit() == ["a"]
+        assert q.admit() == []
+        assert q.running() == ["a"]
+
+    def test_single_job_flows_through(self):
+        q = JobQueue(max_concurrent=8)
+        q.submit("only")
+        assert q.admit() == ["only"]
+        assert q.finish("only")
+        assert q.active == 0 and q.waiting == 0
+
+
+class TestBookkeeping:
+    def test_duplicate_submit_rejected(self):
+        q = JobQueue()
+        q.submit("a")
+        with pytest.raises(ValueError):
+            q.submit("a")
+        q.admit()
+        with pytest.raises(ValueError):
+            q.submit("a")
+
+    def test_finish_unknown_is_noop(self):
+        q = JobQueue()
+        assert not q.finish("ghost")
+
+    def test_withdraw_only_removes_queued(self):
+        q = JobQueue(max_concurrent=1)
+        q.submit("a")
+        q.submit("b")
+        q.admit()
+        assert not q.withdraw("a")  # running, not queued
+        assert q.withdraw("b")
+        assert q.queued() == []
+        assert q.running() == ["a"]
+
+    def test_counts(self):
+        q = JobQueue(max_concurrent=2)
+        for job in ("a", "b", "c", "d"):
+            q.submit(job)
+        q.admit()
+        assert q.active == 2
+        assert q.waiting == 2
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_concurrent=0)

@@ -1,0 +1,70 @@
+"""Program registry: spec normalization, CLI registration, resolution."""
+
+import pytest
+
+from repro.apps.wordcount import WordCount, WordCountCombined
+from repro.service.registry import ProgramRegistry, RegistryError, spec_for
+
+
+class TestSpecFor:
+    def test_class_becomes_module_spec(self):
+        assert spec_for(WordCount) == "repro.apps.wordcount:WordCount"
+
+    def test_string_spec_passes_through(self):
+        assert spec_for("pkg.mod:Klass") == "pkg.mod:Klass"
+
+    def test_string_without_colon_rejected(self):
+        with pytest.raises(RegistryError):
+            spec_for("pkg.mod.Klass")
+
+    def test_main_module_class_rejected(self):
+        class Local:
+            pass
+
+        Local.__module__ = "__main__"
+        with pytest.raises(RegistryError):
+            spec_for(Local)
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        registry = ProgramRegistry()
+        registry.register("wc", WordCount)
+        assert "wc" in registry
+        assert registry.spec("wc") == "repro.apps.wordcount:WordCount"
+        assert registry.resolve("wc") is WordCount
+
+    def test_unknown_name_lists_known(self):
+        registry = ProgramRegistry()
+        registry.register("wc", WordCount)
+        with pytest.raises(RegistryError, match="wc"):
+            registry.spec("nope")
+
+    def test_from_opts_registers_main_class_and_flags(self):
+        class Opts:
+            register = [
+                "kmeans=repro.apps.kmeans:KMeans",
+                "wc2 = repro.apps.wordcount:WordCount",
+            ]
+
+        registry = ProgramRegistry.from_opts(WordCountCombined, Opts())
+        assert registry.names() == ["kmeans", "wc2", "wordcountcombined"]
+        assert (
+            registry.spec("wordcountcombined")
+            == "repro.apps.wordcount:WordCountCombined"
+        )
+        assert registry.resolve("wc2") is WordCount
+
+    def test_from_opts_rejects_malformed_entry(self):
+        class Opts:
+            register = ["no-equals-sign"]
+
+        with pytest.raises(RegistryError):
+            ProgramRegistry.from_opts(None, Opts())
+
+    def test_from_opts_without_program_class(self):
+        class Opts:
+            register = ["wc=repro.apps.wordcount:WordCount"]
+
+        registry = ProgramRegistry.from_opts(None, Opts())
+        assert registry.names() == ["wc"]
