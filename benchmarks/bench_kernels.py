@@ -1,0 +1,337 @@
+"""Per-kernel microbenchmark: native C shuffle loops vs pure Python.
+
+Times each kernel in :mod:`repro.native` against the pure-Python loop
+it replaces, over a wordcount-shaped workload (Zipf-distributed str
+keys).  Unlike ``bench_shuffle`` — which times the whole data plane
+end to end — this isolates where the C time goes:
+
+* ``partition``   — batch split assignment vs a per-key CRC+mix loop
+* ``scatter``     — stable partition scatter vs per-split index lists
+* ``sort``        — C mergesort permutation vs ``sorted(range, key=)``
+* ``group``       — hash-table group scatter vs dict grouping + sort
+* ``frame``       — batch ``.mrsb`` framing vs a per-record pack loop
+* ``scan``        — batch record-boundary scan vs per-record unpack
+* ``merge``       — fused k-way file merge vs ``heapq.merge`` streams
+
+Every native result is checked against the pure reference before
+timing.  Results land in ``BENCH_kernels.json`` (see ``--out``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import struct
+import sys
+import tempfile
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+import numpy as np
+
+from repro.datagen.zipf import ZipfVocabulary
+from repro.io.bucket import (
+    Bucket,
+    FileBucket,
+    group_sorted_records,
+    merge_sorted_records,
+    native_merge_plan,
+    native_merged_groups,
+    record_key,
+    sorted_records_from_url,
+)
+from repro.io.partition import hash_partition_bytes
+from repro.native import kernels as native_kernels
+from repro.util.hashing import _MASK, _MIX, _crc32
+from reporting import fmt_count, fmt_seconds, print_table, write_json_table
+
+N_SPLITS = 8
+_HEADER = struct.Struct("!II")
+
+
+def _best_of(fn: Callable[[], Any], repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _make_keys(n_records: int, vocab_size: int, seed: int = 42) -> List[bytes]:
+    vocab = ZipfVocabulary(vocab_size=vocab_size)
+    rng = np.random.default_rng(seed)
+    words = vocab.sample_words(n_records, rng)
+    return [b"s:" + w.encode("utf-8") for w in words]
+
+
+def bench_partition(native, keys) -> Tuple[Any, Callable, Callable]:
+    def pure():
+        mix, mask, crc, n = _MIX, _MASK, _crc32, N_SPLITS
+        return [((crc(kb) * mix) & mask) % n for kb in keys]
+
+    def fast():
+        return native.splits_for(keys, N_SPLITS)
+
+    assert list(fast()) == pure()
+    return "partition", pure, fast
+
+
+def bench_scatter(native, keys) -> Tuple[Any, Callable, Callable]:
+    def pure():
+        splits = [hash_partition_bytes(kb, N_SPLITS) for kb in keys]
+        out: List[List[int]] = [[] for _ in range(N_SPLITS)]
+        for i, split in enumerate(splits):
+            out[split].append(i)
+        return out
+
+    def fast():
+        return native.partition_scatter(keys, N_SPLITS)
+
+    order, bounds = fast()
+    flat = [i for part in pure() for i in part]
+    assert list(order) == flat
+    return "scatter", pure, fast
+
+
+def bench_sort(native, keys) -> Tuple[Any, Callable, Callable]:
+    def pure():
+        return sorted(range(len(keys)), key=keys.__getitem__)
+
+    def fast():
+        return native.sort_index(keys)
+
+    assert list(fast()) == pure()
+    return "sort", pure, fast
+
+
+def bench_group(native, keys) -> Tuple[Any, Callable, Callable]:
+    bucket = Bucket()
+    for kb in keys:
+        bucket.addpair((kb[2:].decode("utf-8"), 1), kb)
+
+    def pure():
+        groups = bucket.hash_grouped_records()
+        groups.sort(key=record_key)
+        return groups
+
+    def fast():
+        return native.group_scatter(keys, sort_groups=True)
+
+    ngroups, order, bounds = fast()
+    assert ngroups == len(pure())
+    return "group", pure, fast
+
+
+def bench_frame(native, keys) -> Tuple[Any, Callable, Callable]:
+    values = [b"\x00" * 8] * len(keys)
+
+    def pure():
+        pack = _HEADER.pack
+        chunks = []
+        for kb, vb in zip(keys, values):
+            chunks.append(pack(len(kb), len(vb)))
+            chunks.append(kb)
+            chunks.append(vb)
+        return b"".join(chunks)
+
+    def fast():
+        return native.frame(keys, values)
+
+    assert bytes(fast()) == pure()
+    return "frame", pure, fast
+
+
+def bench_scan(native, keys) -> Tuple[Any, Callable, Callable]:
+    values = [b"\x00" * 8] * len(keys)
+    buf = bytes(native.frame(keys, values))
+
+    def pure():
+        unpack, size = _HEADER.unpack_from, _HEADER.size
+        pos, end = 0, len(buf)
+        out = []
+        while pos + size <= end:
+            klen, vlen = unpack(buf, pos)
+            kstart = pos + size
+            vstart = kstart + klen
+            vend = vstart + vlen
+            if vend > end:
+                break
+            out.append((kstart, vstart, vend))
+            pos = vend
+        return out
+
+    def fast():
+        return native.scan(buf)
+
+    count, triples = fast()
+    ref = pure()
+    assert count == len(ref)
+    assert list(triples[: 3 * count]) == [x for t in ref for x in t]
+    return "scan", pure, fast
+
+
+def bench_merge(
+    native, keys, tmpdir: str
+) -> Tuple[Any, Callable, Callable]:
+    # Four key-sorted .mrsb spill files, as the reduce side sees them.
+    n_streams = 4
+    buckets = []
+    for source in range(n_streams):
+        shard = sorted(
+            (kb[2:].decode("utf-8"), 1)
+            for kb in keys[source::n_streams]
+        )
+        path = os.path.join(tmpdir, f"merge_{source}.mrsb")
+        spill = FileBucket(
+            path,
+            source=source,
+            key_serializer="str",
+            value_serializer="int",
+            retain=False,
+        )
+        for pair in shard:
+            spill.addpair(pair)
+        spill.open_writer()
+        spill.close_writer()
+        bucket = Bucket(source=source, split=0, url="file:" + path)
+        bucket.url_sorted = True
+        bucket.key_serializer = "str"
+        bucket.value_serializer = "int"
+        buckets.append(bucket)
+    plan = native_merge_plan(buckets)
+    assert plan is not None, "merge plan must engage for sorted local files"
+
+    def pure():
+        streams = [
+            sorted_records_from_url(b.url, True, "str", "int")
+            for b in buckets
+        ]
+        return [
+            (kb, key, sum(values))
+            for kb, key, values in group_sorted_records(
+                merge_sorted_records(streams)
+            )
+        ]
+
+    def fast():
+        return [
+            (kb, key, sum(values))
+            for kb, key, values in native_merged_groups(plan, "str", "int")
+        ]
+
+    assert fast() == pure()
+    return "merge", pure, fast
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=300_000)
+    parser.add_argument("--vocab", type=int, default=50_000)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: verifies parity and report plumbing",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_kernels.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.records, args.repeat = 20_000, 1
+
+    native_kernels.set_mode("auto")
+    native = native_kernels.get()
+    if native is None:
+        print("no C compiler found: nothing to benchmark", file=sys.stderr)
+        return 1
+
+    keys = _make_keys(args.records, args.vocab)
+    n = len(keys)
+    tmpdir = tempfile.mkdtemp(prefix="bench_kernels_")
+    try:
+        benches = [
+            bench_partition(native, keys),
+            bench_scatter(native, keys),
+            bench_sort(native, keys),
+            bench_group(native, keys),
+            bench_frame(native, keys),
+            bench_scan(native, keys),
+            bench_merge(native, keys, tmpdir),
+        ]
+        rows = []
+        for name, pure, fast in benches:
+            pure_s = _best_of(pure, args.repeat)
+            fast_s = _best_of(fast, args.repeat)
+            rows.append(
+                [
+                    name,
+                    n,
+                    round(pure_s, 4),
+                    round(fast_s, 4),
+                    round(n / pure_s),
+                    round(n / fast_s),
+                    round(pure_s / fast_s, 2),
+                ]
+            )
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    headers = [
+        "kernel",
+        "records",
+        "pure_seconds",
+        "native_seconds",
+        "pure_records_per_s",
+        "native_records_per_s",
+        "speedup",
+    ]
+    notes = [
+        f"workload: {n} Zipf str keys (vocab {args.vocab}), "
+        f"{N_SPLITS} splits, best of {args.repeat}",
+        "native results verified equal to the pure reference before timing",
+    ]
+    if args.smoke:
+        notes.append("smoke run: workload too small for a meaningful timing")
+    print_table(
+        "Native shuffle kernels vs pure Python",
+        headers,
+        [
+            [
+                r[0],
+                fmt_count(r[1]),
+                fmt_seconds(r[2]),
+                fmt_seconds(r[3]),
+                fmt_count(r[4]),
+                fmt_count(r[5]),
+                r[6],
+            ]
+            for r in rows
+        ],
+        notes,
+    )
+    write_json_table(
+        os.path.abspath(args.out),
+        "Native shuffle kernels vs pure Python",
+        headers,
+        rows,
+        notes,
+    )
+    print(f"wrote {os.path.abspath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

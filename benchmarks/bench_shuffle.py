@@ -14,11 +14,16 @@ Two pipelines run over the same input:
 * ``encode-once`` — the live :mod:`repro.io.bucket` pipeline: key
   bytes computed once at emit and carried through partitioning,
   sorting, grouping, and the merge; buffered batch spills; streaming
-  merges of sorted files.
+  merges of sorted files.  Timed twice: with the native C shuffle
+  kernels disabled (``MRS_NATIVE=off``, the pure-Python floor) and
+  enabled (batch partition scatter, C record framing/scanning, C sort
+  and grouping, fused k-way merge).
 
 The run verifies the two pipelines reduce to exactly the same
-(key, count) pairs, then reports records/second for each and the
-speedup.  Results land in ``BENCH_shuffle.json`` (see ``--out``).
+(key, count) pairs — and that the native and pure encode-once runs
+produce byte-identical reduce files — then reports records/second
+for each and the speedup.  Results land in ``BENCH_shuffle.json``
+(see ``--out``).
 
 Usage::
 
@@ -45,16 +50,9 @@ import numpy as np
 
 from repro.datagen.zipf import ZipfVocabulary
 from repro.io import formats
-from repro.io.bucket import (
-    Bucket,
-    FileBucket,
-    bucket_sorted_records,
-    group_sorted_records,
-    merge_sorted_records,
-    record_key,
-)
+from repro.io.bucket import Bucket, FileBucket
 from repro.io.urls import fetch_pairs
-from repro.util.hashing import _MASK, _MIX, _crc32
+from repro.native import kernels as native_kernels
 from reporting import fmt_count, fmt_seconds, print_table, write_json_table
 
 KeyValue = Tuple[Any, Any]
@@ -305,26 +303,29 @@ def legacy_pipeline(
 def current_pipeline(
     map_inputs: List[List[str]], n_splits: int, tmpdir: str
 ) -> List[str]:
-    """The same job through the live encode-once data plane."""
+    """The same job through the live encode-once data plane.
+
+    Uses the actual taskrunner building blocks — ``make_hash_emitter``
+    for the map-side emit/partition loop, ``sorted_grouped_lists`` for
+    the combiner, and ``_merged_groups`` for the reduce-side merge —
+    so whichever mode the native kernels are in (``auto``/``off``) is
+    exactly what a live job would run.
+    """
+    from repro.runtime.taskrunner import _merged_groups, make_hash_emitter
+
     spills: List[List[FileBucket]] = [[] for _ in range(n_splits)]
     for source, words in enumerate(map_inputs):
-        # Emit: encode + place + two C-level appends per record —
-        # exactly the taskrunner ``_emit`` fast path for the default
-        # partitioner (``route`` unrolled over hoisted collectors).
         staging = [Bucket(source=source, split=s) for s in range(n_splits)]
-        collectors = [bucket.collector() for bucket in staging]
-        for word in words:
-            keybytes = b"s:" + word.encode("utf-8")
-            add_key, add_pair = collectors[
-                ((_crc32(keybytes) * _MIX) & _MASK) % n_splits
-            ]
-            add_key(keybytes)
-            add_pair((word, 1))
+        emitter = make_hash_emitter(staging, n_splits)
+        # One emit() per map-function call, as the taskrunner does —
+        # a "line" of input at a time, not the whole task's stream.
+        for start in range(0, len(words), 10):
+            emitter.emit((word, 1) for word in words[start : start + 10])
+        emitter.flush()
         for bucket in staging:
-            # Combine: hash-grouped (no staging sort); only the group
-            # list is sorted, keeping the spill streamable.
-            groups = bucket.hash_grouped_records()
-            groups.sort(key=record_key)
+            # Combine: group (native scatter or hash-group + sort) and
+            # sum per key, keeping the spill streamable.
+            groups = bucket.sorted_grouped_lists()
             combined = Bucket(source=source, split=bucket.split)
             add_key, add_pair = combined.collector()
             for keybytes, key, values in groups:
@@ -358,9 +359,6 @@ def current_pipeline(
             bucket.key_serializer = KEY_SERIALIZER
             bucket.value_serializer = VALUE_SERIALIZER
             inputs.append(bucket)
-        merged = merge_sorted_records(
-            [bucket_sorted_records(b) for b in inputs]
-        )
         out_path = os.path.join(tmpdir, f"new_reduce_{split}.mrsb")
         out = FileBucket(
             out_path,
@@ -369,11 +367,30 @@ def current_pipeline(
             value_serializer=VALUE_SERIALIZER,
             retain=False,
         )
-        for keybytes, key, values in group_sorted_records(merged):
+        for keybytes, key, values in _merged_groups(inputs):
             out.addpair((key, sum(values)), keybytes)
         out.close_writer()
         out_paths.append(out_path)
     return out_paths
+
+
+def pure_pipeline(
+    map_inputs: List[List[str]], n_splits: int, tmpdir: str
+) -> List[str]:
+    """Encode-once pipeline with the native kernels forced off."""
+    native_kernels.set_mode("off")
+    try:
+        return current_pipeline(map_inputs, n_splits, tmpdir)
+    finally:
+        native_kernels.set_mode("auto")
+
+
+def native_pipeline(
+    map_inputs: List[List[str]], n_splits: int, tmpdir: str
+) -> List[str]:
+    """Encode-once pipeline with the native kernels engaged."""
+    native_kernels.set_mode("auto")
+    return current_pipeline(map_inputs, n_splits, tmpdir)
 
 
 # ----------------------------------------------------------------------
@@ -417,6 +434,26 @@ def verify_equivalent(tmpdir: str, n_splits: int) -> None:
     if outputs("legacy_reduce") != outputs("new_reduce"):
         raise SystemExit(
             "OUTPUT MISMATCH: legacy and encode-once reduce outputs differ"
+        )
+
+
+def verify_native_identical(
+    map_inputs: List[List[str]], n_splits: int, tmpdir: str
+) -> None:
+    """Native-on and native-off runs must write byte-identical files."""
+
+    def digest(paths: List[str]) -> List[bytes]:
+        hashes = []
+        for path in paths:
+            with open(path, "rb") as f:
+                hashes.append(hashlib.sha256(f.read()).digest())
+        return hashes
+
+    pure = digest(pure_pipeline(map_inputs, n_splits, tmpdir))
+    native = digest(native_pipeline(map_inputs, n_splits, tmpdir))
+    if pure != native:
+        raise SystemExit(
+            "OUTPUT MISMATCH: native kernels changed reduce output bytes"
         )
 
 
@@ -480,43 +517,52 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     map_inputs = generate_inputs(args.records, args.maps, args.vocab)
     n_records = sum(len(words) for words in map_inputs)
+    native_kernels.set_mode("auto")
+    have_native = native_kernels.get() is not None
     tmpdir = tempfile.mkdtemp(prefix="bench_shuffle_")
     try:
-        legacy_seconds, current_seconds = time_pipelines_interleaved(
-            [legacy_pipeline, current_pipeline],
-            map_inputs,
-            args.splits,
-            tmpdir,
-            args.repeat,
+        pipelines = [legacy_pipeline, pure_pipeline]
+        if have_native:
+            pipelines.append(native_pipeline)
+        timings = time_pipelines_interleaved(
+            pipelines, map_inputs, args.splits, tmpdir, args.repeat
         )
         verify_equivalent(tmpdir, args.splits)
+        if have_native:
+            verify_native_identical(map_inputs, args.splits, tmpdir)
     finally:
         shutil.rmtree(tmpdir, ignore_errors=True)
 
-    speedup = legacy_seconds / current_seconds
+    legacy_seconds, pure_seconds = timings[0], timings[1]
     headers = ["pipeline", "records", "seconds", "records_per_s", "speedup"]
+
+    def row(label: str, seconds: float) -> List[Any]:
+        return [
+            label,
+            n_records,
+            round(seconds, 4),
+            round(n_records / seconds),
+            round(legacy_seconds / seconds, 2),
+        ]
+
     rows = [
-        [
-            "legacy (pre-PR)",
-            n_records,
-            round(legacy_seconds, 4),
-            round(n_records / legacy_seconds),
-            1.0,
-        ],
-        [
-            "encode-once",
-            n_records,
-            round(current_seconds, 4),
-            round(n_records / current_seconds),
-            round(speedup, 2),
-        ],
+        row("legacy (pre-PR)", legacy_seconds),
+        row("encode-once (MRS_NATIVE=off)", pure_seconds),
     ]
+    if have_native:
+        rows.append(row("encode-once + native kernels", timings[2]))
     notes = [
         f"workload: {n_records} wordcount records, Zipf vocab "
         f"{args.vocab}, {args.maps} map tasks x {args.splits} splits, "
         f"best of {args.repeat}",
         "reduce outputs verified pair-identical across pipelines",
     ]
+    if have_native:
+        notes.append(
+            "native and pure encode-once runs verified byte-identical"
+        )
+    else:
+        notes.append("no C compiler found: native kernel row omitted")
     if args.smoke:
         notes.append("smoke run: workload too small for a meaningful timing")
     print_table(

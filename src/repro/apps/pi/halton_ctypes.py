@@ -6,9 +6,10 @@ tasks, can be rewritten in C ... we use Python's ctypes module to call
 a C function instead of the pure Python implementation of the Halton
 sequence" (section V-B).
 
-The C source lives next to this module (``_halton.c``); it is compiled
-on demand with the system compiler into a per-user cache and loaded
-with :mod:`ctypes`.  Environments without a compiler fall back to the
+The C source lives next to this module (``_halton.c``); compiler
+discovery, the per-user build cache, and the atomic compile-and-load
+live in :mod:`repro.native.compile` (shared with the framework's own
+shuffle kernels).  Environments without a compiler fall back to the
 vectorized NumPy kernel (see DESIGN.md's substitution table) — call
 :func:`is_available` to find out which world you are in.
 """
@@ -16,12 +17,14 @@ vectorized NumPy kernel (see DESIGN.md's substitution table) — call
 from __future__ import annotations
 
 import ctypes
-import hashlib
 import os
-import subprocess
-import tempfile
 import threading
 from typing import Optional, Tuple
+
+from repro.native.compile import (  # noqa: F401  (re-exported)
+    CompilerUnavailable,
+    load_shared_library,
+)
 
 _SOURCE_PATH = os.path.join(os.path.dirname(__file__), "_halton.c")
 
@@ -30,46 +33,15 @@ _SOURCE_PATH = os.path.join(os.path.dirname(__file__), "_halton.c")
 #: Python kernel.
 _CFLAGS = ["-O2", "-ffp-contract=off", "-shared", "-fPIC"]
 
+_CACHE_PREFIX = "repro_halton"
+
 _lock = threading.Lock()
 _library: Optional[ctypes.CDLL] = None
 _load_error: Optional[str] = None
 
 
-class CompilerUnavailable(RuntimeError):
-    """No working C compiler (or compilation failed)."""
-
-
-def _find_compiler() -> Optional[str]:
-    for name in ("cc", "gcc", "clang"):
-        for directory in os.environ.get("PATH", "").split(os.pathsep):
-            candidate = os.path.join(directory, name)
-            if os.access(candidate, os.X_OK):
-                return candidate
-    return None
-
-
 def _build_library() -> ctypes.CDLL:
-    compiler = _find_compiler()
-    if compiler is None:
-        raise CompilerUnavailable("no C compiler on PATH")
-    with open(_SOURCE_PATH, "rb") as f:
-        source = f.read()
-    tag = hashlib.sha256(source + " ".join(_CFLAGS).encode()).hexdigest()[:16]
-    cache_dir = os.path.join(
-        tempfile.gettempdir(), f"repro_halton_{os.getuid()}"
-    )
-    os.makedirs(cache_dir, exist_ok=True)
-    so_path = os.path.join(cache_dir, f"halton_{tag}.so")
-    if not os.path.exists(so_path):
-        build_path = so_path + f".build{os.getpid()}"
-        command = [compiler, *_CFLAGS, "-o", build_path, _SOURCE_PATH]
-        result = subprocess.run(command, capture_output=True, text=True)
-        if result.returncode != 0:
-            raise CompilerUnavailable(
-                f"compilation failed: {result.stderr.strip()}"
-            )
-        os.replace(build_path, so_path)  # atomic against racers
-    library = ctypes.CDLL(so_path)
+    library = load_shared_library(_SOURCE_PATH, _CACHE_PREFIX, _CFLAGS)
     library.halton_count_inside.restype = ctypes.c_int64
     library.halton_count_inside.argtypes = [ctypes.c_int64, ctypes.c_int64]
     library.halton_points.restype = None

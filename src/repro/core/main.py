@@ -18,6 +18,18 @@ from repro.core.job import Job
 logger = logging.getLogger("repro")
 
 
+def _configure_native(opts) -> None:
+    """Apply ``--mrs-native`` before any shuffle code runs.
+
+    Setting the mode also mirrors it into ``MRS_NATIVE``, so worker
+    processes spawned later (multiprocess pool, slaves launched with
+    the job's environment) resolve the same path.
+    """
+    from repro.native import kernels
+
+    kernels.configure_from_opts(opts)
+
+
 def _configure_logging(opts) -> None:
     level = logging.WARNING
     if getattr(opts, "debug", False):
@@ -41,6 +53,7 @@ def main(program_class: Any, argv: Optional[Sequence[str]] = None) -> int:
     """
     opts, args = options_mod.parse_options(program_class, argv)
     _configure_logging(opts)
+    _configure_native(opts)
     impl = opts.mrs_impl
 
     if impl == "slave":
@@ -208,6 +221,7 @@ def run_program(
     opts, positional = options_mod.parse_options(program_class, flags + args)
     for key, value in opt_overrides.items():
         setattr(opts, key, value)
+    _configure_native(opts)
     program = program_class(opts, positional)
 
     if impl == "bypass":

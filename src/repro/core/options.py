@@ -122,6 +122,16 @@ def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
         "tolerant) or direct HTTP between slaves (fast)",
     )
     group.add_argument(
+        "--mrs-native",
+        dest="native",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="native (C) shuffle kernels: 'auto' compiles on demand and "
+        "silently falls back to pure Python without a compiler, 'on' "
+        "fails loudly when unavailable, 'off' never compiles; outputs "
+        "are byte-identical either way (default: MRS_NATIVE or auto)",
+    )
+    group.add_argument(
         "--mrs-no-affinity",
         dest="no_affinity",
         action="store_true",

@@ -39,6 +39,7 @@ import os
 from operator import itemgetter, le
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
+from repro.native import kernels as _nk
 from repro.util.hashing import key_to_bytes
 
 KeyValue = Tuple[Any, Any]
@@ -164,6 +165,18 @@ class Bucket:
         self._pairs.extend(map(record_value, records))
         self._sorted = None
 
+    def extend_columns(self, keys: List[bytes], pairs: List[KeyValue]) -> None:
+        """Bulk append from parallel key/pair columns.
+
+        The column form of :meth:`extend_records`, used by the batch
+        emitter's scatter: the caller already holds the two arrays, so
+        nothing is zipped or unzipped.  ``keys`` and ``pairs`` must have
+        equal length.
+        """
+        self._keys.extend(keys)
+        self._pairs.extend(pairs)
+        self._sorted = None
+
     def collector(self) -> Tuple[Callable[[bytes], None], Callable[[KeyValue], None]]:
         """Return ``(add_keybytes, add_pair)`` for tight emit loops.
 
@@ -207,11 +220,22 @@ class Bucket:
         return self._pairs[index]
 
     def sort(self) -> None:
-        """Sort pairs by canonical key encoding (stable)."""
+        """Sort pairs by canonical key encoding (stable).
+
+        With the native kernels loaded, the stable sort permutation is
+        computed in C over the packed key bytes; either way the result
+        is exactly ``sorted(range(n), key=keys.__getitem__)`` applied to
+        both parallel arrays.
+        """
         if not self.is_sorted:
-            order = sorted(range(len(self._keys)), key=self._keys.__getitem__)
-            self._keys = [self._keys[i] for i in order]
-            self._pairs = [self._pairs[i] for i in order]
+            keys = self._keys
+            native = _nk.get() if len(keys) >= _nk.MIN_BATCH else None
+            if native is not None:
+                order = native.sort_index(keys)
+            else:
+                order = sorted(range(len(keys)), key=keys.__getitem__)
+            self._keys = list(map(keys.__getitem__, order))
+            self._pairs = list(map(self._pairs.__getitem__, order))
             self._sorted = True
 
     @property
@@ -269,6 +293,37 @@ class Bucket:
         return [
             (keybytes, entry[0], entry[1]) for keybytes, entry in groups.items()
         ]
+
+    def sorted_grouped_lists(self) -> List[Tuple[bytes, Any, List[Any]]]:
+        """Key-ordered ``(keybytes, key, values_list)`` groups.
+
+        Exactly :meth:`hash_grouped_records` followed by sorting the
+        group list on the cached key bytes — the combiner's access
+        pattern.  With the native kernels loaded, grouping and the
+        group sort fuse into one C call over the packed key bytes
+        (values still in encounter order, as a stable sort delivers
+        them).
+        """
+        keys = self._keys
+        native = _nk.get() if len(keys) >= _nk.MIN_BATCH else None
+        if native is None:
+            groups = self.hash_grouped_records()
+            groups.sort(key=record_key)
+            return groups
+        pairs = self._pairs
+        ngroups, order, bounds = native.group_scatter(keys, sort_groups=True)
+        out: List[Tuple[bytes, Any, List[Any]]] = []
+        for g in range(ngroups):
+            lo, hi = bounds[g], bounds[g + 1]
+            first = order[lo]
+            out.append(
+                (
+                    keys[first],
+                    pairs[first][0],
+                    [pairs[i][1] for i in order[lo:hi]],
+                )
+            )
+        return out
 
     def grouped(self) -> Iterator[Tuple[Any, Iterator[Any]]]:
         """Yield ``(key, values)`` groups in key order."""
@@ -422,6 +477,12 @@ class FileBucket(Bucket):
         if len(self._spill_buffer) >= self.spill_buffer_pairs:
             self._flush_spill()
 
+    def extend_columns(self, keys: List[bytes], pairs: List[KeyValue]) -> None:
+        """File buckets route the column form through
+        :meth:`extend_records` so spill-order tracking and buffered
+        flushing see every record."""
+        self.extend_records(list(zip(keys, pairs)))
+
     def _flush_spill(self) -> None:
         if self._spill_buffer:
             batch = self._spill_buffer
@@ -572,6 +633,173 @@ def merge_sorted_records(streams: List[Iterator[Record]]) -> Iterator[Record]:
     pairs — mixed-type key sets merge fine.
     """
     return heapq.merge(*streams, key=record_key)
+
+
+#: Window read size for the native fused merge (per input stream).
+_MERGE_READ_CHUNK = 1 << 20
+
+
+def native_merge_plan(buckets: Iterable[Bucket]) -> Optional[List[str]]:
+    """The file URLs for a fused native merge, or ``None``.
+
+    The fused merge (:func:`native_merged_groups`) reads framed records
+    straight off bucket files and merges them on *wire* key bytes, so
+    it is only sound when every input bucket is URL-only, local, known
+    key-sorted, binary-framed, and uses a canonical key serializer (a
+    constant tag prefix means wire order equals canonical order).  Any
+    bucket failing a condition sends the whole merge down the pure
+    streaming path.
+    """
+    if _nk.get() is None:
+        return None
+    from repro.io import formats
+    from repro.io.serializers import get_serializer
+
+    urls: List[str] = []
+    key_name = value_name = None
+    for bucket in buckets:
+        if len(bucket) or not bucket.url or not bucket.url_sorted:
+            return None
+        if not bucket.url.startswith("file:"):
+            return None
+        if formats.reader_for(bucket.url) is not formats.BinReader:
+            return None
+        if urls:
+            if (
+                bucket.key_serializer != key_name
+                or bucket.value_serializer != value_name
+            ):
+                return None
+        else:
+            key_name = bucket.key_serializer
+            value_name = bucket.value_serializer
+        urls.append(bucket.url)
+    if not urls:
+        return None
+    try:
+        key_s = get_serializer(key_name)
+    except Exception:
+        return None
+    if getattr(key_s, "canonical_key_tag", None) is None:
+        return None
+    return urls
+
+
+def native_merged_groups(
+    urls: List[str],
+    key_serializer: Optional[str] = None,
+    value_serializer: Optional[str] = None,
+) -> Iterator[Tuple[bytes, Any, List[Any]]]:
+    """Merge key-sorted local ``.mrsb`` files into key groups, natively.
+
+    Yields ``(keybytes, key, values_list)`` in exactly the order — and
+    with exactly the group boundaries — of ``group_sorted_records(
+    merge_sorted_records(streams))`` over the same files: the C picker
+    replays ``heapq.merge`` (ties to the lowest stream index) over
+    windowed views of each file, and each group's key is decoded once.
+    Callers must pre-qualify the inputs with :func:`native_merge_plan`.
+    """
+    from repro.io import formats
+    from repro.io.serializers import get_serializer
+
+    native = _nk.get()
+    key_s = get_serializer(key_serializer)
+    value_s = get_serializer(value_serializer)
+    tag = key_s.canonical_key_tag
+    key_loads = key_s.loads
+    value_loads = value_s.loads
+
+    k = len(urls)
+    files: List[Any] = []
+    try:
+        for url in urls:
+            fileobj = open(url[len("file:"):], "rb")
+            files.append(fileobj)
+            magic = fileobj.read(len(formats._BIN_MAGIC))
+            if magic != formats._BIN_MAGIC:
+                raise ValueError(f"not a BinWriter file (magic={magic!r})")
+
+        picker = _nk.MergePicker(native, k)
+        windows = [b""] * k
+        triples: List[Any] = [None] * k
+        counts = [0] * k
+        cursor = [0] * k
+        tails = [b""] * k
+        eof = [False] * k
+        done = [False] * k
+
+        def refill(s: int) -> None:
+            data = tails[s]
+            if not eof[s]:
+                chunk = files[s].read(_MERGE_READ_CHUNK)
+                if chunk:
+                    data = data + chunk if data else chunk
+                else:
+                    eof[s] = True
+            count, tri = native.scan(data)
+            while count == 0 and not eof[s]:
+                # A record larger than the window: keep widening.
+                chunk = files[s].read(_MERGE_READ_CHUNK)
+                if not chunk:
+                    eof[s] = True
+                    break
+                data += chunk
+                count, tri = native.scan(data)
+            consumed = tri[3 * count - 1] if count else 0
+            tails[s] = data[consumed:]
+            if eof[s]:
+                if tails[s]:
+                    raise ValueError("truncated record")
+                done[s] = True
+                picker.mark_done(s)
+            windows[s] = data
+            triples[s] = tri
+            counts[s] = count
+            cursor[s] = 0
+            picker.set_window(s, data, tri, count)
+
+        for s in range(k):
+            refill(s)
+
+        prev_key: Optional[bytes] = None
+        cur_kb: Optional[bytes] = None
+        cur_key: Any = None
+        cur_values: Optional[List[Any]] = None
+        while True:
+            npicks, srcs, newgrp = picker.pick(prev_key)
+            for i in range(npicks):
+                s = srcs[i]
+                idx = cursor[s]
+                cursor[s] = idx + 1
+                tri = triples[s]
+                vstart = tri[3 * idx + 1]
+                window = windows[s]
+                value = value_loads(window[vstart:tri[3 * idx + 2]])
+                if newgrp[i]:
+                    if cur_values is not None:
+                        yield cur_kb, cur_key, cur_values
+                    kb = window[tri[3 * idx]:vstart]
+                    cur_kb = tag + kb
+                    cur_key = key_loads(kb)
+                    cur_values = [value]
+                else:
+                    cur_values.append(value)
+            if npicks:
+                # Every record in the open group shares its key, so the
+                # last emitted wire key is the group key minus the tag.
+                prev_key = cur_kb[len(tag):]
+            refilled = False
+            for s in range(k):
+                if cursor[s] >= counts[s] and not done[s]:
+                    refill(s)
+                    refilled = True
+            if npicks == 0 and not refilled:
+                break
+        if cur_values is not None:
+            yield cur_kb, cur_key, cur_values
+    finally:
+        for fileobj in files:
+            fileobj.close()
 
 
 def merge_sorted_buckets(

@@ -25,7 +25,12 @@ from repro.core.dataset import BaseDataset
 from repro.io.bucket import Bucket, FileBucket
 
 MANIFEST = "manifest.json"
-FORMAT_VERSION = 1
+#: Version 2 adds a per-bucket ``"sorted"`` flag recording whether the
+#: spilled file is in canonical key order; version-1 checkpoints are
+#: still readable (the flag defaults to unsorted, which is always safe —
+#: the merge materializes and sorts instead of streaming).
+FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 class CheckpointError(Exception):
@@ -69,7 +74,15 @@ def write_checkpoint(path: str, dataset: BaseDataset) -> str:
             spill.open_writer()
             spill.close_writer()
             buckets.append(
-                {"source": bucket.source, "split": bucket.split, "file": name}
+                {
+                    "source": bucket.source,
+                    "split": bucket.split,
+                    "file": name,
+                    # Whether the spill stream landed in canonical key
+                    # order; restored as ``url_sorted`` so post-resume
+                    # merges stream the file instead of materializing.
+                    "sorted": spill.url_sorted,
+                }
             )
         manifest = {
             "version": FORMAT_VERSION,
@@ -111,7 +124,7 @@ def load_checkpoint(path: str, job: Optional[Any] = None) -> BaseDataset:
         raise CheckpointError(f"no checkpoint at {path}") from None
     except json.JSONDecodeError as exc:
         raise CheckpointError(f"corrupt manifest at {path}: {exc}") from exc
-    if manifest.get("version") != FORMAT_VERSION:
+    if manifest.get("version") not in _READABLE_VERSIONS:
         raise CheckpointError(
             f"unsupported checkpoint version {manifest.get('version')!r}"
         )
@@ -135,6 +148,7 @@ def load_checkpoint(path: str, job: Optional[Any] = None) -> BaseDataset:
             key_serializer=manifest.get("key_serializer"),
             value_serializer=manifest.get("value_serializer"),
         )
+        bucket.url_sorted = bool(entry.get("sorted", False))
         # Load pairs into memory *without* FileBucket's spill-buffer
         # addpair: a flush would rewrite (truncate) the checkpoint file
         # under any other process reading the same file (a worker pool

@@ -24,8 +24,14 @@ import struct
 from typing import Any, BinaryIO, Iterable, Iterator, List, Optional, Tuple
 
 from repro.io.serializers import Serializer, get_serializer
+from repro.native import kernels as _nk
 
 KeyValue = Tuple[Any, Any]
+
+
+def _native_kernels():
+    """The shared native kernels, or ``None`` (mode-aware, cached)."""
+    return _nk.get()
 
 
 class Writer:
@@ -180,6 +186,23 @@ class BinWriter(Writer):
         taglen = len(tag)
         key_dumps = self.key_s.dumps
         value_dumps = self.value_s.dumps
+        native = _native_kernels()
+        if native is not None:
+            # Batch framing in C: serialize keys/values into two column
+            # lists, then one kernel call lays out every length prefix
+            # and body (identical bytes to the pure loop below).
+            kbs: List[bytes] = []
+            vbs: List[bytes] = []
+            kappend = kbs.append
+            vappend = vbs.append
+            for keybytes, pair in records:
+                if keybytes.startswith(tag):
+                    kappend(keybytes[taglen:])
+                else:
+                    kappend(key_dumps(pair[0]))
+                vappend(value_dumps(pair[1]))
+            self.fileobj.write(native.frame(kbs, vbs))
+            return
         pack = _LEN_STRUCT.pack
         chunks: List[bytes] = []
         append = chunks.append
@@ -252,6 +275,7 @@ class BinReader(Reader):
         key_loads = self.key_s.loads
         value_loads = self.value_s.loads
         tag = getattr(self.key_s, "canonical_key_tag", None)
+        native = _native_kernels()
         buf = b""
         pos = 0
         while True:
@@ -263,6 +287,21 @@ class BinReader(Reader):
             buf = buf[pos:] + chunk if pos or buf else chunk
             pos = 0
             end = len(buf)
+            if native is not None:
+                # One C call finds every complete record's offsets in
+                # the chunk; Python only slices and decodes.
+                count, triples = native.scan(buf)
+                if count:
+                    offsets = iter(triples[: 3 * count])
+                    for kstart, vstart, vend in zip(offsets, offsets, offsets):
+                        kb = buf[kstart:vstart]
+                        key = key_loads(kb)
+                        yield (
+                            tag + kb if tag is not None else key_to_bytes(key),
+                            (key, value_loads(buf[vstart:vend])),
+                        )
+                    pos = triples[3 * count - 1]
+                continue
             while True:
                 body = pos + header_size
                 if body > end:

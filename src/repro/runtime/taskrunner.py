@@ -26,10 +26,13 @@ from repro.io.bucket import (
     bucket_sorted_records,
     group_sorted_records,
     merge_sorted_records,
+    native_merge_plan,
+    native_merged_groups,
     record_key,
 )
 from repro.io import urls as url_io
 from repro.io.partition import hash_partition
+from repro.native import kernels as _nk
 from repro.util.hashing import _MASK, _MIX, _crc32, key_to_bytes
 
 KeyValue = Tuple[Any, Any]
@@ -102,38 +105,16 @@ def _emit(
     parter: Callable[[Any, int], int],
     n_splits: int,
     out: List[Bucket],
-    collectors: Optional[List[Tuple[Callable, Callable]]] = None,
 ) -> None:
     """Partition emitted pairs into ``out``, encoding each key ONCE.
 
     The canonical key bytes computed here ride into the bucket with the
-    pair and are reused by every later hop (sort, group, merge).  When
-    the caller hoisted per-bucket ``collectors``
-    (:meth:`~repro.io.bucket.Bucket.collector`; only valid for the
-    default hash partitioner), the loop body is
-    :func:`repro.io.partition.route` unrolled — encode, place, and two
-    C-level appends per record, with the split guaranteed in range by
-    the modulo.  Other partitioners with a ``partition_bytes`` fast
-    path get the cached bytes, and custom partitioners get the live
-    key.
+    pair and are reused by every later hop (sort, group, merge).  This
+    is the *custom partitioner* path — the default hash partitioner
+    goes through :func:`make_hash_emitter` instead.  Partitioners with
+    a ``partition_bytes`` fast path get the cached bytes; others get
+    the live key.
     """
-    if collectors is not None:
-        for pair in pairs:
-            if not isinstance(pair, tuple) or len(pair) != 2:
-                raise TaskError(
-                    f"map function must yield (key, value) tuples, got {pair!r}"
-                )
-            key = pair[0]
-            if type(key) is str:
-                keybytes = b"s:" + key.encode("utf-8")
-            else:
-                keybytes = key_to_bytes(key)
-            add_key, add_pair = collectors[
-                ((_crc32(keybytes) * _MIX) & _MASK) % n_splits
-            ]
-            add_key(keybytes)
-            add_pair(pair)
-        return
     bytes_parter = getattr(parter, "partition_bytes", None)
     for pair in pairs:
         if not isinstance(pair, tuple) or len(pair) != 2:
@@ -151,6 +132,128 @@ def _emit(
                 f"outside range(0, {n_splits})"
             )
         out[split].addpair(pair, keybytes)
+
+
+#: Records the batch emitter accumulates before a native scatter.
+_EMIT_BATCH = 8192
+
+
+class _CollectorEmitter:
+    """The pure-Python emit fast path (default hash partitioner only).
+
+    Exactly the hoisted-collectors loop of :func:`_emit`:
+    :func:`repro.io.partition.route` unrolled over per-bucket collector
+    closures — encode, place, two C-level appends per record.  This is
+    the ``MRS_NATIVE=off`` path, byte- and speed-identical to the
+    pre-native emit loop.
+    """
+
+    __slots__ = ("_collectors", "_n")
+
+    def __init__(self, staging: List[Bucket], n_splits: int):
+        self._collectors = [bucket.collector() for bucket in staging]
+        self._n = n_splits
+
+    def emit(self, pairs: Iterable[KeyValue]) -> None:
+        n = self._n
+        collectors = self._collectors
+        for pair in pairs:
+            if not isinstance(pair, tuple) or len(pair) != 2:
+                raise TaskError(
+                    f"map function must yield (key, value) tuples, got {pair!r}"
+                )
+            key = pair[0]
+            if type(key) is str:
+                keybytes = b"s:" + key.encode("utf-8")
+            else:
+                keybytes = key_to_bytes(key)
+            add_key, add_pair = collectors[
+                ((_crc32(keybytes) * _MIX) & _MASK) % n
+            ]
+            add_key(keybytes)
+            add_pair(pair)
+
+    def flush(self) -> None:
+        pass
+
+
+class _NativeHashEmitter:
+    """Batch emit through the native partition-scatter kernel.
+
+    Emitted records accumulate in two parallel columns; every
+    ``_EMIT_BATCH`` records one C call hashes, places, and stably
+    groups the whole batch by split, and each split's slice lands in
+    its staging bucket with two list ``extend`` calls.  The scatter is
+    stable, so every bucket receives its records in emit order —
+    exactly what the sequential loop produces.
+    """
+
+    __slots__ = ("_staging", "_n", "_native", "_keys", "_pairs")
+
+    def __init__(self, staging: List[Bucket], n_splits: int, native) -> None:
+        self._staging = staging
+        self._n = n_splits
+        self._native = native
+        self._keys: List[bytes] = []
+        self._pairs: List[KeyValue] = []
+
+    def emit(self, pairs: Iterable[KeyValue]) -> None:
+        keys = self._keys
+        out = self._pairs
+        add_key = keys.append
+        add_pair = out.append
+        for pair in pairs:
+            if not isinstance(pair, tuple) or len(pair) != 2:
+                raise TaskError(
+                    f"map function must yield (key, value) tuples, got {pair!r}"
+                )
+            key = pair[0]
+            if type(key) is str:
+                add_key(b"s:" + key.encode("utf-8"))
+            else:
+                add_key(key_to_bytes(key))
+            add_pair(pair)
+        if len(keys) >= _EMIT_BATCH:
+            self.flush()
+
+    def flush(self) -> None:
+        keys = self._keys
+        if not keys:
+            return
+        pairs = self._pairs
+        self._keys = []
+        self._pairs = []
+        staging = self._staging
+        n = self._n
+        if len(keys) < _nk.MIN_BATCH:
+            for keybytes, pair in zip(keys, pairs):
+                staging[((_crc32(keybytes) * _MIX) & _MASK) % n].addpair(
+                    pair, keybytes
+                )
+            return
+        order, bounds = self._native.partition_scatter(keys, n)
+        kget = keys.__getitem__
+        pget = pairs.__getitem__
+        for split in range(n):
+            lo, hi = bounds[split], bounds[split + 1]
+            if lo != hi:
+                chunk = order[lo:hi]
+                staging[split].extend_columns(
+                    list(map(kget, chunk)), list(map(pget, chunk))
+                )
+
+
+def make_hash_emitter(staging: List[Bucket], n_splits: int):
+    """The per-task emitter for the default hash partitioner.
+
+    Chosen once per task: the native batch emitter when the shuffle
+    kernels are loaded (and placement is non-trivial), else the pure
+    collectors loop.  Both produce identical bucket contents.
+    """
+    native = _nk.get()
+    if native is not None and n_splits > 1:
+        return _NativeHashEmitter(staging, n_splits, native)
+    return _CollectorEmitter(staging, n_splits)
 
 
 def _emit_one_key(
@@ -203,11 +306,12 @@ def _apply_combiner(
     combiner = op.resolve(program, combine_name)
     combined: List[Bucket] = []
     for bucket in buckets:
-        # Sort the (much smaller) group list by cached key bytes, then
-        # stream the combiner output straight into the fresh bucket in
-        # that order — no per-record sort ever runs on either side.
-        groups = bucket.hash_grouped_records()
-        groups.sort(key=record_key)
+        # Group with one pass and sort only the (much smaller) group
+        # list by cached key bytes, then stream the combiner output
+        # straight into the fresh bucket in that order — no per-record
+        # sort ever runs on either side.  With native kernels the
+        # grouping and group sort fuse into one C call.
+        groups = bucket.sorted_grouped_lists()
         fresh = Bucket(source=bucket.source, split=bucket.split)
         add_key, add_pair = fresh.collector()
         for keybytes, key, values in groups:
@@ -239,6 +343,25 @@ def _merged_records(input_buckets: Sequence[Bucket], span: Any = None):
     return _closing_stream(merged, prefetcher)
 
 
+def _merged_groups(input_buckets: Sequence[Bucket], span: Any = None):
+    """Key-ordered ``(keybytes, key, values)`` groups over all sources.
+
+    When every input bucket qualifies (URL-only local sorted binary
+    files with a canonical key serializer — see
+    :func:`repro.io.bucket.native_merge_plan`), the merge *and* the
+    grouping run in the native fused path, with one key decode per
+    group.  Otherwise this is :func:`group_sorted_records` over the
+    pure streaming merge, unchanged.
+    """
+    plan = native_merge_plan(input_buckets)
+    if plan is not None:
+        first = input_buckets[0]
+        return native_merged_groups(
+            plan, first.key_serializer, first.value_serializer
+        )
+    return group_sorted_records(_merged_records(input_buckets, span=span))
+
+
 def _closing_stream(merged, prefetcher):
     """Drive a prefetched merge, releasing the fetch pipeline however
     the consumer finishes (exhaustion, reducer error, abandonment)."""
@@ -263,15 +386,16 @@ def run_map_task(
     staging = [Bucket(split=s) for s in range(n)]
     # Hoist the per-bucket append fast path out of the per-record loop;
     # only the default partitioner's placement is safe to unroll.
-    collectors = (
-        [bucket.collector() for bucket in staging]
-        if parter is hash_partition
-        else None
-    )
+    emitter = make_hash_emitter(staging, n) if parter is hash_partition else None
     for key, value in input_pairs:
         result = mapper(key, value)
         if result is not None:
-            _emit(result, parter, n, staging, collectors)
+            if emitter is not None:
+                emitter.emit(result)
+            else:
+                _emit(result, parter, n, staging)
+    if emitter is not None:
+        emitter.flush()
     staging = _apply_combiner(program, op.combine_name, op, staging)
     if span is not None:
         span.mark("map")
@@ -293,9 +417,7 @@ def run_reduce_task(
     bytes_parter = getattr(parter, "partition_bytes", None)
     n = op.splits
     staging = [Bucket(split=s) for s in range(n)]
-    for keybytes, key, values in group_sorted_records(
-        _merged_records(input_buckets, span=span)
-    ):
+    for keybytes, key, values in _merged_groups(input_buckets, span=span):
         result = reducer(key, values)
         if result is not None:
             _emit_one_key(keybytes, key, result, parter, bytes_parter, n, staging)
@@ -319,21 +441,20 @@ def run_reducemap_task(
     parter = _resolve_parter(program, op)
     n = op.splits
     staging = [Bucket(split=s) for s in range(n)]
-    collectors = (
-        [bucket.collector() for bucket in staging]
-        if parter is hash_partition
-        else None
-    )
-    for _, key, values in group_sorted_records(
-        _merged_records(input_buckets, span=span)
-    ):
+    emitter = make_hash_emitter(staging, n) if parter is hash_partition else None
+    for _, key, values in _merged_groups(input_buckets, span=span):
         reduced = reducer(key, values)
         if reduced is None:
             continue
         for value in reduced:
             mapped = mapper(key, value)
             if mapped is not None:
-                _emit(mapped, parter, n, staging, collectors)
+                if emitter is not None:
+                    emitter.emit(mapped)
+                else:
+                    _emit(mapped, parter, n, staging)
+    if emitter is not None:
+        emitter.flush()
     staging = _apply_combiner(program, op.combine_name, op, staging)
     if span is not None:
         # The fused operation's compute is reduce-dominated; attribute

@@ -26,6 +26,11 @@ _crc32 = zlib.crc32
 # Fibonacci-hashing multiplier (golden ratio scaled to 64 bits): spreads
 # the CRC's 32 bits across the full word so any ``% n_splits`` sees
 # well-mixed high and low bits.
+#
+# The native shuffle kernels (src/repro/native/_shuffle.c: mrs_hash64)
+# reimplement crc32 * _MIX mod 2^64 in C; placement there and here MUST
+# agree bit-for-bit, so any change to this construction has to land in
+# both places (tests/io/test_native_kernels.py locks the parity).
 _MIX = 0x9E3779B97F4A7C15
 _MASK = 0xFFFFFFFFFFFFFFFF
 
