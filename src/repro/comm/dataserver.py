@@ -30,6 +30,16 @@ from typing import Any, Callable, Dict, Optional
 #: Streaming read/compress granularity for bucket responses.
 _STREAM_CHUNK = 256 * 1024
 
+
+class RawResponse:
+    """A status view's escape hatch from JSON: a pre-rendered body with
+    its own content type (Prometheus text exposition, dashboard HTML)."""
+
+    def __init__(self, body: str, content_type: str, code: int = 200):
+        self.body = body
+        self.content_type = content_type
+        self.code = code
+
 #: Responses below this size skip compression even when the client
 #: negotiated gzip: header overhead would eat the saving.
 GZIP_MIN_BYTES = 1024
@@ -267,7 +277,18 @@ class _StatusRequestHandler(http.server.BaseHTTPRequestHandler):
         except Exception as exc:
             self._send_json(500, {"error": repr(exc)})
             return
+        if isinstance(payload, RawResponse):
+            self._send_raw(payload)
+            return
         self._send_json(200, payload)
+
+    def _send_raw(self, response: RawResponse) -> None:
+        body = response.body.encode("utf-8")
+        self.send_response(response.code)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -293,9 +314,12 @@ class StatusServer:
 
     Read-only routes (always):
 
-    * ``/status``  — the backend's live :meth:`status` snapshot
-    * ``/metrics`` — the aggregate metrics report (``Job.metrics()``)
-    * ``/events``  — event ring tail; ``?since=N`` skips seq <= N
+    * ``/status``    — the backend's live :meth:`status` snapshot
+    * ``/metrics``   — Prometheus text exposition of the live job
+      (``?format=json`` returns the aggregate ``Job.metrics()`` report)
+    * ``/events``    — event ring tail; ``?since=N`` skips seq <= N
+    * ``/dashboard`` — self-refreshing HTML overview (slaves, datasets,
+      shuffle skew, stragglers; no external assets)
 
     Control routes (``control`` given — a
     :class:`repro.service.server.JobServer`):
@@ -319,10 +343,12 @@ class StatusServer:
         auth_token: Optional[str] = None,
     ):
         self.backend = backend
+        self.control = control
         views: Dict[str, Callable[[Dict[str, Any]], Any]] = {
             "/status": lambda query: backend.status(),
-            "/metrics": lambda query: backend.metrics(),
+            "/metrics": self._metrics_view,
             "/events": self._events_view,
+            "/dashboard": self._dashboard_view,
         }
         self._server = _ThreadingHTTPServer((host, port), _StatusRequestHandler)
         self._server.views = views  # type: ignore[attr-defined]
@@ -335,6 +361,35 @@ class StatusServer:
             daemon=True,
         )
         self._thread.start()
+
+    def _metrics_view(self, query: Dict[str, Any]) -> Any:
+        # Default is the Prometheus text exposition; ``?format=json``
+        # keeps the original aggregate metrics report for existing
+        # JSON consumers.
+        fmt = (query.get("format") or ["prometheus"])[0].lower()
+        if fmt == "json":
+            return self.backend.metrics()
+        from repro.observability import telemetry as telemetry_mod
+
+        return RawResponse(
+            telemetry_mod.render_prometheus(self.backend),
+            telemetry_mod.PROMETHEUS_CONTENT_TYPE,
+        )
+
+    def _dashboard_view(self, query: Dict[str, Any]) -> RawResponse:
+        from repro.observability import telemetry as telemetry_mod
+
+        try:
+            refresh = int((query.get("refresh") or ["2"])[0])
+        except (TypeError, ValueError):
+            refresh = 2
+        return RawResponse(
+            telemetry_mod.render_dashboard(
+                self.backend, control=self.control,
+                refresh_seconds=max(1, refresh),
+            ),
+            "text/html; charset=utf-8",
+        )
 
     def _events_view(self, query: Dict[str, Any]) -> Dict[str, Any]:
         observability = getattr(self.backend, "observability", None)

@@ -129,6 +129,8 @@ def make_task_metrics(
     durations: Optional[Dict[str, float]] = None,
     registry: Optional[Dict[str, Any]] = None,
     events: Optional[Sequence[Dict[str, Any]]] = None,
+    health: Optional[Dict[str, float]] = None,
+    buckets: Optional[Sequence[Sequence[Any]]] = None,
 ) -> Dict[str, Any]:
     """The per-task metrics payload piggybacked on ``done``.
 
@@ -138,8 +140,12 @@ def make_task_metrics(
     ``events`` is the slave's per-task event batch — dicts of scalars
     with an ``offset`` (seconds from the slave's task start) instead of
     an absolute timestamp, so the coordinator can re-anchor them on its
-    own clock.  All three ride the existing completion message: no
-    extra round trips, and old coordinators ignore unknown fields.
+    own clock.  ``health`` is an optional throttled
+    :func:`~repro.observability.telemetry.sample_health` snapshot;
+    ``buckets`` an optional list of ``[split, records, bytes]`` triples
+    for shuffle-skew accounting.  Everything rides the existing
+    completion message: no extra round trips, and old coordinators
+    ignore unknown fields.
     """
     payload: Dict[str, Any] = {
         "durations": {
@@ -150,6 +156,15 @@ def make_task_metrics(
     }
     if events:
         payload["events"] = [dict(event) for event in events]
+    if health:
+        payload["health"] = {
+            str(name): float(value) for name, value in health.items()
+        }
+    if buckets:
+        payload["buckets"] = [
+            [int(entry[0]), float(entry[1]), float(entry[2])]
+            for entry in buckets
+        ]
     return payload
 
 
@@ -157,7 +172,13 @@ def parse_task_metrics(raw: Any) -> Dict[str, Any]:
     """Validate a piggybacked metrics payload; tolerates None/garbage
     (metrics must never fail a task completion)."""
     if not isinstance(raw, dict):
-        return {"durations": {}, "registry": {}, "events": []}
+        return {
+            "durations": {},
+            "registry": {},
+            "events": [],
+            "health": None,
+            "buckets": [],
+        }
     durations: Dict[str, float] = {}
     raw_durations = raw.get("durations")
     if isinstance(raw_durations, dict):
@@ -178,10 +199,33 @@ def parse_task_metrics(raw: Any) -> Dict[str, Any]:
             except (TypeError, ValueError):
                 continue
             events.append(entry)
+    health: Optional[Dict[str, float]] = None
+    raw_health = raw.get("health")
+    if isinstance(raw_health, dict):
+        health = {}
+        for name, value in raw_health.items():
+            try:
+                health[str(name)] = float(value)
+            except (TypeError, ValueError):
+                continue
+        if not health:
+            health = None
+    buckets: List[List[float]] = []
+    raw_buckets = raw.get("buckets")
+    if isinstance(raw_buckets, (list, tuple)):
+        for entry in raw_buckets:
+            try:
+                buckets.append(
+                    [int(entry[0]), float(entry[1]), float(entry[2])]
+                )
+            except (TypeError, ValueError, IndexError):
+                continue
     return {
         "durations": durations,
         "registry": registry if isinstance(registry, dict) else {},
         "events": events,
+        "health": health,
+        "buckets": buckets,
     }
 
 

@@ -74,6 +74,16 @@ class Backend:
             return {}
         return self.observability.status_view()
 
+    def telemetry(self) -> Dict[str, Any]:
+        """The cluster telemetry snapshot: per-source health
+        time-series, shuffle-skew summaries, straggler candidates.
+        Empty when ``--mrs-telemetry off`` (or the backend records
+        nothing).  Backends with a scheduler extend this with live
+        straggler candidates."""
+        if self.observability is None or self.observability.telemetry is None:
+            return {}
+        return self.observability.telemetry.snapshot()
+
     def close(self) -> None:
         """Shut down any runtime resources."""
 
@@ -306,6 +316,12 @@ class Job:
         the same view ``--mrs-progress`` renders and
         ``--mrs-status-http`` serves."""
         return self.backend.status()
+
+    def telemetry(self) -> Dict[str, Any]:
+        """The cluster telemetry view (``--mrs-telemetry``): per-slave
+        health time-series, shuffle-skew summaries per dataset, and
+        straggler candidates.  Empty when telemetry is off."""
+        return self.backend.telemetry()
 
     def remove_data(self, dataset: ds.BaseDataset) -> None:
         """Free a dataset that no further operation will read.

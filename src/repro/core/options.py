@@ -9,6 +9,7 @@ options added via ``Program.update_parser``.
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Any, List, Optional, Sequence, Tuple
 
 #: Implementation names accepted by ``--mrs`` (case-insensitive).
@@ -205,8 +206,47 @@ def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="PORT",
-        help="serve a read-only JSON status endpoint on PORT "
-        "(GET /status, /metrics, /events) while the job runs",
+        help="serve a read-only status endpoint on PORT (GET /status, "
+        "/metrics [Prometheus text; ?format=json for the report], "
+        "/events, /dashboard) while the job runs",
+    )
+    group.add_argument(
+        "--mrs-telemetry",
+        dest="telemetry",
+        choices=("on", "off"),
+        default="on",
+        help="cluster telemetry plane: per-slave health time-series, "
+        "shuffle-skew accounting, and straggler scoring ('off' skips "
+        "all sampling; outputs are byte-identical either way)",
+    )
+    group.add_argument(
+        "--mrs-telemetry-interval",
+        dest="telemetry_interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds between health samples (and the downsampling "
+        "slot width of the master's telemetry store)",
+    )
+    group.add_argument(
+        "--mrs-straggler-factor",
+        dest="straggler_factor",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help="flag a running task as a straggler candidate once its "
+        "elapsed time exceeds X times the running median of its "
+        "dataset's completed tasks",
+    )
+    group.add_argument(
+        "--mrs-heartbeat-interval",
+        dest="heartbeat_interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat cadence: the master watchdog's ping period and "
+        "the multiprocess backend's heartbeat-event throttle "
+        "(default: MRS_HEARTBEAT_INTERVAL or the per-backend default)",
     )
     group.add_argument(
         "--mrs-profile-tasks",
@@ -329,6 +369,26 @@ def parse_options(
     if stray:
         parser.error(f"unrecognized options: {' '.join(stray)}")
     return opts, args
+
+
+def resolve_heartbeat_interval(opts: Any, default: float) -> float:
+    """The shared heartbeat cadence for a call site whose historical
+    default is ``default``: ``--mrs-heartbeat-interval``, else the
+    ``MRS_HEARTBEAT_INTERVAL`` environment variable, else ``default``
+    (so the master keeps 2 s pings and the multiprocess backend keeps
+    its 5 s heartbeat-event throttle unless the knob is turned).
+    """
+    value = getattr(opts, "heartbeat_interval", None) if opts else None
+    if value is None:
+        env = os.environ.get("MRS_HEARTBEAT_INTERVAL")
+        if env:
+            try:
+                value = float(env)
+            except ValueError:
+                value = None
+    if value is None:
+        return float(default)
+    return max(0.05, float(value))
 
 
 def default_options(**overrides: Any) -> argparse.Namespace:

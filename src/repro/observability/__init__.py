@@ -70,6 +70,10 @@ class Observability:
         #: (so the hot emit path ``events = obs.events; if events is
         #: not None: ...`` costs one attribute check when disabled).
         self.events: Optional[EventLog] = None
+        #: Cluster telemetry plane (health series, skew, stragglers);
+        #: None when --mrs-telemetry off — same one-attribute-check
+        #: discipline as the event log.
+        self.telemetry: Optional[Any] = None
         self._created_at = time.perf_counter()
         #: Seconds from backend construction to ready-to-run, set once
         #: by :meth:`mark_startup_complete` (the paper's "~2 s" number).
@@ -112,6 +116,28 @@ class Observability:
             )
         return self.events
 
+    def enable_telemetry(
+        self, opts: Any = None, rundir: Optional[str] = None
+    ) -> Optional[Any]:
+        """Attach the cluster telemetry plane per ``--mrs-telemetry``
+        (idempotent; returns None and stays disabled when off).
+
+        The sampler's task-throughput rate is derived from this
+        bundle's ``tasks.completed`` counter, which every executor role
+        already maintains.
+        """
+        if self.telemetry is None:
+            from repro.observability import telemetry as telemetry_mod
+
+            counter = self.registry.counter("tasks.completed")
+            self.telemetry = telemetry_mod.telemetry_from_opts(
+                opts,
+                role=self.role,
+                rundir=rundir,
+                task_counter=lambda: counter.value,
+            )
+        return self.telemetry
+
     def configure_from_opts(self, opts: Any) -> None:
         """Wire the observability CLI flags into this bundle.
 
@@ -133,6 +159,7 @@ class Observability:
 
         transfer.configure(opts)
         transfer.install_registry(self.registry)
+        self.enable_telemetry(opts, rundir=getattr(opts, "tmpdir", None))
 
     def mark_startup_complete(self) -> float:
         """Record startup as complete (idempotent); returns the time."""

@@ -13,11 +13,60 @@ from __future__ import annotations
 
 import sys
 import threading
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
+
+
+def _dataset_states(status: dict) -> List[Tuple[str, bool]]:
+    """Normalize the two dataset-status shapes — the master's list of
+    row dicts and the multiprocess backend's ``{id: state}`` dict — to
+    ``(dataset_id, complete)`` pairs."""
+    datasets = status.get("datasets")
+    if isinstance(datasets, dict):
+        return [
+            (str(ds_id), state == "complete")
+            for ds_id, state in datasets.items()
+        ]
+    if isinstance(datasets, list):
+        return [
+            (str(row["id"]), bool(row.get("complete")))
+            for row in datasets
+            if isinstance(row, dict) and "id" in row
+        ]
+    return []
+
+
+def _job_key(job_id: str) -> Tuple[int, str]:
+    try:
+        return int(job_id.split("-", 1)[1]), job_id
+    except (IndexError, ValueError):
+        return 1 << 30, job_id
+
+
+def job_segments(status: dict) -> List[str]:
+    """Per-job dataset progress segments for service mode, grouped by
+    the ``job-N.`` dataset-id namespace prefix (empty for plain jobs)."""
+    groups: dict = {}
+    for ds_id, complete in _dataset_states(status):
+        prefix, dot, _ = ds_id.partition(".")
+        if not dot or not prefix.startswith("job-"):
+            continue
+        done, total = groups.get(prefix, (0, 0))
+        groups[prefix] = (done + (1 if complete else 0), total + 1)
+    return [
+        f"{job} {done}/{total} ds"
+        for job, (done, total) in sorted(
+            groups.items(), key=lambda item: _job_key(item[0])
+        )
+    ]
 
 
 def format_status_line(status: dict) -> str:
-    """One human-readable line from a ``Job.status()`` snapshot."""
+    """One human-readable line from a ``Job.status()`` snapshot.
+
+    In service mode, dataset ids carry a ``job-N.`` namespace prefix;
+    the line then appends one ``job-N done/total ds`` segment per live
+    job so concurrent submissions are tellable apart.
+    """
     tasks = status.get("tasks") or {}
     done = int(tasks.get("done", 0))
     total = int(tasks.get("total", 0))
@@ -32,6 +81,7 @@ def format_status_line(status: dict) -> str:
     running = tasks.get("running")
     if running:
         parts.append(f"{running} running")
+    parts.extend(job_segments(status))
     return "  ".join(parts)
 
 

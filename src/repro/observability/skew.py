@@ -1,0 +1,167 @@
+"""Shuffle-skew accounting.
+
+The partition function decides how evenly a dataset's records spread
+across its reduce buckets; a fat bucket makes its reduce task a
+straggler by construction.  Skew-resistant partitioning (Goodrich et
+al., PAPERS.md) needs this measured before it can be eliminated, so the
+task runners report per-bucket emitted sizes — ``[split, records,
+bytes]`` triples piggybacked on the done RPC — and the coordinator
+rolls them into per-dataset summaries here.
+
+Two standard dispersion statistics per dataset:
+
+* **max/median bucket ratio** — how much fatter the worst bucket is
+  than the typical one (1.0 = perfectly balanced; the direct proxy for
+  "the slowest reduce task's input is N× the median").
+* **Gini coefficient** — overall inequality of the bucket-size
+  distribution in [0, 1) (0 = uniform).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def gini(values: Sequence[float]) -> Optional[float]:
+    """Gini coefficient of a non-negative distribution, or ``None`` for
+    an empty/all-zero one.  Sorted-values formula:
+    ``G = (2 * sum(i * x_i)) / (n * sum(x)) - (n + 1) / n`` (1-based i).
+    """
+    xs = sorted(float(v) for v in values)
+    n = len(xs)
+    total = sum(xs)
+    if n == 0 or total <= 0.0:
+        return None
+    weighted = sum(i * x for i, x in enumerate(xs, start=1))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def max_over_median(values: Sequence[float]) -> Optional[float]:
+    """Max/median ratio of a distribution, or ``None`` when undefined
+    (empty input or zero median)."""
+    xs = sorted(float(v) for v in values)
+    n = len(xs)
+    if n == 0:
+        return None
+    mid = n // 2
+    median = xs[mid] if n % 2 else 0.5 * (xs[mid - 1] + xs[mid])
+    if median <= 0.0:
+        return None
+    return xs[-1] / median
+
+
+class SkewTracker:
+    """Per-dataset bucket accounting, fed from task completions.
+
+    ``record_emitted`` sums each map task's per-bucket output — many
+    tasks contribute to the same split, so values accumulate.
+    ``record_fetched`` accounts the reduce side: how many bytes task
+    ``split`` actually pulled over the data plane.  Thread-safe (the
+    coordinator folds results under its own lock, but the status
+    surface reads concurrently).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: dataset_id -> split -> {"records": float, "bytes": float}
+        self._emitted: Dict[str, Dict[int, Dict[str, float]]] = {}
+        #: dataset_id -> split -> {"bytes": float, "records": float}
+        self._fetched: Dict[str, Dict[int, Dict[str, float]]] = {}
+
+    def record_emitted(
+        self, dataset_id: str, buckets: Sequence[Sequence[Any]]
+    ) -> None:
+        """Fold one task's ``[split, records, bytes]`` triples in."""
+        if not buckets:
+            return
+        with self._lock:
+            per_split = self._emitted.setdefault(dataset_id, {})
+            for triple in buckets:
+                try:
+                    split = int(triple[0])
+                    records = float(triple[1])
+                    nbytes = float(triple[2])
+                except (TypeError, ValueError, IndexError):
+                    continue
+                entry = per_split.setdefault(
+                    split, {"records": 0.0, "bytes": 0.0}
+                )
+                entry["records"] += records
+                entry["bytes"] += nbytes
+
+    def record_fetched(
+        self,
+        dataset_id: str,
+        split: int,
+        nbytes: float,
+        records: Optional[float] = None,
+    ) -> None:
+        with self._lock:
+            per_split = self._fetched.setdefault(dataset_id, {})
+            entry = per_split.setdefault(
+                int(split), {"records": 0.0, "bytes": 0.0}
+            )
+            entry["bytes"] += float(nbytes)
+            if records is not None:
+                entry["records"] += float(records)
+
+    def forget_dataset(self, dataset_id: str) -> None:
+        with self._lock:
+            self._emitted.pop(dataset_id, None)
+            self._fetched.pop(dataset_id, None)
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-dataset skew rollup over the emitted-side accounting
+        (the authoritative per-bucket view), with fetched-side totals
+        attached when present."""
+        with self._lock:
+            emitted = {
+                dataset_id: {
+                    split: dict(entry) for split, entry in per_split.items()
+                }
+                for dataset_id, per_split in self._emitted.items()
+            }
+            fetched_bytes = {
+                dataset_id: sum(e["bytes"] for e in per_split.values())
+                for dataset_id, per_split in self._fetched.items()
+            }
+        out: Dict[str, Dict[str, Any]] = {}
+        for dataset_id, per_split in emitted.items():
+            byte_sizes = [entry["bytes"] for entry in per_split.values()]
+            record_counts = [
+                entry["records"] for entry in per_split.values()
+            ]
+            row: Dict[str, Any] = {
+                "buckets": len(per_split),
+                "bytes_total": sum(byte_sizes),
+                "records_total": sum(record_counts),
+                "bytes_max": max(byte_sizes) if byte_sizes else 0.0,
+                "max_over_median_bytes": max_over_median(byte_sizes),
+                "max_over_median_records": max_over_median(record_counts),
+                "gini_bytes": gini(byte_sizes),
+                "gini_records": gini(record_counts),
+            }
+            if dataset_id in fetched_bytes:
+                row["fetched_bytes_total"] = fetched_bytes[dataset_id]
+            out[dataset_id] = row
+        # Fetch-only datasets (e.g. reduce inputs whose emit side was
+        # never reported) still show their transfer totals.
+        for dataset_id, total in fetched_bytes.items():
+            if dataset_id not in out:
+                out[dataset_id] = {
+                    "buckets": 0,
+                    "bytes_total": 0.0,
+                    "records_total": 0.0,
+                    "bytes_max": 0.0,
+                    "max_over_median_bytes": None,
+                    "max_over_median_records": None,
+                    "gini_bytes": None,
+                    "gini_records": None,
+                    "fetched_bytes_total": total,
+                }
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(set(self._emitted) | set(self._fetched))

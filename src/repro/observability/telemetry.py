@@ -1,0 +1,870 @@
+"""Cluster telemetry: health time-series, stragglers, and surfacing.
+
+The metrics/events planes (PRs 1 and 4) answer *per-job* questions.
+This module answers *cluster* questions — is a slave slow, is a bucket
+fat, is a task an outlier relative to its siblings — the inputs the
+ROADMAP's speculative-execution tentpole needs to pick victims.
+
+Four pieces:
+
+* :class:`HealthSampler` — cheap process-health snapshots (CPU time,
+  RSS, open fds, disk free on the run dir, task throughput) built from
+  ``/proc``/``os``/``shutil`` with graceful fallbacks, **no psutil**.
+  Samples piggyback on the heartbeat/completion RPCs already flowing.
+* :class:`TimeSeriesStore` — the master-side ring-buffered store:
+  per-source series with fixed-interval downsampling (samples landing
+  in the same interval slot merge; the ring bounds memory).
+* :class:`StragglerScorer` — per-dataset runtime distributions from
+  live task timings; a running task exceeding ``factor`` × the running
+  median of its dataset's completed tasks is a straggler candidate.
+  The scheduler embeds one and exposes
+  :meth:`~repro.runtime.scheduler.Scheduler.straggler_candidates`.
+* :func:`render_prometheus` / :func:`render_dashboard` — the live
+  ``GET /metrics`` (Prometheus text exposition) and ``GET /dashboard``
+  (self-refreshing HTML, no external assets) views grown onto the
+  ``--mrs-status-http`` surface.
+
+Everything hangs off ``Observability.telemetry`` behind
+``--mrs-telemetry on|off``; when off the attribute is ``None`` and
+every call site costs one attribute check (the events discipline).
+"""
+
+from __future__ import annotations
+
+import html
+import os
+import re
+import shutil
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+#: Default seconds between health samples (and the downsampling slot
+#: width of the master-side store); ``--mrs-telemetry-interval``.
+DEFAULT_INTERVAL = 5.0
+
+#: Default ring capacity per source: 240 slots x 5 s = 20 minutes.
+DEFAULT_CAPACITY = 240
+
+#: Default straggler threshold multiple; ``--mrs-straggler-factor``.
+DEFAULT_STRAGGLER_FACTOR = 1.5
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+# ---------------------------------------------------------------------------
+# Health sampling (no psutil: /proc + os + shutil, fallbacks everywhere)
+# ---------------------------------------------------------------------------
+
+
+def _cpu_seconds() -> float:
+    """User+system CPU seconds of this process."""
+    times = os.times()
+    return float(times.user + times.system)
+
+
+def _rss_bytes() -> Optional[float]:
+    """Resident set size, from /proc/self/statm (Linux) or getrusage."""
+    try:
+        with open("/proc/self/statm") as f:
+            pages = int(f.read().split()[1])
+        return float(pages * os.sysconf("SC_PAGE_SIZE"))
+    except (OSError, ValueError, IndexError, AttributeError):
+        pass
+    try:
+        import resource
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB; macOS reports bytes.  Either way it is a
+        # peak, which is an acceptable degraded answer.
+        return float(rss * 1024 if rss < 1 << 32 else rss)
+    except Exception:
+        return None
+
+
+def _open_fds() -> Optional[float]:
+    try:
+        return float(len(os.listdir("/proc/self/fd")))
+    except OSError:
+        return None
+
+
+def _disk_free_bytes(path: Optional[str]) -> Optional[float]:
+    try:
+        return float(shutil.disk_usage(path or os.getcwd()).free)
+    except OSError:
+        return None
+
+
+def sample_health(rundir: Optional[str] = None) -> Dict[str, float]:
+    """One health snapshot of the calling process (dict of floats).
+
+    Keys whose underlying source is unavailable on this platform are
+    simply absent — consumers treat the sample as a sparse record.
+    """
+    sample: Dict[str, float] = {
+        "t": time.time(),
+        "cpu_seconds": _cpu_seconds(),
+    }
+    for key, value in (
+        ("rss_bytes", _rss_bytes()),
+        ("open_fds", _open_fds()),
+        ("disk_free_bytes", _disk_free_bytes(rundir)),
+    ):
+        if value is not None:
+            sample[key] = value
+    return sample
+
+
+class HealthSampler:
+    """Throttled health snapshots for one process.
+
+    ``task_counter`` (a zero-argument callable returning the process's
+    cumulative completed-task count) turns consecutive samples into a
+    ``task_throughput`` rate.  :meth:`maybe_sample` returns ``None``
+    when called again within ``interval`` seconds — the piggyback call
+    sites (every done RPC, every ping) stay O(1) between samples.
+    """
+
+    def __init__(
+        self,
+        rundir: Optional[str] = None,
+        interval: float = DEFAULT_INTERVAL,
+        task_counter: Optional[Callable[[], float]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rundir = rundir
+        self.interval = float(interval)
+        self.task_counter = task_counter
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_at: Optional[float] = None
+        self._last_tasks: Optional[float] = None
+
+    def sample(self) -> Dict[str, float]:
+        """An unconditional sample (also resets the throttle window)."""
+        now = self._clock()
+        sample = sample_health(self.rundir)
+        if self.task_counter is not None:
+            try:
+                tasks = float(self.task_counter())
+            except Exception:
+                tasks = None
+            if tasks is not None:
+                sample["tasks_completed"] = tasks
+                with self._lock:
+                    if (
+                        self._last_at is not None
+                        and self._last_tasks is not None
+                        and now > self._last_at
+                    ):
+                        sample["task_throughput"] = max(
+                            0.0,
+                            (tasks - self._last_tasks) / (now - self._last_at),
+                        )
+                    self._last_tasks = tasks
+        with self._lock:
+            self._last_at = now
+        return sample
+
+    def maybe_sample(self) -> Optional[Dict[str, float]]:
+        """A sample, or ``None`` while the throttle window is open."""
+        with self._lock:
+            last = self._last_at
+        if last is not None and self._clock() - last < self.interval:
+            return None
+        return self.sample()
+
+
+# ---------------------------------------------------------------------------
+# Master-side time-series store
+# ---------------------------------------------------------------------------
+
+
+class TimeSeriesStore:
+    """Ring-buffered per-source health series with fixed-interval
+    downsampling.
+
+    Samples are slotted by ``floor(t / interval)``; a sample landing in
+    the occupied newest slot *merges into it* (later fields win) rather
+    than appending, so a chatty source — pings every 2 s, completions
+    every 50 ms — still costs one entry per interval.  Each source's
+    series is a ``deque(maxlen=capacity)``: memory is bounded no matter
+    how long the job runs.
+    """
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        self.interval = max(1e-6, float(interval))
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._series: Dict[str, deque] = {}
+
+    def record(
+        self,
+        source: str,
+        sample: Optional[Dict[str, float]] = None,
+        rtt_seconds: Optional[float] = None,
+    ) -> None:
+        """Fold one sample (and/or a measured ping RTT) into a series."""
+        entry: Dict[str, float] = dict(sample or {})
+        if rtt_seconds is not None:
+            entry["rtt_seconds"] = float(rtt_seconds)
+        if not entry:
+            return
+        entry.setdefault("t", time.time())
+        slot = int(entry["t"] // self.interval)
+        with self._lock:
+            series = self._series.get(source)
+            if series is None:
+                series = self._series[source] = deque(maxlen=self.capacity)
+            if series and int(series[-1]["t"] // self.interval) == slot:
+                series[-1].update(entry)
+            else:
+                series.append(entry)
+
+    def series(self) -> Dict[str, List[Dict[str, float]]]:
+        with self._lock:
+            return {
+                source: [dict(s) for s in samples]
+                for source, samples in sorted(self._series.items())
+            }
+
+    def latest(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {
+                source: dict(samples[-1])
+                for source, samples in sorted(self._series.items())
+                if samples
+            }
+
+    def sources(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(s) for s in self._series.values())
+
+
+# ---------------------------------------------------------------------------
+# Straggler scoring
+# ---------------------------------------------------------------------------
+
+
+def running_median(values: List[float]) -> float:
+    """Median of a non-empty list (n=1 returns the single value)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class StragglerScorer:
+    """Flags running tasks that exceed ``factor`` × the running median
+    of their dataset's completed-task durations.
+
+    The scheduler drives it under the backend lock: ``task_started``
+    when a task is assigned, ``task_finished`` on completion,
+    ``task_abandoned`` on failure/requeue (its timing would poison the
+    distribution).  ``candidates()`` needs at least one completed
+    sample per dataset — with n=1 the median *is* that sample, and an
+    all-equal distribution flags only genuinely slower tasks.
+    """
+
+    def __init__(
+        self,
+        factor: float = DEFAULT_STRAGGLER_FACTOR,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.factor = float(factor)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (dataset_id, task_index) -> (slave_id, start time).
+        self._running: Dict[Any, Any] = {}
+        #: dataset_id -> completed durations.
+        self._durations: Dict[str, List[float]] = {}
+        #: (dataset_id, task_index) keys already reported once.
+        self._flagged: set = set()
+        self.flagged_total = 0
+
+    def task_started(
+        self, dataset_id: str, task_index: int, slave_id: Any = None
+    ) -> None:
+        with self._lock:
+            self._running[(dataset_id, task_index)] = (
+                slave_id,
+                self._clock(),
+            )
+
+    def task_finished(self, dataset_id: str, task_index: int) -> None:
+        with self._lock:
+            entry = self._running.pop((dataset_id, task_index), None)
+            if entry is None:
+                return
+            self._durations.setdefault(dataset_id, []).append(
+                max(0.0, self._clock() - entry[1])
+            )
+
+    def task_abandoned(self, dataset_id: str, task_index: int) -> None:
+        with self._lock:
+            self._running.pop((dataset_id, task_index), None)
+            self._flagged.discard((dataset_id, task_index))
+
+    def forget_dataset(self, dataset_id: str) -> None:
+        with self._lock:
+            self._durations.pop(dataset_id, None)
+            for key in [k for k in self._running if k[0] == dataset_id]:
+                del self._running[key]
+            self._flagged = {
+                k for k in self._flagged if k[0] != dataset_id
+            }
+
+    def candidates(self) -> List[Dict[str, Any]]:
+        """Running tasks currently over the straggler threshold, most
+        severe first.  Each entry names the task, its slave, elapsed
+        seconds, the dataset median, and the elapsed/median ratio —
+        exactly what a speculative re-launcher needs to pick victims.
+        """
+        now = self._clock()
+        out: List[Dict[str, Any]] = []
+        with self._lock:
+            for (dataset_id, task_index), (slave_id, started) in (
+                self._running.items()
+            ):
+                completed = self._durations.get(dataset_id)
+                if not completed:
+                    continue
+                median = running_median(completed)
+                elapsed = max(0.0, now - started)
+                if median <= 0.0 or elapsed <= self.factor * median:
+                    continue
+                first_flag = (dataset_id, task_index) not in self._flagged
+                if first_flag:
+                    self._flagged.add((dataset_id, task_index))
+                    self.flagged_total += 1
+                out.append(
+                    {
+                        "dataset_id": dataset_id,
+                        "task_index": task_index,
+                        "slave": slave_id,
+                        "elapsed_seconds": elapsed,
+                        "median_seconds": median,
+                        "ratio": elapsed / median,
+                        "first_flag": first_flag,
+                    }
+                )
+        out.sort(key=lambda c: c["ratio"], reverse=True)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The per-backend bundle
+# ---------------------------------------------------------------------------
+
+
+class Telemetry:
+    """One backend's telemetry plane: a sampler for its own process, a
+    store for the cluster's series, a skew tracker, and the straggler
+    knobs.  Attached as ``Observability.telemetry`` when
+    ``--mrs-telemetry`` is on.
+    """
+
+    def __init__(
+        self,
+        role: str,
+        interval: float = DEFAULT_INTERVAL,
+        straggler_factor: float = DEFAULT_STRAGGLER_FACTOR,
+        rundir: Optional[str] = None,
+        task_counter: Optional[Callable[[], float]] = None,
+    ):
+        from repro.observability.skew import SkewTracker
+
+        self.role = role
+        self.interval = float(interval)
+        self.straggler_factor = float(straggler_factor)
+        self.sampler = HealthSampler(
+            rundir=rundir, interval=interval, task_counter=task_counter
+        )
+        self.store = TimeSeriesStore(interval=interval)
+        self.skew = SkewTracker()
+
+    def set_rundir(self, rundir: str) -> None:
+        """Late-bind the directory whose disk-free the sampler reports
+        (backends create their tmpdir after constructing telemetry)."""
+        self.sampler.rundir = rundir
+
+    def record_remote(
+        self,
+        source: str,
+        sample: Optional[Dict[str, float]] = None,
+        rtt_seconds: Optional[float] = None,
+    ) -> None:
+        """Fold a piggybacked remote health sample (and/or ping RTT)
+        into the store."""
+        self.store.record(source, sample, rtt_seconds=rtt_seconds)
+
+    def snapshot(
+        self, stragglers: Optional[List[Dict[str, Any]]] = None,
+        flagged_total: int = 0,
+    ) -> Dict[str, Any]:
+        """The ``job.telemetry()`` payload.
+
+        Records a fresh self-sample first, so even a single-process
+        backend reports a non-empty series under its own role name.
+        """
+        own = self.sampler.maybe_sample()
+        if own is not None:
+            self.store.record(self.role, own)
+        return {
+            "version": 1,
+            "role": self.role,
+            "interval": self.interval,
+            "series": self.store.series(),
+            "latest": self.store.latest(),
+            "skew": self.skew.summary(),
+            "stragglers": {
+                "factor": self.straggler_factor,
+                "candidates": list(stragglers or []),
+                "flagged_total": int(flagged_total),
+            },
+        }
+
+
+def telemetry_from_opts(
+    opts: Any, role: str, rundir: Optional[str] = None,
+    task_counter: Optional[Callable[[], float]] = None,
+) -> Optional[Telemetry]:
+    """Build a :class:`Telemetry` per ``--mrs-telemetry``; ``None`` when
+    off (one attribute check at every call site, the events discipline).
+    """
+    if opts is not None and getattr(opts, "telemetry", "on") == "off":
+        return None
+    interval = DEFAULT_INTERVAL
+    factor = DEFAULT_STRAGGLER_FACTOR
+    if opts is not None:
+        try:
+            interval = float(
+                getattr(opts, "telemetry_interval", None) or DEFAULT_INTERVAL
+            )
+        except (TypeError, ValueError):
+            interval = DEFAULT_INTERVAL
+        try:
+            factor = float(
+                getattr(opts, "straggler_factor", None)
+                or DEFAULT_STRAGGLER_FACTOR
+            )
+        except (TypeError, ValueError):
+            factor = DEFAULT_STRAGGLER_FACTOR
+    return Telemetry(
+        role=role,
+        interval=interval,
+        straggler_factor=factor,
+        rundir=rundir,
+        task_counter=task_counter,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: latest-sample health keys -> (metric suffix, prometheus type).
+_HEALTH_METRICS = (
+    ("cpu_seconds", "mrs_slave_cpu_seconds_total", "counter"),
+    ("rss_bytes", "mrs_slave_rss_bytes", "gauge"),
+    ("open_fds", "mrs_slave_open_fds", "gauge"),
+    ("disk_free_bytes", "mrs_slave_disk_free_bytes", "gauge"),
+    ("task_throughput", "mrs_slave_task_throughput", "gauge"),
+    ("tasks_completed", "mrs_slave_tasks_completed_total", "counter"),
+    ("rtt_seconds", "mrs_slave_ping_rtt_seconds", "gauge"),
+)
+
+
+def _metric_name(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value: Any) -> str:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return "0"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _PromWriter:
+    """Accumulates exposition lines, emitting each # TYPE once."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._typed: set = set()
+
+    def add(
+        self,
+        name: str,
+        value: Any,
+        labels: Optional[Dict[str, Any]] = None,
+        mtype: str = "gauge",
+    ) -> None:
+        if name not in self._typed:
+            self._typed.add(name)
+            self.lines.append(f"# TYPE {name} {mtype}")
+        label_text = ""
+        if labels:
+            inner = ",".join(
+                f'{key}="{_escape_label(val)}"'
+                for key, val in sorted(labels.items())
+            )
+            label_text = "{" + inner + "}"
+        self.lines.append(f"{name}{label_text} {_fmt_value(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _dataset_rows(status: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Normalize the two backend status shapes for ``datasets``:
+    the master's list of row dicts and the multiprocess backend's
+    ``{id: state}`` map."""
+    raw = status.get("datasets")
+    if isinstance(raw, list):
+        return [row for row in raw if isinstance(row, dict) and "id" in row]
+    if isinstance(raw, dict):
+        return [
+            {
+                "id": dataset_id,
+                "complete": state == "complete",
+                "error": state if state == "error" else None,
+                "progress": 1.0 if state == "complete" else 0.0,
+            }
+            for dataset_id, state in raw.items()
+        ]
+    return []
+
+
+def render_prometheus(backend: Any) -> str:
+    """The ``GET /metrics`` body: Prometheus text exposition of the
+    backend's live status, registry, and telemetry plane."""
+    writer = _PromWriter()
+    try:
+        status = backend.status() or {}
+    except Exception:
+        status = {}
+    telemetry: Dict[str, Any] = {}
+    if hasattr(backend, "telemetry"):
+        try:
+            telemetry = backend.telemetry() or {}
+        except Exception:
+            telemetry = {}
+
+    writer.add("mrs_up", 1)
+    tasks = status.get("tasks") or {}
+    writer.add("mrs_tasks_total", tasks.get("total", 0))
+    writer.add("mrs_tasks_done", tasks.get("done", 0))
+    writer.add("mrs_tasks_running", tasks.get("running", 0))
+
+    for row in status.get("slaves") or []:
+        if not isinstance(row, dict):
+            continue
+        labels = {"slave": f"slave-{row.get('id')}"}
+        writer.add("mrs_slave_up", 1 if row.get("alive") else 0, labels)
+        writer.add("mrs_slave_busy", 1 if row.get("busy") else 0, labels)
+
+    for source, sample in (telemetry.get("latest") or {}).items():
+        if not isinstance(sample, dict):
+            continue
+        labels = {"slave": source}
+        for key, metric, mtype in _HEALTH_METRICS:
+            if key in sample:
+                writer.add(metric, sample[key], labels, mtype)
+
+    for row in _dataset_rows(status):
+        labels = {"dataset": row["id"]}
+        writer.add("mrs_dataset_progress", row.get("progress") or 0.0, labels)
+        writer.add(
+            "mrs_dataset_complete", 1 if row.get("complete") else 0, labels
+        )
+
+    for dataset_id, summary in (telemetry.get("skew") or {}).items():
+        if not isinstance(summary, dict):
+            continue
+        labels = {"dataset": dataset_id}
+        ratio = summary.get("max_over_median_bytes")
+        if ratio is not None:
+            writer.add("mrs_skew_max_over_median", ratio, labels)
+        gini = summary.get("gini_bytes")
+        if gini is not None:
+            writer.add("mrs_skew_gini", gini, labels)
+        writer.add(
+            "mrs_skew_bytes_total",
+            summary.get("bytes_total", 0),
+            labels,
+            "counter",
+        )
+
+    stragglers = telemetry.get("stragglers") or {}
+    writer.add(
+        "mrs_straggler_candidates",
+        len(stragglers.get("candidates") or ()),
+    )
+    writer.add(
+        "mrs_stragglers_flagged_total",
+        stragglers.get("flagged_total", 0),
+        mtype="counter",
+    )
+
+    observability = getattr(backend, "observability", None)
+    if observability is not None:
+        snapshot = observability.registry.snapshot()
+        for name, value in sorted((snapshot.get("counters") or {}).items()):
+            writer.add(
+                f"mrs_{_metric_name(name)}_total", value, mtype="counter"
+            )
+        for name, value in sorted((snapshot.get("gauges") or {}).items()):
+            writer.add(f"mrs_{_metric_name(name)}", value)
+        for name, hist in sorted(
+            (snapshot.get("histograms") or {}).items()
+        ):
+            base = f"mrs_{_metric_name(name)}"
+            writer.add(f"{base}_count", hist.get("count", 0), mtype="counter")
+            writer.add(f"{base}_sum", hist.get("total", 0.0), mtype="counter")
+    return writer.text()
+
+
+# ---------------------------------------------------------------------------
+# HTML dashboard (self-refreshing, zero external assets)
+# ---------------------------------------------------------------------------
+
+_DASHBOARD_CSS = """
+body{font-family:system-ui,sans-serif;margin:1.5rem;background:#111;
+     color:#ddd}
+h1{font-size:1.3rem}h2{font-size:1.05rem;margin-top:1.4rem;color:#9cf}
+table{border-collapse:collapse;margin:.4rem 0}
+th,td{border:1px solid #333;padding:.25rem .6rem;font-size:.85rem;
+      text-align:left}
+th{background:#1c2733}
+.bar{background:#223;width:16rem;height:1rem;display:inline-block;
+     vertical-align:middle;border:1px solid #345}
+.bar i{background:#2b8a3e;height:100%;display:block}
+.bad{color:#f66}.ok{color:#6d6}.dim{color:#777}
+""".strip()
+
+
+def _fmt_bytes(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    number = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(number) < 1024 or unit == "TiB":
+            return f"{number:.1f} {unit}"
+        number /= 1024
+    return f"{number:.1f} TiB"
+
+
+def _h(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _progress_bar(fraction: float) -> str:
+    percent = max(0.0, min(1.0, float(fraction or 0.0))) * 100.0
+    return (
+        f'<span class="bar"><i style="width:{percent:.0f}%"></i></span> '
+        f"{percent:.0f}%"
+    )
+
+
+def render_dashboard(
+    backend: Any,
+    control: Any = None,
+    refresh_seconds: int = 2,
+) -> str:
+    """The ``GET /dashboard`` body: one self-refreshing HTML page with
+    the slave table, per-dataset progress bars, skew and straggler
+    panels, and (on a job server) the jobs table — inline CSS only."""
+    try:
+        status = backend.status() or {}
+    except Exception:
+        status = {}
+    telemetry: Dict[str, Any] = {}
+    if hasattr(backend, "telemetry"):
+        try:
+            telemetry = backend.telemetry() or {}
+        except Exception:
+            telemetry = {}
+    latest = telemetry.get("latest") or {}
+
+    parts: List[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<meta http-equiv='refresh' content='{int(refresh_seconds)}'>",
+        "<title>mrs dashboard</title>",
+        f"<style>{_DASHBOARD_CSS}</style></head><body>",
+        "<h1>mrs cluster dashboard</h1>",
+        f"<p class='dim'>role={_h(status.get('role', '?'))} "
+        f"refresh={int(refresh_seconds)}s</p>",
+    ]
+
+    # -- slave table ----------------------------------------------------
+    parts.append("<h2>Slaves</h2>")
+    slave_rows = status.get("slaves") or []
+    workers = status.get("workers")
+    if slave_rows:
+        parts.append(
+            "<table><tr><th>slave</th><th>address</th><th>state</th>"
+            "<th>cpu s</th><th>rss</th><th>fds</th><th>disk free</th>"
+            "<th>ping rtt</th><th>tasks/s</th></tr>"
+        )
+        for row in slave_rows:
+            source = f"slave-{row.get('id')}"
+            sample = latest.get(source) or {}
+            state = (
+                "<span class='ok'>alive</span>"
+                if row.get("alive")
+                else "<span class='bad'>lost</span>"
+            )
+            if row.get("busy"):
+                state += " (busy)"
+            rtt = sample.get("rtt_seconds")
+            parts.append(
+                f"<tr><td>{_h(source)}</td>"
+                f"<td>{_h(row.get('address', '-'))}</td>"
+                f"<td>{state}</td>"
+                f"<td>{sample.get('cpu_seconds', 0.0):.1f}</td>"
+                f"<td>{_fmt_bytes(sample.get('rss_bytes'))}</td>"
+                f"<td>{int(sample.get('open_fds', 0))}</td>"
+                f"<td>{_fmt_bytes(sample.get('disk_free_bytes'))}</td>"
+                f"<td>{'-' if rtt is None else f'{rtt * 1000:.1f} ms'}</td>"
+                f"<td>{sample.get('task_throughput', 0.0):.2f}</td></tr>"
+            )
+        parts.append("</table>")
+    elif isinstance(workers, dict):
+        parts.append(
+            "<table><tr><th>alive</th><th>ready</th><th>busy</th>"
+            "<th>respawns</th></tr>"
+            f"<tr><td>{_h(workers.get('alive', 0))}</td>"
+            f"<td>{_h(workers.get('ready', 0))}</td>"
+            f"<td>{_h(workers.get('busy', 0))}</td>"
+            f"<td>{_h(workers.get('respawns', 0))}</td></tr></table>"
+        )
+    else:
+        parts.append("<p class='dim'>no slaves signed in</p>")
+
+    # -- jobs (service mode) --------------------------------------------
+    if control is not None and hasattr(control, "jobs_view"):
+        try:
+            jobs = control.jobs_view() or {}
+        except Exception:
+            jobs = {}
+        parts.append("<h2>Jobs</h2>")
+        rows = jobs.get("jobs") or []
+        if rows:
+            parts.append(
+                "<table><tr><th>job</th><th>program</th><th>state</th>"
+                "</tr>"
+            )
+            for job in rows:
+                state = _h(job.get("state", "?"))
+                css = "ok" if job.get("state") == "done" else (
+                    "bad" if job.get("state") in ("failed", "canceled")
+                    else ""
+                )
+                parts.append(
+                    f"<tr><td>{_h(job.get('id'))}</td>"
+                    f"<td>{_h(job.get('program'))}</td>"
+                    f"<td class='{css}'>{state}</td></tr>"
+                )
+            parts.append("</table>")
+        else:
+            parts.append("<p class='dim'>no jobs submitted</p>")
+
+    # -- dataset progress -----------------------------------------------
+    parts.append("<h2>Datasets</h2>")
+    dataset_rows = _dataset_rows(status)
+    if dataset_rows:
+        parts.append("<table><tr><th>dataset</th><th>progress</th></tr>")
+        for row in dataset_rows:
+            cell = (
+                "<span class='bad'>error</span>"
+                if row.get("error")
+                else _progress_bar(row.get("progress") or 0.0)
+            )
+            parts.append(
+                f"<tr><td>{_h(row['id'])}</td><td>{cell}</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p class='dim'>no datasets yet</p>")
+
+    # -- skew panel -----------------------------------------------------
+    parts.append("<h2>Shuffle skew</h2>")
+    skew = telemetry.get("skew") or {}
+    if skew:
+        parts.append(
+            "<table><tr><th>dataset</th><th>buckets</th><th>bytes</th>"
+            "<th>max/median</th><th>gini</th></tr>"
+        )
+        for dataset_id, summary in sorted(skew.items()):
+            ratio = summary.get("max_over_median_bytes")
+            gini = summary.get("gini_bytes")
+            ratio_cell = "-" if ratio is None else f"{ratio:.2f}"
+            if ratio is not None and ratio > 2.0:
+                ratio_cell = f"<span class='bad'>{ratio_cell}</span>"
+            parts.append(
+                f"<tr><td>{_h(dataset_id)}</td>"
+                f"<td>{summary.get('buckets', 0)}</td>"
+                f"<td>{_fmt_bytes(summary.get('bytes_total'))}</td>"
+                f"<td>{ratio_cell}</td>"
+                f"<td>{'-' if gini is None else f'{gini:.3f}'}</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p class='dim'>no shuffle data yet</p>")
+
+    # -- straggler panel ------------------------------------------------
+    parts.append("<h2>Stragglers</h2>")
+    stragglers = telemetry.get("stragglers") or {}
+    candidates = stragglers.get("candidates") or []
+    parts.append(
+        f"<p class='dim'>factor={stragglers.get('factor', '-')} "
+        f"flagged so far={stragglers.get('flagged_total', 0)}</p>"
+    )
+    if candidates:
+        parts.append(
+            "<table><tr><th>task</th><th>slave</th><th>elapsed</th>"
+            "<th>median</th><th>ratio</th></tr>"
+        )
+        for cand in candidates:
+            parts.append(
+                f"<tr><td>{_h(cand.get('dataset_id'))}"
+                f"[{_h(cand.get('task_index'))}]</td>"
+                f"<td>{_h(cand.get('slave'))}</td>"
+                f"<td>{cand.get('elapsed_seconds', 0.0):.2f}s</td>"
+                f"<td>{cand.get('median_seconds', 0.0):.2f}s</td>"
+                f"<td class='bad'>{cand.get('ratio', 0.0):.2f}x</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p class='dim'>no straggler candidates</p>")
+
+    parts.append("</body></html>")
+    return "".join(parts)

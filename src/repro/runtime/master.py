@@ -29,12 +29,14 @@ from repro.comm.dataserver import DataServer
 from repro.comm.rpc import RpcServer, format_address, rpc_client
 from repro.core.dataset import BaseDataset, ComputedData
 from repro.core.job import Backend, Job
+from repro.core.options import resolve_heartbeat_interval
 from repro.io.bucket import Bucket
 from repro.observability import (
     MetricsRegistry,
     Observability,
     PIGGYBACK_PHASES,
 )
+from repro.observability.telemetry import StragglerScorer
 from repro.runtime import dataplane
 from repro.runtime.failures import (
     MAX_TASK_FAILURES,
@@ -45,8 +47,14 @@ from repro.runtime.scheduler import ScheduledDataset, Scheduler, TaskId
 
 logger = logging.getLogger("repro.master")
 
-#: Watchdog ping period (seconds).
+#: Default watchdog ping period (seconds); override with
+#: --mrs-heartbeat-interval / MRS_HEARTBEAT_INTERVAL.
 PING_INTERVAL = 2.0
+
+#: Consecutive failed pings before a slave is declared lost — the same
+#: 3-strike budget slaves apply to master pings (MASTER_PING_FAILURES),
+#: so one transient timeout no longer kills a healthy slave.
+PING_FAILURES = 3
 
 #: RPC timeout for master->slave calls.
 SLAVE_RPC_TIMEOUT = 10.0
@@ -84,6 +92,10 @@ class SlaveRecord:
         self.busy: Optional[TaskId] = None
         #: Metrics registry receiving master->slave RPC latencies.
         self.registry = registry
+        #: Consecutive watchdog ping failures (reset on any success).
+        self.ping_failures = 0
+        #: Last measured ping round-trip, seconds.
+        self.last_rtt: Optional[float] = None
 
     def client(self):
         """A fresh RPC proxy (ServerProxy is not thread-safe; callers
@@ -119,6 +131,14 @@ class MasterBackend(Backend):
             affinity=not getattr(opts, "no_affinity", False),
             pipeline=getattr(opts, "pipeline", "buckets") != "off",
         )
+        #: Watchdog cadence (--mrs-heartbeat-interval; historically 2 s).
+        self._ping_interval = resolve_heartbeat_interval(opts, PING_INTERVAL)
+        telemetry = self.observability.telemetry
+        if telemetry is not None:
+            telemetry.set_rundir(self.tmpdir)
+            self.scheduler.straggler_scorer = StragglerScorer(
+                factor=telemetry.straggler_factor
+            )
         #: Mirror of the scheduler's pipelined-dispatch count already
         #: folded into the metrics registry.
         self._pipelined_seen = 0
@@ -500,12 +520,15 @@ class MasterBackend(Backend):
             ds_ids = [i for i in self._datasets if i.startswith(prefix)]
         for ds_id in ds_ids:
             self.remove_data(ds_id)
+        telemetry = self.observability.telemetry
         with self._lock:
             for ds_id in ds_ids:
                 self._datasets.pop(ds_id, None)
                 self._task_seconds.pop(ds_id, None)
                 self._failures.forget_dataset(ds_id)
                 self.scheduler.forget_dataset(ds_id)
+                if telemetry is not None:
+                    telemetry.skew.forget_dataset(ds_id)
             self._job_programs.pop(namespace, None)
             self.scheduler.job_dispatches.pop(namespace, None)
         return len(ds_ids)
@@ -574,6 +597,20 @@ class MasterBackend(Backend):
                 }
             )
             return status
+
+    def telemetry(self) -> Dict[str, Any]:
+        """The cluster telemetry snapshot, including the scheduler's
+        live straggler candidates (empty when --mrs-telemetry off)."""
+        telemetry = self.observability.telemetry
+        if telemetry is None:
+            return {}
+        with self._lock:
+            candidates = self.scheduler.straggler_candidates()
+            scorer = self.scheduler.straggler_scorer
+            flagged = scorer.flagged_total if scorer is not None else 0
+        return telemetry.snapshot(
+            stragglers=candidates, flagged_total=flagged
+        )
 
     def task_stats(self, dataset_id: str) -> Dict[str, float]:
         """Count/total/mean/max wall seconds of a dataset's tasks."""
@@ -687,6 +724,24 @@ class MasterBackend(Backend):
             if event in PIGGYBACK_PHASES:
                 obs.phases.add(event, phase_seconds)
         obs.merge_remote(payload["registry"], source=f"slave-{slave_id}")
+        telemetry = obs.telemetry
+        if telemetry is not None:
+            telemetry.record_remote(
+                f"slave-{slave_id}", payload.get("health")
+            )
+            if payload["buckets"]:
+                telemetry.skew.record_emitted(
+                    dataset_id, payload["buckets"]
+                )
+            counters = payload["registry"].get("counters")
+            if isinstance(counters, dict):
+                fetched = counters.get("fetch.bytes")
+                if fetched:
+                    # The reduce side of skew: what this task actually
+                    # pulled over the data plane for its input split.
+                    telemetry.skew.record_fetched(
+                        dataset_id, task_index, fetched
+                    )
         span.mark("committed")
         events = obs.events
         if events is not None:
@@ -981,7 +1036,7 @@ class MasterBackend(Backend):
 
     def _watchdog_loop(self) -> None:
         while not self._closed:
-            time.sleep(PING_INTERVAL)
+            time.sleep(self._ping_interval)
             if self._closed:
                 return
             with self._lock:
@@ -989,13 +1044,66 @@ class MasterBackend(Backend):
             events = self.observability.events
             if events is not None:
                 events.emit("heartbeat", alive=len(records))
+            telemetry = self.observability.telemetry
             for record in records:
                 if self._closed:
                     return
+                started = time.perf_counter()
                 try:
-                    record.client().ping()
+                    result = record.client().ping()
                 except Exception as exc:
-                    self.lose_slave(record.id, f"ping failed: {exc}")
+                    # 3-strike budget: a single transient timeout must
+                    # not lose a healthy slave (mirrors the slave side's
+                    # MASTER_PING_FAILURES policy).
+                    record.ping_failures += 1
+                    if record.ping_failures >= PING_FAILURES:
+                        self.lose_slave(
+                            record.id,
+                            f"ping failed {record.ping_failures} "
+                            f"consecutive times: {exc}",
+                        )
+                    else:
+                        logger.warning(
+                            "slave %d ping failure %d/%d: %s",
+                            record.id,
+                            record.ping_failures,
+                            PING_FAILURES,
+                            exc,
+                        )
+                    continue
+                rtt = time.perf_counter() - started
+                record.ping_failures = 0
+                record.last_rtt = rtt
+                if telemetry is not None:
+                    # Slaves with telemetry on answer pings with a
+                    # throttled health sample instead of bare True.
+                    health = result if isinstance(result, dict) else None
+                    telemetry.record_remote(
+                        f"slave-{record.id}", health, rtt_seconds=rtt
+                    )
+            self._poll_stragglers()
+
+    def _poll_stragglers(self) -> None:
+        """Emit ``task.straggler`` events for tasks newly over the
+        threshold (telemetry on; piggybacks on the watchdog cadence)."""
+        if self.observability.telemetry is None:
+            return
+        with self._lock:
+            candidates = self.scheduler.straggler_candidates()
+        events = self.observability.events
+        if events is None:
+            return
+        for cand in candidates:
+            if cand.get("first_flag"):
+                events.emit(
+                    "task.straggler",
+                    dataset_id=cand["dataset_id"],
+                    task_index=cand["task_index"],
+                    slave=cand["slave"],
+                    elapsed_seconds=cand["elapsed_seconds"],
+                    median_seconds=cand["median_seconds"],
+                    ratio=cand["ratio"],
+                )
 
 
 class MasterInterface:

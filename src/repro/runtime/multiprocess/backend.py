@@ -35,8 +35,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.comm import protocol
 from repro.core.dataset import BaseDataset, ComputedData
 from repro.core.job import Backend, Job
+from repro.core.options import resolve_heartbeat_interval
 from repro.io.bucket import Bucket
 from repro.observability import Observability, PIGGYBACK_PHASES
+from repro.observability.telemetry import StragglerScorer
 from repro.runtime import dataplane
 from repro.runtime.failures import FailureTracker, propagate_error
 from repro.runtime.multiprocess.pool import WorkerPool
@@ -47,6 +49,10 @@ logger = logging.getLogger("repro.multiprocess")
 #: Collector poll period while the result queue is idle; also the
 #: worker-crash detection latency.
 IDLE_POLL = 0.2
+
+#: Default heartbeat-event throttle (seconds); override with
+#: --mrs-heartbeat-interval / MRS_HEARTBEAT_INTERVAL.
+HEARTBEAT_INTERVAL = 5.0
 
 
 class MultiprocessBackend(Backend):
@@ -73,6 +79,9 @@ class MultiprocessBackend(Backend):
         #: Throttle for heartbeat events (the liveness sweep itself runs
         #: every IDLE_POLL seconds, far too often to log).
         self._last_heartbeat = 0.0
+        self._heartbeat_interval = resolve_heartbeat_interval(
+            opts, HEARTBEAT_INTERVAL
+        )
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -80,6 +89,12 @@ class MultiprocessBackend(Backend):
             affinity=not getattr(opts, "no_affinity", False),
             pipeline=getattr(opts, "pipeline", "buckets") != "off",
         )
+        telemetry = self.observability.telemetry
+        if telemetry is not None:
+            telemetry.set_rundir(self.tmpdir)
+            self.scheduler.straggler_scorer = StragglerScorer(
+                factor=telemetry.straggler_factor
+            )
         #: Mirror of the scheduler's pipelined-dispatch count already
         #: folded into the metrics registry.
         self._pipelined_seen = 0
@@ -241,6 +256,20 @@ class MultiprocessBackend(Backend):
             }
         return status
 
+    def telemetry(self) -> Dict[str, Any]:
+        """The cluster telemetry snapshot, including the scheduler's
+        live straggler candidates (empty when --mrs-telemetry off)."""
+        telemetry = self.observability.telemetry
+        if telemetry is None:
+            return {}
+        with self._lock:
+            candidates = self.scheduler.straggler_candidates()
+            scorer = self.scheduler.straggler_scorer
+            flagged = scorer.flagged_total if scorer is not None else 0
+        return telemetry.snapshot(
+            stragglers=candidates, flagged_total=flagged
+        )
+
     def task_stats(self, dataset_id: str) -> Dict[str, float]:
         """Count/total/mean/max wall seconds of a dataset's tasks."""
         with self._lock:
@@ -376,6 +405,20 @@ class MultiprocessBackend(Backend):
             if event in PIGGYBACK_PHASES:
                 obs.phases.add(event, phase_seconds)
         obs.merge_remote(payload["registry"], source=f"worker-{worker_id}")
+        telemetry = obs.telemetry
+        if telemetry is not None:
+            telemetry.record_remote(
+                f"worker-{worker_id}", payload.get("health")
+            )
+            if payload["buckets"]:
+                telemetry.skew.record_emitted(dataset_id, payload["buckets"])
+            counters = payload["registry"].get("counters")
+            if isinstance(counters, dict):
+                fetched = counters.get("fetch.bytes")
+                if fetched:
+                    telemetry.skew.record_fetched(
+                        dataset_id, task_index, fetched
+                    )
         span.mark("committed")
         events = obs.events
         if events is not None:
@@ -470,7 +513,7 @@ class MultiprocessBackend(Backend):
             events = self.observability.events
             if events is not None:
                 now = time.monotonic()
-                if now - self._last_heartbeat >= 5.0:
+                if now - self._last_heartbeat >= self._heartbeat_interval:
                     self._last_heartbeat = now
                     events.emit(
                         "heartbeat",

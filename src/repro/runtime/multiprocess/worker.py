@@ -27,6 +27,7 @@ control-plane discipline of :mod:`repro.comm.protocol`):
 from __future__ import annotations
 
 import logging
+import os
 import time
 from typing import Any, Dict, List, Tuple
 
@@ -47,6 +48,7 @@ def run_task(
     descriptor: Dict[str, Any],
     profiler: Any = None,
     boot_seconds: Any = None,
+    sampler: Any = None,
 ) -> Tuple[List[Tuple[int, str]], float, Dict[str, Any]]:
     """Execute one task descriptor in this process.
 
@@ -107,11 +109,25 @@ def run_task(
             profile_span=span,
         )
     urls: List[Tuple[int, str, bool]] = []
+    bucket_stats: List[Tuple[int, float, float]] = []
     for bucket in out_buckets:
         assert isinstance(bucket, FileBucket)
         # The sortedness flag lets the consuming reduce task stream
         # this file through its merge without re-sorting.
         urls.append((bucket.split, "file:" + bucket.path, bucket.url_sorted))
+        if sampler is not None:
+            # Per-bucket emitted records/bytes for shuffle-skew
+            # accounting on the pool side (telemetry on).
+            try:
+                bucket_stats.append(
+                    (
+                        bucket.split,
+                        float(len(bucket)),
+                        float(os.path.getsize(bucket.path)),
+                    )
+                )
+            except OSError:
+                pass
     span.mark("transfer")
     seconds = time.perf_counter() - started
     # Deliberately a *per-task* registry snapshot rather than the
@@ -144,6 +160,8 @@ def run_task(
         durations=span.durations_dict(),
         registry=registry.snapshot(),
         events=events,
+        health=sampler.maybe_sample() if sampler is not None else None,
+        buckets=bucket_stats or None,
     )
     return urls, seconds, metrics
 
@@ -180,6 +198,22 @@ def worker_main(
         )
         return
     profiler = profiler_from_opts(opts)
+    # Health sampling (--mrs-telemetry): throttled snapshots ride back
+    # on done messages; task throughput from a local completion count.
+    sampler: Any = None
+    completed = [0.0]
+    if getattr(opts, "telemetry", "on") != "off":
+        from repro.observability.telemetry import HealthSampler
+
+        try:
+            interval = float(getattr(opts, "telemetry_interval", 5.0) or 5.0)
+        except (TypeError, ValueError):
+            interval = 5.0
+        sampler = HealthSampler(
+            rundir=getattr(opts, "tmpdir", None),
+            interval=interval,
+            task_counter=lambda: completed[0],
+        )
     result_queue.put({"type": "ready", "worker_id": worker_id})
     boot_seconds: Any = None
     first_task = True
@@ -198,8 +232,10 @@ def worker_main(
                 descriptor,
                 profiler=profiler,
                 boot_seconds=boot_seconds,
+                sampler=sampler,
             )
             boot_seconds = None
+            completed[0] += 1.0
         except Exception as exc:
             logger.warning(
                 "task (%s, %d) failed: %r", dataset_id, task_index, exc

@@ -139,6 +139,11 @@ class Scheduler:
         #: and tasks whose eligibility just flipped on a bucket commit.
         self._completed_datasets: List[str] = []
         self._unblocked: List[Dict[str, Any]] = []
+        #: Straggler scorer (telemetry plane): set by the backend when
+        #: ``--mrs-telemetry`` is on; the scheduler feeds it assignment
+        #: and completion timings under the backend's lock.  None costs
+        #: one attribute check per transition.
+        self.straggler_scorer: Optional[Any] = None
 
     # -- dataset lifecycle ------------------------------------------------
 
@@ -234,6 +239,8 @@ class Scheduler:
         for task in tasks:
             self._assigned.pop(task, None)
             dataset_id, task_index = task
+            if self.straggler_scorer is not None:
+                self.straggler_scorer.task_abandoned(dataset_id, task_index)
             sched = self._datasets.get(dataset_id)
             if sched is not None and sched.task_state.get(task_index) == (
                 TaskState.ASSIGNED
@@ -347,6 +354,10 @@ class Scheduler:
             self._datasets[dataset_id].input_id not in self._complete_ids
         ):
             self.pipelined_dispatches += 1
+        if self.straggler_scorer is not None:
+            self.straggler_scorer.task_started(
+                dataset_id, task_index, slave_id
+            )
         return task
 
     def _pick_job(self, candidates: Dict[Optional[str], Any]) -> Optional[str]:
@@ -389,6 +400,8 @@ class Scheduler:
         sched.task_state[task_index] = TaskState.DONE
         del self._assigned[task]
         self._slave_tasks[slave_id].discard(task)
+        if self.straggler_scorer is not None:
+            self.straggler_scorer.task_finished(dataset_id, task_index)
         if self.affinity_enabled:
             self._affinity[(sched.affinity_group, task_index)] = slave_id
         # The producing task is known and its bucket bytes are durable
@@ -466,6 +479,8 @@ class Scheduler:
         sched = self._datasets.pop(dataset_id, None)
         if sched is None:
             return
+        if self.straggler_scorer is not None:
+            self.straggler_scorer.forget_dataset(dataset_id)
         # _order keeps its other entries' ranks stable: the rank map is
         # per-id, not positional, so removal never renumbers.
         if dataset_id in self._order:
@@ -498,6 +513,8 @@ class Scheduler:
             return
         del self._assigned[task]
         self._slave_tasks[slave_id].discard(task)
+        if self.straggler_scorer is not None:
+            self.straggler_scorer.task_abandoned(dataset_id, task_index)
         sched.task_state[task_index] = TaskState.PENDING
         self._insert_pending(task)
         # Affinity must not steer the retry straight back to the slave
@@ -522,3 +539,12 @@ class Scheduler:
     def outstanding(self) -> int:
         """Tasks pending or assigned across all runnable datasets."""
         return len(self._pending) + len(self._assigned)
+
+    def straggler_candidates(self) -> List[Dict[str, Any]]:
+        """Running tasks over the straggler threshold (telemetry plane),
+        most severe first; empty when no scorer is attached.  This is
+        the API speculative execution consumes to pick re-launch
+        victims."""
+        if self.straggler_scorer is None:
+            return []
+        return self.straggler_scorer.candidates()

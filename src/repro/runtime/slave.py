@@ -73,7 +73,16 @@ class SlaveInterface:
         self.slave.task_queue.put(None)
         return True
 
-    def rpc_ping(self) -> bool:
+    def rpc_ping(self) -> Any:
+        # With telemetry on, a throttled health sample answers the ping
+        # — per-slave CPU/RSS/fd/disk series for free on the heartbeats
+        # the master already sends.  Old masters (and telemetry off)
+        # just see a truthy value.
+        telemetry = self.slave.observability.telemetry
+        if telemetry is not None:
+            sample = telemetry.sampler.maybe_sample()
+            if sample is not None:
+                return sample
         return True
 
 
@@ -106,6 +115,9 @@ class Slave:
         #: when several slaves share a tmpdir).
         self.localdir = os.path.join(base_tmp, f"slave_{os.getpid()}")
         os.makedirs(self.localdir, exist_ok=True)
+        # Health sampling (--mrs-telemetry): piggybacks on pings and
+        # done RPCs; reports disk free for the slave's own run dir.
+        self.observability.enable_telemetry(opts, rundir=self.localdir)
 
         self.rpc = RpcServer(
             SlaveInterface(self),
@@ -230,7 +242,9 @@ class Slave:
                     profile_task_index=task_index,
                     profile_span=span,
                 )
+            telemetry = self.observability.telemetry
             urls: List[Tuple[int, str, bool]] = []
+            bucket_stats: List[Tuple[int, float, float]] = []
             for bucket in out_buckets:
                 assert isinstance(bucket, FileBucket)
                 if descriptor.get("outdir") is None and self.dataserver:
@@ -240,6 +254,19 @@ class Slave:
                 # Sortedness rides along so the consuming reduce task
                 # can stream this file through its merge.
                 urls.append((bucket.split, url, bucket.url_sorted))
+                if telemetry is not None:
+                    # Per-bucket emitted records/bytes for shuffle-skew
+                    # accounting on the master.
+                    try:
+                        bucket_stats.append(
+                            (
+                                bucket.split,
+                                float(len(bucket)),
+                                float(os.path.getsize(bucket.path)),
+                            )
+                        )
+                    except OSError:
+                        pass
             span.mark("transfer")
             seconds = time.perf_counter() - started
             self.observability.registry.counter("tasks.completed").inc()
@@ -264,6 +291,12 @@ class Slave:
                 durations=span.durations_dict(),
                 registry=self._task_registry_snapshot(seconds, fetch_before),
                 events=event_batch,
+                health=(
+                    telemetry.sampler.maybe_sample()
+                    if telemetry is not None
+                    else None
+                ),
+                buckets=bucket_stats or None,
             )
             self._master().done(
                 self.slave_id, dataset_id, task_index, urls, seconds, metrics

@@ -451,9 +451,16 @@ def run_serve(
     # after) startup must already drain instead of killing us.
     previous = install_graceful_exit()
     server = None
+    ticker = None
     try:
         registry = ProgramRegistry.from_opts(program_class, opts)
         server = JobServer(registry, opts)
+        if getattr(opts, "progress", False):
+            # The ticker reads the shared backend's status, so its rows
+            # carry the ``job-N`` namespace segments of every live job.
+            from repro.observability.progress import ProgressTicker
+
+            ticker = ProgressTicker(server.backend).start()
         print(
             f"mrs job server: control={server.control_url} "
             f"rpc={server.backend.rpc.address} "
@@ -470,5 +477,7 @@ def run_serve(
         return 0
     finally:
         restore(previous)
+        if ticker is not None:
+            ticker.stop()
         if server is not None:
             server.shutdown(drain=True)

@@ -286,11 +286,21 @@ class TestStatusServer:
         assert payload["role"] == "serial"
         assert "tasks" in payload
 
-    def test_metrics_view(self, server):
-        code, payload = self.get(server, "/metrics")
+    def test_metrics_view_json(self, server):
+        # The default /metrics is now Prometheus text; ?format=json
+        # keeps the original aggregate report for JSON consumers.
+        code, payload = self.get(server, "/metrics?format=json")
         assert code == 200
         assert payload["version"] == 1
         assert payload["role"] == "serial"
+
+    def test_metrics_view_prometheus_default(self, server):
+        with urllib.request.urlopen(server.url + "/metrics", timeout=5) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            body = resp.read().decode("utf-8")
+        assert "mrs_up 1" in body
+        assert "# TYPE mrs_up gauge" in body
 
     def test_events_view_with_since(self, server):
         code, payload = self.get(server, "/events?since=0")

@@ -1,0 +1,546 @@
+"""The cluster telemetry plane: health sampling, the master-side
+time-series store, shuffle-skew accounting, straggler scoring, the
+Prometheus/dashboard renderers, and the offline analyzer.
+
+Everything here runs on synthetic data with injected clocks — the
+end-to-end piggyback paths are covered by the integration suites; these
+tests pin the math and the wire-shape contracts.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.observability import Observability
+from repro.observability.analyze import (
+    analyze,
+    critical_path,
+    main as analyze_main,
+    slave_utilization,
+)
+from repro.observability.skew import SkewTracker, gini, max_over_median
+from repro.observability.telemetry import (
+    HealthSampler,
+    StragglerScorer,
+    Telemetry,
+    TimeSeriesStore,
+    render_dashboard,
+    render_prometheus,
+    running_median,
+    sample_health,
+    telemetry_from_opts,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestHealthSampler:
+    def test_sample_health_sanity(self, tmp_path):
+        sample = sample_health(str(tmp_path))
+        assert sample["t"] > 0
+        assert sample["cpu_seconds"] >= 0.0
+        # Sparse keys: whatever is present must be a positive float.
+        for key in ("rss_bytes", "open_fds", "disk_free_bytes"):
+            if key in sample:
+                assert sample[key] > 0
+
+    def test_throttle_window(self):
+        clock = FakeClock()
+        sampler = HealthSampler(interval=5.0, clock=clock)
+        assert sampler.maybe_sample() is not None
+        clock.advance(4.9)
+        assert sampler.maybe_sample() is None
+        clock.advance(0.2)
+        assert sampler.maybe_sample() is not None
+
+    def test_task_throughput_from_counter_deltas(self):
+        clock = FakeClock()
+        completed = [0.0]
+        sampler = HealthSampler(
+            interval=1.0, task_counter=lambda: completed[0], clock=clock
+        )
+        first = sampler.sample()
+        assert first["tasks_completed"] == 0.0
+        assert "task_throughput" not in first  # no previous sample
+        completed[0] = 10.0
+        clock.advance(2.0)
+        second = sampler.sample()
+        assert second["tasks_completed"] == 10.0
+        assert second["task_throughput"] == pytest.approx(5.0)
+
+    def test_broken_task_counter_degrades_gracefully(self):
+        def broken():
+            raise RuntimeError("torn down")
+
+        sampler = HealthSampler(task_counter=broken)
+        sample = sampler.sample()
+        assert "tasks_completed" not in sample
+        assert sample["cpu_seconds"] >= 0.0
+
+
+class TestTimeSeriesStore:
+    def test_same_slot_samples_merge(self):
+        store = TimeSeriesStore(interval=5.0)
+        store.record("slave-1", {"t": 100.0, "cpu_seconds": 1.0})
+        store.record("slave-1", {"t": 103.0, "rss_bytes": 7.0})
+        (entry,) = store.series()["slave-1"]
+        assert entry["cpu_seconds"] == 1.0
+        assert entry["rss_bytes"] == 7.0
+        store.record("slave-1", {"t": 106.0, "cpu_seconds": 2.0})
+        assert len(store.series()["slave-1"]) == 2
+
+    def test_ring_bounds_memory(self):
+        store = TimeSeriesStore(interval=1.0, capacity=10)
+        for i in range(100):
+            store.record("slave-1", {"t": float(i), "cpu_seconds": float(i)})
+        series = store.series()["slave-1"]
+        assert len(series) == 10
+        assert series[-1]["cpu_seconds"] == 99.0
+        assert series[0]["cpu_seconds"] == 90.0
+
+    def test_piggyback_merge_across_two_slaves(self):
+        """Two fake slaves' samples and ping RTTs land in distinct,
+        independently downsampled series — the master-side merge."""
+        telemetry = Telemetry(role="master", interval=5.0)
+        telemetry.record_remote("slave-1", {"t": 10.0, "cpu_seconds": 1.0})
+        telemetry.record_remote("slave-2", {"t": 10.0, "cpu_seconds": 9.0})
+        telemetry.record_remote("slave-1", None, rtt_seconds=0.002)
+        snapshot = telemetry.snapshot()
+        assert set(snapshot["series"]) >= {"slave-1", "slave-2"}
+        assert snapshot["latest"]["slave-2"]["cpu_seconds"] == 9.0
+        assert snapshot["latest"]["slave-1"]["rtt_seconds"] == 0.002
+        # The coordinator samples itself too (non-empty own series).
+        assert snapshot["series"]["master"]
+        assert snapshot["version"] == 1
+
+    def test_empty_record_is_a_noop(self):
+        store = TimeSeriesStore()
+        store.record("slave-1", None)
+        assert len(store) == 0
+
+
+class TestStragglerScorer:
+    def test_slow_task_flagged_against_running_median(self):
+        clock = FakeClock()
+        scorer = StragglerScorer(factor=1.5, clock=clock)
+        # Three siblings finish in 1s each; one task keeps running.
+        for index in range(3):
+            scorer.task_started("ds", index, slave_id=1)
+            clock.advance(1.0)
+            scorer.task_finished("ds", index)
+        scorer.task_started("ds", 3, slave_id=2)
+        clock.advance(1.4)
+        assert scorer.candidates() == []  # 1.4 <= 1.5 * median(1.0)
+        clock.advance(0.2)
+        (cand,) = scorer.candidates()
+        assert cand["dataset_id"] == "ds"
+        assert cand["task_index"] == 3
+        assert cand["slave"] == 2
+        assert cand["median_seconds"] == pytest.approx(1.0)
+        assert cand["ratio"] == pytest.approx(1.6)
+        assert cand["first_flag"] is True
+        # Re-polling reports the candidate again but not as a first flag.
+        (again,) = scorer.candidates()
+        assert again["first_flag"] is False
+        assert scorer.flagged_total == 1
+
+    def test_all_equal_distribution_flags_nothing_on_time(self):
+        clock = FakeClock()
+        scorer = StragglerScorer(factor=1.5, clock=clock)
+        for index in range(4):
+            scorer.task_started("ds", index)
+            clock.advance(2.0)
+            scorer.task_finished("ds", index)
+        scorer.task_started("ds", 9)
+        clock.advance(2.0)  # exactly the median: not a straggler
+        assert scorer.candidates() == []
+
+    def test_single_completed_sample_is_the_median(self):
+        clock = FakeClock()
+        scorer = StragglerScorer(factor=2.0, clock=clock)
+        scorer.task_started("ds", 0)
+        clock.advance(1.0)
+        scorer.task_finished("ds", 0)
+        scorer.task_started("ds", 1)
+        clock.advance(2.5)
+        (cand,) = scorer.candidates()
+        assert cand["median_seconds"] == pytest.approx(1.0)
+
+    def test_no_completions_means_no_candidates(self):
+        clock = FakeClock()
+        scorer = StragglerScorer(clock=clock)
+        scorer.task_started("ds", 0)
+        clock.advance(1000.0)
+        assert scorer.candidates() == []
+
+    def test_abandoned_task_never_poisons_the_distribution(self):
+        clock = FakeClock()
+        scorer = StragglerScorer(factor=1.5, clock=clock)
+        scorer.task_started("ds", 0)
+        clock.advance(50.0)
+        scorer.task_abandoned("ds", 0)
+        scorer.task_finished("ds", 0)  # late finish of an abandoned task
+        scorer.task_started("ds", 1)
+        clock.advance(1.0)
+        scorer.task_finished("ds", 1)
+        scorer.task_started("ds", 2)
+        clock.advance(1.4)
+        assert scorer.candidates() == []  # median is 1.0, not 50-tainted
+
+    def test_forget_dataset_clears_state(self):
+        clock = FakeClock()
+        scorer = StragglerScorer(clock=clock)
+        scorer.task_started("ds", 0)
+        clock.advance(1.0)
+        scorer.task_finished("ds", 0)
+        scorer.task_started("ds", 1)
+        clock.advance(100.0)
+        assert scorer.candidates()
+        scorer.forget_dataset("ds")
+        assert scorer.candidates() == []
+
+    def test_running_median(self):
+        assert running_median([3.0]) == 3.0
+        assert running_median([1.0, 3.0]) == 2.0
+        assert running_median([5.0, 1.0, 3.0]) == 3.0
+
+
+class TestSchedulerStragglerIntegration:
+    """The scheduler feeds the scorer through its normal transitions:
+    a seeded skew (one task much slower than its siblings) must surface
+    through scheduler.straggler_candidates()."""
+
+    def make_scheduler(self, clock, ntasks=4):
+        from repro.runtime.scheduler import ScheduledDataset, Scheduler
+
+        scheduler = Scheduler()
+        scheduler.straggler_scorer = StragglerScorer(
+            factor=1.5, clock=clock
+        )
+        scheduler.add_slave(1)
+        scheduler.add_slave(2)
+        scheduler.add_dataset(
+            ScheduledDataset("ds", ntasks, "g", "input")
+        )
+        scheduler.mark_input_complete("input")
+        return scheduler
+
+    def test_slow_task_surfaces_via_scheduler(self):
+        clock = FakeClock()
+        scheduler = self.make_scheduler(clock)
+        slow = scheduler.next_task(2)  # assigned first, finishes never
+        for _ in range(3):
+            task = scheduler.next_task(1)
+            clock.advance(1.0)
+            scheduler.task_done(1, task)
+        clock.advance(3.0)
+        (cand,) = scheduler.straggler_candidates()
+        assert (cand["dataset_id"], cand["task_index"]) == slow
+        assert cand["ratio"] > 1.5
+
+    def test_failed_task_is_abandoned_not_scored(self):
+        clock = FakeClock()
+        scheduler = self.make_scheduler(clock, ntasks=2)
+        task = scheduler.next_task(1)
+        clock.advance(50.0)
+        scheduler.task_failed(1, task)
+        other = scheduler.next_task(2)
+        clock.advance(1.0)
+        scheduler.task_done(2, other)
+        # The failed 50s attempt left no duration sample behind.
+        durations = scheduler.straggler_scorer._durations["ds"]
+        assert durations == [1.0]
+
+    def test_no_scorer_means_empty_candidates(self):
+        from repro.runtime.scheduler import Scheduler
+
+        assert Scheduler().straggler_candidates() == []
+
+
+class TestSkew:
+    def test_gini_uniform_is_zero(self):
+        assert gini([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_gini_concentrated_is_high(self):
+        value = gini([0.0, 0.0, 0.0, 100.0])
+        assert value == pytest.approx(0.75)
+
+    def test_gini_undefined_cases(self):
+        assert gini([]) is None
+        assert gini([0.0, 0.0]) is None
+
+    def test_max_over_median(self):
+        assert max_over_median([1.0, 1.0, 4.0]) == pytest.approx(4.0)
+        assert max_over_median([]) is None
+        assert max_over_median([0.0, 0.0]) is None
+
+    def test_tracker_accumulates_across_tasks(self):
+        tracker = SkewTracker()
+        # Two map tasks each emit into splits 0 and 1; split 1 is fat.
+        tracker.record_emitted("ds", [(0, 10, 100.0), (1, 10, 100.0)])
+        tracker.record_emitted("ds", [(0, 10, 100.0), (1, 90, 900.0)])
+        summary = tracker.summary()["ds"]
+        assert summary["buckets"] == 2
+        assert summary["bytes_total"] == pytest.approx(1200.0)
+        assert summary["bytes_max"] == pytest.approx(1000.0)
+        assert summary["max_over_median_bytes"] == pytest.approx(
+            1000.0 / 600.0
+        )
+        assert summary["gini_bytes"] > 0.0
+
+    def test_fetched_side_totals_attach(self):
+        tracker = SkewTracker()
+        tracker.record_emitted("ds", [(0, 1, 10.0)])
+        tracker.record_fetched("ds", 0, 10.0)
+        tracker.record_fetched("other", 3, 44.0)
+        summary = tracker.summary()
+        assert summary["ds"]["fetched_bytes_total"] == pytest.approx(10.0)
+        # Fetch-only datasets still appear, with a zeroed emit side.
+        assert summary["other"]["buckets"] == 0
+        assert summary["other"]["fetched_bytes_total"] == pytest.approx(44.0)
+
+    def test_forget_dataset(self):
+        tracker = SkewTracker()
+        tracker.record_emitted("ds", [(0, 1, 10.0)])
+        tracker.forget_dataset("ds")
+        assert tracker.summary() == {}
+        assert len(tracker) == 0
+
+    def test_malformed_triples_are_skipped(self):
+        tracker = SkewTracker()
+        tracker.record_emitted("ds", [(0, 1, 10.0), ("x", "y"), None])
+        assert tracker.summary()["ds"]["buckets"] == 1
+
+
+class TestTelemetryFromOpts:
+    class Opts:
+        telemetry = "on"
+        telemetry_interval = 2.0
+        straggler_factor = 3.0
+
+    def test_off_returns_none(self):
+        opts = self.Opts()
+        opts.telemetry = "off"
+        assert telemetry_from_opts(opts, role="serial") is None
+
+    def test_on_builds_configured_bundle(self):
+        bundle = telemetry_from_opts(self.Opts(), role="serial")
+        assert bundle.interval == 2.0
+        assert bundle.straggler_factor == 3.0
+        assert bundle.role == "serial"
+
+    def test_observability_wiring(self, tmp_path):
+        class Opts:
+            telemetry = "on"
+            tmpdir = str(tmp_path)
+
+        obs = Observability(role="serial")
+        obs.enable_telemetry(Opts(), rundir=str(tmp_path))
+        assert obs.telemetry is not None
+        # The task counter is live: registry increments feed throughput.
+        obs.registry.counter("tasks.completed").inc(3)
+        sample = obs.telemetry.sampler.sample()
+        assert sample["tasks_completed"] == 3.0
+
+    def test_observability_off_keeps_attribute_none(self):
+        class Opts:
+            telemetry = "off"
+
+        obs = Observability(role="serial")
+        obs.enable_telemetry(Opts())
+        assert obs.telemetry is None
+
+
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9].*$"
+)
+
+
+def assert_prometheus_text(body):
+    """Structural check of the text exposition format: every line is a
+    comment or a sample, and every # TYPE names each metric once."""
+    typed = []
+    for line in body.strip().splitlines():
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert len(parts) == 4 and parts[3] in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ), line
+            typed.append(parts[2])
+        elif line.startswith("#"):
+            continue
+        else:
+            assert _PROM_LINE.match(line), f"bad sample line: {line!r}"
+    assert len(typed) == len(set(typed)), "duplicate # TYPE lines"
+    return typed
+
+
+class TestRenderers:
+    class FakeBackend:
+        def __init__(self):
+            self.observability = Observability(role="master")
+            self.observability.registry.counter("tasks.completed").inc(7)
+            self._telemetry = Telemetry(role="master")
+            self._telemetry.record_remote(
+                "slave-1",
+                {"t": 1.0, "cpu_seconds": 2.5, "rss_bytes": 1024.0},
+                rtt_seconds=0.001,
+            )
+            self._telemetry.skew.record_emitted(
+                "ds", [(0, 1, 10.0), (1, 9, 90.0)]
+            )
+
+        def status(self):
+            return {
+                "role": "master",
+                "tasks": {"total": 4, "done": 2, "running": 1},
+                "slaves": [
+                    {"id": 1, "alive": True, "busy": True,
+                     "address": "127.0.0.1:1"},
+                    {"id": 2, "alive": False, "busy": False,
+                     "address": "127.0.0.1:2"},
+                ],
+                "datasets": [
+                    {"id": "ds", "complete": False, "error": None,
+                     "progress": 0.5},
+                ],
+            }
+
+        def telemetry(self):
+            return self._telemetry.snapshot(
+                stragglers=[{
+                    "dataset_id": "ds", "task_index": 3, "slave": 2,
+                    "elapsed_seconds": 9.0, "median_seconds": 3.0,
+                    "ratio": 3.0, "first_flag": True,
+                }],
+                flagged_total=1,
+            )
+
+    def test_prometheus_exposition_is_well_formed(self):
+        body = render_prometheus(self.FakeBackend())
+        typed = assert_prometheus_text(body)
+        assert "mrs_up" in typed
+        assert 'mrs_slave_up{slave="slave-1"} 1' in body
+        assert 'mrs_slave_up{slave="slave-2"} 0' in body
+        assert 'mrs_slave_cpu_seconds_total{slave="slave-1"} 2.5' in body
+        assert 'mrs_dataset_progress{dataset="ds"} 0.5' in body
+        assert 'mrs_skew_gini{dataset="ds"}' in body
+        assert "mrs_straggler_candidates 1" in body
+        assert "mrs_stragglers_flagged_total 1" in body
+        assert "mrs_tasks_completed_total 7" in body
+
+    def test_prometheus_handles_mp_status_shape(self):
+        class MpBackend:
+            observability = None
+
+            def status(self):
+                return {
+                    "role": "multiprocess",
+                    "tasks": {"total": 2, "done": 2, "running": 0},
+                    "datasets": {"ds": "complete", "bad": "error"},
+                }
+
+        body = render_prometheus(MpBackend())
+        assert_prometheus_text(body)
+        assert 'mrs_dataset_complete{dataset="ds"} 1' in body
+        assert 'mrs_dataset_complete{dataset="bad"} 0' in body
+
+    def test_dashboard_renders_all_panels(self):
+        body = render_dashboard(self.FakeBackend())
+        assert body.startswith("<!DOCTYPE html>")
+        assert "slave-1" in body and "slave-2" in body
+        assert "Shuffle skew" in body and "Stragglers" in body
+        assert "ds[3]" in body  # the straggler row
+        assert "http-equiv='refresh'" in body
+
+    def test_dashboard_survives_empty_backend(self):
+        class Empty:
+            observability = None
+
+            def status(self):
+                return {}
+
+        body = render_dashboard(Empty())
+        assert "no slaves signed in" in body
+        assert "no datasets yet" in body
+
+
+class TestAnalyze:
+    def rows(self):
+        def committed(ds, index, end, seconds, slave):
+            return {
+                "seq": index + 1, "t": end, "name": "task.committed",
+                "pid": 1, "role": "master",
+                "fields": {"dataset_id": ds, "task_index": index,
+                           "seconds": seconds, "slave": slave},
+            }
+
+        # Map wave (parallel on 2 slaves), then one reduce task that
+        # could only start after the last map committed.
+        return [
+            committed("job-1.map", 0, 2.0, 2.0, 1),
+            committed("job-1.map", 1, 3.0, 3.0, 2),
+            committed("job-1.reduce", 0, 5.0, 2.0, 1),
+            committed("job-2.map", 0, 4.0, 1.0, 1),
+        ]
+
+    def test_jobs_are_grouped_by_namespace(self):
+        report = analyze(self.rows())
+        assert set(report["jobs"]) == {"job-1", "job-2"}
+        assert report["jobs"]["job-1"]["tasks"] == 3
+        assert report["jobs"]["job-2"]["tasks"] == 1
+
+    def test_critical_path_walks_back_greedily(self):
+        report = analyze(self.rows())
+        chain = report["jobs"]["job-1"]["critical_path"]["chain"]
+        # reduce (ends 5, starts 3) <- map[1] (ends 3): the 3s map and
+        # the reduce bound the wall; map[0] is off-path.
+        assert [(h["dataset_id"], h["task_index"]) for h in chain] == [
+            ("job-1.map", 1), ("job-1.reduce", 0),
+        ]
+        assert report["jobs"]["job-1"]["critical_path"][
+            "seconds"
+        ] == pytest.approx(5.0)
+        assert report["jobs"]["job-1"]["wall_seconds"] == pytest.approx(5.0)
+
+    def test_slave_utilization_over_job_window(self):
+        tasks = [
+            {"start": 0.0, "end": 2.0, "seconds": 2.0, "slave": 1,
+             "dataset_id": "d", "task_index": 0},
+            {"start": 0.0, "end": 4.0, "seconds": 4.0, "slave": 2,
+             "dataset_id": "d", "task_index": 1},
+        ]
+        util = slave_utilization(tasks)
+        assert util["1"]["utilization"] == pytest.approx(0.5)
+        assert util["2"]["utilization"] == pytest.approx(1.0)
+        assert util["1"]["tasks"] == 1
+
+    def test_critical_path_empty(self):
+        assert critical_path([]) == []
+
+    def test_cli_text_and_json(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        log.write_text(
+            "\n".join(json.dumps(r) for r in self.rows()) + "\n"
+        )
+        assert analyze_main([str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "== job-1 ==" in out and "critical path" in out
+        assert analyze_main([str(log), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert "job-1" in report["jobs"]
+
+    def test_cli_missing_file(self, tmp_path, capsys):
+        assert analyze_main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err

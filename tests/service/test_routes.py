@@ -1,0 +1,64 @@
+"""Telemetry routes on the job-server control surface.
+
+A JobServer with no slaves and no jobs must still serve a well-formed
+Prometheus ``/metrics`` exposition and a ``/dashboard`` page — the
+"dashboard works before the first submission" contract.
+"""
+
+import urllib.request
+
+import pytest
+
+from repro.core import options as options_mod
+from repro.service.registry import ProgramRegistry
+from repro.service.server import JobServer
+from tests.observability.test_telemetry import assert_prometheus_text
+
+
+@pytest.fixture
+def server(tmp_path):
+    opts, _ = options_mod.parse_options(
+        None, ["--mrs", "serve", "--mrs-tmpdir", str(tmp_path)]
+    )
+    srv = JobServer(ProgramRegistry(), opts)
+    try:
+        yield srv
+    finally:
+        srv.shutdown(drain=False, timeout=5)
+
+
+def fetch(server, path):
+    url = f"{server.control_url}{path}"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers["Content-Type"], resp.read().decode()
+
+
+def test_metrics_is_prometheus_text(server):
+    code, ctype, body = fetch(server, "/metrics")
+    assert code == 200
+    assert ctype.startswith("text/plain")
+    typed = assert_prometheus_text(body)
+    assert "mrs_up" in typed
+    assert "mrs_tasks_total" in typed
+    # Service-mode registry metrics flatten into the exposition too.
+    assert "mrs_jobs_submitted_total 0" in body
+
+
+def test_metrics_json_format_still_served(server):
+    import json
+
+    url = f"{server.control_url}/metrics?format=json"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        assert resp.status == 200
+        assert resp.headers["Content-Type"] == "application/json"
+        payload = json.loads(resp.read())
+    assert payload["role"] == "master"
+
+
+def test_dashboard_renders_without_job_data(server):
+    code, ctype, body = fetch(server, "/dashboard")
+    assert code == 200
+    assert ctype.startswith("text/html")
+    assert "mrs cluster dashboard" in body
+    assert "no jobs submitted" in body
+    assert "no slaves signed in" in body
