@@ -1,0 +1,136 @@
+"""Tall-and-skinny QR bench: zero-copy NumPy data plane vs pickle.
+
+Direct TSQR over the multiprocess backend (real spill files, real
+worker fetches) at several aspect ratios, each run twice:
+
+* ``zero-copy`` — matrix blocks ride the ``numpy`` serializer with
+  ``--mrs-zero-copy on``: scatter writes, mmap-backed reads, views all
+  the way to the merge.
+* ``pickle`` — the same job with pickled values and the knob off.
+
+Both paths must produce *numerically identical* factors (the dataflow
+is deterministic), which the bench asserts before reporting.  A serial
+``numpy.linalg.qr`` of the full matrix anchors the rows/s scale.
+
+    python benchmarks/bench_tsqr.py [--smoke] [--out BENCH_tsqr.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from reporting import print_table, write_json_table
+
+from repro import run_program
+from repro.apps.tsqr.numerics import orthogonality_error, reconstruction_error
+from repro.apps.tsqr.programs import DirectTSQR
+
+
+class BenchDirectTSQR(DirectTSQR):
+    """Direct TSQR without the verification pass in ``run`` — the
+    bench verifies once, outside the timed region."""
+
+    def run(self, job):
+        self.Q, self.R = self.factor(job)
+        return 0
+
+
+#: (rows, cols) aspect ratios; blocks/procs chosen per run below.
+FULL_SHAPES = [(400_000, 16), (200_000, 32), (100_000, 64)]
+SMOKE_SHAPES = [(20_000, 8)]
+
+
+def _run_path(rows, cols, blocks, procs, zero_copy):
+    """One timed Direct TSQR job; returns (seconds, Q, R)."""
+    serializer = "numpy" if zero_copy else "pickle"
+    knob = "on" if zero_copy else "off"
+    args = [
+        "--mrs-procs", str(procs),
+        "--mrs-zero-copy", knob,
+        "--tsqr-serializer", serializer,
+        "--tsqr-rows", str(rows),
+        "--tsqr-cols", str(cols),
+        "--tsqr-blocks", str(blocks),
+    ]
+    start = time.perf_counter()
+    program = run_program(BenchDirectTSQR, args, impl="multiprocess")
+    elapsed = time.perf_counter() - start
+    return elapsed, program.Q, program.R
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small single shape for CI")
+    parser.add_argument("--out", default="BENCH_tsqr.json")
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--blocks", type=int, default=8)
+    opts = parser.parse_args()
+
+    shapes = SMOKE_SHAPES if opts.smoke else FULL_SHAPES
+    headers = [
+        "shape", "numpy qr rows/s", "pickle rows/s", "zero-copy rows/s",
+        "speedup vs pickle", "orthogonality", "reconstruction", "identical",
+    ]
+    rows_out = []
+    notes = [
+        f"Direct TSQR, multiprocess backend, {opts.procs} workers, "
+        f"{opts.blocks} row blocks; speedup = pickle time / zero-copy time",
+        "identical = zero-copy and pickle paths produced bit-equal Q and R",
+    ]
+
+    for rows, cols in shapes:
+        t_pickle, q_p, r_p = _run_path(
+            rows, cols, opts.blocks, opts.procs, zero_copy=False
+        )
+        t_zc, q_z, r_z = _run_path(
+            rows, cols, opts.blocks, opts.procs, zero_copy=True
+        )
+        identical = bool(np.array_equal(q_p, q_z) and np.array_equal(r_p, r_z))
+        assert identical, (
+            f"zero-copy and pickle paths diverged at {rows}x{cols}"
+        )
+        A = np.vstack(
+            [  # same deterministic blocks the job generated
+                _reference_block(rows, cols, opts.blocks, i)
+                for i in range(opts.blocks)
+            ]
+        )
+        t0 = time.perf_counter()
+        np.linalg.qr(A)
+        t_numpy = time.perf_counter() - t0
+        orth = orthogonality_error(q_z)
+        recon = reconstruction_error(A, q_z, r_z)
+        assert orth < 1e-8 and recon < 1e-8, (rows, cols, orth, recon)
+        rows_out.append([
+            f"{rows}x{cols}",
+            f"{rows / t_numpy:,.0f}",
+            f"{rows / t_pickle:,.0f}",
+            f"{rows / t_zc:,.0f}",
+            f"{t_pickle / t_zc:.2f}x",
+            f"{orth:.2e}",
+            f"{recon:.2e}",
+            "yes" if identical else "NO",
+        ])
+
+    title = "Direct TSQR: zero-copy data plane vs pickle (rows/s)"
+    print_table(title, headers, rows_out, notes)
+    write_json_table(opts.out, title, headers, rows_out, notes)
+    print(f"\nwrote {opts.out}")
+
+
+def _reference_block(rows, cols, blocks, i):
+    """Regenerate block i exactly as the job's seeded stream does."""
+    from repro.core import random_streams
+
+    base, extra = divmod(rows, blocks)
+    n_rows = base + (1 if i < extra else 0)
+    rng = random_streams.numpy_stream(0, 101, i)
+    return rng.standard_normal((n_rows, cols))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Tall-and-skinny QR (TSQR) workload suite.
+
+MapReduce factorizations of tall-and-skinny matrices (rows >> cols),
+after the mrtsqr suite (Benson, Gleich, Demmel): Cholesky QR, Indirect
+TSQR, Direct TSQR, and the companion products B^T·A and A·B.  This is
+the few-keys / huge-values shuffle shape the zero-copy NumPy data
+plane exists for: every intermediate value is a matrix block carried
+by the ``numpy`` serializer (``--tsqr-serializer pickle`` opts out,
+for comparison).
+
+Run a single algorithm from the command line::
+
+    python -m repro.apps.tsqr cholesky --mrs serial --tsqr-rows 20000
+
+or programmatically through :func:`repro.run_program` with any of the
+program classes below.
+"""
+
+from repro.apps.tsqr.numerics import (
+    orthogonality_error,
+    reconstruction_error,
+)
+from repro.apps.tsqr.programs import (
+    ALGORITHMS,
+    CholeskyQR,
+    DirectTSQR,
+    IndirectTSQR,
+    TSMatMulAB,
+    TSMatMulBtA,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "CholeskyQR",
+    "DirectTSQR",
+    "IndirectTSQR",
+    "TSMatMulAB",
+    "TSMatMulBtA",
+    "orthogonality_error",
+    "reconstruction_error",
+]

@@ -1,0 +1,28 @@
+"""CLI dispatch: ``python -m repro.apps.tsqr <algorithm> [options]``.
+
+The first positional argument picks the dataflow (``cholesky``,
+``indirect``, ``direct``, ``bta``, ``ab``); everything after it is
+standard Mrs + TSQR options.  In service mode, register individual
+algorithms instead, e.g.::
+
+    --mrs-register direct=repro.apps.tsqr.programs:DirectTSQR
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro as mrs
+from repro.apps.tsqr.programs import ALGORITHMS
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ALGORITHMS:
+        names = ", ".join(sorted(ALGORITHMS))
+        sys.exit(f"usage: python -m repro.apps.tsqr {{{names}}} [options]")
+    mrs.exit_main(ALGORITHMS[argv[0]], argv[1:])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Numerical helpers for the TSQR suite.
+
+Tagged blocks
+-------------
+The Direct TSQR dataflow moves blocks of several *kinds* (first-stage
+Q factors, second-stage Q factors, the final R) through one pipeline.
+To keep every value a plain ``numpy`` array — and therefore on the
+zero-copy serializer path — a block's kind and source index ride in
+one extra leading row instead of a Python tuple wrapper:
+
+    row 0:   [kind, index, 0, ...]
+    row 1..: the payload block
+
+This costs one row of floats per block (negligible next to a tall
+block) and keeps the whole pipeline pickle-free.  Requires at least
+two columns, which every tall-and-skinny problem has.
+
+Checks
+------
+Factorization quality is measured the standard way, against the same
+criteria one would apply to ``numpy.linalg.qr`` output itself:
+orthogonality ``||Q^T Q - I||_F`` and relative reconstruction error
+``||Q R - A||_F / ||A||_F``.  (Q and R are only unique up to column
+signs, so element-wise comparison against NumPy's factors would be
+meaningless; the residuals are the invariant quantities.)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Block kinds for :func:`tag_block`.
+KIND_Q1 = 0
+KIND_Q2 = 1
+KIND_R = 2
+
+#: The reserved key that funnels all first-stage R factors (and carries
+#: the final R in the output) — distinct from every block index >= 0.
+R_KEY = -1
+
+
+def tag_block(kind: int, index: int, block: np.ndarray) -> np.ndarray:
+    """Prepend a ``[kind, index, 0...]`` row to ``block``."""
+    if block.ndim != 2 or block.shape[1] < 2:
+        raise ValueError(
+            f"tagged blocks need a 2-d block with >= 2 columns, "
+            f"got shape {block.shape}"
+        )
+    header = np.zeros((1, block.shape[1]), dtype=block.dtype)
+    header[0, 0] = kind
+    header[0, 1] = index
+    return np.vstack([header, block])
+
+
+def untag_block(tagged: np.ndarray) -> Tuple[int, int, np.ndarray]:
+    """Inverse of :func:`tag_block`; the payload is a zero-copy view."""
+    return int(tagged[0, 0]), int(tagged[0, 1]), tagged[1:]
+
+
+def orthogonality_error(Q: np.ndarray) -> float:
+    """``||Q^T Q - I||_F`` — 0 for a perfectly orthonormal basis."""
+    n = Q.shape[1]
+    return float(np.linalg.norm(Q.T @ Q - np.eye(n)))
+
+
+def reconstruction_error(A: np.ndarray, Q: np.ndarray, R: np.ndarray) -> float:
+    """``||Q R - A||_F / ||A||_F`` — relative factorization residual."""
+    denom = float(np.linalg.norm(A)) or 1.0
+    return float(np.linalg.norm(Q @ R - A)) / denom

@@ -1,0 +1,443 @@
+"""TSQR MapReduce programs.
+
+Five factorization dataflows over a row-blocked tall-and-skinny matrix
+A (rows >> cols), following the mrtsqr suite:
+
+* :class:`CholeskyQR` — two passes: reduce ``A^T A``, Cholesky on the
+  driver, second map pass forms ``Q_i = A_i R^{-1}``.
+* :class:`IndirectTSQR` — like Cholesky QR but numerically stabler:
+  R comes from a QR of the stacked per-block R factors instead of the
+  (condition-squaring) Gram matrix.
+* :class:`DirectTSQR` — the three-stage communication-avoiding QR:
+  per-block QR, a QR of the stacked R factors, then per-block
+  recombination ``Q_i = Q1_i Q2_i``.  Q is explicitly formed and
+  orthogonal to machine precision regardless of conditioning.
+* :class:`TSMatMulBtA` — ``B^T A`` for two conforming tall-and-skinny
+  matrices, as a map of per-block products and a summing reduce.
+* :class:`TSMatMulAB` — ``A B`` for a small broadcast B, map-only.
+
+Input blocks are generated deterministically per block index from the
+program's seeded RNG streams, so a second pass (or another worker)
+regenerates exactly the same block without shipping it — the classic
+"re-read A from disk" step of two-pass TSQR, minus the disk.  Every
+intermediate value is a NumPy array carried by the ``numpy`` serializer
+(zero-copy data plane); ``--tsqr-serializer pickle`` opts into the
+pickle path for comparison, producing numerically identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+import repro as mrs
+from repro.apps.tsqr.numerics import (
+    KIND_Q1,
+    KIND_Q2,
+    KIND_R,
+    R_KEY,
+    orthogonality_error,
+    reconstruction_error,
+    tag_block,
+    untag_block,
+)
+
+
+class TSQRBase(mrs.MapReduce):
+    """Shared input generation and driver plumbing for the suite."""
+
+    def __init__(self, opts, args):
+        super().__init__(opts, args)
+        self.rows = int(getattr(opts, "tsqr_rows", 4096))
+        self.cols = int(getattr(opts, "tsqr_cols", 16))
+        self.blocks = int(getattr(opts, "tsqr_blocks", 8))
+        serializer = getattr(opts, "tsqr_serializer", "numpy") or "numpy"
+        #: Value serializer name for every array-valued dataset.
+        self.vs = serializer
+        if self.cols < 2:
+            raise ValueError("TSQR needs at least 2 columns")
+        if self.rows < self.blocks * self.cols:
+            raise ValueError(
+                f"{self.rows} rows cannot fill {self.blocks} blocks of "
+                f"at least {self.cols} (= cols) rows each"
+            )
+        #: Set by ``run``/drivers for callers (tests, benches).
+        self.Q: Optional[np.ndarray] = None
+        self.R: Optional[np.ndarray] = None
+        self.result: Optional[np.ndarray] = None
+
+    @classmethod
+    def update_parser(cls, parser):
+        parser.add_argument(
+            "--tsqr-rows", dest="tsqr_rows", type=int, default=4096,
+            help="total rows of the tall matrix A",
+        )
+        parser.add_argument(
+            "--tsqr-cols", dest="tsqr_cols", type=int, default=16,
+            help="columns of A (tall-and-skinny: rows >> cols)",
+        )
+        parser.add_argument(
+            "--tsqr-blocks", dest="tsqr_blocks", type=int, default=8,
+            help="number of row blocks A is split into",
+        )
+        parser.add_argument(
+            "--tsqr-serializer", dest="tsqr_serializer",
+            choices=("numpy", "pickle"), default="numpy",
+            help="value serializer for matrix blocks: 'numpy' rides the "
+            "zero-copy data plane, 'pickle' is the baseline",
+        )
+        return parser
+
+    # -- deterministic blocked input ----------------------------------
+
+    def block_rows(self, i: int) -> int:
+        base, extra = divmod(self.rows, self.blocks)
+        return base + (1 if i < extra else 0)
+
+    def make_block(self, i: int) -> np.ndarray:
+        """Row block ``A_i``, regenerable bit-identically anywhere."""
+        rng = self.numpy_random(101, i)
+        return rng.standard_normal((self.block_rows(i), self.cols))
+
+    def gen_blocks(self, key: int, value: Any) -> Iterator[Tuple[int, np.ndarray]]:
+        yield key, self.make_block(key)
+
+    def block_source(self, job: mrs.Job):
+        """The tiny seed dataset: one ``(i, row_count)`` pair per block."""
+        pairs = [(i, self.block_rows(i)) for i in range(self.blocks)]
+        return job.local_data(pairs, splits=min(self.blocks, 8))
+
+    def blocks_data(self, job: mrs.Job):
+        """The blocked matrix as a computed dataset of array values."""
+        return job.map_data(
+            self.block_source(job),
+            self.gen_blocks,
+            splits=self.blocks,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+
+    def full_matrix(self) -> np.ndarray:
+        """Materialize A on the driver (verification only)."""
+        return np.vstack([self.make_block(i) for i in range(self.blocks)])
+
+    def assemble_q(self, blocks: Dict[int, np.ndarray]) -> np.ndarray:
+        return np.vstack([blocks[i] for i in range(self.blocks)])
+
+    # -- shared reduce ------------------------------------------------
+
+    def sum_reduce(
+        self, key: Any, values: Iterator[np.ndarray]
+    ) -> Iterator[np.ndarray]:
+        total = None
+        for block in values:
+            total = np.array(block, copy=True) if total is None else total + block
+        if total is not None:
+            yield total
+
+    # -- second pass shared by Cholesky QR and Indirect TSQR ----------
+
+    def q_from_r_map(
+        self, key: int, R: np.ndarray
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Regenerate ``A_i`` and form ``Q_i = A_i R^{-1}`` (as a
+        triangular solve on the transposed system)."""
+        A_i = self.make_block(key)
+        yield key, np.linalg.solve(R.T, A_i.T).T
+
+    def q_pass(self, job: mrs.Job, R: np.ndarray) -> np.ndarray:
+        """Broadcast R to one map task per block and assemble Q."""
+        source = job.local_data(
+            [(i, R) for i in range(self.blocks)], splits=min(self.blocks, 8)
+        )
+        q_data = job.map_data(
+            source,
+            self.q_from_r_map,
+            splits=self.blocks,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        job.wait(q_data)
+        return self.assemble_q(dict(q_data.data()))
+
+    # -- driver -------------------------------------------------------
+
+    def factor(self, job: mrs.Job) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def run(self, job: mrs.Job) -> int:
+        self.Q, self.R = self.factor(job)
+        A = self.full_matrix()
+        orth = orthogonality_error(self.Q)
+        recon = reconstruction_error(A, self.Q, self.R)
+        print(
+            f"{type(self).__name__}: {self.rows}x{self.cols} in "
+            f"{self.blocks} blocks  orthogonality={orth:.3e}  "
+            f"reconstruction={recon:.3e}"
+        )
+        return 0 if (orth < 1e-8 and recon < 1e-8) else 1
+
+
+class CholeskyQR(TSQRBase):
+    """Cholesky QR: ``R = chol(A^T A)``, ``Q = A R^{-1}``.
+
+    One reduction plus one map pass; fastest of the family, but the
+    Gram matrix squares A's condition number, so orthogonality degrades
+    for ill-conditioned inputs (the reason Direct TSQR exists).
+    """
+
+    def gram_map(
+        self, key: int, block: np.ndarray
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        yield 0, block.T @ block
+
+    def factor(self, job: mrs.Job) -> Tuple[np.ndarray, np.ndarray]:
+        blocks = self.blocks_data(job)
+        grams = job.map_data(
+            blocks,
+            self.gram_map,
+            splits=self.blocks,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        gram = job.reduce_data(
+            grams,
+            self.sum_reduce,
+            splits=1,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        job.wait(gram)
+        G = dict(gram.data())[0]
+        R = np.linalg.cholesky(G).T
+        return self.q_pass(job, R), R
+
+
+class IndirectTSQR(TSQRBase):
+    """Indirect TSQR: R via a QR of the stacked per-block R factors,
+    then ``Q = A R^{-1}`` in a second pass."""
+
+    def local_r_map(
+        self, key: int, block: np.ndarray
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        r = np.linalg.qr(block, mode="r")
+        yield R_KEY, tag_block(KIND_R, key, r)
+
+    def stack_r_reduce(
+        self, key: int, values: Iterator[np.ndarray]
+    ) -> Iterator[np.ndarray]:
+        factors = [untag_block(v)[1:] for v in values]
+        factors.sort(key=lambda item: item[0])
+        stacked = np.vstack([r for _, r in factors])
+        yield np.linalg.qr(stacked, mode="r")
+
+    def factor(self, job: mrs.Job) -> Tuple[np.ndarray, np.ndarray]:
+        blocks = self.blocks_data(job)
+        local_rs = job.map_data(
+            blocks,
+            self.local_r_map,
+            splits=self.blocks,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        r_data = job.reduce_data(
+            local_rs,
+            self.stack_r_reduce,
+            splits=1,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        job.wait(r_data)
+        R = dict(r_data.data())[R_KEY]
+        return self.q_pass(job, R), R
+
+
+class DirectTSQR(TSQRBase):
+    """Direct TSQR (three stages, communication-avoiding).
+
+    Stage 1 (map): per-block QR; ``Q1_i`` stays keyed to its block,
+    every ``R_i`` funnels to the :data:`R_KEY` group.
+
+    Stage 2 (fused reduce+map): QR of the stacked ``R_i`` yields the
+    final R and the small second-stage factors ``Q2_i``, which the
+    fused map re-keys to their blocks; big ``Q1_i`` blocks pass through
+    untouched — the large-value merge path end to end.
+
+    Stage 3 (reduce): join ``Q1_i @ Q2_i`` per block; R passes through.
+    """
+
+    def qr_map(
+        self, key: int, block: np.ndarray
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        q, r = np.linalg.qr(block)
+        yield key, tag_block(KIND_Q1, key, q)
+        yield R_KEY, tag_block(KIND_R, key, r)
+
+    def stack_reduce(
+        self, key: int, values: Iterator[np.ndarray]
+    ) -> Iterator[np.ndarray]:
+        if key != R_KEY:
+            # A lone first-stage Q block: forward it without touching
+            # the (potentially mmap-backed, zero-copy) payload.
+            yield from values
+            return
+        factors = [untag_block(v)[1:] for v in values]
+        factors.sort(key=lambda item: item[0])
+        stacked = np.vstack([r for _, r in factors])
+        q2, r_final = np.linalg.qr(stacked)
+        n = self.cols
+        for j, (i, _) in enumerate(factors):
+            yield tag_block(KIND_Q2, i, q2[j * n : (j + 1) * n])
+        yield tag_block(KIND_R, R_KEY, r_final)
+
+    def rekey_map(
+        self, key: int, tagged: np.ndarray
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        kind, index, block = untag_block(tagged)
+        if kind == KIND_Q2:
+            yield index, tag_block(KIND_Q2, index, block)
+        elif kind == KIND_R and index == R_KEY:
+            yield R_KEY, tagged
+        else:  # a passed-through Q1 block, already keyed to its block
+            yield key, tagged
+
+    def join_reduce(
+        self, key: int, values: Iterator[np.ndarray]
+    ) -> Iterator[np.ndarray]:
+        if key == R_KEY:
+            for tagged in values:
+                yield np.array(untag_block(tagged)[2], copy=True)
+            return
+        q1 = q2 = None
+        for tagged in values:
+            kind, _, block = untag_block(tagged)
+            if kind == KIND_Q1:
+                q1 = block
+            elif kind == KIND_Q2:
+                q2 = block
+        if q1 is None or q2 is None:
+            raise ValueError(f"block {key} missing a Q factor")
+        yield q1 @ q2
+
+    def factor(self, job: mrs.Job) -> Tuple[np.ndarray, np.ndarray]:
+        blocks = self.blocks_data(job)
+        stage1 = job.map_data(
+            blocks,
+            self.qr_map,
+            splits=self.blocks,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        stage2 = job.reducemap_data(
+            stage1,
+            self.stack_reduce,
+            self.rekey_map,
+            splits=self.blocks,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        stage3 = job.reduce_data(
+            stage2,
+            self.join_reduce,
+            splits=self.blocks,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        job.wait(stage3)
+        out = dict(stage3.data())
+        R = out.pop(R_KEY)
+        return self.assemble_q(out), R
+
+
+class TSMatMulBtA(TSQRBase):
+    """``B^T A`` for conforming tall-and-skinny A and B: per-block
+    products in the map, one summing reduce."""
+
+    def make_b_block(self, i: int) -> np.ndarray:
+        rng = self.numpy_random(202, i)
+        return rng.standard_normal((self.block_rows(i), self.cols))
+
+    def bta_map(
+        self, key: int, value: Any
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        yield 0, self.make_b_block(key).T @ self.make_block(key)
+
+    def factor(self, job: mrs.Job) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError("B^T A is a product, not a factorization")
+
+    def multiply(self, job: mrs.Job) -> np.ndarray:
+        products = job.map_data(
+            self.block_source(job),
+            self.bta_map,
+            splits=min(self.blocks, 8),
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        total = job.reduce_data(
+            products,
+            self.sum_reduce,
+            splits=1,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        job.wait(total)
+        return dict(total.data())[0]
+
+    def run(self, job: mrs.Job) -> int:
+        self.result = self.multiply(job)
+        B = np.vstack([self.make_b_block(i) for i in range(self.blocks)])
+        reference = B.T @ self.full_matrix()
+        err = float(np.linalg.norm(self.result - reference)) / (
+            float(np.linalg.norm(reference)) or 1.0
+        )
+        print(f"TSMatMulBtA: {self.rows}x{self.cols}  relative error={err:.3e}")
+        return 0 if err < 1e-10 else 1
+
+
+class TSMatMulAB(TSQRBase):
+    """``A B`` for a small broadcast B (cols x cols): map-only — every
+    worker regenerates B from the seeded stream instead of receiving
+    it, so the only data movement is the output itself."""
+
+    def make_b(self) -> np.ndarray:
+        rng = self.numpy_random(303)
+        return rng.standard_normal((self.cols, self.cols))
+
+    def ab_map(
+        self, key: int, value: Any
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        yield key, self.make_block(key) @ self.make_b()
+
+    def factor(self, job: mrs.Job) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError("A B is a product, not a factorization")
+
+    def multiply(self, job: mrs.Job) -> np.ndarray:
+        products = job.map_data(
+            self.block_source(job),
+            self.ab_map,
+            splits=self.blocks,
+            key_serializer="int",
+            value_serializer=self.vs,
+        )
+        job.wait(products)
+        return self.assemble_q(dict(products.data()))
+
+    def run(self, job: mrs.Job) -> int:
+        self.result = self.multiply(job)
+        reference = self.full_matrix() @ self.make_b()
+        err = float(np.linalg.norm(self.result - reference)) / (
+            float(np.linalg.norm(reference)) or 1.0
+        )
+        print(f"TSMatMulAB: {self.rows}x{self.cols}  relative error={err:.3e}")
+        return 0 if err < 1e-10 else 1
+
+
+#: CLI and registry names for the suite (see ``__main__``).
+ALGORITHMS: Dict[str, type] = {
+    "cholesky": CholeskyQR,
+    "indirect": IndirectTSQR,
+    "direct": DirectTSQR,
+    "bta": TSMatMulBtA,
+    "ab": TSMatMulAB,
+}

@@ -801,8 +801,19 @@ class _PrefetchStream:
 #: Records per prefetch block; bounds latency between a block landing
 #: and the merge seeing it.
 _BLOCK_RECORDS = 2048
-#: Per-record overhead estimate (tuple + pair + value) for the budget.
+#: Per-record overhead estimate (tuple + pair + small value) for the
+#: budget.  Values exposing their real size (bytes, numpy blocks) are
+#: charged for it on top — a handful of multi-megabyte array blocks
+#: must not be budgeted as if they were 64-byte counters.
 _RECORD_OVERHEAD = 64
+
+
+def _record_cost(record: "Record") -> int:
+    value = record[1][1]
+    size = getattr(value, "nbytes", None)  # numpy arrays, memoryviews
+    if size is None and isinstance(value, (bytes, bytearray)):
+        size = len(value)
+    return len(record[0]) + _RECORD_OVERHEAD + (size or 0)
 
 
 class Prefetcher:
@@ -916,7 +927,7 @@ class Prefetcher:
         nbytes = 0
         for record in records:
             block.append(record)
-            nbytes += len(record[0]) + _RECORD_OVERHEAD
+            nbytes += _record_cost(record)
             if len(block) >= _BLOCK_RECORDS:
                 if not stream.put_block(block, nbytes):
                     return
@@ -944,7 +955,7 @@ class Prefetcher:
                 bucket.url, bucket.key_serializer, bucket.value_serializer
             ):
                 records.append(record)
-                n = len(record[0]) + _RECORD_OVERHEAD
+                n = _record_cost(record)
                 budget.charge(n)
                 charged += n
             records.sort(key=record_key)
@@ -953,8 +964,7 @@ class Prefetcher:
             raise
         for start in range(0, len(records), _BLOCK_RECORDS):
             block = records[start : start + _BLOCK_RECORDS]
-            nbytes = sum(len(record[0]) for record in block)
-            nbytes += _RECORD_OVERHEAD * len(block)
+            nbytes = sum(_record_cost(record) for record in block)
             if not stream.put_block(block, nbytes, precharged=True):
                 return
 

@@ -19,15 +19,19 @@ logger = logging.getLogger("repro")
 
 
 def _configure_native(opts) -> None:
-    """Apply ``--mrs-native`` before any shuffle code runs.
+    """Apply ``--mrs-native`` and ``--mrs-zero-copy`` before any
+    shuffle code runs.
 
-    Setting the mode also mirrors it into ``MRS_NATIVE``, so worker
-    processes spawned later (multiprocess pool, slaves launched with
-    the job's environment) resolve the same path.
+    Setting a mode also mirrors it into its environment variable
+    (``MRS_NATIVE`` / ``MRS_ZERO_COPY``), so worker processes spawned
+    later (multiprocess pool, slaves launched with the job's
+    environment) resolve the same path.
     """
+    from repro.io import serializers
     from repro.native import kernels
 
     kernels.configure_from_opts(opts)
+    serializers.configure_zero_copy_from_opts(opts)
 
 
 def _configure_logging(opts) -> None:
@@ -247,6 +251,6 @@ def run_program(
         backend.close()
 
 
-def exit_main(program_class: Any) -> None:
+def exit_main(program_class: Any, argv: Optional[Sequence[str]] = None) -> None:
     """``main`` variant that exits the interpreter with the status."""
-    sys.exit(main(program_class))
+    sys.exit(main(program_class, argv))

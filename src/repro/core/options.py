@@ -133,6 +133,16 @@ def make_parser(program_class: Any = None) -> argparse.ArgumentParser:
         "are byte-identical either way (default: MRS_NATIVE or auto)",
     )
     group.add_argument(
+        "--mrs-zero-copy",
+        dest="zero_copy",
+        choices=("on", "off"),
+        default=None,
+        help="buffer-protocol fast paths for large values (scatter "
+        "writes, mmap reads, sendfile) for serializers that support "
+        "them, e.g. 'numpy'; outputs are byte-identical either way "
+        "(default: MRS_ZERO_COPY or on)",
+    )
+    group.add_argument(
         "--mrs-no-affinity",
         dest="no_affinity",
         action="store_true",

@@ -678,9 +678,19 @@ def native_merge_plan(buckets: Iterable[Bucket]) -> Optional[List[str]]:
         return None
     try:
         key_s = get_serializer(key_name)
+        value_s = get_serializer(value_name)
     except Exception:
         return None
     if getattr(key_s, "canonical_key_tag", None) is None:
+        return None
+    from repro.io.serializers import loads_view_for
+
+    if loads_view_for(value_s) is not None:
+        # Zero-copy value serializers (numpy blocks) decode straight
+        # out of an mmap on the streaming path; the fused C merge would
+        # copy every value through its read window instead.  Few keys /
+        # huge values is exactly the shape where the window copy costs
+        # more than the merge saves.
         return None
     return urls
 

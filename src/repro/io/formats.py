@@ -20,10 +20,17 @@ corpus files are readable as lines).
 from __future__ import annotations
 
 import binascii
+import io
+import os
 import struct
 from typing import Any, BinaryIO, Iterable, Iterator, List, Optional, Tuple
 
-from repro.io.serializers import Serializer, get_serializer
+from repro.io.serializers import (
+    Serializer,
+    dumps_parts_for,
+    get_serializer,
+    loads_view_for,
+)
 from repro.native import kernels as _nk
 
 KeyValue = Tuple[Any, Any]
@@ -119,6 +126,28 @@ _BIN_MAGIC = b"MRSB\x01"
 #: per-record costs are slicing, small enough to keep merges O(1)-ish
 #: in memory.
 _READ_CHUNK = 1 << 20
+#: The ``!II`` framing caps each encoded key and value at 2^32 - 1
+#: bytes.  Writers check explicitly and raise a ValueError naming the
+#: record, instead of letting ``struct.error: argument out of range``
+#: escape with no hint of which record overflowed.
+FRAME_LIMIT = 0xFFFFFFFF
+#: Value parts at least this large are written directly (scatter) on
+#: the zero-copy path; smaller parts coalesce into the batch buffer.
+_SCATTER_MIN = 1 << 16
+
+
+def _frame_limit_error(key: Any, klen: int, vlen: int) -> ValueError:
+    side, size = ("key", klen) if klen > FRAME_LIMIT else ("value", vlen)
+    return ValueError(
+        f"record {side} for key {key!r} is {size} bytes, which exceeds "
+        f"the .mrsb frame limit of {FRAME_LIMIT} bytes ({size - FRAME_LIMIT} "
+        f"over); split the value into smaller blocks"
+    )
+
+
+def _part_nbytes(part: Any) -> int:
+    # memoryview length is in *items*, not bytes, unless cast to 'B'.
+    return part.nbytes if isinstance(part, memoryview) else len(part)
 
 
 class BinWriter(Writer):
@@ -139,15 +168,67 @@ class BinWriter(Writer):
         super().__init__(fileobj)
         self.key_s = key_serializer or get_serializer(None)
         self.value_s = value_serializer or get_serializer(None)
+        #: Zero-copy value encoder, or None for the plain dumps path.
+        #: Resolved once per writer: the knob is process-wide and
+        #: writers are short-lived.
+        self._value_parts = dumps_parts_for(self.value_s)
         self.fileobj.write(_BIN_MAGIC)
 
     def writepair(self, pair: KeyValue) -> None:
         key, value = pair
         kb = self.key_s.dumps(key)
+        if self._value_parts is not None:
+            self._scatter([(key, kb, self._value_parts(value))])
+            return
         vb = self.value_s.dumps(value)
+        if len(kb) > FRAME_LIMIT or len(vb) > FRAME_LIMIT:
+            raise _frame_limit_error(key, len(kb), len(vb))
         self.fileobj.write(_LEN_STRUCT.pack(len(kb), len(vb)))
         self.fileobj.write(kb)
         self.fileobj.write(vb)
+
+    def _scatter(
+        self, items: Iterable[Tuple[Any, bytes, Tuple[Any, ...]]]
+    ) -> None:
+        """Write ``(key, keybytes, value_parts)`` items without joining.
+
+        Small parts (headers, framing) coalesce into a batch buffer;
+        large parts go straight to the file object, which hands buffers
+        above its own block size to the OS untouched — a multi-megabyte
+        array block reaches the page cache without ever being copied
+        into an intermediate ``bytes``.  Output is byte-for-byte
+        identical to the ``dumps`` path.
+        """
+        pack = _LEN_STRUCT.pack
+        write = self.fileobj.write
+        chunks: List[Any] = []
+        append = chunks.append
+        pending = 0
+        for key, kb, parts in items:
+            vlen = sum(_part_nbytes(part) for part in parts)
+            klen = len(kb)
+            if klen > FRAME_LIMIT or vlen > FRAME_LIMIT:
+                raise _frame_limit_error(key, klen, vlen)
+            append(pack(klen, vlen))
+            append(kb)
+            pending += _LEN_STRUCT.size + klen
+            for part in parts:
+                nbytes = _part_nbytes(part)
+                if nbytes >= _SCATTER_MIN:
+                    if chunks:
+                        write(b"".join(chunks))
+                        chunks.clear()
+                        pending = 0
+                    write(part)
+                else:
+                    append(part)
+                    pending += nbytes
+            if pending >= _READ_CHUNK:
+                write(b"".join(chunks))
+                chunks.clear()
+                pending = 0
+        if chunks:
+            write(b"".join(chunks))
 
     def writepairs(self, pairs: Iterable[KeyValue]) -> None:
         """Serialize a whole batch into one buffer and write it once.
@@ -156,16 +237,32 @@ class BinWriter(Writer):
         number of file-object calls changes (3 per pair → 1 per batch).
         """
         key_dumps = self.key_s.dumps
+        if self._value_parts is not None:
+            value_parts = self._value_parts
+            self._scatter(
+                (key, key_dumps(key), value_parts(value))
+                for key, value in pairs
+            )
+            return
         value_dumps = self.value_s.dumps
         pack = _LEN_STRUCT.pack
         chunks: List[bytes] = []
         append = chunks.append
-        for key, value in pairs:
-            kb = key_dumps(key)
-            vb = value_dumps(value)
-            append(pack(len(kb), len(vb)))
-            append(kb)
-            append(vb)
+        key = None
+        kb = vb = b""
+        try:
+            for key, value in pairs:
+                kb = key_dumps(key)
+                vb = value_dumps(value)
+                append(pack(len(kb), len(vb)))
+                append(kb)
+                append(vb)
+        except struct.error:
+            # ``pack`` overflowed the !II framing — unless the error
+            # came from inside a serializer, in which case let it out.
+            if len(kb) > FRAME_LIMIT or len(vb) > FRAME_LIMIT:
+                raise _frame_limit_error(key, len(kb), len(vb)) from None
+            raise
         self.fileobj.write(b"".join(chunks))
 
     def writerecords(self, records: Iterable[Tuple[bytes, KeyValue]]) -> None:
@@ -178,13 +275,31 @@ class BinWriter(Writer):
         keys (or non-canonical serializers) go through ``dumps``, which
         preserves the serializer's type errors.  Output is byte-for-byte
         identical to looping :meth:`writepair`.
+
+        Values whose serializer implements ``dumps_parts`` (and the
+        zero-copy knob is on) take the scatter-write path instead of
+        being joined into the batch buffer.
         """
         tag = getattr(self.key_s, "canonical_key_tag", None)
+        key_dumps = self.key_s.dumps
+        if self._value_parts is not None:
+            value_parts = self._value_parts
+            taglen = len(tag) if tag is not None else 0
+
+            def items():
+                for keybytes, pair in records:
+                    if tag is not None and keybytes.startswith(tag):
+                        kb = keybytes[taglen:]
+                    else:
+                        kb = key_dumps(pair[0])
+                    yield pair[0], kb, value_parts(pair[1])
+
+            self._scatter(items())
+            return
         if tag is None:
             self.writepairs([record[1] for record in records])
             return
         taglen = len(tag)
-        key_dumps = self.key_s.dumps
         value_dumps = self.value_s.dumps
         native = _native_kernels()
         if native is not None:
@@ -201,20 +316,34 @@ class BinWriter(Writer):
                 else:
                     kappend(key_dumps(pair[0]))
                 vappend(value_dumps(pair[1]))
+            if kbs and (
+                max(map(len, kbs)) > FRAME_LIMIT
+                or max(map(len, vbs)) > FRAME_LIMIT
+            ):
+                for kb, vb in zip(kbs, vbs):
+                    if len(kb) > FRAME_LIMIT or len(vb) > FRAME_LIMIT:
+                        raise _frame_limit_error(kb, len(kb), len(vb))
             self.fileobj.write(native.frame(kbs, vbs))
             return
         pack = _LEN_STRUCT.pack
         chunks: List[bytes] = []
         append = chunks.append
-        for keybytes, pair in records:
-            if keybytes.startswith(tag):
-                kb = keybytes[taglen:]
-            else:
-                kb = key_dumps(pair[0])
-            vb = value_dumps(pair[1])
-            append(pack(len(kb), len(vb)))
-            append(kb)
-            append(vb)
+        pair = (None, None)
+        kb = vb = b""
+        try:
+            for keybytes, pair in records:
+                if keybytes.startswith(tag):
+                    kb = keybytes[taglen:]
+                else:
+                    kb = key_dumps(pair[0])
+                vb = value_dumps(pair[1])
+                append(pack(len(kb), len(vb)))
+                append(kb)
+                append(vb)
+        except struct.error:
+            if len(kb) > FRAME_LIMIT or len(vb) > FRAME_LIMIT:
+                raise _frame_limit_error(pair[0], len(kb), len(vb)) from None
+            raise
         self.fileobj.write(b"".join(chunks))
 
 
@@ -226,15 +355,101 @@ class BinReader(Reader):
         fileobj: BinaryIO,
         key_serializer: Optional[Serializer] = None,
         value_serializer: Optional[Serializer] = None,
+        use_mmap: bool = False,
     ):
         super().__init__(fileobj)
         self.key_s = key_serializer or get_serializer(None)
         self.value_s = value_serializer or get_serializer(None)
+        #: Zero-copy value decoder, or None for the plain loads path.
+        self._value_view = loads_view_for(self.value_s)
         magic = self.fileobj.read(len(_BIN_MAGIC))
         if magic != _BIN_MAGIC:
             raise ValueError(f"not a BinWriter file (magic={magic!r})")
+        self._mmap = None
+        self._mview: Optional[memoryview] = None
+        if use_mmap:
+            self._try_mmap()
+
+    def _try_mmap(self) -> None:
+        """Map the file read-only; silently stay on the streaming path
+        for non-file objects (sockets, BytesIO) or empty files."""
+        import mmap
+
+        try:
+            fileno = self.fileobj.fileno()
+            if os.fstat(fileno).st_size <= len(_BIN_MAGIC):
+                return
+            self._mmap = mmap.mmap(fileno, 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError, io.UnsupportedOperation):
+            self._mmap = None
+            return
+        self._mview = memoryview(self._mmap)
+
+    def close(self) -> None:
+        mview, self._mview = self._mview, None
+        mapped, self._mmap = self._mmap, None
+        if mview is not None:
+            try:
+                mview.release()
+            except ValueError:
+                pass
+        if mapped is not None:
+            try:
+                mapped.close()
+            except BufferError:
+                # Zero-copy value views handed to the consumer still
+                # reference the map; the OS unmaps when the last view
+                # is garbage-collected.
+                pass
+        super().close()
+
+    def _iter_view(
+        self, decorate: bool
+    ) -> Iterator[Any]:
+        """Walk the mmap'd file; values decode as zero-copy views when
+        the serializer supports it (``loads_view``)."""
+        from repro.util.hashing import key_to_bytes
+
+        mv = self._mview
+        assert mv is not None
+        header_size = _LEN_STRUCT.size
+        unpack_from = _LEN_STRUCT.unpack_from
+        key_loads = self.key_s.loads
+        value_view = self._value_view
+        value_loads = self.value_s.loads
+        tag = getattr(self.key_s, "canonical_key_tag", None)
+        pos = len(_BIN_MAGIC)
+        end = len(mv)
+        while pos < end:
+            body = pos + header_size
+            if body > end:
+                raise ValueError("truncated record header")
+            klen, vlen = unpack_from(mv, pos)
+            vstart = body + klen
+            rec_end = vstart + vlen
+            if rec_end > end:
+                raise ValueError("truncated record body")
+            kb = bytes(mv[body:vstart])
+            if value_view is not None:
+                value = value_view(mv[vstart:rec_end])
+            else:
+                value = value_loads(bytes(mv[vstart:rec_end]))
+            pos = rec_end
+            key = key_loads(kb)
+            if decorate:
+                yield (
+                    tag + kb if tag is not None else key_to_bytes(key),
+                    (key, value),
+                )
+            else:
+                yield key, value
 
     def __iter__(self) -> Iterator[KeyValue]:
+        if self._mview is not None:
+            return self._iter_view(decorate=False)
+        return self._iter_stream()
+
+    def _iter_stream(self) -> Iterator[KeyValue]:
         read = self.fileobj.read
         header_size = _LEN_STRUCT.size
         unpack = _LEN_STRUCT.unpack
@@ -264,9 +479,15 @@ class BinReader(Reader):
 
         Records are parsed out of large read chunks rather than with
         three ``read`` calls each, so per-record cost is a pair of
-        slices; memory stays bounded by the chunk size, preserving the
-        streaming-merge property.
+        slices; memory stays bounded by the chunk size (plus one
+        in-flight record), preserving the streaming-merge property.
+        In mmap mode no chunking happens at all: records are walked in
+        place and values decode as zero-copy views when the serializer
+        supports ``loads_view``.
         """
+        if self._mview is not None:
+            yield from self._iter_view(decorate=True)
+            return
         from repro.util.hashing import key_to_bytes
 
         read = self.fileobj.read
@@ -284,7 +505,29 @@ class BinReader(Reader):
                 if pos != len(buf):
                     raise ValueError("truncated record")
                 return
-            buf = buf[pos:] + chunk if pos or buf else chunk
+            if pos or buf:
+                tail = buf[pos:]
+                # Peek at the pending record's header: a record larger
+                # than the chunk is completed with ONE sized read and
+                # ONE join, instead of re-growing the buffer chunk by
+                # chunk (quadratic in the record size).
+                parts = [tail, chunk]
+                avail = len(tail) + len(chunk)
+                if avail >= header_size:
+                    if len(tail) >= header_size:
+                        klen, vlen = unpack_from(tail, 0)
+                    else:
+                        klen, vlen = _LEN_STRUCT.unpack(
+                            (tail + chunk[: header_size - len(tail)])
+                        )
+                    rec_len = header_size + klen + vlen
+                    if rec_len > avail:
+                        more = read(rec_len - avail)
+                        if more:
+                            parts.append(more)
+                buf = b"".join(parts)
+            else:
+                buf = chunk
             pos = 0
             end = len(buf)
             if native is not None:

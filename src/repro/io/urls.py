@@ -59,17 +59,22 @@ def _make_reader(reader_cls, fileobj, key_serializer, value_serializer):
     """Instantiate a reader, passing serializers where supported.
 
     Only the binary format has pluggable serializers; text and hex
-    readers have fixed encodings.
+    readers have fixed encodings.  When the value serializer supports
+    zero-copy decoding (``loads_view``) and the zero-copy knob is on,
+    local binary files open in mmap mode: values decode as views over
+    the page cache instead of copies.
     """
     if issubclass(reader_cls, formats.BinReader) and (
         key_serializer or value_serializer
     ):
-        from repro.io.serializers import get_serializer
+        from repro.io.serializers import get_serializer, loads_view_for
 
+        value_s = get_serializer(value_serializer)
         return reader_cls(
             fileobj,
             key_serializer=get_serializer(key_serializer),
-            value_serializer=get_serializer(value_serializer),
+            value_serializer=value_s,
+            use_mmap=loads_view_for(value_s) is not None,
         )
     return reader_cls(fileobj)
 

@@ -14,12 +14,19 @@ import pickle
 import zlib
 from typing import Any
 
-# Pickle protocol 2 output is stable across the CPython versions we
-# support for the value types used as MapReduce keys (str, bytes, int,
-# float, tuples thereof).  Higher protocols are also stable for these
-# types, but pinning one keeps hashes reproducible across interpreter
-# upgrades.
-_PICKLE_PROTOCOL = 2
+# The single pinned pickle protocol for the whole framework: canonical
+# key bytes here AND the default value serializer (io/serializers.py)
+# both use it, so a mixed-version cluster never disagrees about wire
+# bytes and hashes stay reproducible across interpreter upgrades.
+# Protocol 4 (available since CPython 3.4) is deterministic for the
+# types used as MapReduce keys (str, bytes, int, float, tuples thereof)
+# and — unlike protocol 2 — frames binary payloads efficiently, which
+# matters for pickled values.  ``HIGHEST_PROTOCOL`` would drift with
+# the interpreter; a literal cannot.
+PICKLE_PROTOCOL = 4
+
+# Backward-compatible alias (pre-unification name).
+_PICKLE_PROTOCOL = PICKLE_PROTOCOL
 
 
 _crc32 = zlib.crc32

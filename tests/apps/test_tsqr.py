@@ -1,0 +1,126 @@
+"""Tall-and-skinny QR suite: numerics and runtime coverage.
+
+Each algorithm must produce a factorization as good as a direct
+``numpy.linalg.qr`` — orthogonality and reconstruction residuals near
+machine epsilon — and the zero-copy (``numpy`` serializer) and pickle
+paths must produce bit-identical factors, since the dataflow is
+deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.main import run_program
+from repro.apps.tsqr.numerics import (
+    KIND_Q1,
+    KIND_R,
+    orthogonality_error,
+    reconstruction_error,
+    tag_block,
+    untag_block,
+)
+from repro.apps.tsqr.programs import (
+    ALGORITHMS,
+    CholeskyQR,
+    DirectTSQR,
+    TSMatMulBtA,
+)
+
+SHAPE_ARGS = [
+    "--tsqr-rows", "600", "--tsqr-cols", "8", "--tsqr-blocks", "4",
+]
+
+
+class TestTaggedBlocks:
+    def test_roundtrip(self):
+        block = np.arange(20.0).reshape(5, 4)
+        kind, index, payload = untag_block(tag_block(KIND_Q1, 3, block))
+        assert (kind, index) == (KIND_Q1, 3)
+        assert np.array_equal(payload, block)
+
+    def test_payload_is_a_view(self):
+        tagged = tag_block(KIND_R, 0, np.eye(4))
+        _, _, payload = untag_block(tagged)
+        assert payload.base is tagged
+
+    def test_needs_two_columns(self):
+        with pytest.raises(ValueError):
+            tag_block(KIND_R, 0, np.zeros((5, 1)))
+        with pytest.raises(ValueError):
+            tag_block(KIND_R, 0, np.zeros(5))
+
+
+class TestNumericChecks:
+    def test_error_measures_agree_with_numpy_qr(self):
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((200, 10))
+        Q, R = np.linalg.qr(A)
+        assert orthogonality_error(Q) < 1e-12
+        assert reconstruction_error(A, Q, R) < 1e-12
+        assert orthogonality_error(A) > 1.0  # not orthonormal
+
+
+class TestAlgorithmsSerial:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_meets_qr_quality_bar(self, name):
+        # Each run() returns nonzero (-> run_program raises) unless its
+        # own residual checks pass, so success here is the assertion.
+        program = run_program(ALGORITHMS[name], list(SHAPE_ARGS), impl="serial")
+        if name in ("bta", "ab"):
+            assert program.result is not None
+        else:
+            assert program.Q is not None and program.R is not None
+
+    @pytest.mark.parametrize("name", ["cholesky", "indirect", "direct"])
+    def test_factors_match_full_matrix(self, name):
+        program = run_program(ALGORITHMS[name], list(SHAPE_ARGS), impl="serial")
+        A = program.full_matrix()
+        assert program.Q.shape == A.shape
+        assert program.R.shape == (A.shape[1], A.shape[1])
+        assert reconstruction_error(A, program.Q, program.R) < 1e-10
+        assert orthogonality_error(program.Q) < 1e-10
+        # R is upper triangular.
+        assert np.allclose(program.R, np.triu(program.R))
+
+    def test_bta_matches_dense_product(self):
+        program = run_program(TSMatMulBtA, list(SHAPE_ARGS), impl="serial")
+        # run() already checked the residual; spot-check the shape.
+        assert program.result.shape == (8, 8)
+
+
+class TestSerializerPathsAgree:
+    @pytest.mark.parametrize("impl", ["serial", "mockparallel"])
+    def test_direct_tsqr_bit_identical_across_serializers(self, impl):
+        factors = {}
+        for serializer in ("numpy", "pickle"):
+            program = run_program(
+                DirectTSQR,
+                SHAPE_ARGS + ["--tsqr-serializer", serializer],
+                impl=impl,
+            )
+            factors[serializer] = (program.Q, program.R)
+        q_np, r_np = factors["numpy"]
+        q_pk, r_pk = factors["pickle"]
+        assert np.array_equal(q_np, q_pk)
+        assert np.array_equal(r_np, r_pk)
+
+    def test_cholesky_mockparallel_matches_serial(self):
+        runs = [
+            run_program(CholeskyQR, list(SHAPE_ARGS), impl=impl)
+            for impl in ("serial", "mockparallel")
+        ]
+        assert np.array_equal(runs[0].Q, runs[1].Q)
+        assert np.array_equal(runs[0].R, runs[1].R)
+
+
+@pytest.mark.integration
+def test_direct_tsqr_multiprocess():
+    program = run_program(
+        DirectTSQR,
+        SHAPE_ARGS + ["--tsqr-serializer", "numpy"],
+        impl="multiprocess",
+        procs=2,
+    )
+    A = program.full_matrix()
+    assert orthogonality_error(program.Q) < 1e-10
+    assert reconstruction_error(A, program.Q, program.R) < 1e-10

@@ -1,0 +1,174 @@
+"""Multi-megabyte single records through the whole shuffle.
+
+A job whose individual values are several MB each exercises every
+large-value path at once: the scatter write on emit, the spill files,
+the worker fetch, and the streaming merge.  The outputs must be
+byte-identical across all local runtimes and across the zero-copy
+knob, and the mmap read path must not materialize the whole file to
+iterate it (the peak-RSS check runs in a subprocess so the number is
+clean).
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+import repro as mrs
+from repro.core.main import run_program
+
+#: Rows per emitted block; int64 so summation is exact and therefore
+#: order-independent — reduce output is bit-identical no matter which
+#: runtime delivered the values first.
+BLOCK_ROWS = 130_000  # ~4 MB per record at 4 int64 columns
+COLS = 4
+
+
+class BigBlockSum(mrs.MapReduce):
+    """Each map task emits one ~4 MB array; reduce sums per key."""
+
+    def run(self, job):
+        source = job.local_data([(i, i) for i in range(6)], splits=3)
+        intermediate = job.map_data(
+            source, self.map, splits=2,
+            key_serializer="int", value_serializer="numpy",
+        )
+        output = job.reduce_data(
+            intermediate, self.reduce, splits=2,
+            key_serializer="int", value_serializer="numpy",
+        )
+        job.wait(output)
+        # Snapshot while the backend (and its temp files) is alive.
+        self.result_bytes = {
+            key: value.tobytes() for key, value in output.data()
+        }
+        return 0
+
+    def map(self, key, value):
+        block = np.arange(
+            BLOCK_ROWS * COLS, dtype=np.int64
+        ).reshape(BLOCK_ROWS, COLS) * (value + 1)
+        yield (value % 2, block)
+
+    def reduce(self, key, values):
+        total = np.zeros((BLOCK_ROWS, COLS), dtype=np.int64)
+        for value in values:
+            total += value
+        yield total
+
+
+def _run(impl, tmp_path, tag, **overrides):
+    program = run_program(
+        BigBlockSum, [str(tmp_path / tag)], impl=impl, **overrides
+    )
+    return program.result_bytes
+
+
+class TestLargeRecordsEndToEnd:
+    def test_runtimes_agree_byte_for_byte(self, tmp_path):
+        serial = _run("serial", tmp_path, "serial")
+        assert set(serial) == {0, 1}
+        # Factors 1+3+5 for key 0, 2+4+6 for key 1, of the base block.
+        base = np.arange(BLOCK_ROWS * COLS, dtype=np.int64).reshape(
+            BLOCK_ROWS, COLS
+        )
+        assert serial[0] == (base * 9).tobytes()
+        assert serial[1] == (base * 12).tobytes()
+        mock = _run("mockparallel", tmp_path, "mock")
+        multi = _run("multiprocess", tmp_path, "multi", procs=2)
+        assert serial == mock == multi
+
+    def test_zero_copy_knob_does_not_change_results(self, tmp_path):
+        from repro.io import serializers
+
+        previous = serializers.zero_copy_mode()
+        previous_env = os.environ.get("MRS_ZERO_COPY")
+        try:
+            on = _run("mockparallel", tmp_path, "zc_on", zero_copy="on")
+            off = _run("mockparallel", tmp_path, "zc_off", zero_copy="off")
+        finally:
+            serializers.set_zero_copy_mode(previous)
+            if previous_env is None:
+                os.environ.pop("MRS_ZERO_COPY", None)
+            else:
+                os.environ["MRS_ZERO_COPY"] = previous_env
+        assert on == off
+
+
+# The child samples current VmRSS rather than ru_maxrss: the high-water
+# mark is inherited across fork from the (possibly large) test runner,
+# so it says nothing about what *this* iteration allocated.
+RSS_CHILD = textwrap.dedent("""
+    import sys
+    import numpy as np
+    from repro.io.formats import BinReader
+    from repro.io.serializers import NumpySerializer, get_serializer
+
+    def vmrss_kb():
+        with open("/proc/self/status") as f:
+            for line in f:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+        raise RuntimeError("no VmRSS line")
+
+    path = sys.argv[1]
+    checksum = 0
+    peak = vmrss_kb()
+    with open(path, "rb") as f:
+        reader = BinReader(
+            f,
+            key_serializer=get_serializer("int"),
+            value_serializer=NumpySerializer,
+            use_mmap=True,
+        )
+        for key, value in reader:
+            checksum += int(value[0, 0])  # touch one page per record
+            peak = max(peak, vmrss_kb())
+    print(checksum, peak)
+""")
+
+
+@pytest.mark.integration
+@pytest.mark.skipif(
+    not os.path.exists("/proc/self/status"), reason="needs /proc"
+)
+def test_mmap_iteration_peak_rss_stays_flat(tmp_path):
+    """Iterating a file much larger than the working set must not pull
+    every value into memory: records decode as views over the map, so
+    peak RSS tracks the pages actually touched, not the file size."""
+    from repro.io.formats import BinWriter
+    from repro.io.serializers import NumpySerializer, get_serializer
+
+    path = tmp_path / "big.mrsb"
+    n_records, rows = 32, 524_288  # 32 x 4 MB = 128 MB on disk
+    with open(path, "wb") as f:
+        writer = BinWriter(
+            f,
+            key_serializer=get_serializer("int"),
+            value_serializer=NumpySerializer,
+        )
+        block = np.arange(rows, dtype=np.int64).reshape(-1, 1)
+        for i in range(n_records):
+            writer.writepair((i, block + i))
+        writer.finish()
+    file_size = os.path.getsize(path)
+    assert file_size > 100 * 1024 * 1024
+
+    env = dict(os.environ, PYTHONPATH="src", MRS_ZERO_COPY="on")
+    out = subprocess.run(
+        [sys.executable, "-c", RSS_CHILD, str(path)],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        check=True,
+    )
+    checksum, peak_kb = out.stdout.split()
+    assert int(checksum) == sum(range(n_records))
+    # Interpreter + numpy baseline is a few tens of MB; give it slack
+    # but stay far below the 128 MB file.
+    assert int(peak_kb) * 1024 < file_size * 0.6, (
+        f"peak RSS {peak_kb} KB suggests the reader copied values "
+        f"instead of mapping them ({file_size} byte file)"
+    )

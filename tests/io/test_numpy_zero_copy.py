@@ -1,0 +1,267 @@
+"""The zero-copy NumPy data plane, layer by layer.
+
+The ``numpy`` serializer's wire format, the process-wide zero-copy
+knob, the scatter-writing ``BinWriter``, the mmap-backed ``BinReader``,
+and the ``!II`` frame-limit diagnostics.  The invariant pinned
+throughout: the zero-copy paths are *pure optimizations* — bytes on
+disk and values decoded are identical with the knob on or off.
+"""
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.io import formats, serializers
+from repro.io.formats import BinReader, BinWriter
+from repro.io.serializers import (
+    NumpySerializer,
+    dumps_parts_for,
+    get_serializer,
+    loads_view_for,
+    set_zero_copy_mode,
+    zero_copy_enabled,
+    zero_copy_mode,
+)
+
+
+@pytest.fixture
+def knob():
+    """Restore the zero-copy mode (and its env mirror) after the test."""
+    previous = zero_copy_mode()
+    previous_env = os.environ.get("MRS_ZERO_COPY")
+    yield
+    set_zero_copy_mode(previous)
+    if previous_env is None:
+        os.environ.pop("MRS_ZERO_COPY", None)
+    else:
+        os.environ["MRS_ZERO_COPY"] = previous_env
+
+
+ARRAYS = [
+    np.arange(12, dtype=np.int64).reshape(3, 4),
+    np.linspace(0.0, 1.0, 7),
+    np.array(3.5),  # 0-d
+    np.zeros((0, 7)),  # empty
+    np.array([[1 + 2j, 3 - 4j]]),
+    np.arange(8, dtype=np.uint8),
+    np.ones((2, 3, 4), dtype=np.float32),
+]
+
+
+class TestNumpySerializer:
+    @pytest.mark.parametrize("arr", ARRAYS, ids=lambda a: f"{a.dtype}{a.shape}")
+    def test_roundtrip_preserves_dtype_shape_bytes(self, arr):
+        out = NumpySerializer.roundtrip(arr)
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert np.array_equal(out, arr)
+
+    def test_noncontiguous_input_is_encoded_contiguously(self):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        for arr in (base[:, ::2], base.T, np.asfortranarray(base)):
+            assert np.array_equal(NumpySerializer.roundtrip(arr), arr)
+
+    def test_dumps_parts_concatenates_to_dumps(self):
+        for arr in ARRAYS:
+            parts = NumpySerializer.dumps_parts(arr)
+            joined = b"".join(bytes(part) for part in parts)
+            assert joined == NumpySerializer.dumps(arr)
+
+    def test_loads_view_is_zero_copy(self):
+        arr = np.arange(1000, dtype=np.float64)
+        blob = NumpySerializer.dumps(arr)
+        view = NumpySerializer.loads_view(memoryview(blob))
+        assert np.array_equal(view, arr)
+        # A view over immutable bytes must be read-only, not a copy.
+        assert not view.flags.writeable
+        assert view.base is not None
+
+    def test_rejects_non_arrays_and_object_dtype(self):
+        with pytest.raises(TypeError):
+            NumpySerializer.dumps([1, 2, 3])
+        with pytest.raises(TypeError):
+            NumpySerializer.dumps(np.array([object()]))
+
+
+class TestZeroCopyKnob:
+    def test_invalid_mode_rejected(self, knob):
+        with pytest.raises(ValueError):
+            set_zero_copy_mode("sometimes")
+
+    def test_set_mirrors_into_environment(self, knob):
+        set_zero_copy_mode("off")
+        assert os.environ["MRS_ZERO_COPY"] == "off"
+        assert not zero_copy_enabled()
+        set_zero_copy_mode("on")
+        assert os.environ["MRS_ZERO_COPY"] == "on"
+        assert zero_copy_enabled()
+
+    def test_gating_helpers_follow_the_knob(self, knob):
+        set_zero_copy_mode("on")
+        assert dumps_parts_for(NumpySerializer) is not None
+        assert loads_view_for(NumpySerializer) is not None
+        # Serializers without buffer support never offer a fast path.
+        assert dumps_parts_for(get_serializer("int")) is None
+        set_zero_copy_mode("off")
+        assert dumps_parts_for(NumpySerializer) is None
+        assert loads_view_for(NumpySerializer) is None
+
+
+def _write_mrsb(pairs, zero_copy):
+    set_zero_copy_mode("on" if zero_copy else "off")
+    buffer = io.BytesIO()
+    writer = BinWriter(
+        buffer,
+        key_serializer=get_serializer("int"),
+        value_serializer=NumpySerializer,
+    )
+    writer.writepairs(pairs)
+    writer.finish()
+    return buffer.getvalue()
+
+
+class TestScatterWriter:
+    def test_scatter_output_is_byte_identical_to_dumps_path(self, knob):
+        rng = np.random.default_rng(7)
+        pairs = [
+            (i, rng.standard_normal((size, 5)))
+            # Mix values below and above the scatter threshold so both
+            # the coalescing and the direct-write branches run.
+            for i, size in enumerate([3, 40_000, 1, 25_000, 0])
+        ]
+        assert _write_mrsb(pairs, zero_copy=True) == _write_mrsb(
+            pairs, zero_copy=False
+        )
+
+    def test_writepair_matches_writepairs(self, knob):
+        set_zero_copy_mode("on")
+        pairs = [(0, np.arange(30_000, dtype=np.int64)), (1, np.eye(3))]
+        buffer = io.BytesIO()
+        writer = BinWriter(
+            buffer,
+            key_serializer=get_serializer("int"),
+            value_serializer=NumpySerializer,
+        )
+        for pair in pairs:
+            writer.writepair(pair)
+        writer.finish()
+        assert buffer.getvalue() == _write_mrsb(pairs, zero_copy=True)
+
+
+class TestMmapReader:
+    def _write_file(self, path, pairs):
+        with open(path, "wb") as f:
+            writer = BinWriter(
+                f,
+                key_serializer=get_serializer("int"),
+                value_serializer=NumpySerializer,
+            )
+            writer.writepairs(pairs)
+            writer.finish()
+
+    def test_values_are_views_over_the_map(self, tmp_path, knob):
+        set_zero_copy_mode("on")
+        pairs = [(i, np.full((200, 4), float(i))) for i in range(5)]
+        path = tmp_path / "blocks.mrsb"
+        self._write_file(path, pairs)
+        with open(path, "rb") as f:
+            reader = BinReader(
+                f,
+                key_serializer=get_serializer("int"),
+                value_serializer=NumpySerializer,
+                use_mmap=True,
+            )
+            out = list(reader)
+        assert [k for k, _ in out] == [0, 1, 2, 3, 4]
+        for key, value in out:
+            assert value.base is not None  # a view, not a copy
+            assert np.array_equal(value, np.full((200, 4), float(key)))
+
+    def test_views_survive_reader_close(self, tmp_path, knob):
+        set_zero_copy_mode("on")
+        arr = np.arange(4096, dtype=np.float64)
+        path = tmp_path / "one.mrsb"
+        self._write_file(path, [(7, arr)])
+        with open(path, "rb") as f:
+            reader = BinReader(
+                f,
+                key_serializer=get_serializer("int"),
+                value_serializer=NumpySerializer,
+                use_mmap=True,
+            )
+            (key, value), = list(reader)
+            reader.close()
+        # The mmap stays alive for as long as the view references it.
+        assert np.array_equal(value, arr)
+
+    def test_mmap_and_stream_paths_decode_identically(self, tmp_path, knob):
+        set_zero_copy_mode("on")
+        pairs = [(i, np.arange(i * 100, dtype=np.int32)) for i in range(1, 6)]
+        path = tmp_path / "same.mrsb"
+        self._write_file(path, pairs)
+        results = []
+        for use_mmap in (True, False):
+            with open(path, "rb") as f:
+                reader = BinReader(
+                    f,
+                    key_serializer=get_serializer("int"),
+                    value_serializer=NumpySerializer,
+                    use_mmap=use_mmap,
+                )
+                results.append([(k, v.tobytes()) for k, v in reader])
+        assert results[0] == results[1]
+
+    def test_non_file_objects_fall_back_silently(self, knob):
+        set_zero_copy_mode("on")
+        blob = _write_mrsb([(1, np.eye(2))], zero_copy=True)
+        reader = BinReader(
+            io.BytesIO(blob),
+            key_serializer=get_serializer("int"),
+            value_serializer=NumpySerializer,
+            use_mmap=True,
+        )
+        (key, value), = list(reader)
+        assert key == 1 and np.array_equal(value, np.eye(2))
+
+
+class TestFrameLimit:
+    def test_oversized_value_raises_with_record_and_size(
+        self, monkeypatch, knob
+    ):
+        set_zero_copy_mode("off")
+        monkeypatch.setattr(formats, "FRAME_LIMIT", 100)
+        writer = BinWriter(
+            io.BytesIO(),
+            key_serializer=get_serializer("str"),
+            value_serializer=get_serializer("raw"),
+        )
+        with pytest.raises(ValueError) as exc:
+            writer.writepair(("big", b"x" * 200))
+        message = str(exc.value)
+        assert "'big'" in message and "value" in message
+        assert "200 bytes" in message and "100 over" in message
+
+    def test_oversized_value_raises_on_scatter_path(
+        self, monkeypatch, knob
+    ):
+        set_zero_copy_mode("on")
+        monkeypatch.setattr(formats, "FRAME_LIMIT", 100)
+        writer = BinWriter(
+            io.BytesIO(),
+            key_serializer=get_serializer("int"),
+            value_serializer=NumpySerializer,
+        )
+        with pytest.raises(ValueError) as exc:
+            writer.writepair((9, np.zeros(1000)))
+        assert "frame limit" in str(exc.value)
+
+    def test_serializer_type_errors_are_not_swallowed(self, knob):
+        set_zero_copy_mode("off")
+        writer = BinWriter(
+            io.BytesIO(), value_serializer=get_serializer("float")
+        )
+        with pytest.raises(Exception) as exc:
+            writer.writepairs([("k", "not-a-float")])
+        assert "frame limit" not in str(exc.value)
